@@ -1,0 +1,46 @@
+// Shared configuration for the experiment harness binaries.
+//
+// Every table/figure bench regenerates its paper artifact on the synthetic
+// suite. The suite scale is configurable so the whole harness runs in
+// minutes by default yet can be pushed to the paper's full benchmark sizes:
+//
+//   MCH_BENCH_SCALE   fraction of each benchmark's published cell count
+//                     (default 0.05; 1.0 = full scale, superblue12 ≈ 1.29M
+//                     cells)
+//   MCH_BENCH_SEED    generator seed (default 1)
+//
+// Experiment shapes (who wins, by what factor, where the crossovers are)
+// are scale-invariant; see EXPERIMENTS.md.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+#include "gen/generator.h"
+
+namespace mch::bench {
+
+inline double bench_scale() {
+  if (const char* env = std::getenv("MCH_BENCH_SCALE")) {
+    const double value = std::atof(env);
+    if (value > 0.0 && value <= 1.0) return value;
+  }
+  return 0.05;
+}
+
+inline std::uint64_t bench_seed() {
+  if (const char* env = std::getenv("MCH_BENCH_SEED")) {
+    const long long value = std::atoll(env);
+    if (value > 0) return static_cast<std::uint64_t>(value);
+  }
+  return 1;
+}
+
+inline gen::GeneratorOptions bench_options() {
+  gen::GeneratorOptions options;
+  options.scale = bench_scale();
+  options.seed = bench_seed();
+  return options;
+}
+
+}  // namespace mch::bench

@@ -1,0 +1,120 @@
+// Google-benchmark microbenchmarks of the pipeline stages, demonstrating
+// the linear-time scaling that underpins the paper's efficiency claim:
+// model build, MMSIM setup + iterations, PlaceRow collapse, and the
+// Tetris-like allocation all scale ~O(n).
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "baselines/abacus.h"
+#include "gen/generator.h"
+#include "lcp/mmsim.h"
+#include "legal/flow.h"
+#include "legal/model.h"
+#include "legal/row_assign.h"
+#include "legal/tetris_alloc.h"
+
+namespace {
+
+using namespace mch;
+
+const db::Design& cached_design(std::size_t cells) {
+  static std::map<std::size_t, db::Design> cache;
+  auto it = cache.find(cells);
+  if (it == cache.end()) {
+    gen::GeneratorOptions options;
+    options.seed = 7;
+    options.nets_per_cell = 0.0;
+    it = cache
+             .emplace(cells, gen::generate_random_design(
+                                 cells - cells / 10, cells / 10, 0.6,
+                                 options))
+             .first;
+  }
+  return it->second;
+}
+
+void BM_ModelBuild(benchmark::State& state) {
+  db::Design design = cached_design(static_cast<std::size_t>(state.range(0)));
+  const legal::RowAssignment rows = legal::assign_rows(design);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(legal::build_model(design, rows));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ModelBuild)->Range(1000, 64000)->Complexity(benchmark::oN);
+
+void BM_MmsimIterations(benchmark::State& state) {
+  db::Design design = cached_design(static_cast<std::size_t>(state.range(0)));
+  const legal::RowAssignment rows = legal::assign_rows(design);
+  const legal::LegalizationModel model = legal::build_model(design, rows);
+  lcp::MmsimOptions options;
+  options.max_iterations = 100;  // fixed budget: measures per-iteration cost
+  options.tolerance = 0.0;
+  options.residual_check = false;
+  const lcp::MmsimSolver solver(model.qp, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MmsimIterations)->Range(1000, 64000)->Complexity(benchmark::oN);
+
+void BM_MmsimSolveToConvergence(benchmark::State& state) {
+  db::Design design = cached_design(static_cast<std::size_t>(state.range(0)));
+  const legal::RowAssignment rows = legal::assign_rows(design);
+  const legal::LegalizationModel model = legal::build_model(design, rows);
+  const lcp::MmsimSolver solver(model.qp, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MmsimSolveToConvergence)->Range(1000, 16000);
+
+void BM_PlaceRow(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<baselines::PlaceRowCell> cells;
+  cells.reserve(n);
+  double target = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    target += 3.0 + static_cast<double>(i % 5);
+    cells.push_back({target * 0.8, 4.0});  // 20% compression: collapses
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baselines::place_row(cells));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PlaceRow)->Range(256, 65536)->Complexity(benchmark::oN);
+
+void BM_TetrisAllocate(benchmark::State& state) {
+  const db::Design& base = cached_design(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    db::Design design = base;
+    legal::assign_rows(design);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(legal::tetris_allocate(design));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TetrisAllocate)->Range(1000, 32000);
+
+void BM_FullFlow(benchmark::State& state) {
+  const db::Design& base = cached_design(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    db::Design design = base;
+    state.ResumeTiming();
+    legal::FlowOptions options;
+    options.verify = false;
+    benchmark::DoNotOptimize(legal::legalize(design, options));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FullFlow)->Range(1000, 16000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// Walk-through of the paper's machinery on a hand-built mixed-height
+// design: constructs the Figure-3-style instance, prints the constraint
+// system (B, b, p, and the per-cell Hessian blocks of Q + λEᵀE), runs the
+// MMSIM, and shows the optimal positions next to the KKT residuals.
+//
+// This is the example to read to understand what the library does under
+// the hood of `mch::legal::legalize`.
+#include <cstdio>
+
+#include "db/design.h"
+#include "lcp/mmsim.h"
+#include "legal/model.h"
+#include "legal/row_assign.h"
+
+int main() {
+  using namespace mch;
+
+  // A 2-row chip; sites are 1 unit wide, rows 10 units tall.
+  db::Chip chip;
+  chip.num_rows = 2;
+  chip.num_sites = 30;
+  chip.site_width = 1.0;
+  chip.row_height = 10.0;
+  db::Design design(chip);
+
+  // Double-height c1, single-height c2, double-height c3 — the paper's
+  // Figure 3 configuration, with GP positions that overlap: all three cells
+  // want to sit around x = 5..8.
+  db::Cell c1;
+  c1.width = 3;
+  c1.height_rows = 2;
+  c1.bottom_rail = db::RailType::kVss;
+  c1.gp_x = 5;
+  c1.gp_y = 0;
+  design.add_cell(c1);
+
+  db::Cell c2;
+  c2.width = 2;
+  c2.gp_x = 6;
+  c2.gp_y = 0;
+  design.add_cell(c2);
+
+  db::Cell c3;
+  c3.width = 3;
+  c3.height_rows = 2;
+  c3.bottom_rail = db::RailType::kVss;
+  c3.gp_x = 7;
+  c3.gp_y = 0;
+  design.add_cell(c3);
+
+  // Step 1: nearest correct rows (all to row 0 here).
+  const legal::RowAssignment rows = legal::assign_rows(design);
+
+  // Steps 2–3: subcell splitting + constraint construction.
+  const legal::LegalizationModel model = legal::build_model(design, rows);
+  std::printf("variables (cell:subrow):");
+  for (const legal::VariableInfo& v : model.variables)
+    std::printf("  %zu:%zu", v.cell, v.subrow);
+  std::printf("\n\nB (spacing constraints, one row each):\n");
+  for (std::size_t r = 0; r < model.qp.num_constraints(); ++r) {
+    std::printf("  [");
+    for (std::size_t c = 0; c < model.num_variables(); ++c)
+      std::printf(" %4.1f", model.qp.B.at(r, c));
+    std::printf(" ]  >=  %.1f\n", model.qp.b[r]);
+  }
+  std::printf("\np (negated GP targets):");
+  for (const double v : model.qp.p) std::printf("  %.1f", v);
+  std::printf("\n\nHessian blocks of K = Q + lambda*EtE (lambda = %.0f):\n",
+              model.lambda);
+  for (std::size_t b = 0; b < model.qp.K.block_count(); ++b) {
+    const auto& block = model.qp.K.block(b);
+    std::printf("  cell %zu:\n", b);
+    for (std::size_t r = 0; r < block.rows(); ++r) {
+      std::printf("    [");
+      for (std::size_t c = 0; c < block.cols(); ++c)
+        std::printf(" %8.1f", block(r, c));
+      std::printf(" ]\n");
+    }
+  }
+
+  // Steps 4–5: solve the LCP with the MMSIM.
+  lcp::MmsimOptions options;
+  options.tolerance = 1e-10;
+  options.max_iterations = 100000;
+  const lcp::MmsimSolver solver(model.qp, options);
+  const lcp::MmsimResult result = solver.solve();
+  std::printf("\nMMSIM: %zu iterations, %s\n", result.iterations,
+              result.converged ? "converged" : "NOT converged");
+  const lcp::LcpResidual residual = model.qp.lcp_residual(result.z);
+  std::printf("KKT residuals: z>=0 viol %.2e, w>=0 viol %.2e, "
+              "complementarity %.2e\n",
+              residual.z_negativity, residual.w_negativity,
+              residual.complementarity);
+
+  std::printf("\noptimal positions (GP -> legalized):\n");
+  for (std::size_t c = 0; c < design.num_cells(); ++c) {
+    const double x = model.cell_x(result.x, c);
+    std::printf("  cell %zu: %.1f -> %.4f  (subcell mismatch %.2e)\n", c,
+                design.cells()[c].gp_x, x,
+                model.cell_mismatch(result.x, c));
+  }
+  std::printf("\nNote how the three cells share the displacement burden "
+              "(the quadratic optimum) instead of one cell absorbing all "
+              "of it, and how c1/c3 remain rail-aligned double-height "
+              "blocks.\n");
+  return result.converged ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+// Demonstrates the §5.3 equivalence on a single benchmark: on designs with
+// only single-row-height cells, the MMSIM flow and the Abacus-PlaceRow flow
+// produce identical total displacement — both solve the relaxed fixed-order
+// problem exactly.
+//
+//   ./single_row_optimality [num-cells] [density]
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/abacus.h"
+#include "db/legality.h"
+#include "eval/metrics.h"
+#include "gen/generator.h"
+#include "legal/flow.h"
+#include "legal/tetris_alloc.h"
+
+int main(int argc, char** argv) {
+  using namespace mch;
+  const std::size_t num_cells =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 5000;
+  const double density = argc > 2 ? std::atof(argv[2]) : 0.7;
+
+  gen::GeneratorOptions options;
+  options.seed = 2026;
+  db::Design mmsim_design =
+      gen::generate_random_design(num_cells, 0, density, options);
+  db::Design placerow_design = mmsim_design;
+
+  std::printf("single-height design: %zu cells, density %.2f\n", num_cells,
+              density);
+
+  legal::FlowOptions flow_options;
+  flow_options.solver.mmsim.tolerance = 1e-8;
+  flow_options.solver.mmsim.max_iterations = 300000;
+  const legal::FlowResult flow = legal::legalize(mmsim_design, flow_options);
+  std::printf("MMSIM flow:    %s, %zu iterations, legal: %s\n",
+              flow.solver.converged ? "converged" : "NOT converged",
+              flow.solver.iterations, flow.legal ? "yes" : "no");
+
+  baselines::placerow_legalize_fixed_rows(placerow_design,
+                                          /*clamp_right_boundary=*/false);
+  legal::tetris_allocate(placerow_design);
+  const bool placerow_legal = db::check_legality(placerow_design).legal();
+  std::printf("PlaceRow flow: exact cluster collapse, legal: %s\n",
+              placerow_legal ? "yes" : "no");
+
+  const double mmsim_disp = eval::displacement(mmsim_design).total_sites;
+  const double placerow_disp =
+      eval::displacement(placerow_design).total_sites;
+  std::printf("\ntotal displacement: MMSIM %.2f vs PlaceRow %.2f sites\n",
+              mmsim_disp, placerow_disp);
+
+  const bool equal =
+      std::abs(mmsim_disp - placerow_disp) < 1e-3 * placerow_disp + 1e-6;
+  std::printf(equal ? "IDENTICAL — the iterative MMSIM reaches the exact "
+                      "optimum (Theorem 2).\n"
+                    : "MISMATCH — this would falsify Theorem 2!\n");
+  return equal && flow.legal && placerow_legal ? 0 : 1;
+}

@@ -1,0 +1,289 @@
+#include "baselines/abacus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "legal/row_assign.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace mch::baselines {
+
+namespace {
+
+struct Cluster {
+  double x = 0.0;   ///< current (clamped) optimal position
+  double w = 0.0;   ///< total width
+  double q = 0.0;   ///< Σ wt_i (target_i − offset_i)
+  double wt = 0.0;  ///< Σ wt_i
+  std::size_t first = 0;
+  std::size_t last = 0;
+};
+
+double clamp_position(double x, double width, double min_x, double max_x) {
+  const double hi = max_x - width;
+  if (hi < min_x) return min_x;  // infeasible row; caller detects overflow
+  return std::clamp(x, min_x, hi);
+}
+
+}  // namespace
+
+std::vector<double> place_row(const std::vector<PlaceRowCell>& cells,
+                              double min_x, double max_x) {
+  std::vector<Cluster> clusters;
+  clusters.reserve(cells.size());
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const PlaceRowCell& cell = cells[i];
+    MCH_CHECK(cell.width > 0.0 && cell.weight > 0.0);
+    Cluster c;
+    c.w = cell.width;
+    c.wt = cell.weight;
+    c.q = cell.weight * cell.target;
+    c.first = c.last = i;
+    c.x = clamp_position(c.q / c.wt, c.w, min_x, max_x);
+    clusters.push_back(c);
+
+    // Collapse while the new cluster overlaps its predecessor.
+    while (clusters.size() >= 2) {
+      Cluster& prev = clusters[clusters.size() - 2];
+      Cluster& curr = clusters.back();
+      if (prev.x + prev.w <= curr.x) break;
+      // Merge curr into prev: member offsets shift by prev.w.
+      prev.q += curr.q - curr.wt * prev.w;
+      prev.wt += curr.wt;
+      prev.w += curr.w;
+      prev.last = curr.last;
+      clusters.pop_back();
+      Cluster& merged = clusters.back();
+      merged.x = clamp_position(merged.q / merged.wt, merged.w, min_x, max_x);
+    }
+  }
+
+  std::vector<double> x(cells.size(), 0.0);
+  for (const Cluster& c : clusters) {
+    double offset = 0.0;
+    for (std::size_t i = c.first; i <= c.last; ++i) {
+      x[i] = c.x + offset;
+      offset += cells[i].width;
+    }
+  }
+  return x;
+}
+
+double place_row_objective(const std::vector<PlaceRowCell>& cells,
+                           const std::vector<double>& x) {
+  MCH_CHECK(cells.size() == x.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const double d = x[i] - cells[i].target;
+    sum += cells[i].weight * d * d;
+  }
+  return sum;
+}
+
+namespace {
+
+/// Mutable per-row state of the full Abacus legalizer.
+struct AbacusRow {
+  std::vector<Cluster> clusters;
+  std::vector<std::size_t> cells;   ///< design cell ids, left to right
+  std::vector<double> widths;       ///< matching widths
+  double used_width = 0.0;
+};
+
+/// Simulates appending a cell to the row and returns the cell's final x, or
+/// infinity when the row cannot accommodate it.
+double trial_insert(const AbacusRow& row, double target, double width,
+                    double min_x, double max_x) {
+  if (max_x - min_x < row.used_width + width)
+    return std::numeric_limits<double>::infinity();
+
+  Cluster virt;
+  virt.w = width;
+  virt.wt = 1.0;
+  virt.q = target;
+  virt.x = clamp_position(target, width, min_x, max_x);
+
+  std::size_t k = row.clusters.size();
+  while (k > 0) {
+    const Cluster& prev = row.clusters[k - 1];
+    if (prev.x + prev.w <= virt.x) break;
+    virt.q = prev.q + virt.q - virt.wt * prev.w;
+    virt.wt += prev.wt;
+    virt.w += prev.w;
+    virt.x = clamp_position(virt.q / virt.wt, virt.w, min_x, max_x);
+    --k;
+  }
+  // The inserted cell is the rightmost member of the merged cluster.
+  return virt.x + virt.w - width;
+}
+
+/// Actually appends the cell and collapses clusters.
+void commit_insert(AbacusRow& row, std::size_t cell_id, double target,
+                   double width, double min_x, double max_x) {
+  row.cells.push_back(cell_id);
+  row.widths.push_back(width);
+  row.used_width += width;
+
+  Cluster c;
+  c.w = width;
+  c.wt = 1.0;
+  c.q = target;
+  c.first = c.last = row.cells.size() - 1;
+  c.x = clamp_position(target, width, min_x, max_x);
+  row.clusters.push_back(c);
+  while (row.clusters.size() >= 2) {
+    Cluster& prev = row.clusters[row.clusters.size() - 2];
+    Cluster& curr = row.clusters.back();
+    if (prev.x + prev.w <= curr.x) break;
+    prev.q += curr.q - curr.wt * prev.w;
+    prev.wt += curr.wt;
+    prev.w += curr.w;
+    prev.last = curr.last;
+    row.clusters.pop_back();
+    Cluster& merged = row.clusters.back();
+    merged.x = clamp_position(merged.q / merged.wt, merged.w, min_x, max_x);
+  }
+}
+
+}  // namespace
+
+AbacusStats abacus_legalize(db::Design& design, const AbacusOptions& options) {
+  Timer timer;
+  AbacusStats stats;
+  const db::Chip& chip = design.chip();
+  const double max_x = options.clamp_right_boundary
+                           ? chip.width()
+                           : std::numeric_limits<double>::infinity();
+
+  for (const db::Cell& cell : design.cells()) {
+    MCH_CHECK_MSG(cell.height_rows == 1,
+                  "abacus_legalize handles single-row-height designs only");
+    MCH_CHECK_MSG(!cell.fixed,
+                  "abacus_legalize does not support fixed cells");
+  }
+
+  std::vector<AbacusRow> rows(chip.num_rows);
+  std::vector<std::size_t> order(design.num_cells());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double xa = design.cells()[a].gp_x;
+    const double xb = design.cells()[b].gp_x;
+    if (xa != xb) return xa < xb;
+    return a < b;
+  });
+
+  for (const std::size_t id : order) {
+    db::Cell& cell = design.cells()[id];
+    const auto anchor = design.nearest_row(cell.gp_y, 1);
+
+    double best_cost = std::numeric_limits<double>::infinity();
+    std::size_t best_row = chip.num_rows;
+    for (std::size_t dist = 0; dist < chip.num_rows; ++dist) {
+      bool any = false;
+      for (const int sign : {+1, -1}) {
+        if (dist == 0 && sign < 0) continue;
+        const auto r = static_cast<std::ptrdiff_t>(anchor) +
+                       sign * static_cast<std::ptrdiff_t>(dist);
+        if (r < 0 || r >= static_cast<std::ptrdiff_t>(chip.num_rows))
+          continue;
+        any = true;
+        const auto row_idx = static_cast<std::size_t>(r);
+        const double dy = chip.row_y(row_idx) - cell.gp_y;
+        if (dist > options.min_rows_each_side && dy * dy >= best_cost)
+          continue;
+        const double x = trial_insert(rows[row_idx], cell.gp_x, cell.width,
+                                      0.0, max_x);
+        if (!std::isfinite(x)) continue;
+        const double dx = x - cell.gp_x;
+        const double cost = dx * dx + dy * dy;
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_row = row_idx;
+        }
+      }
+      if (!any) break;
+      const double ring_dy =
+          static_cast<double>(dist) * chip.row_height -
+          std::abs(cell.gp_y - chip.row_y(anchor));
+      if (best_row != chip.num_rows && dist > options.min_rows_each_side &&
+          ring_dy > 0.0 && ring_dy * ring_dy > best_cost)
+        break;
+    }
+    if (best_row == chip.num_rows) {
+      ++stats.failed_cells;
+      continue;
+    }
+    commit_insert(rows[best_row], id, cell.gp_x, cell.width, 0.0, max_x);
+    cell.y = chip.row_y(best_row);
+  }
+
+  // Write back final positions from the cluster chains.
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const AbacusRow& row = rows[r];
+    for (const Cluster& c : row.clusters) {
+      double offset = 0.0;
+      for (std::size_t i = c.first; i <= c.last; ++i) {
+        design.cells()[row.cells[i]].x = c.x + offset;
+        offset += row.widths[i];
+      }
+    }
+  }
+
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+AbacusStats placerow_legalize_fixed_rows(db::Design& design,
+                                         bool clamp_right_boundary) {
+  Timer timer;
+  AbacusStats stats;
+  const db::Chip& chip = design.chip();
+  const double max_x = clamp_right_boundary
+                           ? chip.width()
+                           : std::numeric_limits<double>::infinity();
+
+  for (const db::Cell& cell : design.cells()) {
+    MCH_CHECK_MSG(cell.height_rows == 1,
+                  "placerow_legalize_fixed_rows is single-height only");
+    MCH_CHECK_MSG(!cell.fixed,
+                  "placerow_legalize_fixed_rows does not support fixed cells");
+  }
+
+  const legal::RowAssignment assignment =
+      legal::compute_row_assignment(design);
+
+  // Group cells per row in GP x-order (ties by id) — the same ordering rule
+  // as the MMSIM constraint builder, so the two arms solve the same
+  // relaxation.
+  std::vector<std::vector<std::size_t>> row_cells(chip.num_rows);
+  for (std::size_t i = 0; i < design.num_cells(); ++i)
+    row_cells[assignment[i]].push_back(i);
+
+  for (std::size_t r = 0; r < chip.num_rows; ++r) {
+    auto& ids = row_cells[r];
+    std::sort(ids.begin(), ids.end(), [&](std::size_t a, std::size_t b) {
+      const double xa = design.cells()[a].gp_x;
+      const double xb = design.cells()[b].gp_x;
+      if (xa != xb) return xa < xb;
+      return a < b;
+    });
+    std::vector<PlaceRowCell> cells;
+    cells.reserve(ids.size());
+    for (const std::size_t id : ids)
+      cells.push_back(
+          {design.cells()[id].gp_x, design.cells()[id].width, 1.0});
+    const std::vector<double> x = place_row(cells, 0.0, max_x);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      design.cells()[ids[i]].x = x[i];
+      design.cells()[ids[i]].y = chip.row_y(r);
+    }
+  }
+
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+}  // namespace mch::baselines

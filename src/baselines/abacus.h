@@ -1,0 +1,69 @@
+// Abacus (Spindler, Schlichtmann & Johannes, ISPD'08) for single-row-height
+// cells: the PlaceRow cluster-collapse subroutine and the full legalizer.
+//
+// PlaceRow solves, for one row with a fixed left-to-right cell order,
+//
+//     min Σ wt_i (x_i − e_i)²   s.t.  x_{i+1} ≥ x_i + w_i,  x ≥ min_x,
+//                                     x_last + w_last ≤ max_x (optional)
+//
+// exactly, by merging cells into clusters whose optimal position is the
+// weighted mean of member targets (a PAVA-style collapse). The paper's §5.3
+// experiment swaps PlaceRow in for the MMSIM on single-height designs and
+// observes *identical* total displacement — both are exact for the relaxed
+// fixed-order problem; we reproduce that equivalence in tests and in
+// bench/table3_optimality.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "db/design.h"
+
+namespace mch::baselines {
+
+/// One cell of a PlaceRow instance.
+struct PlaceRowCell {
+  double target = 0.0;  ///< desired x (GP position)
+  double width = 0.0;
+  double weight = 1.0;  ///< objective weight (1 for plain Abacus)
+};
+
+/// Optimal x positions for the given ordered cells. `max_x` may be
+/// +infinity to relax the right boundary (as the MMSIM formulation does).
+std::vector<double> place_row(
+    const std::vector<PlaceRowCell>& cells, double min_x = 0.0,
+    double max_x = std::numeric_limits<double>::infinity());
+
+/// Objective value Σ wt_i (x_i − target_i)² of a PlaceRow solution.
+double place_row_objective(const std::vector<PlaceRowCell>& cells,
+                           const std::vector<double>& x);
+
+struct AbacusOptions {
+  /// Rows examined on each side of a cell's nearest row before the
+  /// y-distance pruning bound applies.
+  std::size_t min_rows_each_side = 3;
+  /// Honor the right boundary inside PlaceRow (the classic algorithm does).
+  bool clamp_right_boundary = true;
+};
+
+struct AbacusStats {
+  double seconds = 0.0;
+  std::size_t failed_cells = 0;  ///< cells no row could accommodate
+};
+
+/// Full Abacus legalizer for designs whose cells are all single-row-height:
+/// processes cells in GP x-order, tries nearby rows with trial PlaceRow
+/// insertions, and commits each cell to the cheapest row. Writes final
+/// continuous positions; callers snap to sites afterwards (see
+/// legal::tetris_allocate). Requires every cell to have height_rows == 1.
+AbacusStats abacus_legalize(db::Design& design,
+                            const AbacusOptions& options = {});
+
+/// The §5.3 experiment arm: fixed nearest-row assignment (identical to the
+/// MMSIM flow's), then one exact PlaceRow per row with the right boundary
+/// relaxed. Writes continuous positions into the design.
+AbacusStats placerow_legalize_fixed_rows(db::Design& design,
+                                         bool clamp_right_boundary = false);
+
+}  // namespace mch::baselines

@@ -1,0 +1,37 @@
+// Local mixed-cell-height legalizer in the spirit of Chow, Pui & Young
+// (DAC'16, reference [7] of the paper).
+//
+// Their algorithm places each cell at the nearest site-aligned,
+// rail-matched position when that position is overlap-free; otherwise it
+// picks a nearby local region that can accommodate the cell and legalizes
+// within it. The binaries are not public; this reimplementation captures
+// the algorithm class — greedy, per-cell, window-limited decisions:
+//
+//   * kBase ("DAC'16"): direct placement if free, otherwise the nearest
+//     free position within a tight row window.
+//   * kImproved ("DAC'16-Imp"): larger search window, cells processed in
+//     decreasing area so bulky multi-row cells claim space first, and each
+//     cell evaluates candidates on both rail parities before committing.
+//
+// Both remain local per-cell optimizers, so (as Table 2 of the paper shows
+// for the originals) they trail the global MMSIM on displacement/ΔHPWL.
+#pragma once
+
+#include "db/design.h"
+
+namespace mch::baselines {
+
+enum class LocalVariant { kBase, kImproved };
+
+struct LocalLegalizerStats {
+  double seconds = 0.0;
+  std::size_t direct_placements = 0;  ///< cells placed at their snap target
+  std::size_t window_placements = 0;  ///< cells needing the local search
+  std::size_t failed_cells = 0;
+};
+
+/// Legalizes the design in place (site-aligned output).
+LocalLegalizerStats local_legalize(db::Design& design,
+                                   LocalVariant variant = LocalVariant::kBase);
+
+}  // namespace mch::baselines

@@ -1,0 +1,213 @@
+#include "baselines/mixed_abacus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/check.h"
+#include "util/log.h"
+#include "util/timer.h"
+
+namespace mch::baselines {
+
+namespace {
+
+struct Cluster {
+  double x = 0.0;
+  double w = 0.0;
+  double q = 0.0;
+  double wt = 0.0;
+  std::size_t first = 0;
+  std::size_t last = 0;
+};
+
+struct Row {
+  std::vector<Cluster> clusters;
+  std::vector<std::size_t> cells;  ///< single-height members, left to right
+  std::vector<double> widths;
+  double floor = 0.0;  ///< right edge of the rightmost multi-row obstacle
+  /// Total width of clusters committed since the floor last moved. Clusters
+  /// older than that sit entirely left of the floor (an obstacle commits
+  /// only right of every existing cluster), so only this share competes for
+  /// the remaining [floor, max_x) capacity.
+  double used_since_floor = 0.0;
+
+  double frontier() const {
+    return clusters.empty() ? floor
+                            : std::max(floor, clusters.back().x +
+                                                  clusters.back().w);
+  }
+};
+
+double clamp_position(double x, double width, double min_x, double max_x) {
+  const double hi = max_x - width;
+  if (hi < min_x) return min_x;
+  return std::clamp(x, min_x, hi);
+}
+
+double trial_insert(const Row& row, double target, double width,
+                    double max_x) {
+  if (max_x - row.floor < row.used_since_floor + width)
+    return std::numeric_limits<double>::infinity();
+
+  Cluster virt;
+  virt.w = width;
+  virt.wt = 1.0;
+  virt.q = target;
+  virt.x = clamp_position(target, width, row.floor, max_x);
+  std::size_t k = row.clusters.size();
+  while (k > 0) {
+    const Cluster& prev = row.clusters[k - 1];
+    if (prev.x + prev.w <= virt.x) break;
+    virt.q = prev.q + virt.q - virt.wt * prev.w;
+    virt.wt += prev.wt;
+    virt.w += prev.w;
+    virt.x = clamp_position(virt.q / virt.wt, virt.w, row.floor, max_x);
+    --k;
+  }
+  return virt.x + virt.w - width;
+}
+
+void commit_insert(Row& row, std::size_t cell_id, double target, double width,
+                   double max_x) {
+  row.cells.push_back(cell_id);
+  row.widths.push_back(width);
+  row.used_since_floor += width;
+
+  Cluster c;
+  c.w = width;
+  c.wt = 1.0;
+  c.q = target;
+  c.first = c.last = row.cells.size() - 1;
+  c.x = clamp_position(target, width, row.floor, max_x);
+  row.clusters.push_back(c);
+  while (row.clusters.size() >= 2) {
+    Cluster& prev = row.clusters[row.clusters.size() - 2];
+    Cluster& curr = row.clusters.back();
+    if (prev.x + prev.w <= curr.x) break;
+    prev.q += curr.q - curr.wt * prev.w;
+    prev.wt += curr.wt;
+    prev.w += curr.w;
+    prev.last = curr.last;
+    row.clusters.pop_back();
+    Cluster& merged = row.clusters.back();
+    merged.x = clamp_position(merged.q / merged.wt, merged.w, row.floor,
+                              max_x);
+  }
+}
+
+}  // namespace
+
+MixedAbacusStats mixed_abacus_legalize(db::Design& design) {
+  Timer timer;
+  MixedAbacusStats stats;
+  const db::Chip& chip = design.chip();
+  const double max_x = chip.width();
+
+  for (const db::Cell& cell : design.cells())
+    MCH_CHECK_MSG(!cell.fixed,
+                  "mixed_abacus_legalize does not support fixed cells "
+                  "(the paper's benchmarks have none); use the local or "
+                  "tetris baselines on obstacle designs");
+
+  std::vector<Row> rows(chip.num_rows);
+  std::vector<std::size_t> order(design.num_cells());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double xa = design.cells()[a].gp_x;
+    const double xb = design.cells()[b].gp_x;
+    if (xa != xb) return xa < xb;
+    return a < b;
+  });
+
+  for (const std::size_t id : order) {
+    db::Cell& cell = design.cells()[id];
+    const std::size_t h = cell.height_rows;
+    const std::size_t max_base = chip.num_rows - h;
+    const auto anchor = design.nearest_row(cell.gp_y, h);
+
+    double best_cost = std::numeric_limits<double>::infinity();
+    std::size_t best_row = chip.num_rows;
+    double best_x = 0.0;
+
+    for (std::size_t dist = 0; dist < chip.num_rows; ++dist) {
+      bool any = false;
+      for (const int sign : {+1, -1}) {
+        if (dist == 0 && sign < 0) continue;
+        const auto r = static_cast<std::ptrdiff_t>(anchor) +
+                       sign * static_cast<std::ptrdiff_t>(dist);
+        if (r < 0 || r > static_cast<std::ptrdiff_t>(max_base)) continue;
+        any = true;
+        const auto base = static_cast<std::size_t>(r);
+        if (!cell.rail_compatible(chip, base)) continue;
+        const double dy = chip.row_y(base) - cell.gp_y;
+        if (dy * dy >= best_cost) continue;
+
+        double x;
+        if (h == 1) {
+          x = trial_insert(rows[base], cell.gp_x, cell.width, max_x);
+        } else {
+          // Joint frontier of the spanned rows.
+          double frontier = 0.0;
+          for (std::size_t rr = base; rr < base + h; ++rr)
+            frontier = std::max(frontier, rows[rr].frontier());
+          x = std::max(cell.gp_x, frontier);
+          if (x + cell.width > max_x)
+            x = std::numeric_limits<double>::infinity();
+        }
+        if (!std::isfinite(x)) continue;
+        const double dx = x - cell.gp_x;
+        const double cost = dx * dx + dy * dy;
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_row = base;
+          best_x = x;
+        }
+      }
+      if (!any) break;
+      const double ring_dy =
+          static_cast<double>(dist) * chip.row_height -
+          std::abs(cell.gp_y - chip.row_y(anchor));
+      if (best_row != chip.num_rows && ring_dy > 0.0 &&
+          ring_dy * ring_dy > best_cost)
+        break;
+    }
+
+    if (best_row == chip.num_rows) {
+      ++stats.failed_cells;
+      MCH_LOG(kWarn) << "mixed abacus: no row for cell " << id;
+      continue;
+    }
+
+    cell.y = chip.row_y(best_row);
+    if (h == 1) {
+      commit_insert(rows[best_row], id, cell.gp_x, cell.width, max_x);
+    } else {
+      cell.x = best_x;
+      for (std::size_t rr = best_row; rr < best_row + h; ++rr) {
+        Row& row = rows[rr];
+        MCH_CHECK(row.frontier() <= best_x + 1e-9);
+        row.floor = best_x + cell.width;
+        row.used_since_floor = 0.0;
+      }
+    }
+  }
+
+  // Positions of single-height cells from the final cluster chains.
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const Row& row = rows[r];
+    for (const Cluster& c : row.clusters) {
+      double offset = 0.0;
+      for (std::size_t i = c.first; i <= c.last; ++i) {
+        design.cells()[row.cells[i]].x = c.x + offset;
+        offset += row.widths[i];
+      }
+    }
+  }
+
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+}  // namespace mch::baselines

@@ -1,0 +1,38 @@
+// Mixed-cell-height Abacus-style legalizer in the spirit of Wang et al.
+// (ASP-DAC'17, reference [18] of the paper).
+//
+// Their algorithm analyzes why plain Abacus fails on multi-row cells and
+// extends its cluster mechanics to handle them while honoring the GP cell
+// ordering. The binary is not public; this reimplementation keeps the
+// essential structure:
+//
+//   * cells are processed in GP x-order (ordering preserved, as [18]
+//     emphasizes);
+//   * single-height cells use exact Abacus cluster collapse within a row,
+//     bounded below by the rightmost multi-row obstacle in that row;
+//   * multi-row cells are seated at the joint frontier of their spanned
+//     rows (the first x where every spanned row is free), choosing the
+//     rail-correct base row with the cheapest quadratic displacement, and
+//     then act as fixed obstacles for later clusters.
+//
+// The simplification relative to [18] — committed multi-row cells do not
+// slide left during later collapses — is documented in DESIGN.md; it keeps
+// the method clearly *better than purely local* placement (rows re-optimize
+// around obstacles) and clearly *below the global MMSIM optimum*, matching
+// the published ranking in Table 2.
+#pragma once
+
+#include "db/design.h"
+
+namespace mch::baselines {
+
+struct MixedAbacusStats {
+  double seconds = 0.0;
+  std::size_t failed_cells = 0;
+};
+
+/// Legalizes the design in place. Output is continuous (cluster positions);
+/// follow with legal::tetris_allocate for site alignment.
+MixedAbacusStats mixed_abacus_legalize(db::Design& design);
+
+}  // namespace mch::baselines

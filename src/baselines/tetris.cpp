@@ -1,0 +1,126 @@
+#include "baselines/tetris.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "legal/eviction.h"
+#include "util/log.h"
+#include "util/timer.h"
+
+namespace mch::baselines {
+
+using legal::SiteIndex;
+
+TetrisLegalizerStats tetris_legalize(db::Design& design) {
+  Timer timer;
+  TetrisLegalizerStats stats;
+  const db::Chip& chip = design.chip();
+
+  // Classic Tetris: one frontier per row; a cell placed in a row goes at
+  // max(frontier, its GP x) — never left of previously placed cells. This
+  // single-pass greedy is what the paper cites as the historical baseline;
+  // its weakness (rightward drift at high density) is structural.
+  //
+  // The ownership-aware occupancy shadows the frontier placement so that
+  // cells whose frontiers all overflow the right edge (dense designs) can
+  // fall back to the nearest gap the sweep left behind — or, for multi-row
+  // cells when even that fails, to a bounded eviction of single-height
+  // blockers.
+  std::vector<double> frontier(chip.num_rows, 0.0);
+  legal::OwnedOccupancy occupancy(chip);
+
+  // Obstacles block the grid up front; the frontier invariant covers them.
+  for (std::size_t i = 0; i < design.num_cells(); ++i)
+    if (design.cells()[i].fixed) occupancy.place_fixed(design, i);
+  for (std::size_t r = 0; r < chip.num_rows; ++r)
+    frontier[r] = static_cast<double>(occupancy.max_end(r)) * chip.site_width;
+
+  std::vector<std::size_t> order;
+  order.reserve(design.num_cells());
+  for (std::size_t i = 0; i < design.num_cells(); ++i)
+    if (!design.cells()[i].fixed) order.push_back(i);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double xa = design.cells()[a].gp_x;
+    const double xb = design.cells()[b].gp_x;
+    if (xa != xb) return xa < xb;
+    return a < b;
+  });
+
+  for (const std::size_t id : order) {
+    db::Cell& cell = design.cells()[id];
+    const std::size_t h = cell.height_rows;
+    const std::size_t max_base = chip.num_rows - h;
+    // Width in whole sites so the final position is site-aligned.
+    const SiteIndex w_sites = occupancy.width_sites(cell);
+    const double width = static_cast<double>(w_sites) * chip.site_width;
+
+    double best_cost = std::numeric_limits<double>::infinity();
+    std::size_t best_row = chip.num_rows;
+    double best_x = 0.0;
+    const std::size_t anchor = design.nearest_row(cell.gp_y, h);
+    // Rows in increasing vertical distance; |Δy| alone bounds the cost, so
+    // the scan stops once the ring cannot beat the best candidate.
+    for (std::size_t dist = 0; dist <= max_base + anchor; ++dist) {
+      const double ring_dy =
+          dist == 0 ? 0.0
+                    : static_cast<double>(dist - 1) * chip.row_height;
+      if (best_row != chip.num_rows && ring_dy > best_cost) break;
+      for (const int sign : {+1, -1}) {
+        if (dist == 0 && sign < 0) continue;
+        const auto row = static_cast<std::ptrdiff_t>(anchor) +
+                         sign * static_cast<std::ptrdiff_t>(dist);
+        if (row < 0 || row > static_cast<std::ptrdiff_t>(max_base)) continue;
+        const auto base = static_cast<std::size_t>(row);
+        if (!cell.rail_compatible(chip, base)) continue;
+        const double dy = std::abs(chip.row_y(base) - cell.gp_y);
+        if (dy >= best_cost) continue;
+        double front = 0.0;
+        for (std::size_t r = base; r < base + h; ++r)
+          front = std::max(front, frontier[r]);
+        // Site-aligned position at or right of both the frontier and 0.
+        double x = std::max(front, cell.gp_x);
+        x = std::ceil(x / chip.site_width - 1e-9) * chip.site_width;
+        if (x + width > chip.width()) continue;
+        const auto site_check = static_cast<SiteIndex>(
+            std::llround(x / chip.site_width));
+        if (!occupancy.is_free(base, h, site_check, w_sites)) continue;
+        const double cost = std::abs(x - cell.gp_x) + dy;
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_row = base;
+          best_x = x;
+        }
+      }
+    }
+
+    if (best_row != chip.num_rows) {
+      const auto site = static_cast<SiteIndex>(
+          std::llround(best_x / chip.site_width));
+      occupancy.place(design, id, best_row, site);
+      for (std::size_t r = best_row; r < best_row + h; ++r)
+        frontier[r] = best_x + width;
+      continue;
+    }
+
+    // Every frontier overflowed the right edge: nearest gap left behind by
+    // the sweep, with bounded eviction as the last resort.
+    if (!occupancy.place_with_eviction(design, id, cell.gp_x, cell.gp_y)) {
+      ++stats.failed_cells;
+      MCH_LOG(kWarn) << "tetris baseline: no position for cell " << id;
+      continue;
+    }
+    // Re-establish the frontier invariant (frontier >= everything placed):
+    // the relocation — and any evicted cells — may have landed beyond it.
+    for (std::size_t r = 0; r < chip.num_rows; ++r)
+      frontier[r] = std::max(
+          frontier[r],
+          static_cast<double>(occupancy.max_end(r)) * chip.site_width);
+  }
+
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+}  // namespace mch::baselines

@@ -1,0 +1,23 @@
+// Tetris legalizer (Hill, US patent 6370673) generalized to mixed heights.
+//
+// The classic greedy: process cells in GP x-order; place each at the
+// nearest free rail-correct site-aligned position and freeze it. Fast and
+// simple, but each decision is local and irrevocable, which is exactly the
+// behavior the paper's global MMSIM formulation improves upon. Included as
+// the historical baseline and as the workhorse inside the paper's own
+// Tetris-like allocation step.
+#pragma once
+
+#include "db/design.h"
+
+namespace mch::baselines {
+
+struct TetrisLegalizerStats {
+  double seconds = 0.0;
+  std::size_t failed_cells = 0;  ///< no free position found (chip overfull)
+};
+
+/// Legalizes the design in place (site-aligned output).
+TetrisLegalizerStats tetris_legalize(db::Design& design);
+
+}  // namespace mch::baselines

@@ -1,0 +1,115 @@
+#include "db/design.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mch::db {
+
+const char* to_string(RailType t) {
+  return t == RailType::kVss ? "VSS" : "VDD";
+}
+
+std::size_t Design::add_cell(Cell cell) {
+  cell.id = cells_.size();
+  MCH_CHECK_MSG(cell.width > 0.0, "cell width must be positive");
+  MCH_CHECK_MSG(cell.height_rows >= 1, "cell height must be >= 1 row");
+  MCH_CHECK_MSG(cell.height_rows <= chip_.num_rows,
+                "cell taller than the chip");
+  cells_.push_back(cell);
+  return cell.id;
+}
+
+std::size_t Design::add_net(Net net) {
+  for (const Pin& pin : net.pins)
+    MCH_CHECK_MSG(pin.cell < cells_.size(), "pin references unknown cell");
+  nets_.push_back(std::move(net));
+  return nets_.size() - 1;
+}
+
+double Design::total_cell_area() const {
+  double area = 0.0;
+  for (const Cell& cell : cells_)
+    area += cell.width * static_cast<double>(cell.height_rows) *
+            chip_.row_height;
+  return area;
+}
+
+double Design::density() const {
+  const double chip_area = chip_.width() * chip_.height();
+  return chip_area > 0.0 ? total_cell_area() / chip_area : 0.0;
+}
+
+std::size_t Design::nearest_row(double y, std::size_t height_rows) const {
+  MCH_CHECK(height_rows <= chip_.num_rows);
+  const double raw = y / chip_.row_height;
+  const auto max_row =
+      static_cast<std::ptrdiff_t>(chip_.num_rows - height_rows);
+  const auto row = static_cast<std::ptrdiff_t>(std::llround(raw));
+  return static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(row, 0, max_row));
+}
+
+std::size_t Design::nearest_legal_row(const Cell& cell) const {
+  const std::size_t base = nearest_row(cell.gp_y, cell.height_rows);
+  if (cell.rail_compatible(chip_, base)) return base;
+
+  // Even-height cell on a mismatched rail: the matching rows are every
+  // other row, so one of base±1 is compatible; pick the closer (then lower)
+  // one that fits vertically.
+  const std::size_t max_row = chip_.num_rows - cell.height_rows;
+  double best_dist = std::numeric_limits<double>::infinity();
+  std::size_t best_row = 0;
+  bool found = false;
+  for (const std::ptrdiff_t delta : {-1, +1}) {
+    const auto candidate = static_cast<std::ptrdiff_t>(base) + delta;
+    if (candidate < 0 || candidate > static_cast<std::ptrdiff_t>(max_row))
+      continue;
+    const auto row = static_cast<std::size_t>(candidate);
+    if (!cell.rail_compatible(chip_, row)) continue;
+    const double dist = std::abs(chip_.row_y(row) - cell.gp_y);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best_row = row;
+      found = true;
+    }
+  }
+  MCH_CHECK_MSG(found, "no rail-compatible row for cell " << cell.id);
+  return best_row;
+}
+
+double Design::snap_x_to_site(double x, double width) const {
+  const double max_x = chip_.width() - width;
+  MCH_CHECK_MSG(max_x >= 0.0, "cell wider than the chip");
+  const double snapped =
+      std::round(x / chip_.site_width) * chip_.site_width;
+  return std::clamp(snapped, 0.0, std::floor(max_x / chip_.site_width) *
+                                      chip_.site_width);
+}
+
+std::size_t Design::count_cells_with_height(std::size_t height_rows) const {
+  return static_cast<std::size_t>(
+      std::count_if(cells_.begin(), cells_.end(), [&](const Cell& c) {
+        return !c.fixed && c.height_rows == height_rows;
+      }));
+}
+
+std::size_t Design::num_fixed_cells() const {
+  return static_cast<std::size_t>(std::count_if(
+      cells_.begin(), cells_.end(), [](const Cell& c) { return c.fixed; }));
+}
+
+void Design::commit_positions_as_gp() {
+  for (Cell& cell : cells_) {
+    cell.gp_x = cell.x;
+    cell.gp_y = cell.y;
+  }
+}
+
+void Design::reset_positions_to_gp() {
+  for (Cell& cell : cells_) {
+    cell.x = cell.gp_x;
+    cell.y = cell.gp_y;
+  }
+}
+
+}  // namespace mch::db

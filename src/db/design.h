@@ -1,0 +1,172 @@
+// Placement database: chip geometry, mixed-height standard cells, nets.
+//
+// Geometry model (matches the paper's benchmarks, which are derived from the
+// ISPD-2015 contest set):
+//   * The placeable area is a grid of `num_rows` rows of uniform height
+//     `row_height`, each divided into `num_sites` sites of uniform width
+//     `site_width`. Origin at the bottom-left corner (0, 0).
+//   * Power rails run along row boundaries and alternate VSS/VDD starting
+//     with `bottom_rail` at y = 0. A cell occupying rows [r, r+h) has its
+//     bottom edge on rail index r.
+//   * Odd-row-height cells can be flipped vertically, so they may sit on any
+//     row. Even-row-height cells have a designed bottom-rail type and must
+//     sit on a row whose bottom rail matches (paper Fig. 1).
+//
+// Cells carry both their global-placement position (gp_x, gp_y) — the
+// legalization target — and their current position (x, y) that legalizers
+// mutate. Displacement metrics compare the two.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace mch::db {
+
+/// Power rail type along a row boundary.
+enum class RailType : std::uint8_t { kVss = 0, kVdd = 1 };
+
+/// The opposite rail type.
+constexpr RailType flip(RailType t) {
+  return t == RailType::kVss ? RailType::kVdd : RailType::kVss;
+}
+
+const char* to_string(RailType t);
+
+/// Chip geometry: uniform rows and sites.
+struct Chip {
+  std::size_t num_rows = 0;
+  std::size_t num_sites = 0;     ///< sites per row
+  double site_width = 1.0;
+  double row_height = 1.0;
+  RailType bottom_rail = RailType::kVss;  ///< rail at y = 0
+
+  double width() const { return static_cast<double>(num_sites) * site_width; }
+  double height() const {
+    return static_cast<double>(num_rows) * row_height;
+  }
+  /// y coordinate of the bottom edge of row r.
+  double row_y(std::size_t row) const {
+    return static_cast<double>(row) * row_height;
+  }
+  /// Rail type at the bottom boundary of row r.
+  RailType rail_at(std::size_t row) const {
+    return (row % 2 == 0) ? bottom_rail : flip(bottom_rail);
+  }
+};
+
+/// A standard cell. Width in distance units; height in integer row counts.
+struct Cell {
+  std::size_t id = 0;
+  double width = 0.0;
+  std::size_t height_rows = 1;  ///< 1 = single, 2 = double, ...
+  /// Designed bottom-rail type; only constrains placement when height_rows
+  /// is even (odd-height cells can flip to match any row).
+  RailType bottom_rail = RailType::kVss;
+  /// Orientation: true = vertically flipped (Bookshelf "FS"). Odd-height
+  /// cells flip to align their power pins with the row's rail (paper
+  /// Fig. 1); legal::assign_orientations derives this after legalization.
+  /// Even-height cells never flip — flipping cannot fix their rails.
+  bool flipped = false;
+  /// Fixed cells (macros, pre-placed blocks, Bookshelf terminals) never
+  /// move: legalizers treat them as obstacles. Their (x, y) must be
+  /// row/site aligned and legal on entry; the rail rule does not apply to
+  /// them (macros bring their own power structure).
+  bool fixed = false;
+
+  double gp_x = 0.0;  ///< global-placement x (bottom-left)
+  double gp_y = 0.0;  ///< global-placement y (bottom-left)
+  double x = 0.0;     ///< current (legalized) x
+  double y = 0.0;     ///< current (legalized) y
+
+  bool is_multi_row() const { return height_rows > 1; }
+  bool is_even_height() const { return height_rows % 2 == 0; }
+
+  /// True if the cell may be placed with its bottom edge on row `row` of the
+  /// given chip, considering only the power-rail rule (not overlap/bounds).
+  bool rail_compatible(const Chip& chip, std::size_t row) const {
+    if (!is_even_height()) return true;  // vertical flip fixes odd heights
+    return chip.rail_at(row) == bottom_rail;
+  }
+};
+
+/// A pin: an offset into a cell.
+struct Pin {
+  std::size_t cell = 0;  ///< cell index in Design::cells
+  double dx = 0.0;       ///< offset from the cell's bottom-left corner
+  double dy = 0.0;
+};
+
+/// A net is a set of pins; wirelength is half-perimeter (HPWL).
+struct Net {
+  std::vector<Pin> pins;
+};
+
+/// A complete design: chip, cells, and netlist.
+class Design {
+ public:
+  Design() = default;
+  explicit Design(const Chip& chip) : chip_(chip) {}
+
+  const Chip& chip() const { return chip_; }
+  Chip& chip() { return chip_; }
+
+  std::string name;
+
+  const std::vector<Cell>& cells() const { return cells_; }
+  std::vector<Cell>& cells() { return cells_; }
+  const std::vector<Net>& nets() const { return nets_; }
+  std::vector<Net>& nets() { return nets_; }
+
+  std::size_t num_cells() const { return cells_.size(); }
+  std::size_t num_nets() const { return nets_.size(); }
+
+  /// Appends a cell, assigning its id. Returns the index.
+  std::size_t add_cell(Cell cell);
+
+  /// Appends a net. Pin cell indices must be valid.
+  std::size_t add_net(Net net);
+
+  /// Sum of cell areas (width × height_rows × row_height).
+  double total_cell_area() const;
+
+  /// total_cell_area / chip area.
+  double density() const;
+
+  /// Row index whose bottom edge is nearest to y, clamped so a cell of the
+  /// given height fits vertically on the chip.
+  std::size_t nearest_row(double y, std::size_t height_rows = 1) const;
+
+  /// Nearest row to y at which a cell may legally sit, honoring the
+  /// power-rail rule and the vertical fit; for even-height cells this is the
+  /// nearest rail-matching row (paper §3). Requires a compatible row to
+  /// exist (guaranteed when num_rows > height_rows).
+  std::size_t nearest_legal_row(const Cell& cell) const;
+
+  /// x snapped to the nearest site boundary, clamped so the given width
+  /// stays inside the chip.
+  double snap_x_to_site(double x, double width) const;
+
+  /// Number of cells with the given row height (movable cells only).
+  std::size_t count_cells_with_height(std::size_t height_rows) const;
+
+  /// Number of fixed cells (obstacles).
+  std::size_t num_fixed_cells() const;
+
+  /// Copies every cell's current position back to its GP position. Used by
+  /// flows that re-legalize from a previous result.
+  void commit_positions_as_gp();
+
+  /// Resets every cell's current position to its GP position.
+  void reset_positions_to_gp();
+
+ private:
+  Chip chip_;
+  std::vector<Cell> cells_;
+  std::vector<Net> nets_;
+};
+
+}  // namespace mch::db

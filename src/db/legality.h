@@ -1,0 +1,69 @@
+// Legality oracle for mixed-cell-height placements.
+//
+// Checks the four constraints of the paper's problem formulation (Eq. 1):
+//   (1) cells inside the chip region,
+//   (2) cells on placement sites on rows,
+//   (3) cells pairwise non-overlapping,
+//   (4) even-height cells aligned with matching power rails.
+//
+// Every legalizer output in tests and benches is validated through this
+// checker; benchmark tables refuse to report metrics for illegal placements.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "db/design.h"
+
+namespace mch::db {
+
+enum class ViolationKind {
+  kOutsideChip,
+  kOffSite,
+  kOffRow,
+  kOverlap,
+  kRailMismatch,
+};
+
+const char* to_string(ViolationKind kind);
+
+struct Violation {
+  ViolationKind kind;
+  std::size_t cell = 0;        ///< offending cell index
+  std::size_t other = 0;       ///< second cell for overlaps; unused otherwise
+  std::string detail;
+};
+
+struct LegalityReport {
+  bool legal() const { return total_violations == 0; }
+
+  std::size_t total_violations = 0;
+  std::size_t outside_chip = 0;
+  std::size_t off_site = 0;
+  std::size_t off_row = 0;
+  std::size_t overlaps = 0;
+  std::size_t rail_mismatches = 0;
+  double max_overlap_depth = 0.0;  ///< deepest pairwise x-overlap found
+
+  /// First `max_recorded` violations in detail (counting continues beyond).
+  std::vector<Violation> violations;
+
+  std::string summary() const;
+};
+
+struct LegalityOptions {
+  /// Absolute tolerance for grid/boundary alignment, in distance units.
+  double tolerance = 1e-6;
+  /// How many violations to record in detail.
+  std::size_t max_recorded = 32;
+  /// When false, overlap tolerance is applied but site/row snapping is not
+  /// required (used to audit intermediate, pre-snap solver output).
+  bool require_site_alignment = true;
+};
+
+/// Checks the current (x, y) of every cell in the design.
+LegalityReport check_legality(const Design& design,
+                              const LegalityOptions& options = {});
+
+}  // namespace mch::db

@@ -1,0 +1,334 @@
+#include "dp/detailed.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "legal/occupancy.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace mch::dp {
+
+namespace {
+
+using legal::OccupancyGrid;
+using legal::SiteIndex;
+
+/// Cell → incident nets index plus incremental HPWL over a subset of nets.
+class NetIndex {
+ public:
+  explicit NetIndex(const db::Design& design) : design_(design) {
+    cell_nets_.resize(design.num_cells());
+    for (std::size_t n = 0; n < design.num_nets(); ++n)
+      for (const db::Pin& pin : design.nets()[n].pins)
+        cell_nets_[pin.cell].push_back(n);
+    for (auto& nets : cell_nets_) {
+      std::sort(nets.begin(), nets.end());
+      nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
+    }
+  }
+
+  const std::vector<std::size_t>& nets_of(std::size_t cell) const {
+    return cell_nets_[cell];
+  }
+
+  /// HPWL of one net at current positions.
+  double net_hpwl(std::size_t net_id) const {
+    const db::Net& net = design_.nets()[net_id];
+    if (net.pins.size() < 2) return 0.0;
+    double min_x = std::numeric_limits<double>::infinity();
+    double max_x = -min_x, min_y = min_x, max_y = -min_x;
+    for (const db::Pin& pin : net.pins) {
+      const db::Cell& cell = design_.cells()[pin.cell];
+      min_x = std::min(min_x, cell.x + pin.dx);
+      max_x = std::max(max_x, cell.x + pin.dx);
+      min_y = std::min(min_y, cell.y + pin.dy);
+      max_y = std::max(max_y, cell.y + pin.dy);
+    }
+    return (max_x - min_x) + (max_y - min_y);
+  }
+
+  /// Sum of net HPWLs over the union of nets incident to `cells`.
+  double local_hpwl(const std::vector<std::size_t>& cells) const {
+    scratch_.clear();
+    for (const std::size_t c : cells)
+      scratch_.insert(scratch_.end(), cell_nets_[c].begin(),
+                      cell_nets_[c].end());
+    std::sort(scratch_.begin(), scratch_.end());
+    scratch_.erase(std::unique(scratch_.begin(), scratch_.end()),
+                   scratch_.end());
+    double total = 0.0;
+    for (const std::size_t n : scratch_) total += net_hpwl(n);
+    return total;
+  }
+
+ private:
+  const db::Design& design_;
+  std::vector<std::vector<std::size_t>> cell_nets_;
+  mutable std::vector<std::size_t> scratch_;
+};
+
+/// Row bucketing of single-height movable cells (sorted by x).
+std::vector<std::vector<std::size_t>> build_rows(const db::Design& design) {
+  std::vector<std::vector<std::size_t>> rows(design.chip().num_rows);
+  for (std::size_t c = 0; c < design.num_cells(); ++c) {
+    const db::Cell& cell = design.cells()[c];
+    if (cell.fixed || cell.height_rows != 1) continue;
+    const auto row = static_cast<std::size_t>(
+        std::llround(cell.y / design.chip().row_height));
+    rows[row].push_back(c);
+  }
+  for (auto& row : rows)
+    std::sort(row.begin(), row.end(), [&](std::size_t a, std::size_t b) {
+      return design.cells()[a].x < design.cells()[b].x;
+    });
+  return rows;
+}
+
+/// Sliding-window exhaustive reorder within a row. The window cells are
+/// re-packed left-to-right from the window's left edge; a window is only
+/// eligible when that span is free of every non-window cell (multi-row
+/// cells or macros may stand between two singles of the same row).
+std::size_t reorder_pass(db::Design& design, const NetIndex& nets,
+                         std::size_t window) {
+  std::size_t moves = 0;
+  const db::Chip& chip = design.chip();
+  const auto rows = build_rows(design);
+
+  OccupancyGrid grid(chip);
+  for (const db::Cell& cell : design.cells()) {
+    if (cell.fixed)
+      grid.occupy_outline(cell);
+    else
+      grid.occupy_cell(cell);
+  }
+
+  std::vector<std::size_t> perm(window), best_perm(window);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.size() < window) continue;
+    for (std::size_t start = 0; start + window <= row.size(); ++start) {
+      const std::vector<std::size_t> cells(
+          row.begin() + static_cast<std::ptrdiff_t>(start),
+          row.begin() + static_cast<std::ptrdiff_t>(start + window));
+      const double left_edge = design.cells()[cells.front()].x;
+      const auto left_site = static_cast<SiteIndex>(
+          std::llround(left_edge / chip.site_width));
+      SiteIndex total_w = 0;
+      for (const std::size_t c : cells)
+        total_w += grid.width_sites(design.cells()[c]);
+
+      std::vector<double> original_x;
+      for (const std::size_t c : cells)
+        original_x.push_back(design.cells()[c].x);
+
+      // Lift the window out; the packed span must be free of everyone else.
+      for (std::size_t k = 0; k < window; ++k)
+        grid.release(r, 1,
+                     static_cast<SiteIndex>(
+                         std::llround(original_x[k] / chip.site_width)),
+                     grid.width_sites(design.cells()[cells[k]]));
+      const bool eligible = grid.is_free(r, 1, left_site, total_w);
+
+      bool improved = false;
+      if (eligible) {
+        const double base_cost = nets.local_hpwl(cells);
+        double best_cost = base_cost;
+        std::iota(perm.begin(), perm.end(), std::size_t{0});
+        std::iota(best_perm.begin(), best_perm.end(), std::size_t{0});
+
+        const auto apply = [&](const std::vector<std::size_t>& p) {
+          double x = left_edge;
+          for (const std::size_t k : p) {
+            design.cells()[cells[k]].x = x;
+            x += design.cells()[cells[k]].width;
+          }
+        };
+
+        while (std::next_permutation(perm.begin(), perm.end())) {
+          apply(perm);
+          const double cost = nets.local_hpwl(cells);
+          if (cost < best_cost - 1e-9) {
+            best_cost = cost;
+            best_perm = perm;
+            improved = true;
+          }
+        }
+        if (improved) {
+          apply(best_perm);
+          ++moves;
+        }
+      }
+      if (!improved) {
+        for (std::size_t k = 0; k < window; ++k)
+          design.cells()[cells[k]].x = original_x[k];
+      }
+      for (std::size_t k = 0; k < window; ++k)
+        grid.occupy_cell(design.cells()[cells[k]]);
+    }
+  }
+  return moves;
+}
+
+/// Equal-footprint vertical swaps between nearby rows.
+std::size_t swap_pass(db::Design& design, const NetIndex& nets,
+                      std::size_t row_radius) {
+  std::size_t moves = 0;
+  const db::Chip& chip = design.chip();
+  const auto rows = build_rows(design);
+
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (const std::size_t a : rows[r]) {
+      db::Cell& ca = design.cells()[a];
+      for (std::size_t dr = 1; dr <= row_radius; ++dr) {
+        if (r + dr >= rows.size()) break;
+        const auto& other = rows[r + dr];
+        // Partner with the same width whose x-span is closest.
+        for (const std::size_t b : other) {
+          db::Cell& cb = design.cells()[b];
+          if (cb.width != ca.width) continue;
+          if (std::abs(cb.x - ca.x) > 8.0 * chip.row_height) continue;
+          const double before = nets.local_hpwl({a, b});
+          std::swap(ca.x, cb.x);
+          std::swap(ca.y, cb.y);
+          const double after = nets.local_hpwl({a, b});
+          if (after < before - 1e-9) {
+            ++moves;
+            break;  // ca moved rows; restart its partner search
+          }
+          std::swap(ca.x, cb.x);
+          std::swap(ca.y, cb.y);
+        }
+      }
+    }
+  }
+  return moves;
+}
+
+/// Optimal independent shift: per cell, the 1-D HPWL-optimal x is the
+/// median of its incident nets' preferred-interval endpoints; clamp into
+/// the free gap around the cell and snap to sites.
+std::size_t shift_pass(db::Design& design, const NetIndex& nets) {
+  std::size_t moves = 0;
+  const db::Chip& chip = design.chip();
+
+  OccupancyGrid grid(chip);
+  for (const db::Cell& cell : design.cells()) {
+    if (cell.fixed)
+      grid.occupy_outline(cell);
+    else
+      grid.occupy_cell(cell);
+  }
+
+  std::vector<double> endpoints;
+  for (std::size_t c = 0; c < design.num_cells(); ++c) {
+    db::Cell& cell = design.cells()[c];
+    if (cell.fixed || nets.nets_of(c).empty()) continue;
+
+    endpoints.clear();
+    for (const std::size_t n : nets.nets_of(c)) {
+      const db::Net& net = design.nets()[n];
+      if (net.pins.size() < 2) continue;
+      // Bounding interval of the net's *other* pins, and this cell's pin
+      // offsets on the net.
+      double other_min = std::numeric_limits<double>::infinity();
+      double other_max = -other_min;
+      double own_min_dx = std::numeric_limits<double>::infinity();
+      double own_max_dx = -own_min_dx;
+      for (const db::Pin& pin : net.pins) {
+        if (pin.cell == c) {
+          own_min_dx = std::min(own_min_dx, pin.dx);
+          own_max_dx = std::max(own_max_dx, pin.dx);
+        } else {
+          const db::Cell& other = design.cells()[pin.cell];
+          other_min = std::min(other_min, other.x + pin.dx);
+          other_max = std::max(other_max, other.x + pin.dx);
+        }
+      }
+      if (!std::isfinite(other_min)) continue;  // net entirely on this cell
+      // The cell's x is HPWL-neutral inside [other_min − own_min_dx,
+      // other_max − own_max_dx]; collect the interval ends.
+      endpoints.push_back(other_min - own_min_dx);
+      endpoints.push_back(other_max - own_max_dx);
+    }
+    if (endpoints.empty()) continue;
+    std::sort(endpoints.begin(), endpoints.end());
+    const double target =
+        (endpoints[endpoints.size() / 2] +
+         endpoints[(endpoints.size() - 1) / 2]) /
+        2.0;
+
+    // Free gap around the cell across its rows.
+    const auto base = static_cast<std::size_t>(
+        std::llround(cell.y / chip.row_height));
+    const auto site = static_cast<SiteIndex>(
+        std::llround(cell.x / chip.site_width));
+    const SiteIndex w = grid.width_sites(cell);
+    grid.release(base, cell.height_rows, site, w);
+    const auto snapped = static_cast<SiteIndex>(std::llround(
+        std::clamp(target, 0.0, chip.width() - cell.width) /
+        chip.site_width));
+    // Search the nearest feasible site to the target within this row span.
+    const legal::PlacementCandidate cand = grid.find_in_rows(
+        base, cell.height_rows, w,
+        static_cast<double>(snapped) * chip.site_width);
+    SiteIndex best = site;
+    if (cand.found) best = cand.site;
+    if (best != site) {
+      const double before = nets.local_hpwl({c});
+      const double old_x = cell.x;
+      cell.x = static_cast<double>(best) * chip.site_width;
+      const double after = nets.local_hpwl({c});
+      if (after < before - 1e-9) {
+        ++moves;
+      } else {
+        cell.x = old_x;
+        best = site;
+      }
+    }
+    grid.occupy(base, cell.height_rows, best, w);
+  }
+  return moves;
+}
+
+}  // namespace
+
+DetailedPlacementStats refine(db::Design& design,
+                              const DetailedPlacementOptions& options) {
+  Timer timer;
+  DetailedPlacementStats stats;
+  stats.hpwl_before = eval::hpwl(design);
+
+  const NetIndex nets(design);
+  for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
+    std::size_t moves = 0;
+    if (options.enable_reorder && options.window >= 2) {
+      const std::size_t n = reorder_pass(design, nets, options.window);
+      stats.reorder_moves += n;
+      moves += n;
+    }
+    if (options.enable_vertical_swaps) {
+      const std::size_t n =
+          swap_pass(design, nets, options.swap_row_radius);
+      stats.swap_moves += n;
+      moves += n;
+    }
+    if (options.enable_shift) {
+      const std::size_t n = shift_pass(design, nets);
+      stats.shift_moves += n;
+      moves += n;
+    }
+    stats.passes = pass + 1;
+    if (moves == 0) break;
+  }
+
+  stats.hpwl_after = eval::hpwl(design);
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+}  // namespace mch::dp

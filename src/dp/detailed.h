@@ -1,0 +1,57 @@
+// Legality-preserving detailed placement.
+//
+// The paper slots into the flow  global placement → legalization →
+// detailed placement; its follow-up consumers (e.g. MrDP [12], which runs
+// this very legalizer first) refine the legal placement for wirelength.
+// This module implements the three classic legality-preserving moves so
+// the repository covers that downstream stage:
+//
+//   * local reorder — sliding windows of consecutive single-height cells in
+//     a row are re-permuted (exhaustively, windows are small) when a
+//     permutation lowers HPWL;
+//   * vertical swap — equal-footprint single-height cells in nearby rows
+//     exchange positions when that lowers HPWL;
+//   * optimal shift — each cell independently slides to the HPWL-optimal
+//     x (the median of its incident nets' target interval endpoints),
+//     clamped to its free gap and the site grid.
+//
+// Every move is validated against an occupancy model, so the output is
+// legal whenever the input is. Deterministic sweep order.
+#pragma once
+
+#include <cstddef>
+
+#include "db/design.h"
+
+namespace mch::dp {
+
+struct DetailedPlacementOptions {
+  std::size_t max_passes = 3;   ///< full sweeps (stops early at no-change)
+  std::size_t window = 3;       ///< cells per reorder window (≤ 4 sensible)
+  bool enable_reorder = true;
+  bool enable_vertical_swaps = true;
+  bool enable_shift = true;
+  /// Rows examined on each side for vertical swap partners.
+  std::size_t swap_row_radius = 2;
+};
+
+struct DetailedPlacementStats {
+  double hpwl_before = 0.0;
+  double hpwl_after = 0.0;
+  std::size_t reorder_moves = 0;
+  std::size_t swap_moves = 0;
+  std::size_t shift_moves = 0;
+  std::size_t passes = 0;
+  double seconds = 0.0;
+
+  double improvement_fraction() const {
+    return hpwl_before > 0.0 ? (hpwl_before - hpwl_after) / hpwl_before
+                             : 0.0;
+  }
+};
+
+/// Refines the (legal) current placement in place. Fixed cells never move.
+DetailedPlacementStats refine(db::Design& design,
+                              const DetailedPlacementOptions& options = {});
+
+}  // namespace mch::dp

@@ -1,0 +1,74 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mch::eval {
+
+DisplacementStats displacement(const db::Design& design) {
+  DisplacementStats stats;
+  const double site = design.chip().site_width;
+  for (const db::Cell& cell : design.cells()) {
+    const double dx = std::abs(cell.x - cell.gp_x);
+    const double dy = std::abs(cell.y - cell.gp_y);
+    const double manhattan_sites = (dx + dy) / site;
+    stats.total_sites += manhattan_sites;
+    stats.total_x_sites += dx / site;
+    stats.total_y_sites += dy / site;
+    stats.max_sites = std::max(stats.max_sites, manhattan_sites);
+    stats.quadratic += dx * dx + dy * dy;
+    if (manhattan_sites > 1e-9) ++stats.moved_cells;
+  }
+  if (!design.cells().empty())
+    stats.mean_sites =
+        stats.total_sites / static_cast<double>(design.num_cells());
+  return stats;
+}
+
+namespace {
+
+template <typename GetX, typename GetY>
+double hpwl_impl(const db::Design& design, GetX get_x, GetY get_y) {
+  double total = 0.0;
+  for (const db::Net& net : design.nets()) {
+    if (net.pins.size() < 2) continue;
+    double min_x = std::numeric_limits<double>::infinity();
+    double max_x = -min_x;
+    double min_y = min_x;
+    double max_y = -min_x;
+    for (const db::Pin& pin : net.pins) {
+      const db::Cell& cell = design.cells()[pin.cell];
+      const double px = get_x(cell) + pin.dx;
+      const double py = get_y(cell) + pin.dy;
+      min_x = std::min(min_x, px);
+      max_x = std::max(max_x, px);
+      min_y = std::min(min_y, py);
+      max_y = std::max(max_y, py);
+    }
+    total += (max_x - min_x) + (max_y - min_y);
+  }
+  return total;
+}
+
+}  // namespace
+
+double hpwl(const db::Design& design) {
+  return hpwl_impl(
+      design, [](const db::Cell& c) { return c.x; },
+      [](const db::Cell& c) { return c.y; });
+}
+
+double gp_hpwl(const db::Design& design) {
+  return hpwl_impl(
+      design, [](const db::Cell& c) { return c.gp_x; },
+      [](const db::Cell& c) { return c.gp_y; });
+}
+
+double delta_hpwl_fraction(const db::Design& design) {
+  const double base = gp_hpwl(design);
+  if (base <= 0.0) return 0.0;
+  return (hpwl(design) - base) / base;
+}
+
+}  // namespace mch::eval

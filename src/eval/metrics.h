@@ -1,0 +1,38 @@
+// Placement quality metrics reported in the paper's tables.
+//
+//   * Total displacement, measured in placement-site widths (Table 2's
+//     "Total Disp. (sites)"): Σ_i (|x_i − x'_i| + |y_i − y'_i|) / site_width.
+//   * Quadratic displacement Σ_i (x−x')² + (y−y')² — the objective of
+//     Problem (1); used to compare solver optimality.
+//   * HPWL and ΔHPWL relative to the global placement (Table 2).
+#pragma once
+
+#include <cstddef>
+
+#include "db/design.h"
+
+namespace mch::eval {
+
+struct DisplacementStats {
+  double total_sites = 0.0;      ///< Σ manhattan displacement / site width
+  double total_x_sites = 0.0;    ///< x component only
+  double total_y_sites = 0.0;    ///< y component only
+  double max_sites = 0.0;        ///< max per-cell manhattan displacement
+  double mean_sites = 0.0;
+  double quadratic = 0.0;        ///< Σ (Δx² + Δy²), distance units
+  std::size_t moved_cells = 0;   ///< cells displaced by more than ε
+};
+
+/// Displacement of the current positions relative to GP positions.
+DisplacementStats displacement(const db::Design& design);
+
+/// Half-perimeter wirelength of all nets at the current cell positions.
+double hpwl(const db::Design& design);
+
+/// HPWL at the global-placement positions.
+double gp_hpwl(const db::Design& design);
+
+/// (hpwl − gp_hpwl) / gp_hpwl; 0 when the design has no nets.
+double delta_hpwl_fraction(const db::Design& design);
+
+}  // namespace mch::eval

@@ -1,0 +1,82 @@
+#include "eval/suite_runner.h"
+
+#include "baselines/local.h"
+#include "baselines/mixed_abacus.h"
+#include "baselines/tetris.h"
+#include "db/legality.h"
+#include "legal/tetris_alloc.h"
+#include "util/timer.h"
+
+namespace mch::eval {
+
+const char* to_string(Legalizer legalizer) {
+  switch (legalizer) {
+    case Legalizer::kMmsim:
+      return "mmsim";
+    case Legalizer::kTetris:
+      return "tetris";
+    case Legalizer::kLocalBase:
+      return "local";
+    case Legalizer::kLocalImproved:
+      return "local-imp";
+    case Legalizer::kMixedAbacus:
+      return "mixed-abacus";
+  }
+  return "unknown";
+}
+
+RunResult run_legalizer(db::Design& design, Legalizer which,
+                        const legal::FlowOptions& mmsim_options) {
+  RunResult result;
+  result.benchmark = design.name;
+  result.legalizer = which;
+  result.num_cells = design.num_cells();
+  result.num_single = design.count_cells_with_height(1);
+  result.num_double = design.count_cells_with_height(2);
+  result.density = design.density();
+  result.gp_hpwl = gp_hpwl(design);
+
+  design.reset_positions_to_gp();
+
+  Timer timer;
+  switch (which) {
+    case Legalizer::kMmsim: {
+      legal::FlowOptions options = mmsim_options;
+      options.verify = false;  // verified uniformly below
+      const legal::FlowResult flow = legal::legalize(design, options);
+      result.illegal_after_solver = flow.allocation.illegal_cells;
+      result.solver_iterations = flow.solver.iterations;
+      result.solver_converged = flow.solver.converged;
+      break;
+    }
+    case Legalizer::kTetris:
+      baselines::tetris_legalize(design);
+      break;
+    case Legalizer::kLocalBase:
+      baselines::local_legalize(design, baselines::LocalVariant::kBase);
+      break;
+    case Legalizer::kLocalImproved:
+      baselines::local_legalize(design, baselines::LocalVariant::kImproved);
+      break;
+    case Legalizer::kMixedAbacus:
+      baselines::mixed_abacus_legalize(design);
+      // Cluster output is continuous; snap to sites the same way the
+      // MMSIM flow does.
+      legal::tetris_allocate(design);
+      break;
+  }
+  result.seconds = timer.seconds();
+
+  const db::LegalityReport report = db::check_legality(design);
+  result.legal = report.legal();
+  result.legality_summary = report.summary();
+
+  result.disp = displacement(design);
+  result.hpwl = hpwl(design);
+  result.delta_hpwl =
+      result.gp_hpwl > 0.0 ? (result.hpwl - result.gp_hpwl) / result.gp_hpwl
+                           : 0.0;
+  return result;
+}
+
+}  // namespace mch::eval

@@ -1,0 +1,55 @@
+// Uniform driver running any legalizer on a design and collecting the
+// metrics the paper's tables report. Shared by the benches, the examples,
+// and the integration tests so every experiment measures identically.
+#pragma once
+
+#include <string>
+
+#include "db/design.h"
+#include "eval/metrics.h"
+#include "gen/generator.h"
+#include "gen/spec.h"
+#include "legal/flow.h"
+
+namespace mch::eval {
+
+enum class Legalizer {
+  kMmsim,          ///< the paper's algorithm ("Ours")
+  kTetris,         ///< greedy Tetris baseline
+  kLocalBase,      ///< DAC'16-style local legalizer
+  kLocalImproved,  ///< DAC'16-Imp-style local legalizer
+  kMixedAbacus,    ///< ASP-DAC'17-style mixed-height Abacus
+};
+
+const char* to_string(Legalizer legalizer);
+
+struct RunResult {
+  std::string benchmark;
+  Legalizer legalizer = Legalizer::kMmsim;
+  bool legal = false;
+  std::string legality_summary;
+  double seconds = 0.0;  ///< legalization wall time (metrics excluded)
+
+  DisplacementStats disp;
+  double gp_hpwl = 0.0;
+  double hpwl = 0.0;
+  double delta_hpwl = 0.0;  ///< fraction, e.g. 0.0012 = 0.12%
+
+  // Design characteristics (Table 1 columns).
+  std::size_t num_cells = 0;
+  std::size_t num_single = 0;
+  std::size_t num_double = 0;
+  double density = 0.0;
+
+  // MMSIM-specific (Table 1 "#I. Cell" and solver diagnostics).
+  std::size_t illegal_after_solver = 0;
+  std::size_t solver_iterations = 0;
+  bool solver_converged = false;
+};
+
+/// Resets the design to its GP positions, runs the legalizer, validates the
+/// result and fills in all metrics.
+RunResult run_legalizer(db::Design& design, Legalizer which,
+                        const legal::FlowOptions& mmsim_options = {});
+
+}  // namespace mch::eval

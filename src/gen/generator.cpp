@@ -1,0 +1,396 @@
+#include "gen/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace mch::gen {
+
+using db::Cell;
+using db::Chip;
+using db::Design;
+using db::Net;
+using db::Pin;
+using db::RailType;
+
+namespace {
+
+/// Builds the cell population (widths/heights only; positions come later).
+std::vector<Cell> make_cells(std::size_t num_single, std::size_t num_double,
+                             const GeneratorOptions& opts, Rng& rng) {
+  std::vector<Cell> cells;
+  cells.reserve(num_single + num_double);
+
+  std::size_t num_triple = 0;
+  std::size_t num_quad = 0;
+  if (opts.triple_fraction > 0.0 || opts.quad_fraction > 0.0) {
+    num_triple = static_cast<std::size_t>(
+        std::floor(opts.triple_fraction * static_cast<double>(num_single)));
+    num_quad = static_cast<std::size_t>(
+        std::floor(opts.quad_fraction * static_cast<double>(num_single)));
+    MCH_CHECK(num_triple + num_quad <= num_single);
+    num_single -= num_triple + num_quad;
+  }
+
+  const auto draw_width_sites = [&] {
+    return static_cast<double>(
+        rng.uniform_int(opts.min_width_sites, opts.max_width_sites));
+  };
+
+  const auto push = [&](std::size_t height_rows, double width_sites) {
+    Cell cell;
+    cell.width = width_sites * opts.site_width;
+    cell.height_rows = height_rows;
+    cells.push_back(cell);
+  };
+
+  for (std::size_t i = 0; i < num_single; ++i) push(1, draw_width_sites());
+  // Paper rule for doubles: double the height, halve the width.
+  for (std::size_t i = 0; i < num_double; ++i)
+    push(2, std::max(1.0, std::round(draw_width_sites() / 2.0)));
+  for (std::size_t i = 0; i < num_triple; ++i)
+    push(3, std::max(1.0, std::round(draw_width_sites() / 3.0)));
+  for (std::size_t i = 0; i < num_quad; ++i)
+    push(4, std::max(1.0, std::round(draw_width_sites() / 4.0)));
+
+  // Shuffle so heights are interleaved in placement order (Fisher–Yates).
+  for (std::size_t i = cells.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(cells[i - 1], cells[j]);
+  }
+  return cells;
+}
+
+/// Sizes a near-square chip for the requested density. Macro area is added
+/// on top so the movable cells still see `density` of the *free* area.
+Chip size_chip(const std::vector<Cell>& cells, double density,
+               const GeneratorOptions& opts) {
+  MCH_CHECK(density > 0.0 && density <= 1.0);
+  double total_area = 0.0;
+  std::size_t max_height = 1;
+  for (const Cell& cell : cells) {
+    total_area +=
+        cell.width * static_cast<double>(cell.height_rows) * opts.row_height;
+    max_height = std::max(max_height, cell.height_rows);
+  }
+  const double macro_area = static_cast<double>(opts.fixed_macros) *
+                            opts.macro_width_sites * opts.site_width *
+                            static_cast<double>(opts.macro_height_rows) *
+                            opts.row_height;
+  max_height = std::max(max_height, opts.fixed_macros > 0
+                                        ? opts.macro_height_rows
+                                        : std::size_t{1});
+  const double chip_area = total_area / density + macro_area;
+  const double side = std::sqrt(chip_area);
+
+  Chip chip;
+  chip.site_width = opts.site_width;
+  chip.row_height = opts.row_height;
+  chip.bottom_rail = RailType::kVss;
+  chip.num_rows = std::max<std::size_t>(
+      2 * max_height + 2,
+      static_cast<std::size_t>(std::llround(side / opts.row_height)));
+  // Keep the row count even so both rail parities offer equally many rows.
+  if (chip.num_rows % 2 == 1) ++chip.num_rows;
+  chip.num_sites = std::max<std::size_t>(
+      16, static_cast<std::size_t>(std::ceil(
+              chip_area / (static_cast<double>(chip.num_rows) *
+                           opts.row_height * opts.site_width))));
+  return chip;
+}
+
+/// Places the fixed macros at random non-overlapping row/site-aligned
+/// positions. Returns the per-row blocked intervals, sorted by start.
+std::vector<std::vector<std::pair<double, double>>> place_macros(
+    Design& design, const GeneratorOptions& opts, Rng& rng) {
+  const Chip& chip = design.chip();
+  std::vector<std::vector<std::pair<double, double>>> blocked(chip.num_rows);
+  if (opts.fixed_macros == 0) return blocked;
+
+  const double mw = opts.macro_width_sites * chip.site_width;
+  const std::size_t mh = opts.macro_height_rows;
+  MCH_CHECK_MSG(mh < chip.num_rows && mw < chip.width(),
+                "macros larger than the chip");
+  const auto overlaps = [&](double x, std::size_t base) {
+    for (std::size_t r = base; r < base + mh; ++r)
+      for (const auto& [s0, e0] : blocked[r])
+        if (x < e0 && s0 < x + mw) return true;
+    return false;
+  };
+  for (std::size_t k = 0; k < opts.fixed_macros; ++k) {
+    bool placed = false;
+    for (int attempt = 0; attempt < 400 && !placed; ++attempt) {
+      const auto base = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(chip.num_rows - mh)));
+      const auto site = static_cast<std::int64_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(chip.num_sites) -
+                 static_cast<std::int64_t>(opts.macro_width_sites)));
+      const double x = static_cast<double>(site) * chip.site_width;
+      if (overlaps(x, base)) continue;
+      Cell macro;
+      macro.width = mw;
+      macro.height_rows = mh;
+      macro.fixed = true;
+      macro.x = macro.gp_x = x;
+      macro.y = macro.gp_y = chip.row_y(base);
+      design.add_cell(macro);
+      for (std::size_t r = base; r < base + mh; ++r)
+        blocked[r].emplace_back(x, x + mw);
+      placed = true;
+    }
+    MCH_CHECK_MSG(placed, "could not place macro " << k
+                              << " without overlap; chip too full");
+  }
+  for (auto& row : blocked) std::sort(row.begin(), row.end());
+  return blocked;
+}
+
+/// Legal-like Tetris packing sweep: place each cell at the cursor of the
+/// best of `row_candidates` sampled rail-compatible base rows, inserting
+/// exponential gaps sized to hit the target density.
+void pack_base_placement(
+    Design& design, const GeneratorOptions& opts,
+    const std::vector<std::vector<std::pair<double, double>>>& blocked,
+    Rng& rng) {
+  const Chip& chip = design.chip();
+  std::vector<double> cursor(chip.num_rows, 0.0);
+
+  // Pushes x right until [x, x+w) clears every blocked interval in the
+  // spanned rows (macros are few, so the loop settles immediately).
+  const auto advance_past_blockages = [&](std::size_t base, std::size_t h,
+                                          double x, double w) {
+    bool moved = true;
+    while (moved) {
+      moved = false;
+      for (std::size_t r = base; r < base + h; ++r)
+        for (const auto& [s0, e0] : blocked[r])
+          if (x < e0 && s0 < x + w) {
+            x = e0;
+            moved = true;
+          }
+    }
+    return x;
+  };
+
+  // Mean horizontal slack per cell per row = free width / expected number
+  // of cells landing in a row.
+  const double total_width =
+      std::accumulate(design.cells().begin(), design.cells().end(), 0.0,
+                      [](double acc, const Cell& c) {
+                        if (c.fixed) return acc;
+                        return acc + c.width * static_cast<double>(c.height_rows);
+                      });
+  const double fill_per_row = total_width / static_cast<double>(chip.num_rows);
+  const double free_per_row = std::max(0.0, chip.width() - fill_per_row);
+  const double cells_per_row =
+      static_cast<double>(design.num_cells()) /
+      static_cast<double>(chip.num_rows);
+  const double mean_gap =
+      cells_per_row > 0.0 ? free_per_row / cells_per_row : 0.0;
+
+  for (Cell& cell : design.cells()) {
+    if (cell.fixed) continue;
+    const auto max_base =
+        static_cast<std::int64_t>(chip.num_rows - cell.height_rows);
+
+    // Sample candidate base rows; keep the one with the smallest cursor
+    // across the rows the cell would occupy.
+    double best_x = std::numeric_limits<double>::infinity();
+    std::size_t best_row = 0;
+    for (int c = 0; c < opts.row_candidates; ++c) {
+      auto base = static_cast<std::size_t>(rng.uniform_int(0, max_base));
+      if (!cell.rail_compatible(chip, base)) {
+        // Shift by one row to fix rail parity when possible.
+        if (base > 0)
+          --base;
+        else
+          ++base;
+        if (base > static_cast<std::size_t>(max_base) ||
+            !cell.rail_compatible(chip, base))
+          continue;
+      }
+      double x = 0.0;
+      for (std::size_t r = base; r < base + cell.height_rows; ++r)
+        x = std::max(x, cursor[r]);
+      x = advance_past_blockages(base, cell.height_rows, x, cell.width);
+      if (x < best_x) {
+        best_x = x;
+        best_row = base;
+      }
+    }
+    MCH_CHECK_MSG(std::isfinite(best_x), "no rail-compatible row sampled");
+
+    const double jitter = std::clamp(opts.gap_jitter, 0.0, 1.0);
+    const double gap =
+        mean_gap * (1.0 + jitter * (2.0 * rng.uniform() - 1.0));
+    const double x = advance_past_blockages(best_row, cell.height_rows,
+                                            best_x + gap, cell.width);
+    cell.x = x;
+    cell.y = chip.row_y(best_row);
+    cell.bottom_rail = chip.rail_at(best_row);
+    for (std::size_t r = best_row; r < best_row + cell.height_rows; ++r)
+      cursor[r] = x + cell.width;
+  }
+
+  // Compress rows that overflowed the right edge back inside the chip; the
+  // base layout is only the scaffold for GP synthesis, but keeping it inside
+  // the region keeps the perturbed GP realistic.
+  double max_cursor = 0.0;
+  for (double c : cursor) max_cursor = std::max(max_cursor, c);
+  if (max_cursor > chip.width()) {
+    const double squeeze = chip.width() / max_cursor;
+    for (Cell& cell : design.cells())
+      if (!cell.fixed) cell.x *= squeeze;
+  }
+}
+
+/// Turns the legal-like base into a global placement by Gaussian noise.
+void perturb_to_gp(Design& design, const GeneratorOptions& opts, Rng& rng) {
+  const Chip& chip = design.chip();
+  for (Cell& cell : design.cells()) {
+    if (cell.fixed) continue;
+    const double height =
+        static_cast<double>(cell.height_rows) * chip.row_height;
+    cell.gp_x = std::clamp(
+        cell.x + rng.normal(0.0, opts.noise_x_sites * chip.site_width), 0.0,
+        chip.width() - cell.width);
+    cell.gp_y = std::clamp(
+        cell.y + rng.normal(0.0, opts.noise_y_rows * chip.row_height), 0.0,
+        chip.height() - height);
+    cell.x = cell.gp_x;
+    cell.y = cell.gp_y;
+  }
+}
+
+/// Spatially local netlist via a uniform bucket grid over GP positions.
+void build_netlist(Design& design, const GeneratorOptions& opts, Rng& rng) {
+  const Chip& chip = design.chip();
+  const std::size_t n = design.num_cells();
+  if (n < 2 || opts.nets_per_cell <= 0.0) return;
+
+  // Bucket size targets ~8 cells per bucket.
+  const double target_buckets = static_cast<double>(n) / 8.0;
+  const auto grid = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::sqrt(std::max(1.0, target_buckets))));
+  const double bw = chip.width() / static_cast<double>(grid);
+  const double bh = chip.height() / static_cast<double>(grid);
+
+  const auto bucket_of = [&](double x, double y) {
+    auto bx = static_cast<std::size_t>(std::clamp(
+        x / bw, 0.0, static_cast<double>(grid - 1)));
+    auto by = static_cast<std::size_t>(std::clamp(
+        y / bh, 0.0, static_cast<double>(grid - 1)));
+    return by * grid + bx;
+  };
+
+  std::vector<std::vector<std::size_t>> buckets(grid * grid);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Cell& cell = design.cells()[i];
+    buckets[bucket_of(cell.gp_x, cell.gp_y)].push_back(i);
+  }
+
+  const auto num_nets = static_cast<std::size_t>(
+      std::llround(opts.nets_per_cell * static_cast<double>(n)));
+  std::vector<std::size_t> pool;
+  for (std::size_t k = 0; k < num_nets; ++k) {
+    const auto anchor =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    const Cell& a = design.cells()[anchor];
+    const auto ab = bucket_of(a.gp_x, a.gp_y);
+    const auto abx = ab % grid;
+    const auto aby = ab / grid;
+
+    // Candidate pool: the anchor's bucket and its 8 neighbors.
+    pool.clear();
+    for (std::ptrdiff_t dy = -1; dy <= 1; ++dy)
+      for (std::ptrdiff_t dx = -1; dx <= 1; ++dx) {
+        const auto bx = static_cast<std::ptrdiff_t>(abx) + dx;
+        const auto by = static_cast<std::ptrdiff_t>(aby) + dy;
+        if (bx < 0 || by < 0 || bx >= static_cast<std::ptrdiff_t>(grid) ||
+            by >= static_cast<std::ptrdiff_t>(grid))
+          continue;
+        const auto& bucket =
+            buckets[static_cast<std::size_t>(by) * grid +
+                    static_cast<std::size_t>(bx)];
+        pool.insert(pool.end(), bucket.begin(), bucket.end());
+      }
+
+    const auto pins = static_cast<std::size_t>(
+        rng.uniform_int(opts.min_pins, opts.max_pins));
+    Net net;
+    net.pins.reserve(pins);
+    const auto add_pin = [&](std::size_t cell_idx) {
+      const Cell& c = design.cells()[cell_idx];
+      Pin pin;
+      pin.cell = cell_idx;
+      // Pins sit inside the cell outline.
+      pin.dx = rng.uniform(0.0, c.width);
+      pin.dy = rng.uniform(
+          0.0, static_cast<double>(c.height_rows) * chip.row_height);
+      net.pins.push_back(pin);
+    };
+    add_pin(anchor);
+    for (std::size_t p = 1; p < pins; ++p) {
+      std::size_t pick;
+      if (pool.size() >= 2) {
+        pick = pool[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))];
+      } else {
+        pick = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      }
+      add_pin(pick);
+    }
+    design.add_net(std::move(net));
+  }
+}
+
+}  // namespace
+
+db::Design generate_random_design(std::size_t num_single,
+                                  std::size_t num_double, double density,
+                                  const GeneratorOptions& options) {
+  MCH_CHECK(num_single + num_double > 0);
+  Rng rng(options.seed);
+
+  std::vector<Cell> cells = make_cells(num_single, num_double, options, rng);
+  Design design(size_chip(cells, density, options));
+  for (Cell& cell : cells) design.add_cell(cell);
+
+  const auto blocked = place_macros(design, options, rng);
+  pack_base_placement(design, options, blocked, rng);
+  perturb_to_gp(design, options, rng);
+  build_netlist(design, options, rng);
+  return design;
+}
+
+db::Design generate_design(const BenchmarkSpec& spec,
+                           const GeneratorOptions& options) {
+  MCH_CHECK(options.scale > 0.0 && options.scale <= 1.0);
+  const auto scaled = [&](std::size_t count) {
+    if (count == 0) return std::size_t{0};
+    return std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::llround(options.scale * static_cast<double>(count))));
+  };
+  GeneratorOptions opts = options;
+  // Derive a per-benchmark seed so every suite entry differs but remains
+  // reproducible for a fixed options.seed.
+  std::uint64_t h = options.seed;
+  for (const char c : spec.name) h = h * 1099511628211ULL + static_cast<unsigned char>(c);
+  opts.seed = h;
+
+  db::Design design =
+      generate_random_design(scaled(spec.num_single_cells),
+                             scaled(spec.num_double_cells), spec.density, opts);
+  design.name = spec.name;
+  return design;
+}
+
+}  // namespace mch::gen

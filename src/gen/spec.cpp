@@ -1,0 +1,42 @@
+#include "gen/spec.h"
+
+#include "util/check.h"
+
+namespace mch::gen {
+
+const std::vector<BenchmarkSpec>& ispd2015_mch_suite() {
+  // Values transcribed from Table 1 of the paper.
+  static const std::vector<BenchmarkSpec> suite = {
+      {"des_perf_1", 103842, 8802, 0.91},
+      {"des_perf_a", 99775, 8513, 0.43},
+      {"des_perf_b", 103842, 8802, 0.50},
+      {"edit_dist_a", 121913, 5500, 0.46},
+      {"fft_1", 30297, 1984, 0.84},
+      {"fft_2", 30297, 1984, 0.50},
+      {"fft_a", 28718, 1907, 0.25},
+      {"fft_b", 28718, 1907, 0.28},
+      {"matrix_mult_1", 152427, 2898, 0.80},
+      {"matrix_mult_2", 152427, 2898, 0.79},
+      {"matrix_mult_a", 146837, 2813, 0.42},
+      {"matrix_mult_b", 143695, 2740, 0.31},
+      {"matrix_mult_c", 143695, 2740, 0.31},
+      {"pci_bridge32_a", 26268, 3249, 0.38},
+      {"pci_bridge32_b", 25734, 3180, 0.14},
+      {"superblue11_a", 861314, 64302, 0.43},
+      {"superblue12", 1172586, 114362, 0.45},
+      {"superblue14", 564769, 47474, 0.56},
+      {"superblue16_a", 625419, 55031, 0.48},
+      {"superblue19", 478109, 27988, 0.52},
+  };
+  return suite;
+}
+
+const BenchmarkSpec& find_spec(const std::string& name) {
+  for (const BenchmarkSpec& spec : ispd2015_mch_suite())
+    if (spec.name == name) return spec;
+  MCH_CHECK_MSG(false, "unknown benchmark: " << name);
+  // Unreachable; MCH_CHECK_MSG throws.
+  return ispd2015_mch_suite().front();
+}
+
+}  // namespace mch::gen

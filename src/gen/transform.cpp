@@ -1,0 +1,52 @@
+#include "gen/transform.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace mch::gen {
+
+MixedHeightTransformStats make_mixed_height(db::Design& design,
+                                            double fraction,
+                                            std::uint64_t seed) {
+  MCH_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  MixedHeightTransformStats stats;
+  stats.area_before = design.total_cell_area();
+
+  std::vector<std::size_t> candidates;
+  for (const db::Cell& cell : design.cells())
+    if (!cell.fixed && cell.height_rows == 1) candidates.push_back(cell.id);
+
+  // Deterministic Fisher–Yates prefix selection.
+  Rng rng(seed);
+  const auto target = static_cast<std::size_t>(
+      std::llround(fraction * static_cast<double>(candidates.size())));
+  for (std::size_t i = 0; i < target && i < candidates.size(); ++i) {
+    const auto j = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(i),
+        static_cast<std::int64_t>(candidates.size()) - 1));
+    std::swap(candidates[i], candidates[j]);
+
+    db::Cell& cell = design.cells()[candidates[i]];
+    const db::Chip& chip = design.chip();
+    MCH_CHECK_MSG(chip.num_rows >= 2, "chip too short for double heights");
+    cell.height_rows = 2;
+    // Halve the width, rounded up to a whole site (area preserved up to
+    // site quantization, exactly as in the paper's construction).
+    const double half_sites =
+        std::ceil(cell.width / (2.0 * chip.site_width) - 1e-9);
+    cell.width = std::max(1.0, half_sites) * chip.site_width;
+    // Rail type of the nearest legal row keeps the GP feasible.
+    const std::size_t row = design.nearest_row(cell.gp_y, cell.height_rows);
+    cell.bottom_rail = chip.rail_at(row);
+    ++stats.converted_cells;
+  }
+
+  stats.area_after = design.total_cell_area();
+  return stats;
+}
+
+}  // namespace mch::gen

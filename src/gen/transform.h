@@ -1,0 +1,31 @@
+// The paper's benchmark modification, as a reusable transformation.
+//
+// §5: "10% of the cells were randomly selected to double their heights and
+// half their widths to form mixed-cell-height standard-cell benchmarks.
+// This modification maintains the total cell area." Applying this to a
+// single-height design (e.g. an original ISPD-2015 Bookshelf load) yields
+// an instance with exactly the structure the paper evaluates on.
+#pragma once
+
+#include <cstdint>
+
+#include "db/design.h"
+
+namespace mch::gen {
+
+struct MixedHeightTransformStats {
+  std::size_t converted_cells = 0;
+  double area_before = 0.0;
+  double area_after = 0.0;
+};
+
+/// Randomly converts `fraction` of the movable single-height cells to
+/// double height with halved width (rounded up to a whole site so the cell
+/// stays placeable). The doubled cell's bottom-rail type is taken from its
+/// nearest rail-legal row, keeping the GP feasible. Deterministic for a
+/// given seed. Fixed cells and cells taller than one row are left alone.
+MixedHeightTransformStats make_mixed_height(db::Design& design,
+                                            double fraction,
+                                            std::uint64_t seed = 1);
+
+}  // namespace mch::gen

@@ -1,0 +1,198 @@
+#include "gp/quadratic_placer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "baselines/tetris.h"
+#include "eval/metrics.h"
+#include "linalg/cg.h"
+#include "linalg/sparse.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace mch::gp {
+
+namespace {
+
+using linalg::Vector;
+
+/// Connectivity of the movable cells: a sparse symmetric Laplacian over
+/// movable indices plus, per movable cell, the accumulated weight and
+/// weighted target from edges to fixed cells.
+struct QuadraticSystem {
+  linalg::CsrMatrix laplacian;          ///< movable-movable part
+  Vector fixed_weight;                  ///< Σ w over edges to fixed cells
+  Vector fixed_moment_x;                ///< Σ w · x_fixed-center
+  Vector fixed_moment_y;
+  Vector degree;                        ///< Laplacian diagonal
+  std::vector<std::size_t> movable;     ///< movable cell ids
+  std::vector<std::size_t> index_of;    ///< cell id → movable index (or npos)
+};
+
+constexpr std::size_t kNotMovable = static_cast<std::size_t>(-1);
+
+QuadraticSystem build_system(const db::Design& design,
+                             const GlobalPlacementOptions& options) {
+  QuadraticSystem sys;
+  sys.index_of.assign(design.num_cells(), kNotMovable);
+  for (std::size_t c = 0; c < design.num_cells(); ++c) {
+    if (design.cells()[c].fixed) continue;
+    sys.index_of[c] = sys.movable.size();
+    sys.movable.push_back(c);
+  }
+  const std::size_t n = sys.movable.size();
+  MCH_CHECK_MSG(n > 0, "no movable cells to place");
+
+  linalg::CooMatrix coo(n, n);
+  sys.fixed_weight.assign(n, 0.0);
+  sys.fixed_moment_x.assign(n, 0.0);
+  sys.fixed_moment_y.assign(n, 0.0);
+
+  const auto center_x = [&](std::size_t cell) {
+    return design.cells()[cell].x + design.cells()[cell].width / 2.0;
+  };
+  const auto center_y = [&](std::size_t cell) {
+    const db::Cell& c = design.cells()[cell];
+    return c.y + static_cast<double>(c.height_rows) *
+                     design.chip().row_height / 2.0;
+  };
+
+  const auto add_edge = [&](std::size_t a, std::size_t b, double weight) {
+    const std::size_t ia = sys.index_of[a];
+    const std::size_t ib = sys.index_of[b];
+    if (ia == kNotMovable && ib == kNotMovable) return;
+    if (ia != kNotMovable && ib != kNotMovable) {
+      coo.add(ia, ia, weight);
+      coo.add(ib, ib, weight);
+      coo.add(ia, ib, -weight);
+      coo.add(ib, ia, -weight);
+    } else {
+      const std::size_t im = ia != kNotMovable ? ia : ib;
+      const std::size_t fixed = ia != kNotMovable ? b : a;
+      sys.fixed_weight[im] += weight;
+      sys.fixed_moment_x[im] += weight * center_x(fixed);
+      sys.fixed_moment_y[im] += weight * center_y(fixed);
+    }
+  };
+
+  for (const db::Net& net : design.nets()) {
+    const std::size_t p = net.pins.size();
+    if (p < 2) continue;
+    if (p <= options.max_clique_pins) {
+      // Clique model with the standard 1/(p−1) edge weight.
+      const double w = 1.0 / static_cast<double>(p - 1);
+      for (std::size_t i = 0; i < p; ++i)
+        for (std::size_t j = i + 1; j < p; ++j) {
+          if (net.pins[i].cell == net.pins[j].cell) continue;
+          add_edge(net.pins[i].cell, net.pins[j].cell, w);
+        }
+    } else {
+      // Star model: every pin to the first pin's cell (a cheap hub choice;
+      // large nets are rare in our inputs).
+      const double w = 1.0 / static_cast<double>(p - 1);
+      for (std::size_t i = 1; i < p; ++i) {
+        if (net.pins[i].cell == net.pins[0].cell) continue;
+        add_edge(net.pins[0].cell, net.pins[i].cell, w);
+      }
+    }
+  }
+
+  sys.laplacian = linalg::CsrMatrix::from_coo(coo);
+  sys.degree.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    sys.degree[i] = sys.laplacian.at(i, i) + sys.fixed_weight[i];
+  return sys;
+}
+
+/// Solves (L + W_fixed + αI) v = fixed_moment + α·anchor for one axis.
+void solve_axis(const QuadraticSystem& sys, double alpha,
+                const Vector& anchors, const Vector& fixed_moment,
+                const GlobalPlacementOptions& options, Vector& v) {
+  const std::size_t n = sys.movable.size();
+  Vector rhs(n), diag(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rhs[i] = fixed_moment[i] + alpha * anchors[i];
+    // Keep the system nonsingular even for disconnected, anchor-free
+    // components (alpha = 0 on the first round): a tiny ridge toward the
+    // current value.
+    diag[i] = std::max(sys.degree[i] + alpha, 1e-9);
+  }
+  const auto apply = [&](const Vector& x, Vector& y) {
+    sys.laplacian.multiply(x, y);
+    for (std::size_t i = 0; i < n; ++i)
+      y[i] += (sys.fixed_weight[i] + alpha + 1e-9) * x[i];
+  };
+  for (std::size_t i = 0; i < n; ++i) rhs[i] += 1e-9 * v[i];
+
+  linalg::CgOptions cg;
+  cg.max_iterations = options.cg_max_iterations;
+  cg.tolerance = options.cg_tolerance;
+  linalg::conjugate_gradient(apply, diag, rhs, v, cg);
+}
+
+}  // namespace
+
+GlobalPlacementStats place(db::Design& design,
+                           const GlobalPlacementOptions& options) {
+  Timer timer;
+  GlobalPlacementStats stats;
+  MCH_CHECK_MSG(design.num_nets() > 0,
+                "global placement needs a netlist");
+
+  const QuadraticSystem sys = build_system(design, options);
+  const std::size_t n = sys.movable.size();
+  const db::Chip& chip = design.chip();
+
+  // State: movable cell centers.
+  Vector vx(n), vy(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const db::Cell& cell = design.cells()[sys.movable[i]];
+    vx[i] = chip.width() / 2.0 + 1e-3 * static_cast<double>(i % 101);
+    vy[i] = chip.height() / 2.0 + 1e-3 * static_cast<double>(i % 97);
+    (void)cell;
+  }
+
+  const auto write_back = [&](const Vector& x, const Vector& y) {
+    for (std::size_t i = 0; i < n; ++i) {
+      db::Cell& cell = design.cells()[sys.movable[i]];
+      const double height =
+          static_cast<double>(cell.height_rows) * chip.row_height;
+      cell.x = std::clamp(x[i] - cell.width / 2.0, 0.0,
+                          chip.width() - cell.width);
+      cell.y = std::clamp(y[i] - height / 2.0, 0.0, chip.height() - height);
+      cell.gp_x = cell.x;
+      cell.gp_y = cell.y;
+    }
+  };
+
+  Vector anchor_x = vx, anchor_y = vy;
+  for (std::size_t iter = 0; iter < options.iterations; ++iter) {
+    // Lower bound: quadratic wirelength + anchor springs.
+    const double alpha =
+        options.anchor_weight_step * static_cast<double>(iter);
+    solve_axis(sys, alpha, anchor_x, sys.fixed_moment_x, options, vx);
+    solve_axis(sys, alpha, anchor_y, sys.fixed_moment_y, options, vy);
+    write_back(vx, vy);
+    if (iter == 0) stats.initial_hpwl = eval::hpwl(design);
+
+    // Upper bound: rough spreading supplies the next anchors.
+    db::Design spread = design;
+    baselines::tetris_legalize(spread);
+    stats.spread_hpwl = eval::hpwl(spread);
+    for (std::size_t i = 0; i < n; ++i) {
+      const db::Cell& cell = spread.cells()[sys.movable[i]];
+      anchor_x[i] = cell.x + cell.width / 2.0;
+      anchor_y[i] = cell.y + static_cast<double>(cell.height_rows) *
+                                 chip.row_height / 2.0;
+    }
+    stats.iterations = iter + 1;
+  }
+
+  write_back(vx, vy);
+  stats.final_hpwl = eval::hpwl(design);
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+}  // namespace mch::gp

@@ -1,0 +1,419 @@
+#include "io/bookshelf.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "util/check.h"
+
+namespace mch::io {
+
+namespace {
+
+/// Strips comments (#...) and whitespace; returns false at end of stream.
+bool next_content_line(std::istream& is, std::string& line) {
+  while (std::getline(is, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    // Trim.
+    const auto begin = line.find_first_not_of(" \t\r\n");
+    if (begin == std::string::npos) continue;
+    const auto end = line.find_last_not_of(" \t\r\n");
+    line = line.substr(begin, end - begin + 1);
+    if (!line.empty()) return true;
+  }
+  return false;
+}
+
+/// Splits on whitespace, treating ':' as its own token.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (const char ch : line) {
+    if (std::isspace(static_cast<unsigned char>(ch)) || ch == ':') {
+      if (!current.empty()) {
+        tokens.push_back(current);
+        current.clear();
+      }
+      if (ch == ':') tokens.emplace_back(":");
+    } else {
+      current += ch;
+    }
+  }
+  if (!current.empty()) tokens.push_back(current);
+  return tokens;
+}
+
+double to_double(const std::string& token) {
+  std::size_t consumed = 0;
+  const double value = std::stod(token, &consumed);
+  MCH_CHECK_MSG(consumed == token.size(), "bad number: " << token);
+  return value;
+}
+
+struct BookshelfNode {
+  std::string name;
+  double width = 0.0;
+  double height = 0.0;
+  bool terminal = false;
+  double x = 0.0;
+  double y = 0.0;
+  bool fixed = false;
+  std::size_t cell_index = 0;  ///< index in the Design after conversion
+};
+
+struct BookshelfRow {
+  double coordinate = 0.0;  ///< y of the row's bottom edge
+  double height = 0.0;
+  double site_width = 1.0;
+  double site_spacing = 1.0;
+  double subrow_origin = 0.0;
+  double num_sites = 0.0;
+};
+
+std::ifstream open_or_throw(const std::string& path) {
+  std::ifstream file(path);
+  MCH_CHECK_MSG(file.is_open(), "cannot open " << path);
+  return file;
+}
+
+std::string directory_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string(".")
+                                    : path.substr(0, slash);
+}
+
+void parse_nodes(const std::string& path,
+                 std::vector<BookshelfNode>& nodes,
+                 std::map<std::string, std::size_t>& index) {
+  std::ifstream file = open_or_throw(path);
+  std::string line;
+  MCH_CHECK_MSG(next_content_line(file, line) &&
+                    line.rfind("UCLA nodes", 0) == 0,
+                path << ": missing 'UCLA nodes' header");
+  while (next_content_line(file, line)) {
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    if (tokens[0] == "NumNodes" || tokens[0] == "NumTerminals") continue;
+    MCH_CHECK_MSG(tokens.size() >= 3, path << ": bad node line: " << line);
+    BookshelfNode node;
+    node.name = tokens[0];
+    node.width = to_double(tokens[1]);
+    node.height = to_double(tokens[2]);
+    node.terminal =
+        tokens.size() >= 4 && tokens[3].rfind("terminal", 0) == 0;
+    MCH_CHECK_MSG(index.emplace(node.name, nodes.size()).second,
+                  path << ": duplicate node " << node.name);
+    nodes.push_back(std::move(node));
+  }
+}
+
+void parse_pl(const std::string& path, std::vector<BookshelfNode>& nodes,
+              const std::map<std::string, std::size_t>& index) {
+  std::ifstream file = open_or_throw(path);
+  std::string line;
+  MCH_CHECK_MSG(next_content_line(file, line) &&
+                    line.rfind("UCLA pl", 0) == 0,
+                path << ": missing 'UCLA pl' header");
+  while (next_content_line(file, line)) {
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.size() < 3) continue;
+    const auto it = index.find(tokens[0]);
+    MCH_CHECK_MSG(it != index.end(), path << ": unknown node " << tokens[0]);
+    BookshelfNode& node = nodes[it->second];
+    node.x = to_double(tokens[1]);
+    node.y = to_double(tokens[2]);
+    node.fixed = line.find("/FIXED") != std::string::npos;
+  }
+}
+
+std::vector<BookshelfRow> parse_scl(const std::string& path) {
+  std::ifstream file = open_or_throw(path);
+  std::string line;
+  MCH_CHECK_MSG(next_content_line(file, line) &&
+                    line.rfind("UCLA scl", 0) == 0,
+                path << ": missing 'UCLA scl' header");
+  std::vector<BookshelfRow> rows;
+  bool in_row = false;
+  BookshelfRow current;
+  while (next_content_line(file, line)) {
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    if (tokens[0] == "CoreRow") {
+      in_row = true;
+      current = BookshelfRow{};
+      continue;
+    }
+    if (tokens[0] == "End") {
+      if (in_row) rows.push_back(current);
+      in_row = false;
+      continue;
+    }
+    if (!in_row) continue;
+    // Key : value [Key : value ...] pairs.
+    for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+      if (tokens[i + 1] != ":") continue;
+      const std::string& key = tokens[i];
+      const std::string& value = tokens[i + 2];
+      if (key == "Coordinate") current.coordinate = to_double(value);
+      else if (key == "Height") current.height = to_double(value);
+      else if (key == "Sitewidth") current.site_width = to_double(value);
+      else if (key == "Sitespacing") current.site_spacing = to_double(value);
+      else if (key == "SubrowOrigin") current.subrow_origin = to_double(value);
+      else if (key == "NumSites") current.num_sites = to_double(value);
+    }
+  }
+  MCH_CHECK_MSG(!rows.empty(), path << ": no CoreRow blocks");
+  return rows;
+}
+
+struct BookshelfPin {
+  std::string node;
+  double dx = 0.0;  ///< offset from node CENTER (Bookshelf convention)
+  double dy = 0.0;
+};
+
+std::vector<std::vector<BookshelfPin>> parse_nets(const std::string& path) {
+  std::ifstream file = open_or_throw(path);
+  std::string line;
+  MCH_CHECK_MSG(next_content_line(file, line) &&
+                    line.rfind("UCLA nets", 0) == 0,
+                path << ": missing 'UCLA nets' header");
+  std::vector<std::vector<BookshelfPin>> nets;
+  while (next_content_line(file, line)) {
+    std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty() || tokens[0] == "NumNets" || tokens[0] == "NumPins")
+      continue;
+    if (tokens[0] == "NetDegree") {
+      MCH_CHECK_MSG(tokens.size() >= 3 && tokens[1] == ":",
+                    path << ": bad NetDegree line: " << line);
+      const auto degree = static_cast<std::size_t>(to_double(tokens[2]));
+      std::vector<BookshelfPin> pins;
+      pins.reserve(degree);
+      for (std::size_t p = 0; p < degree; ++p) {
+        MCH_CHECK_MSG(next_content_line(file, line),
+                      path << ": truncated net");
+        tokens = tokenize(line);
+        MCH_CHECK_MSG(!tokens.empty(), path << ": bad pin line");
+        BookshelfPin pin;
+        pin.node = tokens[0];
+        // Format: name I/O/B : dx dy — offsets optional.
+        const auto colon = std::find(tokens.begin(), tokens.end(), ":");
+        if (colon != tokens.end() && std::distance(colon, tokens.end()) >= 3) {
+          pin.dx = to_double(*(colon + 1));
+          pin.dy = to_double(*(colon + 2));
+        }
+        pins.push_back(pin);
+      }
+      nets.push_back(std::move(pins));
+    }
+  }
+  return nets;
+}
+
+}  // namespace
+
+db::Design load_bookshelf(const std::string& aux_path) {
+  // 1. The .aux names the other files.
+  std::string nodes_path, nets_path, pl_path, scl_path;
+  {
+    std::ifstream aux = open_or_throw(aux_path);
+    std::string line;
+    MCH_CHECK_MSG(next_content_line(aux, line), aux_path << ": empty .aux");
+    const std::string dir = directory_of(aux_path);
+    for (const std::string& token : tokenize(line)) {
+      const auto assign = [&](const char* ext, std::string& out) {
+        if (token.size() > std::strlen(ext) &&
+            token.rfind(ext) == token.size() - std::strlen(ext))
+          out = dir + "/" + token;
+      };
+      assign(".nodes", nodes_path);
+      assign(".nets", nets_path);
+      assign(".pl", pl_path);
+      assign(".scl", scl_path);
+    }
+  }
+  MCH_CHECK_MSG(!nodes_path.empty() && !pl_path.empty() && !scl_path.empty(),
+                aux_path << ": .aux must reference .nodes, .pl and .scl");
+
+  // 2. Rows — must be uniform.
+  const std::vector<BookshelfRow> rows = parse_scl(scl_path);
+  const BookshelfRow& first = rows.front();
+  double min_y = first.coordinate;
+  double min_x = first.subrow_origin;
+  for (const BookshelfRow& row : rows) {
+    MCH_CHECK_MSG(row.height == first.height &&
+                      row.site_width == first.site_width &&
+                      row.site_spacing == first.site_spacing &&
+                      row.num_sites == first.num_sites &&
+                      row.subrow_origin == first.subrow_origin,
+                  scl_path << ": non-uniform rows are not supported");
+    min_y = std::min(min_y, row.coordinate);
+    min_x = std::min(min_x, row.subrow_origin);
+  }
+  MCH_CHECK_MSG(first.site_spacing == first.site_width,
+                scl_path << ": site spacing != site width unsupported");
+
+  db::Chip chip;
+  chip.num_rows = rows.size();
+  chip.num_sites = static_cast<std::size_t>(first.num_sites);
+  chip.site_width = first.site_width;
+  chip.row_height = first.height;
+  db::Design design(chip);
+
+  // 3. Nodes + placement.
+  std::vector<BookshelfNode> nodes;
+  std::map<std::string, std::size_t> index;
+  parse_nodes(nodes_path, nodes, index);
+  parse_pl(pl_path, nodes, index);
+
+  for (BookshelfNode& node : nodes) {
+    db::Cell cell;
+    cell.width = node.width;
+    const double rows_exact = node.height / chip.row_height;
+    if (node.terminal || node.fixed) {
+      cell.fixed = true;
+      cell.height_rows = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::ceil(rows_exact - 1e-9)));
+    } else {
+      const double rounded = std::round(rows_exact);
+      MCH_CHECK_MSG(std::abs(rows_exact - rounded) < 1e-6 && rounded >= 1.0,
+                    nodes_path << ": movable node " << node.name
+                               << " height " << node.height
+                               << " is not a row multiple");
+      cell.height_rows = static_cast<std::size_t>(rounded);
+    }
+    cell.gp_x = cell.x = node.x - min_x;
+    cell.gp_y = cell.y = node.y - min_y;
+    node.cell_index = design.add_cell(cell);
+  }
+
+  // Rail feasibility for even-height movables: adopt the rail of the
+  // nearest legal row so the loaded GP is always placeable.
+  for (const BookshelfNode& node : nodes) {
+    db::Cell& cell = design.cells()[node.cell_index];
+    if (cell.fixed || !cell.is_even_height()) continue;
+    const std::size_t row = design.nearest_row(cell.gp_y, cell.height_rows);
+    cell.bottom_rail = chip.rail_at(row);
+  }
+
+  // 4. Nets (pin offsets: Bookshelf center-relative → bottom-left).
+  if (!nets_path.empty()) {
+    for (const auto& pins : parse_nets(nets_path)) {
+      db::Net net;
+      net.pins.reserve(pins.size());
+      for (const BookshelfPin& pin : pins) {
+        const auto it = index.find(pin.node);
+        MCH_CHECK_MSG(it != index.end(),
+                      nets_path << ": unknown node " << pin.node);
+        const BookshelfNode& node = nodes[it->second];
+        db::Pin converted;
+        converted.cell = node.cell_index;
+        converted.dx = node.width / 2.0 + pin.dx;
+        converted.dy = node.height / 2.0 + pin.dy;
+        net.pins.push_back(converted);
+      }
+      design.add_net(std::move(net));
+    }
+  }
+
+  const std::size_t slash = aux_path.find_last_of('/');
+  std::string base =
+      slash == std::string::npos ? aux_path : aux_path.substr(slash + 1);
+  if (base.size() > 4 && base.rfind(".aux") == base.size() - 4)
+    base.erase(base.size() - 4);
+  design.name = base;
+  return design;
+}
+
+void save_bookshelf_pl(const std::string& path, const db::Design& design) {
+  std::ofstream pl(path);
+  MCH_CHECK_MSG(pl.is_open(), "cannot open " << path);
+  pl << std::setprecision(17);
+  pl << "UCLA pl 1.0\n\n";
+  for (const db::Cell& cell : design.cells()) {
+    pl << 'o' << cell.id << '\t' << cell.x << '\t' << cell.y << "\t: "
+       << (cell.flipped ? "FS" : "N");
+    if (cell.fixed) pl << " /FIXED";
+    pl << '\n';
+  }
+  MCH_CHECK_MSG(pl.good(), "stream failure writing " << path);
+}
+
+void save_bookshelf(const std::string& directory, const std::string& name,
+                    const db::Design& design) {
+  const db::Chip& chip = design.chip();
+  const std::string prefix = directory + "/" + name;
+
+  {
+    std::ofstream aux(prefix + ".aux");
+    MCH_CHECK_MSG(aux.is_open(), "cannot open " << prefix << ".aux");
+    aux << "RowBasedPlacement : " << name << ".nodes " << name << ".nets "
+        << name << ".wts " << name << ".pl " << name << ".scl\n";
+  }
+  {
+    std::ofstream nodes(prefix + ".nodes");
+    nodes << std::setprecision(17);
+    nodes << "UCLA nodes 1.0\n\n";
+    nodes << "NumNodes : " << design.num_cells() << '\n';
+    nodes << "NumTerminals : " << design.num_fixed_cells() << '\n';
+    for (const db::Cell& cell : design.cells()) {
+      nodes << "\to" << cell.id << '\t' << cell.width << '\t'
+            << static_cast<double>(cell.height_rows) * chip.row_height;
+      if (cell.fixed) nodes << "\tterminal";
+      nodes << '\n';
+    }
+    MCH_CHECK_MSG(nodes.good(), "stream failure writing nodes");
+  }
+  {
+    std::ofstream nets(prefix + ".nets");
+    nets << std::setprecision(17);
+    nets << "UCLA nets 1.0\n\n";
+    std::size_t num_pins = 0;
+    for (const db::Net& net : design.nets()) num_pins += net.pins.size();
+    nets << "NumNets : " << design.num_nets() << '\n';
+    nets << "NumPins : " << num_pins << '\n';
+    for (std::size_t n = 0; n < design.num_nets(); ++n) {
+      const db::Net& net = design.nets()[n];
+      nets << "NetDegree : " << net.pins.size() << "\tn" << n << '\n';
+      for (const db::Pin& pin : net.pins) {
+        const db::Cell& cell = design.cells()[pin.cell];
+        const double height =
+            static_cast<double>(cell.height_rows) * chip.row_height;
+        nets << "\to" << cell.id << "\tB : "
+             << pin.dx - cell.width / 2.0 << ' '
+             << pin.dy - height / 2.0 << '\n';
+      }
+    }
+    MCH_CHECK_MSG(nets.good(), "stream failure writing nets");
+  }
+  {
+    std::ofstream wts(prefix + ".wts");
+    wts << "UCLA wts 1.0\n";
+  }
+  save_bookshelf_pl(prefix + ".pl", design);
+  {
+    std::ofstream scl(prefix + ".scl");
+    scl << std::setprecision(17);
+    scl << "UCLA scl 1.0\n\n";
+    scl << "NumRows : " << chip.num_rows << '\n';
+    for (std::size_t r = 0; r < chip.num_rows; ++r) {
+      scl << "CoreRow Horizontal\n";
+      scl << "  Coordinate : " << chip.row_y(r) << '\n';
+      scl << "  Height : " << chip.row_height << '\n';
+      scl << "  Sitewidth : " << chip.site_width << '\n';
+      scl << "  Sitespacing : " << chip.site_width << '\n';
+      scl << "  SubrowOrigin : 0 NumSites : " << chip.num_sites << '\n';
+      scl << "End\n";
+    }
+    MCH_CHECK_MSG(scl.good(), "stream failure writing scl");
+  }
+}
+
+}  // namespace mch::io

@@ -1,0 +1,41 @@
+// Bookshelf placement format (UCLA .aux/.nodes/.nets/.pl/.scl), the
+// interchange format of the ISPD placement contests whose 2015 edition the
+// paper's benchmarks derive from.
+//
+// Reading maps a Bookshelf design onto the internal model:
+//   * the .scl core rows must be uniform (equal height, site width and
+//     count) — true for the ISPD sets; coordinates are shifted so the
+//     bottom-left row origin is (0, 0);
+//   * node heights must be integer multiples of the row height for movable
+//     nodes (mixed-cell-height benchmarks satisfy this); terminals /FIXED
+//     nodes become fixed obstacle cells at their .pl positions;
+//   * even-row-height movable nodes get the bottom-rail type of their
+//     nearest legal row, making the loaded GP rail-feasible (Bookshelf has
+//     no rail notion; the paper's modified benchmarks construct it the
+//     same way);
+//   * .nets pin offsets (Bookshelf measures from the node center) are
+//     converted to bottom-left-relative offsets.
+//
+// Writing produces a complete five-file bundle readable by this loader and
+// by standard Bookshelf tools; save_bookshelf_pl writes just the .pl (the
+// contest convention for returning placement results).
+#pragma once
+
+#include <string>
+
+#include "db/design.h"
+
+namespace mch::io {
+
+/// Loads a design from a Bookshelf .aux file. Throws CheckError on
+/// malformed input or unsupported (non-uniform-row) geometry.
+db::Design load_bookshelf(const std::string& aux_path);
+
+/// Writes <directory>/<name>.{aux,nodes,nets,pl,scl,wts}.
+void save_bookshelf(const std::string& directory, const std::string& name,
+                    const db::Design& design);
+
+/// Writes a .pl file with the design's current placement.
+void save_bookshelf_pl(const std::string& path, const db::Design& design);
+
+}  // namespace mch::io

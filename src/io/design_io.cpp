@@ -1,0 +1,124 @@
+#include "io/design_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace mch::io {
+
+using db::Cell;
+using db::Chip;
+using db::Design;
+using db::Net;
+using db::Pin;
+using db::RailType;
+
+namespace {
+
+RailType parse_rail(const std::string& token) {
+  if (token == "VSS") return RailType::kVss;
+  if (token == "VDD") return RailType::kVdd;
+  MCH_CHECK_MSG(false, "bad rail token: " << token);
+  return RailType::kVss;
+}
+
+}  // namespace
+
+void write_design(std::ostream& os, const Design& design) {
+  const Chip& chip = design.chip();
+  os << "mchdesign 2\n";
+  os << "name " << (design.name.empty() ? "unnamed" : design.name) << '\n';
+  os << std::setprecision(17);
+  os << "chip " << chip.num_rows << ' ' << chip.num_sites << ' '
+     << chip.site_width << ' ' << chip.row_height << ' '
+     << db::to_string(chip.bottom_rail) << '\n';
+  os << "cells " << design.num_cells() << '\n';
+  for (const Cell& cell : design.cells())
+    os << cell.width << ' ' << cell.height_rows << ' '
+       << db::to_string(cell.bottom_rail) << ' ' << (cell.fixed ? 1 : 0)
+       << ' ' << cell.gp_x << ' ' << cell.gp_y << ' ' << cell.x << ' '
+       << cell.y << '\n';
+  os << "nets " << design.num_nets() << '\n';
+  for (const Net& net : design.nets()) {
+    os << net.pins.size();
+    for (const Pin& pin : net.pins)
+      os << ' ' << pin.cell << ' ' << pin.dx << ' ' << pin.dy;
+    os << '\n';
+  }
+  MCH_CHECK_MSG(os.good(), "stream failure while writing design");
+}
+
+void save_design(const std::string& path, const Design& design) {
+  std::ofstream file(path);
+  MCH_CHECK_MSG(file.is_open(), "cannot open " << path << " for writing");
+  write_design(file, design);
+}
+
+Design read_design(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  is >> magic >> version;
+  MCH_CHECK_MSG(magic == "mchdesign" && (version == 1 || version == 2),
+                "not an mchdesign v1/v2 stream");
+
+  std::string keyword;
+  is >> keyword;
+  MCH_CHECK(keyword == "name");
+  std::string name;
+  is >> name;
+
+  is >> keyword;
+  MCH_CHECK(keyword == "chip");
+  Chip chip;
+  std::string rail;
+  is >> chip.num_rows >> chip.num_sites >> chip.site_width >>
+      chip.row_height >> rail;
+  chip.bottom_rail = parse_rail(rail);
+  MCH_CHECK_MSG(is.good(), "truncated chip record");
+
+  Design design(chip);
+  design.name = name;
+
+  is >> keyword;
+  MCH_CHECK(keyword == "cells");
+  std::size_t num_cells = 0;
+  is >> num_cells;
+  for (std::size_t i = 0; i < num_cells; ++i) {
+    Cell cell;
+    is >> cell.width >> cell.height_rows >> rail;
+    if (version >= 2) {
+      int fixed = 0;
+      is >> fixed;
+      cell.fixed = fixed != 0;
+    }
+    is >> cell.gp_x >> cell.gp_y >> cell.x >> cell.y;
+    MCH_CHECK_MSG(is.good(), "truncated cell record " << i);
+    cell.bottom_rail = parse_rail(rail);
+    design.add_cell(cell);
+  }
+
+  is >> keyword;
+  MCH_CHECK(keyword == "nets");
+  std::size_t num_nets = 0;
+  is >> num_nets;
+  for (std::size_t i = 0; i < num_nets; ++i) {
+    std::size_t pins = 0;
+    is >> pins;
+    Net net;
+    net.pins.resize(pins);
+    for (Pin& pin : net.pins) is >> pin.cell >> pin.dx >> pin.dy;
+    MCH_CHECK_MSG(is.good(), "truncated net record " << i);
+    design.add_net(std::move(net));
+  }
+  return design;
+}
+
+Design load_design(const std::string& path) {
+  std::ifstream file(path);
+  MCH_CHECK_MSG(file.is_open(), "cannot open " << path);
+  return read_design(file);
+}
+
+}  // namespace mch::io

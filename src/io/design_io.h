@@ -1,0 +1,37 @@
+// Design (de)serialization in a compact Bookshelf-like text format.
+//
+// The format stores the chip grid, every cell (dimensions, rail type, GP and
+// current positions) and the netlist, so generated benchmark instances can
+// be persisted, diffed, and re-loaded for reproducibility studies.
+//
+//   mchdesign 2
+//   name <string>
+//   chip <num_rows> <num_sites> <site_width> <row_height> <VSS|VDD>
+//   cells <n>
+//   <width> <height_rows> <VSS|VDD> <fixed 0|1> <gp_x> <gp_y> <x> <y>  × n
+//   nets <k>
+//   <npins> [<cell> <dx> <dy>]...                                     × k
+//
+// Version 1 files (without the fixed flag) are still read.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "db/design.h"
+
+namespace mch::io {
+
+/// Writes the design to a stream. Throws CheckError on stream failure.
+void write_design(std::ostream& os, const db::Design& design);
+
+/// Writes the design to a file.
+void save_design(const std::string& path, const db::Design& design);
+
+/// Parses a design from a stream. Throws CheckError on malformed input.
+db::Design read_design(std::istream& is);
+
+/// Loads a design from a file.
+db::Design load_design(const std::string& path);
+
+}  // namespace mch::io

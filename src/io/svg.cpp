@@ -1,0 +1,93 @@
+#include "io/svg.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace mch::io {
+
+std::string render_svg(const db::Design& design, const SvgOptions& options) {
+  const db::Chip& chip = design.chip();
+  const bool windowed = options.window_w > 0.0 && options.window_h > 0.0;
+  const double wx = windowed ? options.window_x : 0.0;
+  const double wy = windowed ? options.window_y : 0.0;
+  const double ww = windowed ? options.window_w : chip.width();
+  const double wh = windowed ? options.window_h : chip.height();
+  const double s = options.pixels_per_unit;
+
+  // SVG y grows downward; design y grows upward.
+  const auto px = [&](double x) { return (x - wx) * s; };
+  const auto py = [&](double y) { return (wy + wh - y) * s; };
+
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << ww * s
+     << "\" height=\"" << wh * s << "\" viewBox=\"0 0 " << ww * s << ' '
+     << wh * s << "\">\n";
+  os << "<rect x=\"0\" y=\"0\" width=\"" << ww * s << "\" height=\"" << wh * s
+     << "\" fill=\"white\" stroke=\"black\" stroke-width=\"1\"/>\n";
+
+  if (options.draw_rows) {
+    for (std::size_t r = 0; r < chip.num_rows; ++r) {
+      const double y0 = chip.row_y(r);
+      if (y0 + chip.row_height < wy || y0 > wy + wh) continue;
+      const char* fill =
+          chip.rail_at(r) == db::RailType::kVss ? "#f4f4f4" : "#e8eef8";
+      os << "<rect x=\"" << px(std::max(wx, 0.0)) << "\" y=\""
+         << py(y0 + chip.row_height) << "\" width=\"" << ww * s
+         << "\" height=\"" << chip.row_height * s << "\" fill=\"" << fill
+         << "\" stroke=\"#cccccc\" stroke-width=\"0.3\"/>\n";
+    }
+  }
+
+  // Cells (blue, as in Fig. 5).
+  for (const db::Cell& cell : design.cells()) {
+    const double h = static_cast<double>(cell.height_rows) * chip.row_height;
+    if (cell.x + cell.width < wx || cell.x > wx + ww || cell.y + h < wy ||
+        cell.y > wy + wh)
+      continue;
+    const char* fill = cell.fixed ? "#8a8a8a"
+                       : cell.is_multi_row() ? "#1f4e9c"
+                                             : "#5b8ed6";
+    os << "<rect x=\"" << px(cell.x) << "\" y=\"" << py(cell.y + h)
+       << "\" width=\"" << cell.width * s << "\" height=\"" << h * s
+       << "\" fill=\"" << fill
+       << "\" fill-opacity=\"0.75\" stroke=\"#17355f\" "
+          "stroke-width=\"0.3\"/>\n";
+  }
+
+  // Displacement segments (red, GP center to placed center).
+  if (options.draw_displacement) {
+    for (const db::Cell& cell : design.cells()) {
+      if (cell.fixed) continue;  // obstacles never move
+      const double h =
+          static_cast<double>(cell.height_rows) * chip.row_height;
+      const double cx0 = cell.gp_x + cell.width / 2;
+      const double cy0 = cell.gp_y + h / 2;
+      const double cx1 = cell.x + cell.width / 2;
+      const double cy1 = cell.y + h / 2;
+      const bool visible = !(std::max(cx0, cx1) < wx ||
+                             std::min(cx0, cx1) > wx + ww ||
+                             std::max(cy0, cy1) < wy ||
+                             std::min(cy0, cy1) > wy + wh);
+      if (!visible) continue;
+      os << "<line x1=\"" << px(cx0) << "\" y1=\"" << py(cy0) << "\" x2=\""
+         << px(cx1) << "\" y2=\"" << py(cy1)
+         << "\" stroke=\"#d03030\" stroke-width=\"0.5\"/>\n";
+    }
+  }
+
+  os << "</svg>\n";
+  return os.str();
+}
+
+void save_svg(const std::string& path, const db::Design& design,
+              const SvgOptions& options) {
+  std::ofstream file(path);
+  MCH_CHECK_MSG(file.is_open(), "cannot open " << path << " for writing");
+  file << render_svg(design, options);
+  MCH_CHECK_MSG(file.good(), "stream failure writing " << path);
+}
+
+}  // namespace mch::io

@@ -1,0 +1,33 @@
+// SVG layout plots — reproduces Figure 5 of the paper.
+//
+// Draws the chip outline, the row/rail grid, cells in blue, and (optionally)
+// red displacement segments from each cell's GP position to its legalized
+// position, exactly the visual of Fig. 5(a); a window option produces the
+// zoomed partial layout of Fig. 5(b).
+#pragma once
+
+#include <string>
+
+#include "db/design.h"
+
+namespace mch::io {
+
+struct SvgOptions {
+  double pixels_per_unit = 1.0;   ///< drawing scale
+  bool draw_displacement = true;  ///< red GP→legal segments (Fig. 5 style)
+  bool draw_rows = true;          ///< row boundaries / rail shading
+  /// Optional window in design coordinates; full chip when w or h is 0.
+  double window_x = 0.0;
+  double window_y = 0.0;
+  double window_w = 0.0;
+  double window_h = 0.0;
+};
+
+/// Renders the design's current placement to an SVG string.
+std::string render_svg(const db::Design& design, const SvgOptions& options = {});
+
+/// Renders and writes to a file.
+void save_svg(const std::string& path, const db::Design& design,
+              const SvgOptions& options = {});
+
+}  // namespace mch::io

@@ -1,0 +1,110 @@
+#include "io/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace mch::io {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  MCH_CHECK(!headers_.empty());
+}
+
+Table& Table::row() {
+  MCH_CHECK_MSG(rows_.empty() || rows_.back().size() == headers_.size(),
+                "previous row incomplete");
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(const std::string& value) {
+  MCH_CHECK_MSG(!rows_.empty(), "call row() before cell()");
+  MCH_CHECK_MSG(rows_.back().size() < headers_.size(), "row overfull");
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::cell(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return cell(os.str());
+}
+
+Table& Table::cell(std::size_t value) {
+  return cell(std::to_string(value));
+}
+
+Table& Table::percent(double fraction, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << fraction * 100.0 << '%';
+  return cell(os.str());
+}
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream os;
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& value = c < row.size() ? row[c] : std::string();
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << value;
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << std::string(widths[c], '-') << "  ";
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string Table::to_markdown() const {
+  std::ostringstream os;
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      os << ' ' << (c < row.size() ? row[c] : std::string()) << " |";
+    os << '\n';
+  };
+  emit_row(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) os << "---|";
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  const auto escape = [](const std::string& value) {
+    if (value.find_first_of(",\"\n") == std::string::npos) return value;
+    std::string out = "\"";
+    for (const char ch : value) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c > 0) os << ',';
+      os << escape(c < row.size() ? row[c] : std::string());
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+}  // namespace mch::io

@@ -1,0 +1,44 @@
+// Console/markdown/CSV table formatting for the benchmark harness.
+//
+// Every bench prints its table with this writer so the output lines up with
+// the corresponding table of the paper and can be diffed mechanically
+// (EXPERIMENTS.md is generated from these).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mch::io {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row.
+  Table& row();
+
+  /// Appends a cell to the current row.
+  Table& cell(const std::string& value);
+  Table& cell(const char* value) { return cell(std::string(value)); }
+  Table& cell(double value, int precision = 2);
+  Table& cell(std::size_t value);
+
+  /// Formats d as a percentage ("0.12%").
+  Table& percent(double fraction, int precision = 2);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Fixed-width aligned text table.
+  std::string to_text() const;
+  /// GitHub-flavored markdown.
+  std::string to_markdown() const;
+  /// RFC-4180-ish CSV.
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mch::io

@@ -1,0 +1,30 @@
+#include "lcp/lcp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace mch::lcp {
+
+double LcpResidual::max() const {
+  return std::max({z_negativity, w_negativity, complementarity});
+}
+
+LcpResidual residual(const DenseLcp& problem, const Vector& z) {
+  MCH_CHECK(z.size() == problem.size());
+  Vector w;
+  problem.A.multiply(z, w);
+  for (std::size_t i = 0; i < w.size(); ++i) w[i] += problem.q[i];
+
+  LcpResidual res;
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    res.z_negativity = std::max(res.z_negativity, -z[i]);
+    res.w_negativity = std::max(res.w_negativity, -w[i]);
+    res.complementarity =
+        std::max(res.complementarity, std::abs(z[i] * w[i]));
+  }
+  return res;
+}
+
+}  // namespace mch::lcp

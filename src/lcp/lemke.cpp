@@ -1,0 +1,109 @@
+#include "lcp/lemke.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/check.h"
+
+namespace mch::lcp {
+
+namespace {
+constexpr double kPivotEps = 1e-11;
+}
+
+LemkeResult solve_lemke(const DenseLcp& problem, std::size_t max_pivots) {
+  const std::size_t n = problem.size();
+  LemkeResult result;
+  result.z.assign(n, 0.0);
+
+  // Trivial case: q >= 0 means z = 0 is complementary.
+  if (std::all_of(problem.q.begin(), problem.q.end(),
+                  [](double v) { return v >= 0.0; })) {
+    result.status = LemkeStatus::kSolved;
+    return result;
+  }
+
+  // Tableau encodes  I·w − A·z − 1·z0 = q  with columns
+  //   [0, n)      : w variables
+  //   [n, 2n)     : z variables
+  //   2n          : artificial z0
+  //   2n + 1      : RHS
+  // basis[row] = column index of the basic variable in that row.
+  const std::size_t cols = 2 * n + 2;
+  const std::size_t kZ0 = 2 * n;
+  const std::size_t kRhs = 2 * n + 1;
+  std::vector<std::vector<double>> tab(n, std::vector<double>(cols, 0.0));
+  std::vector<std::size_t> basis(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tab[i][i] = 1.0;
+    for (std::size_t j = 0; j < n; ++j) tab[i][n + j] = -problem.A(i, j);
+    tab[i][kZ0] = -1.0;
+    tab[i][kRhs] = problem.q[i];
+    basis[i] = i;  // w_i basic
+  }
+
+  const auto pivot = [&](std::size_t row, std::size_t col) {
+    const double pivot_value = tab[row][col];
+    MCH_CHECK(std::abs(pivot_value) > kPivotEps);
+    const double inv = 1.0 / pivot_value;
+    for (double& v : tab[row]) v *= inv;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == row) continue;
+      const double factor = tab[r][col];
+      if (factor == 0.0) continue;
+      for (std::size_t c = 0; c < cols; ++c)
+        tab[r][c] -= factor * tab[row][c];
+    }
+    basis[row] = col;
+  };
+
+  // Initial pivot: bring z0 in at the row of the most negative q.
+  std::size_t row = 0;
+  for (std::size_t i = 1; i < n; ++i)
+    if (tab[i][kRhs] < tab[row][kRhs]) row = i;
+  std::size_t leaving = basis[row];
+  pivot(row, kZ0);
+
+  for (std::size_t iter = 0; iter < max_pivots; ++iter) {
+    ++result.pivots;
+    // Driving variable: complement of the one that just left.
+    const std::size_t driving = leaving < n ? leaving + n : leaving - n;
+
+    // Minimum-ratio test over rows with positive driving-column entries.
+    std::size_t best_row = n;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < n; ++r) {
+      const double coef = tab[r][driving];
+      if (coef <= kPivotEps) continue;
+      const double ratio = tab[r][kRhs] / coef;
+      // Prefer the z0 row at (near-)ties so z0 can leave and terminate.
+      if (ratio < best_ratio - 1e-12 ||
+          (ratio < best_ratio + 1e-12 && basis[r] == kZ0)) {
+        best_ratio = ratio;
+        best_row = r;
+      }
+    }
+    if (best_row == n) {
+      result.status = LemkeStatus::kRayTermination;
+      return result;
+    }
+
+    leaving = basis[best_row];
+    pivot(best_row, driving);
+
+    if (leaving == kZ0) {
+      // z0 left the basis: current basic solution is complementary.
+      for (std::size_t r = 0; r < n; ++r)
+        if (basis[r] >= n && basis[r] < 2 * n)
+          result.z[basis[r] - n] = std::max(0.0, tab[r][kRhs]);
+      result.status = LemkeStatus::kSolved;
+      return result;
+    }
+  }
+  result.status = LemkeStatus::kMaxIterations;
+  return result;
+}
+
+}  // namespace mch::lcp

@@ -1,0 +1,32 @@
+// Lemke's complementary pivoting method for dense LCPs.
+//
+// Exact (up to roundoff) reference solver used in tests to cross-validate
+// the MMSIM on small instances. Handles the positive-semidefinite saddle
+// matrices arising from the legalization KKT system: for feasible convex
+// QPs, Lemke terminates at a solution rather than on a secondary ray.
+#pragma once
+
+#include <cstddef>
+
+#include "lcp/lcp.h"
+
+namespace mch::lcp {
+
+enum class LemkeStatus {
+  kSolved,          ///< complementary solution found
+  kRayTermination,  ///< unbounded ray — no solution found on this path
+  kMaxIterations,   ///< pivot limit exceeded (cycling safeguard)
+};
+
+struct LemkeResult {
+  LemkeStatus status = LemkeStatus::kMaxIterations;
+  Vector z;
+  std::size_t pivots = 0;
+};
+
+/// Solves LCP(q, A) by Lemke's method with the standard covering vector of
+/// ones. Dense O(n³)-ish; intended for n up to a few hundred (tests only).
+LemkeResult solve_lemke(const DenseLcp& problem,
+                        std::size_t max_pivots = 10000);
+
+}  // namespace mch::lcp

@@ -1,0 +1,194 @@
+#include "lcp/mmsim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/power_iteration.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace mch::lcp {
+
+using linalg::BlockDiagMatrix;
+using linalg::CsrMatrix;
+using linalg::DenseMatrix;
+using linalg::Tridiagonal;
+
+Tridiagonal schur_tridiagonal(const BlockDiagMatrix& k, const CsrMatrix& b) {
+  const std::size_t m = b.rows();
+  Tridiagonal d(m);
+
+  // Entry (r, r') of B K⁻¹ Bᵀ = Σ_{i,j} B[r,i] · K⁻¹[i,j] · B[r',j].
+  // B has at most two nonzeros per row, so each entry needs at most four
+  // K⁻¹ lookups; K⁻¹ is block diagonal so each lookup is O(log #blocks).
+  const auto entry = [&](std::size_t r, std::size_t rp) {
+    double sum = 0.0;
+    for (std::size_t ka = b.row_ptr()[r]; ka < b.row_ptr()[r + 1]; ++ka)
+      for (std::size_t kb = b.row_ptr()[rp]; kb < b.row_ptr()[rp + 1]; ++kb)
+        sum += b.values()[ka] * b.values()[kb] *
+               k.inverse_entry(b.col_idx()[ka], b.col_idx()[kb]);
+    return sum;
+  };
+
+  for (std::size_t r = 0; r < m; ++r) {
+    d.diag(r) = entry(r, r);
+    if (r + 1 < m) {
+      d.upper(r) = entry(r, r + 1);
+      d.lower(r) = entry(r + 1, r);
+    }
+  }
+  return d;
+}
+
+MmsimSolver::MmsimSolver(const StructuredQp& qp, const MmsimOptions& options)
+    : qp_(qp), opts_(options) {
+  MCH_CHECK_MSG(opts_.beta > 0.0 && opts_.beta < 2.0,
+                "beta must be in (0, 2)");
+  MCH_CHECK(opts_.theta > 0.0 && opts_.gamma > 0.0);
+
+  Timer timer;
+  // (1,1) block of M + I: K/β* + I, block diagonal; store with inverses.
+  for (std::size_t blk = 0; blk < qp_.K.block_count(); ++blk) {
+    DenseMatrix shifted = qp_.K.block(blk);
+    const std::size_t n = shifted.rows();
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c)
+        shifted(r, c) =
+            qp_.K.block(blk)(r, c) / opts_.beta + (r == c ? 1.0 : 0.0);
+    shifted_k_.add_block(shifted);
+  }
+
+  d_ = mch::lcp::schur_tridiagonal(qp_.K, qp_.B);
+  // (2,2) block of M + I: D/θ* + I.
+  shifted_d_ = d_.scaled_plus_identity(1.0 / opts_.theta, 1.0);
+  setup_seconds_ = timer.seconds();
+}
+
+double MmsimSolver::estimate_mu_max() const {
+  const std::size_t m = qp_.num_constraints();
+  if (m == 0) return 0.0;
+  Vector t, u, v;
+  const auto gamma_op = [&](const Vector& y, Vector& out) {
+    qp_.B.multiply_transpose(y, t);  // t = Bᵀ y
+    qp_.K.solve(t, u);               // u = K⁻¹ t
+    qp_.B.multiply(u, v);            // v = B u
+    MCH_CHECK_MSG(d_.solve(v, out), "D is singular");  // out = D⁻¹ v
+  };
+  return linalg::power_iteration(m, gamma_op).eigenvalue;
+}
+
+double MmsimSolver::suggest_theta() const {
+  const double mu_max = estimate_mu_max();
+  if (mu_max <= 0.0) return opts_.theta;
+  const double bound = 2.0 * (2.0 - opts_.beta) / (opts_.beta * mu_max);
+  // Theorem 2's bound assumes the exact Schur complement; with the
+  // tridiagonal approximation D the empirically safe region is narrower
+  // (bench/ablation_parameters maps it), so never suggest beyond the
+  // paper's validated θ* = 0.5.
+  return std::min(0.9 * bound, 0.5);
+}
+
+MmsimResult MmsimSolver::solve() const {
+  return solve_from(Vector(qp_.lcp_size(), 0.0));
+}
+
+bool MmsimSolver::scaled_residual_ok(const Vector& z) const {
+  Vector w;
+  qp_.lcp_apply(z, w);
+  const double scale_z = 1.0 + linalg::norm_inf(z);
+  const double scale_w = 1.0 + linalg::norm_inf(w);
+  double z_neg = 0.0, w_neg = 0.0, comp = 0.0;
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    z_neg = std::max(z_neg, -z[i]);
+    w_neg = std::max(w_neg, -w[i]);
+    comp = std::max(comp, std::abs(z[i] * w[i]));
+  }
+  const double tol = opts_.residual_tolerance;
+  return z_neg <= tol * scale_z && w_neg <= tol * scale_w &&
+         comp <= tol * scale_z * scale_w;
+}
+
+MmsimResult MmsimSolver::solve_from(const Vector& s0) const {
+  const std::size_t n = qp_.num_variables();
+  const std::size_t m = qp_.num_constraints();
+  MCH_CHECK(s0.size() == n + m);
+
+  Timer timer;
+  MmsimResult result;
+  result.setup_seconds = setup_seconds_;
+
+  // State split into the primal part s1 (n) and the dual part s2 (m).
+  Vector s1(s0.begin(), s0.begin() + static_cast<std::ptrdiff_t>(n));
+  Vector s2(s0.begin() + static_cast<std::ptrdiff_t>(n), s0.end());
+
+  // Scratch buffers reused across iterations.
+  Vector abs1(n), abs2(m), rhs1(n), rhs2(m), new_s1, new_s2;
+  Vector z(n + m, 0.0), z_prev(n + m, 0.0);
+  const double inv_beta_minus_1 = 1.0 / opts_.beta - 1.0;
+  const double inv_theta = 1.0 / opts_.theta;
+
+  for (std::size_t k = 0; k < opts_.max_iterations; ++k) {
+    for (std::size_t i = 0; i < n; ++i) abs1[i] = std::abs(s1[i]);
+    for (std::size_t i = 0; i < m; ++i) abs2[i] = std::abs(s2[i]);
+
+    // rhs1 = (1/β−1)·K s1 + Bᵀ s2 + (|s1| − K|s1|) + Bᵀ|s2| − γ p.
+    rhs1.assign(n, 0.0);
+    qp_.K.multiply_add(inv_beta_minus_1, s1, rhs1);
+    qp_.B.multiply_transpose_add(1.0, s2, rhs1);
+    for (std::size_t i = 0; i < n; ++i) rhs1[i] += abs1[i];
+    qp_.K.multiply_add(-1.0, abs1, rhs1);
+    qp_.B.multiply_transpose_add(1.0, abs2, rhs1);
+    for (std::size_t i = 0; i < n; ++i) rhs1[i] -= opts_.gamma * qp_.p[i];
+
+    // Forward solve of the block lower triangular system:
+    //   (K/β + I)·s1' = rhs1             (block-diagonal solve)
+    shifted_k_.solve(rhs1, new_s1);
+
+    //   rhs2 = (D/θ)·s2 − B|s1| + |s2| + γ b − B·s1_used, where s1_used is
+    //   the fresh iterate under the paper's Gauss–Seidel splitting (the B
+    //   block of M) or the previous one under the Jacobi ablation.
+    if (m > 0) {
+      d_.multiply(s2, rhs2);
+      for (std::size_t i = 0; i < m; ++i)
+        rhs2[i] = inv_theta * rhs2[i] + abs2[i] + opts_.gamma * qp_.b[i];
+      qp_.B.multiply_add(-1.0, abs1, rhs2);
+      qp_.B.multiply_add(
+          -1.0,
+          opts_.splitting == MmsimSplitting::kGaussSeidel ? new_s1 : s1,
+          rhs2);
+      //   (D/θ + I)·s2' = rhs2           (Thomas solve)
+      MCH_CHECK_MSG(shifted_d_.solve(rhs2, new_s2), "D/θ + I singular");
+    } else {
+      new_s2.clear();
+    }
+
+    s1.swap(new_s1);
+    s2.swap(new_s2);
+
+    // z = (|s| + s)/γ  (so z = max(s, 0)·2/γ).
+    for (std::size_t i = 0; i < n; ++i)
+      z[i] = (std::abs(s1[i]) + s1[i]) / opts_.gamma;
+    for (std::size_t i = 0; i < m; ++i)
+      z[n + i] = (std::abs(s2[i]) + s2[i]) / opts_.gamma;
+
+    result.iterations = k + 1;
+    result.final_delta = linalg::diff_norm_inf(z, z_prev);
+    if (opts_.trace_stride > 0 && k % opts_.trace_stride == 0)
+      result.trace.emplace_back(k + 1, result.final_delta);
+    if (k > 0 && result.final_delta < opts_.tolerance) {
+      if (!opts_.residual_check || scaled_residual_ok(z)) {
+        result.converged = true;
+        break;
+      }
+    }
+    z_prev = z;
+  }
+
+  result.z = z;
+  result.x.assign(z.begin(), z.begin() + static_cast<std::ptrdiff_t>(n));
+  result.dual.assign(z.begin() + static_cast<std::ptrdiff_t>(n), z.end());
+  result.solve_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace mch::lcp

@@ -1,0 +1,131 @@
+// Modulus-based matrix splitting iteration method (MMSIM) for the
+// legalization KKT LCP — Algorithm 1 of the paper.
+//
+// The LCP(q, A) with A = [K −Bᵀ; B 0] is solved with the splitting (paper
+// Eq. (16)):
+//
+//     M = [ K/β*      0    ]      N = M − A = [ (1/β*−1)K   Bᵀ  ]
+//         [  B     D/θ*    ]                  [     0      D/θ* ]
+//
+// where D = tridiag(B K⁻¹ Bᵀ) approximates the Schur complement. With
+// Ω = I, each iteration solves
+//
+//     (M + I) s⁽ᵏ⁺¹⁾ = N s⁽ᵏ⁾ + (I − A)|s⁽ᵏ⁾| − γ q,
+//     z⁽ᵏ⁺¹⁾ = (|s⁽ᵏ⁺¹⁾| + s⁽ᵏ⁺¹⁾) / γ,
+//
+// and M + I is block lower triangular: the (1,1) block K/β* + I is block
+// diagonal (one small block per cell — solved with precomputed block
+// inverses in O(n)) and the (2,2) block D/θ* + I is tridiagonal (Thomas
+// solve in O(m)). Every iteration is therefore linear-time in the circuit
+// size; this is the paper's central efficiency claim.
+//
+// Convergence (paper Theorem 2): guaranteed for 0 < β* < 2 and
+// 0 < θ* < 2(2 − β*)/(β*·μ_max), μ_max the largest eigenvalue of
+// Γ = D⁻¹ B K⁻¹ Bᵀ. suggest_theta() estimates that bound by power
+// iteration; the paper's fixed choice β* = θ* = 0.5 is the default.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "lcp/qp.h"
+#include "linalg/tridiagonal.h"
+
+namespace mch::lcp {
+
+/// Which splitting builds M (ablation of the paper's Eq. 16 choice).
+enum class MmsimSplitting {
+  /// The paper's block-Gauss-Seidel form: M = [K/β* 0; B D/θ*] — the dual
+  /// update sees the *current* primal iterate through the B block.
+  kGaussSeidel,
+  /// Block-Jacobi ablation: M = [K/β* 0; 0 D/θ*] — primal and dual relax
+  /// independently. Converges markedly slower (see bench/ablation_parameters),
+  /// demonstrating why the paper couples the blocks.
+  kJacobi,
+};
+
+struct MmsimOptions {
+  double beta = 0.5;        ///< β* in (0, 2); paper uses 0.5
+  double theta = 0.5;       ///< θ* > 0; paper uses 0.5
+  MmsimSplitting splitting = MmsimSplitting::kGaussSeidel;
+  double gamma = 2.0;       ///< γ > 0 of the modulus transform
+  /// Stop when ‖z⁽ᵏ⁾ − z⁽ᵏ⁻¹⁾‖∞ < tolerance. 1e-4 is far below the site
+  /// pitch, so the Tetris allocation absorbs it; optimality tests tighten
+  /// this to 1e-8.
+  double tolerance = 1e-4;
+  std::size_t max_iterations = 20000;
+  /// The successive-difference criterion alone can fire prematurely when
+  /// the iteration's contraction factor is close to 1 (e.g. θ* near the
+  /// convergence boundary): steps become tiny long before the fixed point.
+  /// When enabled, a candidate stop is accepted only if the scaled LCP
+  /// residual (feasibility + complementarity) is also below
+  /// residual_tolerance; otherwise the iteration continues.
+  bool residual_check = true;
+  double residual_tolerance = 1e-7;
+  /// Record ‖z⁽ᵏ⁾ − z⁽ᵏ⁻¹⁾‖∞ every `trace_stride` iterations into
+  /// MmsimResult::trace (0 = off). Used by the convergence bench/plots.
+  std::size_t trace_stride = 0;
+};
+
+struct MmsimResult {
+  Vector x;                   ///< primal variables (cell/subcell positions)
+  Vector dual;                ///< multipliers of the spacing constraints
+  Vector z;                   ///< full LCP solution [x; dual]
+  std::size_t iterations = 0;
+  bool converged = false;
+  double final_delta = 0.0;   ///< last ‖z⁽ᵏ⁾ − z⁽ᵏ⁻¹⁾‖∞
+  double setup_seconds = 0.0;
+  double solve_seconds = 0.0;
+  /// (iteration, delta) samples when options.trace_stride > 0.
+  std::vector<std::pair<std::size_t, double>> trace;
+};
+
+class MmsimSolver {
+ public:
+  /// Prepares the splitting for the given QP: builds the shifted block
+  /// inverses of K/β* + I and the tridiagonal D/θ* + I. The QP must outlive
+  /// the solver.
+  MmsimSolver(const StructuredQp& qp, const MmsimOptions& options = {});
+
+  /// Runs Algorithm 1 from s⁽⁰⁾ = 0.
+  MmsimResult solve() const;
+
+  /// Runs Algorithm 1 from the given start vector s⁽⁰⁾ (size lcp_size()).
+  MmsimResult solve_from(const Vector& s0) const;
+
+  /// The tridiagonal Schur approximation D = tridiag(B K⁻¹ Bᵀ).
+  const linalg::Tridiagonal& schur_tridiagonal() const { return d_; }
+
+  /// Estimates the convergence bound 2(2−β*)/(β*·μ_max) of Theorem 2 via
+  /// power iteration on Γ = D⁻¹ B K⁻¹ Bᵀ, and returns a θ* inside it.
+  /// Theorem 2's bound assumes the exact Schur complement; with the
+  /// tridiagonal approximation D the admissible range is empirically
+  /// narrower (see bench/ablation_parameters), so the suggestion is
+  /// additionally capped at the paper's validated 0.5 — auto-θ exists to
+  /// *shrink* θ* on unusual instances, never to enlarge it. Returns
+  /// options.theta unchanged when m = 0.
+  double suggest_theta() const;
+
+  /// μ_max estimate of Γ = D⁻¹ B K⁻¹ Bᵀ (power iteration).
+  double estimate_mu_max() const;
+
+ private:
+  /// True when the scaled LCP residual of z is below residual_tolerance.
+  bool scaled_residual_ok(const Vector& z) const;
+
+  const StructuredQp& qp_;
+  MmsimOptions opts_;
+  linalg::BlockDiagMatrix shifted_k_;  ///< K/β* + I with block inverses
+  linalg::Tridiagonal d_;              ///< tridiag(B K⁻¹ Bᵀ)
+  linalg::Tridiagonal shifted_d_;      ///< D/θ* + I
+  double setup_seconds_ = 0.0;
+};
+
+/// Computes D = tridiag(B K⁻¹ Bᵀ) directly from the block-diagonal inverse
+/// of K. Exposed for tests (validated against the paper's Sherman–Morrison
+/// closed form for all-double-height designs).
+linalg::Tridiagonal schur_tridiagonal(const linalg::BlockDiagMatrix& k,
+                                      const linalg::CsrMatrix& b);
+
+}  // namespace mch::lcp

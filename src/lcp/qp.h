@@ -1,0 +1,59 @@
+// The legalization quadratic program and its KKT-derived structured LCP.
+//
+// Problem (13) of the paper:
+//
+//     min  ½ xᵀ K x + pᵀ x     with  K = Q + λEᵀE  (block diagonal SPD)
+//     s.t. B x >= b,  x >= 0
+//
+// Its KKT conditions are exactly the LCP(q, A) with the bisymmetric
+// positive-semidefinite saddle matrix
+//
+//     A = [ K  −Bᵀ ]        q = [  p ]        z = [ x ]
+//         [ B   0  ]            [ −b ]            [ r ]
+//
+// (Theorem 1 / Eq. (15) of the paper). This header holds the QP value type
+// shared by the MMSIM solver, the reference solvers, and the tests.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/block_diag.h"
+#include "linalg/sparse.h"
+#include "linalg/vector_ops.h"
+#include "lcp/lcp.h"
+
+namespace mch::lcp {
+
+using linalg::BlockDiagMatrix;
+using linalg::CsrMatrix;
+using linalg::Vector;
+
+/// Convex QP with block-diagonal SPD Hessian and sparse inequality rows.
+struct StructuredQp {
+  BlockDiagMatrix K;  ///< Hessian Q + λEᵀE; one block per cell.
+  Vector p;           ///< linear term, p_i = −x'_i (negated GP position)
+  CsrMatrix B;        ///< spacing constraints, ≤ 2 nonzeros (−1, +1) per row
+  Vector b;           ///< right-hand sides (left-neighbor widths)
+
+  std::size_t num_variables() const { return p.size(); }
+  std::size_t num_constraints() const { return b.size(); }
+  /// Dimension of the KKT LCP: variables + constraints.
+  std::size_t lcp_size() const { return num_variables() + num_constraints(); }
+
+  /// Objective value ½xᵀKx + pᵀx.
+  double objective(const Vector& x) const;
+
+  /// max(0, b_i − (Bx)_i) over constraint rows — inequality violation.
+  double max_constraint_violation(const Vector& x) const;
+
+  /// y = A z + q for the KKT saddle LCP, without materializing A.
+  void lcp_apply(const Vector& z, Vector& y) const;
+
+  /// Residuals of z as a solution of the KKT LCP.
+  LcpResidual lcp_residual(const Vector& z) const;
+
+  /// Materializes the KKT LCP densely (tests / small instances only).
+  DenseLcp to_dense_lcp() const;
+};
+
+}  // namespace mch::lcp

@@ -1,0 +1,130 @@
+#include "legal/eviction.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace mch::legal {
+
+void OwnedOccupancy::place(db::Design& design, std::size_t id,
+                           std::size_t base_row, SiteIndex site) {
+  db::Cell& cell = design.cells()[id];
+  const SiteIndex w = grid_.width_sites(cell);
+  grid_.occupy(base_row, cell.height_rows, site, w);
+  for (std::size_t r = base_row; r < base_row + cell.height_rows; ++r)
+    owners_[r][site] = {site + w, id};
+  cell.x = static_cast<double>(site) * chip().site_width;
+  cell.y = chip().row_y(base_row);
+}
+
+void OwnedOccupancy::remove(db::Design& design, std::size_t id) {
+  db::Cell& cell = design.cells()[id];
+  const auto base_row = static_cast<std::size_t>(
+      std::llround(cell.y / chip().row_height));
+  const auto site =
+      static_cast<SiteIndex>(std::llround(cell.x / chip().site_width));
+  grid_.release(base_row, cell.height_rows, site, grid_.width_sites(cell));
+  for (std::size_t r = base_row; r < base_row + cell.height_rows; ++r)
+    owners_[r].erase(site);
+}
+
+void OwnedOccupancy::place_fixed(const db::Design& design, std::size_t id) {
+  const db::Cell& cell = design.cells()[id];
+  MCH_CHECK(cell.fixed);
+  const double height =
+      static_cast<double>(cell.height_rows) * chip().row_height;
+  const auto first_row = static_cast<std::size_t>(std::clamp(
+      std::floor(cell.y / chip().row_height + 1e-9), 0.0,
+      static_cast<double>(chip().num_rows)));
+  const auto end_row = static_cast<std::size_t>(std::clamp(
+      std::ceil((cell.y + height) / chip().row_height - 1e-9), 0.0,
+      static_cast<double>(chip().num_rows)));
+  const auto site_start = std::max<SiteIndex>(
+      0, static_cast<SiteIndex>(std::floor(cell.x / chip().site_width + 1e-9)));
+  const auto site_end = std::min<SiteIndex>(
+      grid_.num_sites(),
+      static_cast<SiteIndex>(
+          std::ceil((cell.x + cell.width) / chip().site_width - 1e-9)));
+  if (site_start >= site_end) return;
+  for (std::size_t r = first_row; r < end_row; ++r) {
+    grid_.occupy(r, 1, site_start, site_end - site_start);
+    owners_[r][site_start] = {site_end, id};
+  }
+}
+
+std::vector<std::size_t> OwnedOccupancy::blockers(std::size_t base_row,
+                                                  std::size_t height,
+                                                  SiteIndex site,
+                                                  SiteIndex width) const {
+  std::vector<std::size_t> ids;
+  for (std::size_t r = base_row; r < base_row + height; ++r) {
+    const auto& row = owners_[r];
+    auto it = row.upper_bound(site);
+    if (it != row.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second.first > site) ids.push_back(prev->second.second);
+    }
+    for (; it != row.end() && it->first < site + width; ++it)
+      ids.push_back(it->second.second);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+bool OwnedOccupancy::place_with_eviction(db::Design& design, std::size_t id,
+                                         double target_x, double target_y) {
+  db::Cell& cell = design.cells()[id];
+  const PlacementCandidate direct =
+      grid_.find_nearest(cell, target_x, target_y);
+  if (direct.found) {
+    place(design, id, direct.base_row, direct.site);
+    return true;
+  }
+
+  const std::size_t h = cell.height_rows;
+  if (h > chip().num_rows) return false;
+  const std::size_t max_base = chip().num_rows - h;
+  const SiteIndex w = grid_.width_sites(cell);
+  const auto anchor = design.nearest_row(target_y, h);
+
+  for (std::size_t dist = 0; dist <= chip().num_rows; ++dist) {
+    bool any = false;
+    for (const int sign : {+1, -1}) {
+      if (dist == 0 && sign < 0) continue;
+      const auto row = static_cast<std::ptrdiff_t>(anchor) +
+                       sign * static_cast<std::ptrdiff_t>(dist);
+      if (row < 0 || row > static_cast<std::ptrdiff_t>(max_base)) continue;
+      any = true;
+      const auto base = static_cast<std::size_t>(row);
+      if (!cell.rail_compatible(chip(), base)) continue;
+
+      const auto site = std::clamp<SiteIndex>(
+          static_cast<SiteIndex>(std::llround(target_x / chip().site_width)),
+          0, grid_.num_sites() - w);
+      const std::vector<std::size_t> victims = blockers(base, h, site, w);
+      const bool all_single =
+          std::all_of(victims.begin(), victims.end(), [&](std::size_t v) {
+            return !design.cells()[v].fixed &&
+                   design.cells()[v].height_rows == 1;
+          });
+      if (!all_single) continue;
+
+      for (const std::size_t v : victims) remove(design, v);
+      place(design, id, base, site);
+      for (const std::size_t v : victims) {
+        db::Cell& evicted = design.cells()[v];
+        const PlacementCandidate spot =
+            grid_.find_nearest(evicted, evicted.gp_x, evicted.gp_y);
+        if (!spot.found) return false;  // chip genuinely has no capacity
+        place(design, v, spot.base_row, spot.site);
+      }
+      return true;
+    }
+    if (!any) break;
+  }
+  return false;
+}
+
+}  // namespace mch::legal

@@ -1,0 +1,34 @@
+#include "legal/flow.h"
+
+#include "util/timer.h"
+
+namespace mch::legal {
+
+FlowResult legalize(db::Design& design, const FlowOptions& options) {
+  Timer timer;
+  FlowResult result;
+
+  // Step 1: nearest-correct-row assignment (fixes y).
+  result.base_rows = assign_rows(design);
+
+  // Steps 2–4: subcell split, MMSIM solve, restore (fixes continuous x).
+  result.solver =
+      mmsim_legalize_continuous(design, result.base_rows, options.solver);
+
+  // Step 5: Tetris-like allocation (sites + right boundary + residual
+  // overlaps from finite λ / finite tolerance).
+  result.allocation = tetris_allocate(design);
+
+  // Final orientations: odd-height cells flip to meet their row's rail.
+  assign_orientations(design);
+
+  result.total_seconds = timer.seconds();
+  if (options.verify) {
+    result.legality = db::check_legality(design);
+    result.legal =
+        result.legality.legal() && result.allocation.unplaced_cells == 0;
+  }
+  return result;
+}
+
+}  // namespace mch::legal

@@ -1,0 +1,39 @@
+// The complete legalization flow of the paper (Fig. 4):
+//
+//   global placement  →  row assignment  →  multi-row pre-processing +
+//   MMSIM on the LCP  →  multi-row restore  →  Tetris-like allocation
+//   →  legal placement.
+//
+// This is the library's main entry point; `mch::legal::legalize` is what a
+// downstream placer calls after global placement.
+#pragma once
+
+#include "db/design.h"
+#include "db/legality.h"
+#include "legal/mmsim_legalizer.h"
+#include "legal/row_assign.h"
+#include "legal/tetris_alloc.h"
+
+namespace mch::legal {
+
+struct FlowOptions {
+  MmsimLegalizerOptions solver;
+  /// Validate the final placement with the legality checker (cheap; on by
+  /// default so callers can trust FlowResult::legal).
+  bool verify = true;
+};
+
+struct FlowResult {
+  RowAssignment base_rows;
+  MmsimLegalizerStats solver;
+  TetrisStats allocation;
+  db::LegalityReport legality;  ///< populated when options.verify
+  bool legal = false;
+  double total_seconds = 0.0;
+};
+
+/// Legalizes the design in place: reads cells' (gp_x, gp_y), writes final
+/// legal (x, y).
+FlowResult legalize(db::Design& design, const FlowOptions& options = {});
+
+}  // namespace mch::legal

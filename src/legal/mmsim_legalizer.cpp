@@ -1,0 +1,61 @@
+#include "legal/mmsim_legalizer.h"
+
+#include "util/log.h"
+#include "util/timer.h"
+
+namespace mch::legal {
+
+MmsimLegalizerStats mmsim_legalize_continuous(
+    db::Design& design, const RowAssignment& base_rows,
+    const MmsimLegalizerOptions& options) {
+  MmsimLegalizerStats stats;
+
+  Timer model_timer;
+  const LegalizationModel model =
+      build_model(design, base_rows, options.model);
+  stats.model_seconds = model_timer.seconds();
+  stats.num_variables = model.num_variables();
+  stats.num_constraints = model.qp.num_constraints();
+
+  lcp::MmsimOptions mmsim_options = options.mmsim;
+  lcp::MmsimSolver solver(model.qp, mmsim_options);
+  if (options.auto_theta) {
+    mmsim_options.theta = solver.suggest_theta();
+    // Rebuild with the derived θ*; setup is linear-time so this is cheap.
+    lcp::MmsimSolver tuned(model.qp, mmsim_options);
+    const lcp::MmsimResult result = tuned.solve();
+    stats.theta_used = mmsim_options.theta;
+    stats.iterations = result.iterations;
+    stats.converged = result.converged;
+    stats.solve_seconds = result.solve_seconds + result.setup_seconds;
+    stats.max_mismatch = model.max_mismatch(result.x);
+    stats.objective = model.qp.objective(result.x);
+    for (std::size_t c = 0; c < design.num_cells(); ++c) {
+      if (design.cells()[c].fixed) continue;
+      design.cells()[c].x = model.cell_x(result.x, c);
+      design.cells()[c].y = design.chip().row_y(base_rows[c]);
+    }
+    return stats;
+  }
+
+  const lcp::MmsimResult result = solver.solve();
+  stats.theta_used = mmsim_options.theta;
+  stats.iterations = result.iterations;
+  stats.converged = result.converged;
+  stats.solve_seconds = result.solve_seconds + result.setup_seconds;
+  stats.max_mismatch = model.max_mismatch(result.x);
+  stats.objective = model.qp.objective(result.x);
+  if (!result.converged) {
+    MCH_LOG(kWarn) << "MMSIM did not converge in " << result.iterations
+                   << " iterations (delta " << result.final_delta << ")";
+  }
+
+  for (std::size_t c = 0; c < design.num_cells(); ++c) {
+    if (design.cells()[c].fixed) continue;
+    design.cells()[c].x = model.cell_x(result.x, c);
+    design.cells()[c].y = design.chip().row_y(base_rows[c]);
+  }
+  return stats;
+}
+
+}  // namespace mch::legal

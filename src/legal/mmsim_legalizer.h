@@ -1,0 +1,44 @@
+// MMSIM legalization step: model build + Algorithm 1 + subcell restore.
+//
+// Produces the continuous, row-aligned placement that is optimal for the
+// relaxed problem (13); the Tetris-like allocation then snaps it to sites
+// and repairs right-boundary spills. Split from the flow driver so the
+// optimality experiments (§5.3) can run the solver in isolation.
+#pragma once
+
+#include <cstddef>
+
+#include "db/design.h"
+#include "lcp/mmsim.h"
+#include "legal/model.h"
+#include "legal/row_assign.h"
+
+namespace mch::legal {
+
+struct MmsimLegalizerOptions {
+  ModelOptions model;        ///< λ penalty (paper: 1000)
+  lcp::MmsimOptions mmsim;   ///< β*, θ*, γ, tolerance (paper: 0.5/0.5)
+  /// When true, θ* is re-derived from the Theorem-2 bound via power
+  /// iteration instead of using options.mmsim.theta.
+  bool auto_theta = false;
+};
+
+struct MmsimLegalizerStats {
+  std::size_t num_variables = 0;
+  std::size_t num_constraints = 0;
+  std::size_t iterations = 0;
+  bool converged = false;
+  double max_mismatch = 0.0;     ///< worst subcell disagreement before restore
+  double theta_used = 0.0;
+  double model_seconds = 0.0;
+  double solve_seconds = 0.0;
+  double objective = 0.0;        ///< relaxed QP objective at the solution
+};
+
+/// Solves the relaxed problem for the given row assignment and writes the
+/// restored positions (continuous x, row-aligned y) into the design.
+MmsimLegalizerStats mmsim_legalize_continuous(
+    db::Design& design, const RowAssignment& base_rows,
+    const MmsimLegalizerOptions& options = {});
+
+}  // namespace mch::legal

@@ -1,0 +1,191 @@
+#include "legal/model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace mch::legal {
+
+using lcp::Vector;
+using linalg::CooMatrix;
+using linalg::CsrMatrix;
+using linalg::DenseMatrix;
+
+double LegalizationModel::cell_x(const Vector& x, std::size_t cell) const {
+  const std::size_t first = cell_first_var[cell];
+  const std::size_t count = cell_var_count[cell];
+  MCH_CHECK_MSG(first != kNoVariable && count > 0,
+                "cell " << cell << " is fixed — it has no variables");
+  double sum = 0.0;
+  for (std::size_t k = 0; k < count; ++k) sum += x[first + k];
+  return sum / static_cast<double>(count);
+}
+
+double LegalizationModel::cell_mismatch(const Vector& x,
+                                        std::size_t cell) const {
+  const std::size_t first = cell_first_var[cell];
+  const std::size_t count = cell_var_count[cell];
+  if (first == kNoVariable || count <= 1) return 0.0;
+  const double mean = cell_x(x, cell);
+  double worst = 0.0;
+  for (std::size_t k = 0; k < count; ++k)
+    worst = std::max(worst, std::abs(x[first + k] - mean));
+  return worst;
+}
+
+double LegalizationModel::max_mismatch(const Vector& x) const {
+  double worst = 0.0;
+  for (std::size_t c = 0; c < cell_first_var.size(); ++c)
+    worst = std::max(worst, cell_mismatch(x, c));
+  return worst;
+}
+
+LegalizationModel build_model(const db::Design& design,
+                              const RowAssignment& base_rows,
+                              const ModelOptions& options) {
+  MCH_CHECK(base_rows.size() == design.num_cells());
+  MCH_CHECK(options.lambda > 0.0);
+
+  LegalizationModel model;
+  model.lambda = options.lambda;
+  model.base_rows = base_rows;
+
+  const db::Chip& chip = design.chip();
+  const std::size_t num_cells = design.num_cells();
+
+  // 1. Variables: one per occupied row of each movable cell, in cell
+  //    order. The per-cell Hessian block is I_d + λ·(EᵢᵀEᵢ) with Eᵢ the
+  //    chain difference matrix over the cell's d subcells (chain graph
+  //    Laplacian). Fixed cells get no variables.
+  model.cell_first_var.assign(num_cells, LegalizationModel::kNoVariable);
+  model.cell_var_count.assign(num_cells, 0);
+  for (std::size_t c = 0; c < num_cells; ++c) {
+    const db::Cell& cell = design.cells()[c];
+    if (cell.fixed) continue;
+    model.cell_first_var[c] = model.variables.size();
+    const std::size_t d = cell.height_rows;
+    model.cell_var_count[c] = d;
+    MCH_CHECK_MSG(base_rows[c] + d <= chip.num_rows,
+                  "cell " << c << " does not fit vertically");
+    for (std::size_t k = 0; k < d; ++k)
+      model.variables.push_back({c, k});
+
+    DenseMatrix block(d, d);
+    for (std::size_t r = 0; r < d; ++r) block(r, r) = 1.0;
+    for (std::size_t r = 0; r + 1 < d; ++r) {
+      // Chain edge (r, r+1) of EᵢᵀEᵢ.
+      block(r, r) += options.lambda;
+      block(r + 1, r + 1) += options.lambda;
+      block(r, r + 1) -= options.lambda;
+      block(r + 1, r) -= options.lambda;
+    }
+    model.qp.K.add_block(block);
+  }
+  const std::size_t n = model.variables.size();
+
+  // 2. Linear term: p_v = −x'_cell for every variable of the cell.
+  model.qp.p.resize(n);
+  for (std::size_t v = 0; v < n; ++v)
+    model.qp.p[v] = -design.cells()[model.variables[v].cell].gp_x;
+
+  // 3. Row membership: variable k of movable cell c occupies chip row
+  //    base+k; fixed cells occupy every row their outline touches.
+  model.row_variables.assign(chip.num_rows, {});
+  for (std::size_t v = 0; v < n; ++v) {
+    const VariableInfo& info = model.variables[v];
+    model.row_variables[base_rows[info.cell] + info.subrow].push_back(v);
+  }
+
+  struct FixedInterval {
+    double start = 0.0;
+    double end = 0.0;
+  };
+  std::vector<std::vector<FixedInterval>> row_obstacles(chip.num_rows);
+  for (const db::Cell& cell : design.cells()) {
+    if (!cell.fixed) continue;
+    const double height =
+        static_cast<double>(cell.height_rows) * chip.row_height;
+    const auto first_row = static_cast<std::size_t>(std::clamp(
+        std::floor(cell.y / chip.row_height + 1e-9), 0.0,
+        static_cast<double>(chip.num_rows)));
+    const auto end_row = static_cast<std::size_t>(std::clamp(
+        std::ceil((cell.y + height) / chip.row_height - 1e-9), 0.0,
+        static_cast<double>(chip.num_rows)));
+    for (std::size_t r = first_row; r < end_row; ++r)
+      row_obstacles[r].push_back({cell.x, cell.x + cell.width});
+  }
+  for (auto& obstacles : row_obstacles)
+    std::sort(obstacles.begin(), obstacles.end(),
+              [](const FixedInterval& a, const FixedInterval& b) {
+                return a.start < b.start;
+              });
+
+  // 4. Order each chip row by GP x (ties by cell id) and emit the spacing
+  //    constraints: chains between adjacent movables, and a one-sided
+  //    lower bound for the first movable to the right of each obstacle
+  //    (a movable "is right of" an obstacle when its GP x passes the
+  //    obstacle's center).
+  struct PendingConstraint {
+    std::size_t left = LegalizationModel::kNoVariable;  ///< chain partner
+    std::size_t right = 0;
+    double bound = 0.0;  ///< used when left == kNoVariable
+  };
+  std::vector<PendingConstraint> pending;
+  for (std::size_t r = 0; r < chip.num_rows; ++r) {
+    auto& row_vars = model.row_variables[r];
+    std::sort(row_vars.begin(), row_vars.end(),
+              [&](std::size_t a, std::size_t b) {
+                const double xa = design.cells()[model.variables[a].cell].gp_x;
+                const double xb = design.cells()[model.variables[b].cell].gp_x;
+                if (xa != xb) return xa < xb;
+                return model.variables[a].cell < model.variables[b].cell;
+              });
+
+    const auto& obstacles = row_obstacles[r];
+    std::size_t next_obstacle = 0;
+    std::size_t prev_var = LegalizationModel::kNoVariable;
+    double bound = -std::numeric_limits<double>::infinity();
+    for (const std::size_t v : row_vars) {
+      const double key = design.cells()[model.variables[v].cell].gp_x;
+      while (next_obstacle < obstacles.size() &&
+             (obstacles[next_obstacle].start +
+              obstacles[next_obstacle].end) /
+                     2.0 <=
+                 key) {
+        bound = std::max(bound, obstacles[next_obstacle].end);
+        prev_var = LegalizationModel::kNoVariable;  // chain broken
+        ++next_obstacle;
+      }
+      if (prev_var != LegalizationModel::kNoVariable) {
+        pending.push_back({prev_var, v, 0.0});
+      } else if (bound > 0.0) {
+        pending.push_back({LegalizationModel::kNoVariable, v, bound});
+      }
+      prev_var = v;
+    }
+  }
+
+  const std::size_t m = pending.size();
+  CooMatrix coo(m, n);
+  coo.reserve(2 * m);
+  model.qp.b.resize(m);
+  for (std::size_t r = 0; r < m; ++r) {
+    const PendingConstraint& pc = pending[r];
+    if (pc.left != LegalizationModel::kNoVariable) {
+      coo.add(r, pc.left, -1.0);
+      coo.add(r, pc.right, 1.0);
+      model.qp.b[r] =
+          design.cells()[model.variables[pc.left].cell].width;
+    } else {
+      // Obstacle lower bound: x_right >= obstacle end.
+      coo.add(r, pc.right, 1.0);
+      model.qp.b[r] = pc.bound;
+    }
+  }
+  model.qp.B = CsrMatrix::from_coo(coo);
+  return model;
+}
+
+}  // namespace mch::legal

@@ -1,0 +1,81 @@
+// Constraint construction — the paper's Problems (6), (12), (13).
+//
+// Given a design and a row assignment, builds the relaxed legalization QP:
+//
+//   * one variable per single-height cell; one variable per occupied row
+//     ("subcell") for each multi-row-height cell (paper §3.2);
+//   * within every chip row, the (sub)cells assigned to it are ordered by
+//     their global-placement x (ties by cell id), and each adjacent pair
+//     (l, j) contributes a spacing row of B:  x_j − x_l ≥ w_l;
+//   * fixed cells (macros/obstacles) contribute no variables; a movable
+//     cell whose nearest preceding row entity is an obstacle gets the
+//     single-sided bound  x_j ≥ obstacle_end  instead of a chain row (the
+//     obstacle's right side is relaxed like the chip's right boundary and
+//     repaired by the Tetris-like allocation);
+//   * the subcell-equality constraints Ex = 0 are folded into the objective
+//     with penalty λ (paper Eq. (13)), making the Hessian
+//     K = Q + λEᵀE block diagonal with one block per cell:
+//     a 1×1 identity block for singles, I_d + λ·Lap(chain) for a d-subcell
+//     cell, where E stacks the d−1 chain differences x_{i,k+1} − x_{i,k};
+//   * p_v = −x'_i for every variable v of cell i (Q is the identity, so a
+//     d-row cell's displacement is weighted d times — moving tall cells
+//     disturbs more rows, exactly as in the paper's formulation).
+//
+// The left chip boundary is the variable bound x ≥ 0 of the LCP; the right
+// boundary is relaxed and repaired later by the Tetris-like allocation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "db/design.h"
+#include "lcp/qp.h"
+#include "legal/row_assign.h"
+
+namespace mch::legal {
+
+/// Which cell and which of its subcells a QP variable represents.
+struct VariableInfo {
+  std::size_t cell = 0;
+  std::size_t subrow = 0;  ///< 0-based row offset within the cell
+};
+
+/// The assembled QP plus the bookkeeping to map solutions back to cells.
+struct LegalizationModel {
+  /// cell_first_var value for fixed cells (they have no variables).
+  static constexpr std::size_t kNoVariable =
+      static_cast<std::size_t>(-1);
+
+  lcp::StructuredQp qp;
+  double lambda = 0.0;
+  std::vector<VariableInfo> variables;        ///< per QP variable
+  std::vector<std::size_t> cell_first_var;    ///< cell -> first variable
+  std::vector<std::size_t> cell_var_count;    ///< cell -> #variables (0=fixed)
+  RowAssignment base_rows;                    ///< cell -> assigned base row
+  /// Variables of each chip row in left-to-right constraint order.
+  std::vector<std::vector<std::size_t>> row_variables;
+
+  std::size_t num_variables() const { return variables.size(); }
+
+  /// Restored x position of a cell: the mean of its subcell variables
+  /// (the exact value when the penalty held them together).
+  double cell_x(const lcp::Vector& x, std::size_t cell) const;
+
+  /// Largest |subcell − mean| over the cell's variables: the subcell
+  /// mismatch the λ-penalty is meant to suppress (paper §4).
+  double cell_mismatch(const lcp::Vector& x, std::size_t cell) const;
+
+  /// Maximum mismatch over all cells.
+  double max_mismatch(const lcp::Vector& x) const;
+};
+
+struct ModelOptions {
+  double lambda = 1000.0;  ///< the paper's setting for Problem (12)
+};
+
+/// Builds the model for the given assignment (does not mutate the design).
+LegalizationModel build_model(const db::Design& design,
+                              const RowAssignment& base_rows,
+                              const ModelOptions& options = {});
+
+}  // namespace mch::legal

@@ -1,0 +1,55 @@
+#include "legal/row_assign.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace mch::legal {
+
+RowAssignment compute_row_assignment(const db::Design& design) {
+  RowAssignment rows;
+  rows.reserve(design.num_cells());
+  for (const db::Cell& cell : design.cells()) {
+    if (cell.fixed) {
+      // Obstacles stay where they are; record the row containing their
+      // bottom edge for bookkeeping only.
+      rows.push_back(design.nearest_row(cell.y, 1));
+      continue;
+    }
+    rows.push_back(design.nearest_legal_row(cell));
+  }
+  return rows;
+}
+
+RowAssignment assign_rows(db::Design& design) {
+  RowAssignment rows = compute_row_assignment(design);
+  for (std::size_t i = 0; i < design.num_cells(); ++i) {
+    if (design.cells()[i].fixed) continue;
+    design.cells()[i].y = design.chip().row_y(rows[i]);
+  }
+  return rows;
+}
+
+std::size_t assign_orientations(db::Design& design) {
+  const db::Chip& chip = design.chip();
+  std::size_t flipped = 0;
+  for (db::Cell& cell : design.cells()) {
+    if (cell.fixed) continue;
+    const auto row = static_cast<std::size_t>(
+        std::llround(cell.y / chip.row_height));
+    MCH_CHECK_MSG(row + cell.height_rows <= chip.num_rows,
+                  "cell " << cell.id << " not row-aligned");
+    if (cell.is_even_height()) {
+      MCH_CHECK_MSG(chip.rail_at(row) == cell.bottom_rail,
+                    "even-height cell " << cell.id
+                                        << " on a mismatched rail");
+      cell.flipped = false;
+    } else {
+      cell.flipped = chip.rail_at(row) != cell.bottom_rail;
+      if (cell.flipped) ++flipped;
+    }
+  }
+  return flipped;
+}
+
+}  // namespace mch::legal

@@ -1,0 +1,34 @@
+// Row assignment — step 1 of the paper's flow (Fig. 4).
+//
+// Every cell is snapped to its *nearest correct row*: the nearest row for an
+// odd-height cell (vertical flipping makes every row correct), the nearest
+// rail-matching row for an even-height cell. Assigning nearest correct rows
+// makes the total y-displacement minimal by construction (paper §3), after
+// which legalization reduces to the x-only problem (5).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "db/design.h"
+
+namespace mch::legal {
+
+/// Base row (bottom occupied row index) chosen for each cell.
+using RowAssignment = std::vector<std::size_t>;
+
+/// Computes the nearest correct row for every cell and writes the resulting
+/// y coordinate into the design (x is left untouched).
+RowAssignment assign_rows(db::Design& design);
+
+/// Computes the assignment without mutating the design.
+RowAssignment compute_row_assignment(const db::Design& design);
+
+/// Derives each cell's vertical orientation from its final row: an
+/// odd-height cell whose designed bottom rail differs from its row's rail
+/// is flipped (paper Fig. 1); even-height cells are rail-matched by
+/// construction and never flip. Requires row-aligned y positions; fixed
+/// cells are untouched. Returns the number of flipped cells.
+std::size_t assign_orientations(db::Design& design);
+
+}  // namespace mch::legal

@@ -1,0 +1,113 @@
+#include "linalg/block_diag.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace mch::linalg {
+
+std::size_t BlockDiagMatrix::add_block(const DenseMatrix& block) {
+  MCH_CHECK(block.rows() == block.cols() && block.rows() > 0);
+  DenseMatrix inv;
+  MCH_CHECK_MSG(block.inverse(inv), "block is singular");
+  offsets_.push_back(size_);
+  blocks_.push_back(block);
+  inverses_.push_back(std::move(inv));
+
+  const bool scalar = block.rows() == 1;
+  scalar_mask_.push_back(scalar);
+  scalar_values_.resize(size_ + block.rows(), 0.0);
+  scalar_inverses_.resize(size_ + block.rows(), 0.0);
+  if (scalar) {
+    scalar_values_[size_] = block(0, 0);
+    scalar_inverses_[size_] = inverses_.back()(0, 0);
+  } else {
+    general_blocks_.push_back(offsets_.size() - 1);
+  }
+
+  size_ += block.rows();
+  return offsets_.size() - 1;
+}
+
+std::size_t BlockDiagMatrix::block_of(std::size_t i) const {
+  MCH_CHECK(i < size_);
+  const auto it = std::upper_bound(offsets_.begin(), offsets_.end(), i);
+  return static_cast<std::size_t>(it - offsets_.begin()) - 1;
+}
+
+double BlockDiagMatrix::entry(std::size_t i, std::size_t j) const {
+  const std::size_t b = block_of(i);
+  if (block_of(j) != b) return 0.0;
+  return blocks_[b](i - offsets_[b], j - offsets_[b]);
+}
+
+double BlockDiagMatrix::inverse_entry(std::size_t i, std::size_t j) const {
+  const std::size_t b = block_of(i);
+  if (block_of(j) != b) return 0.0;
+  return inverses_[b](i - offsets_[b], j - offsets_[b]);
+}
+
+void BlockDiagMatrix::multiply(const Vector& x, Vector& y) const {
+  y.assign(size_, 0.0);
+  multiply_add(1.0, x, y);
+}
+
+void BlockDiagMatrix::multiply_add(double alpha, const Vector& x,
+                                   Vector& y) const {
+  MCH_CHECK(x.size() == size_ && y.size() == size_);
+  // One flat sweep covers every scalar block (zeros elsewhere are benign).
+  for (std::size_t i = 0; i < size_; ++i)
+    y[i] += alpha * scalar_values_[i] * x[i];
+  for (const std::size_t b : general_blocks_) {
+    const std::size_t off = offsets_[b];
+    const std::size_t n = blocks_[b].rows();
+    for (std::size_t r = 0; r < n; ++r) {
+      double sum = 0.0;
+      for (std::size_t c = 0; c < n; ++c) sum += blocks_[b](r, c) * x[off + c];
+      y[off + r] += alpha * sum;
+    }
+  }
+}
+
+void BlockDiagMatrix::solve(const Vector& x, Vector& y) const {
+  MCH_CHECK(x.size() == size_);
+  y.resize(size_);
+  for (std::size_t i = 0; i < size_; ++i) y[i] = scalar_inverses_[i] * x[i];
+  for (const std::size_t b : general_blocks_) {
+    const std::size_t off = offsets_[b];
+    const std::size_t n = blocks_[b].rows();
+    for (std::size_t r = 0; r < n; ++r) {
+      double sum = 0.0;
+      for (std::size_t c = 0; c < n; ++c)
+        sum += inverses_[b](r, c) * x[off + c];
+      y[off + r] = sum;
+    }
+  }
+}
+
+void BlockDiagMatrix::solve_shifted(double alpha, double beta, const Vector& x,
+                                    Vector& y) const {
+  MCH_CHECK(x.size() == size_);
+  y.assign(size_, 0.0);
+  Vector rhs, sol;
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    const std::size_t off = offsets_[b];
+    const std::size_t n = blocks_[b].rows();
+    if (n == 1) {
+      // Dominant fast path: single-height cells.
+      y[off] = x[off] / (alpha * blocks_[b](0, 0) + beta);
+      continue;
+    }
+    DenseMatrix shifted = blocks_[b];
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c)
+        shifted(r, c) = alpha * blocks_[b](r, c) + (r == c ? beta : 0.0);
+    rhs.assign(x.begin() + static_cast<std::ptrdiff_t>(off),
+               x.begin() + static_cast<std::ptrdiff_t>(off + n));
+    MCH_CHECK_MSG(shifted.solve(rhs, sol), "shifted block singular");
+    std::copy(sol.begin(), sol.end(),
+              y.begin() + static_cast<std::ptrdiff_t>(off));
+  }
+}
+
+}  // namespace mch::linalg

@@ -1,0 +1,82 @@
+// Block-diagonal SPD matrices with contiguous blocks.
+//
+// The Hessian K = Q + λEᵀE of the penalized legalization QP couples only
+// the subcell variables of one cell, so K is block diagonal with one block
+// per cell (a 1x1 block for single-row-height cells). This class stores the
+// blocks and their explicit inverses, giving O(n) apply/solve and O(1)
+// access to individual entries of K⁻¹ — the access pattern needed to form
+// the tridiagonal Schur-complement approximation D.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/dense_matrix.h"
+#include "linalg/vector_ops.h"
+
+namespace mch::linalg {
+
+class BlockDiagMatrix {
+ public:
+  BlockDiagMatrix() = default;
+
+  /// Appends an SPD block at the next free offset. Throws CheckError if the
+  /// block is not invertible. Returns the block index.
+  std::size_t add_block(const DenseMatrix& block);
+
+  /// Total matrix dimension (sum of block sizes).
+  std::size_t size() const { return size_; }
+  std::size_t block_count() const { return offsets_.size(); }
+
+  /// Starting variable index of a block.
+  std::size_t block_offset(std::size_t b) const { return offsets_[b]; }
+  /// Dimension of a block.
+  std::size_t block_size(std::size_t b) const { return blocks_[b].rows(); }
+
+  const DenseMatrix& block(std::size_t b) const { return blocks_[b]; }
+  const DenseMatrix& block_inverse(std::size_t b) const {
+    return inverses_[b];
+  }
+
+  /// Block index owning variable i (O(log #blocks)).
+  std::size_t block_of(std::size_t i) const;
+
+  /// Entry K(i, j); zero when i and j belong to different blocks.
+  double entry(std::size_t i, std::size_t j) const;
+
+  /// Entry K⁻¹(i, j); zero when i and j belong to different blocks.
+  double inverse_entry(std::size_t i, std::size_t j) const;
+
+  /// y = K x.
+  void multiply(const Vector& x, Vector& y) const;
+
+  /// y += alpha * K x.
+  void multiply_add(double alpha, const Vector& x, Vector& y) const;
+
+  /// Solves K y = x exactly via the stored block inverses.
+  void solve(const Vector& x, Vector& y) const;
+
+  /// Solves (alpha*K + beta*I) y = x. Each block system is solved densely;
+  /// requires the shifted blocks to be nonsingular (true for alpha,beta > 0
+  /// since K is SPD).
+  void solve_shifted(double alpha, double beta, const Vector& x,
+                     Vector& y) const;
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::size_t> offsets_;
+  std::vector<DenseMatrix> blocks_;
+  std::vector<DenseMatrix> inverses_;
+
+  // Fast path for the dominant 1×1 blocks (single-row-height cells are
+  // ~90% of a design): their values and inverses live in flat arrays so
+  // multiply/solve touch them in one vectorizable sweep. `scalar_mask_[b]`
+  // marks 1×1 blocks; scalar_* are indexed by variable, with zeros at
+  // positions owned by larger blocks.
+  std::vector<bool> scalar_mask_;
+  std::vector<double> scalar_values_;    ///< K(i,i) for scalar blocks, else 0
+  std::vector<double> scalar_inverses_;  ///< 1/K(i,i) for scalar blocks, else 0
+  std::vector<std::size_t> general_blocks_;  ///< indices of non-1×1 blocks
+};
+
+}  // namespace mch::linalg

@@ -1,0 +1,58 @@
+#include "linalg/cg.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace mch::linalg {
+
+CgResult conjugate_gradient(
+    const std::function<void(const Vector&, Vector&)>& apply,
+    const Vector& diagonal, const Vector& b, Vector& x,
+    const CgOptions& options) {
+  const std::size_t n = b.size();
+  MCH_CHECK(diagonal.size() == n);
+  if (x.size() != n) x.assign(n, 0.0);
+
+  CgResult result;
+  const double b_norm = norm2(b);
+  if (b_norm == 0.0) {
+    x.assign(n, 0.0);
+    result.converged = true;
+    return result;
+  }
+
+  Vector r(n), z(n), p(n), ap(n);
+  apply(x, ap);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
+  for (std::size_t i = 0; i < n; ++i) {
+    MCH_DCHECK(diagonal[i] > 0.0);
+    z[i] = r[i] / diagonal[i];
+  }
+  p = z;
+  double rz = dot(r, z);
+
+  for (std::size_t k = 0; k < options.max_iterations; ++k) {
+    result.residual_norm = norm2(r);
+    result.iterations = k;
+    if (result.residual_norm <= options.tolerance * b_norm) {
+      result.converged = true;
+      return result;
+    }
+    apply(p, ap);
+    const double p_ap = dot(p, ap);
+    if (p_ap <= 0.0) break;  // loss of positive definiteness (roundoff)
+    const double alpha = rz / p_ap;
+    axpy(alpha, p, x);
+    axpy(-alpha, ap, r);
+    for (std::size_t i = 0; i < n; ++i) z[i] = r[i] / diagonal[i];
+    const double rz_next = dot(r, z);
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  result.residual_norm = norm2(r);
+  return result;
+}
+
+}  // namespace mch::linalg

@@ -1,0 +1,34 @@
+// Preconditioned conjugate gradient for sparse SPD systems.
+//
+// Used by the quadratic global placer (the substrate that *produces* the
+// paper's input): its systems are graph Laplacians plus positive anchor
+// diagonals — SPD, well-conditioned after Jacobi scaling.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "linalg/vector_ops.h"
+
+namespace mch::linalg {
+
+struct CgOptions {
+  double tolerance = 1e-8;  ///< stop at ‖r‖₂ ≤ tolerance·‖b‖₂
+  std::size_t max_iterations = 1000;
+};
+
+struct CgResult {
+  std::size_t iterations = 0;
+  bool converged = false;
+  double residual_norm = 0.0;
+};
+
+/// Solves A x = b for SPD operator `apply` (y = A x) with Jacobi
+/// preconditioning by `diagonal` (the diagonal of A; entries must be > 0).
+/// `x` is used as the starting guess and receives the solution.
+CgResult conjugate_gradient(
+    const std::function<void(const Vector&, Vector&)>& apply,
+    const Vector& diagonal, const Vector& b, Vector& x,
+    const CgOptions& options = {});
+
+}  // namespace mch::linalg

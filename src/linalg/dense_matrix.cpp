@@ -1,0 +1,135 @@
+#include "linalg/dense_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace mch::linalg {
+
+DenseMatrix DenseMatrix::identity(std::size_t n) {
+  DenseMatrix eye(n, n);
+  for (std::size_t i = 0; i < n; ++i) eye(i, i) = 1.0;
+  return eye;
+}
+
+void DenseMatrix::multiply(const Vector& x, Vector& y) const {
+  MCH_CHECK(x.size() == cols_);
+  y.assign(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) sum += (*this)(r, c) * x[c];
+    y[r] = sum;
+  }
+}
+
+DenseMatrix DenseMatrix::multiply(const DenseMatrix& other) const {
+  MCH_CHECK(cols_ == other.rows_);
+  DenseMatrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c)
+        out(r, c) += a * other(k, c);
+    }
+  return out;
+}
+
+DenseMatrix DenseMatrix::transpose() const {
+  DenseMatrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  return out;
+}
+
+void DenseMatrix::add_scaled(double alpha, const DenseMatrix& other) {
+  MCH_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    data_[i] += alpha * other.data_[i];
+}
+
+double DenseMatrix::frobenius_distance(const DenseMatrix& other) const {
+  MCH_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    const double d = data_[i] - other.data_[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+bool DenseMatrix::solve(const Vector& rhs, Vector& x) const {
+  MCH_CHECK(rows_ == cols_ && rhs.size() == rows_);
+  const std::size_t n = rows_;
+  DenseMatrix a = *this;  // working copy
+  x = rhs;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot_row = col;
+    double best = std::abs(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double mag = std::abs(a(r, col));
+      if (mag > best) {
+        best = mag;
+        pivot_row = r;
+      }
+    }
+    if (best < 1e-300) return false;
+    if (pivot_row != col) {
+      for (std::size_t c = 0; c < n; ++c)
+        std::swap(a(col, c), a(pivot_row, c));
+      std::swap(x[col], x[pivot_row]);
+    }
+    const double inv_pivot = 1.0 / a(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) * inv_pivot;
+      if (factor == 0.0) continue;
+      a(r, col) = 0.0;
+      for (std::size_t c = col + 1; c < n; ++c) a(r, c) -= factor * a(col, c);
+      x[r] -= factor * x[col];
+    }
+  }
+  for (std::size_t r = n; r-- > 0;) {
+    double sum = x[r];
+    for (std::size_t c = r + 1; c < n; ++c) sum -= a(r, c) * x[c];
+    x[r] = sum / a(r, r);
+  }
+  return true;
+}
+
+bool DenseMatrix::inverse(DenseMatrix& inv) const {
+  MCH_CHECK(rows_ == cols_);
+  const std::size_t n = rows_;
+  inv = DenseMatrix(n, n);
+  Vector e(n, 0.0), col(n, 0.0);
+  for (std::size_t c = 0; c < n; ++c) {
+    e.assign(n, 0.0);
+    e[c] = 1.0;
+    if (!solve(e, col)) return false;
+    for (std::size_t r = 0; r < n; ++r) inv(r, c) = col[r];
+  }
+  return true;
+}
+
+bool DenseMatrix::cholesky(DenseMatrix& lower) const {
+  MCH_CHECK(rows_ == cols_);
+  const std::size_t n = rows_;
+  lower = DenseMatrix(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c <= r; ++c) {
+      double sum = (*this)(r, c);
+      for (std::size_t k = 0; k < c; ++k) sum -= lower(r, k) * lower(c, k);
+      if (r == c) {
+        if (sum <= 0.0) return false;
+        lower(r, c) = std::sqrt(sum);
+      } else {
+        lower(r, c) = sum / lower(c, c);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace mch::linalg

@@ -1,0 +1,66 @@
+// Small dense matrices.
+//
+// Used for (a) the per-cell blocks of Q + λEᵀE (size = cell height in rows,
+// so 1–4 in practice), (b) the reference LCP/QP solvers that cross-validate
+// MMSIM on small instances, and (c) tests. Row-major storage; O(n³)
+// factorizations are fine at these sizes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/vector_ops.h"
+
+namespace mch::linalg {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() : rows_(0), cols_(0) {}
+  DenseMatrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static DenseMatrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// y = A x.
+  void multiply(const Vector& x, Vector& y) const;
+
+  /// C = A * B.
+  DenseMatrix multiply(const DenseMatrix& other) const;
+
+  DenseMatrix transpose() const;
+
+  /// A += alpha * B (same shape).
+  void add_scaled(double alpha, const DenseMatrix& other);
+
+  /// Frobenius-norm distance to another matrix of the same shape.
+  double frobenius_distance(const DenseMatrix& other) const;
+
+  /// Solves A x = rhs by Gaussian elimination with partial pivoting.
+  /// Returns false if A is numerically singular. Requires square A.
+  bool solve(const Vector& rhs, Vector& x) const;
+
+  /// Returns A⁻¹ (by column solves). Requires square nonsingular A;
+  /// returns false on singularity.
+  bool inverse(DenseMatrix& inv) const;
+
+  /// Cholesky factorization A = L Lᵀ of an SPD matrix; returns false if the
+  /// matrix is not positive definite (within roundoff).
+  bool cholesky(DenseMatrix& lower) const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace mch::linalg

@@ -1,0 +1,53 @@
+#include "linalg/power_iteration.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace mch::linalg {
+
+PowerIterationResult power_iteration(
+    std::size_t dimension,
+    const std::function<void(const Vector&, Vector&)>& op,
+    std::size_t max_iterations, double tolerance) {
+  PowerIterationResult result;
+  if (dimension == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  Vector v(dimension);
+  for (std::size_t i = 0; i < dimension; ++i)
+    v[i] = 1.0 + static_cast<double>(i % 7) * 0.01;
+  double norm = norm2(v);
+  scale(1.0 / norm, v);
+
+  Vector w;
+  double prev_lambda = 0.0;
+  for (std::size_t k = 0; k < max_iterations; ++k) {
+    op(v, w);
+    MCH_CHECK(w.size() == dimension);
+    const double lambda = dot(v, w);  // Rayleigh quotient
+    norm = norm2(w);
+    if (norm < 1e-300) {
+      // Operator annihilated the iterate: dominant eigenvalue ~ 0.
+      result.eigenvalue = 0.0;
+      result.iterations = k + 1;
+      result.converged = true;
+      return result;
+    }
+    v = w;
+    scale(1.0 / norm, v);
+    result.eigenvalue = lambda;
+    result.iterations = k + 1;
+    if (k > 0 && std::abs(lambda - prev_lambda) <=
+                     tolerance * std::max(1.0, std::abs(lambda))) {
+      result.converged = true;
+      return result;
+    }
+    prev_lambda = lambda;
+  }
+  return result;
+}
+
+}  // namespace mch::linalg

@@ -1,0 +1,31 @@
+// Power iteration for the dominant eigenvalue of a linear operator.
+//
+// Used to estimate μ_max of Γ = D⁻¹·B·K⁻¹·Bᵀ, which bounds the admissible
+// θ* of the MMSIM splitting (Theorem 2 of the paper): θ* must satisfy
+// 0 < θ* < 2(2 − β*)/(β*·μ_max). Γ is similar to an SPD matrix, so its
+// spectrum is real positive and plain power iteration converges.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "linalg/vector_ops.h"
+
+namespace mch::linalg {
+
+struct PowerIterationResult {
+  double eigenvalue = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Estimates the dominant eigenvalue of the operator y = op(x) of the given
+/// dimension. `op` must write its output into the second argument.
+/// Deterministic start vector (all ones with a small linear ramp to avoid
+/// unlucky orthogonality).
+PowerIterationResult power_iteration(
+    std::size_t dimension,
+    const std::function<void(const Vector&, Vector&)>& op,
+    std::size_t max_iterations = 200, double tolerance = 1e-8);
+
+}  // namespace mch::linalg

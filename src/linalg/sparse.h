@@ -1,0 +1,96 @@
+// Sparse matrices: COO builder and immutable CSR.
+//
+// The constraint matrix B of the legalization QP has at most two nonzeros
+// per row, so CSR with 32-bit column indices would suffice; we keep
+// std::size_t indices for simplicity and because index width is not the
+// bottleneck. Duplicate COO entries are summed on conversion, matching the
+// usual triplet-assembly convention.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/vector_ops.h"
+
+namespace mch::linalg {
+
+/// Coordinate-format triplet accumulator for assembling a sparse matrix.
+class CooMatrix {
+ public:
+  CooMatrix(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t entries() const { return row_idx_.size(); }
+
+  /// Appends value at (row, col). Duplicates are summed by to_csr().
+  void add(std::size_t row, std::size_t col, double value);
+
+  /// Reserves storage for n entries.
+  void reserve(std::size_t n) {
+    row_idx_.reserve(n);
+    col_idx_.reserve(n);
+    values_.reserve(n);
+  }
+
+  const std::vector<std::size_t>& row_indices() const { return row_idx_; }
+  const std::vector<std::size_t>& col_indices() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<std::size_t> row_idx_;
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+};
+
+/// Immutable compressed-sparse-row matrix.
+class CsrMatrix {
+ public:
+  /// Empty rows x cols matrix with no entries.
+  CsrMatrix(std::size_t rows = 0, std::size_t cols = 0);
+
+  /// Builds from a COO accumulator; duplicate entries are summed, explicit
+  /// zeros (after summing) are kept out of the structure.
+  static CsrMatrix from_coo(const CooMatrix& coo);
+
+  /// Identity matrix of size n.
+  static CsrMatrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return values_.size(); }
+
+  /// y = A x. Requires x.size() == cols(); resizes y to rows().
+  void multiply(const Vector& x, Vector& y) const;
+
+  /// y += alpha * A x.
+  void multiply_add(double alpha, const Vector& x, Vector& y) const;
+
+  /// y = Aᵀ x. Requires x.size() == rows(); resizes y to cols().
+  void multiply_transpose(const Vector& x, Vector& y) const;
+
+  /// y += alpha * Aᵀ x.
+  void multiply_transpose_add(double alpha, const Vector& x, Vector& y) const;
+
+  /// Returns Aᵀ as an explicit CSR matrix.
+  CsrMatrix transpose() const;
+
+  /// Element access by binary search within the row; O(log nnz(row)).
+  double at(std::size_t row, std::size_t col) const;
+
+  /// CSR internals (for solvers that need direct traversal).
+  const std::vector<std::size_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<std::size_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace mch::linalg

@@ -1,0 +1,54 @@
+// Tridiagonal matrices and the Thomas solve.
+//
+// The MMSIM splitting approximates the Schur complement B·K⁻¹·Bᵀ by its
+// tridiagonal part D, so the (2,2) block of every per-iteration linear solve
+// is (D/θ* + I) — a tridiagonal system solved in O(m) by the Thomas
+// algorithm. The algorithm is stable here because the systems we feed it are
+// symmetric positive definite (D is the tridiagonal part of an SPD matrix
+// shifted by +I).
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/vector_ops.h"
+
+namespace mch::linalg {
+
+/// Symmetric-storage-free tridiagonal matrix with independent bands.
+class Tridiagonal {
+ public:
+  /// Zero matrix of size n.
+  explicit Tridiagonal(std::size_t n = 0)
+      : diag_(n, 0.0),
+        lower_(n > 0 ? n - 1 : 0, 0.0),
+        upper_(n > 0 ? n - 1 : 0, 0.0) {}
+
+  std::size_t size() const { return diag_.size(); }
+
+  double& diag(std::size_t i) { return diag_[i]; }
+  double diag(std::size_t i) const { return diag_[i]; }
+  /// Sub-diagonal entry (i+1, i), 0 <= i < n-1.
+  double& lower(std::size_t i) { return lower_[i]; }
+  double lower(std::size_t i) const { return lower_[i]; }
+  /// Super-diagonal entry (i, i+1), 0 <= i < n-1.
+  double& upper(std::size_t i) { return upper_[i]; }
+  double upper(std::size_t i) const { return upper_[i]; }
+
+  /// Returns alpha * this + beta * I as a new matrix.
+  Tridiagonal scaled_plus_identity(double alpha, double beta) const;
+
+  /// y = T x.
+  void multiply(const Vector& x, Vector& y) const;
+
+  /// Solves T x = rhs by the Thomas algorithm. Requires T nonsingular
+  /// without pivoting (guaranteed for the SPD-shifted systems used here).
+  /// Returns false if a pivot underflows.
+  bool solve(const Vector& rhs, Vector& x) const;
+
+ private:
+  Vector diag_;
+  Vector lower_;
+  Vector upper_;
+};
+
+}  // namespace mch::linalg

@@ -1,0 +1,52 @@
+#include "linalg/vector_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace mch::linalg {
+
+double dot(const Vector& a, const Vector& b) {
+  MCH_CHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+void axpy(double alpha, const Vector& x, Vector& y) {
+  MCH_CHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+double norm2(const Vector& a) { return std::sqrt(dot(a, a)); }
+
+double norm_inf(const Vector& a) {
+  double best = 0.0;
+  for (double v : a) best = std::max(best, std::abs(v));
+  return best;
+}
+
+double diff_norm_inf(const Vector& a, const Vector& b) {
+  MCH_CHECK(a.size() == b.size());
+  double best = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    best = std::max(best, std::abs(a[i] - b[i]));
+  return best;
+}
+
+void scale(double alpha, Vector& a) {
+  for (double& v : a) v *= alpha;
+}
+
+void abs_into(const Vector& a, Vector& out) {
+  out.resize(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = std::abs(a[i]);
+}
+
+void positive_part(const Vector& a, Vector& out) {
+  out.resize(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = std::max(a[i], 0.0);
+}
+
+}  // namespace mch::linalg

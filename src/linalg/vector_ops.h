@@ -1,0 +1,39 @@
+// Dense vector kernels.
+//
+// Vectors are plain std::vector<double>: the problem sizes here (millions of
+// entries) never justify an expression-template layer, and plain loops let
+// the compiler vectorize. All functions check size agreement.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mch::linalg {
+
+using Vector = std::vector<double>;
+
+/// Returns the dot product aᵀb. Requires a.size() == b.size().
+double dot(const Vector& a, const Vector& b);
+
+/// y += alpha * x. Requires x.size() == y.size().
+void axpy(double alpha, const Vector& x, Vector& y);
+
+/// Euclidean norm ‖a‖₂.
+double norm2(const Vector& a);
+
+/// Max norm ‖a‖∞ (0 for an empty vector).
+double norm_inf(const Vector& a);
+
+/// ‖a − b‖∞. Requires a.size() == b.size().
+double diff_norm_inf(const Vector& a, const Vector& b);
+
+/// a *= alpha.
+void scale(double alpha, Vector& a);
+
+/// out[i] = |a[i]|.
+void abs_into(const Vector& a, Vector& out);
+
+/// out[i] = max(a[i], 0).
+void positive_part(const Vector& a, Vector& out);
+
+}  // namespace mch::linalg

@@ -1,0 +1,54 @@
+// Lightweight contract-checking macros.
+//
+// MCH_CHECK is always on and throws mch::CheckError so that callers (and
+// tests) can observe violated preconditions without aborting the process.
+// MCH_DCHECK compiles away in release builds (NDEBUG); use it on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mch {
+
+/// Thrown when an MCH_CHECK precondition/invariant fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace mch
+
+#define MCH_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::mch::detail::check_failed(#expr, __FILE__, __LINE__, {});    \
+  } while (false)
+
+#define MCH_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      std::ostringstream mch_os_;                                    \
+      mch_os_ << msg;                                                \
+      ::mch::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                  mch_os_.str());                    \
+    }                                                                \
+  } while (false)
+
+#ifdef NDEBUG
+#define MCH_DCHECK(expr) \
+  do {                   \
+  } while (false)
+#else
+#define MCH_DCHECK(expr) MCH_CHECK(expr)
+#endif

@@ -1,0 +1,37 @@
+#include "util/log.h"
+
+#include <cstdio>
+
+namespace mch {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[%s] %s\n", level_tag(level), message.c_str());
+}
+}  // namespace detail
+
+}  // namespace mch

@@ -1,0 +1,49 @@
+// Minimal leveled logger writing to stderr.
+//
+// The library is quiet by default (Level::kWarn); benches and examples raise
+// the level to kInfo for progress reporting. Not thread-safe by design: all
+// algorithms in this project are single-threaded, matching the paper.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mch {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Returns the process-wide minimum level that is emitted.
+LogLevel log_level();
+
+/// Sets the process-wide minimum level that is emitted.
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_emit(level_, os_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace mch
+
+#define MCH_LOG(level)                                   \
+  if (static_cast<int>(::mch::LogLevel::level) <         \
+      static_cast<int>(::mch::log_level())) {            \
+  } else                                                 \
+    ::mch::detail::LogLine(::mch::LogLevel::level)

@@ -1,0 +1,51 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of the project (the benchmark generator above
+// all) draw from this xoshiro256++ engine so that every suite, test, and
+// bench run is reproducible bit-for-bit across platforms. std::mt19937 would
+// also be deterministic, but distributions in <random> are not portable
+// across standard libraries; we implement the few distributions we need.
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace mch {
+
+/// xoshiro256++ engine (Blackman & Vigna), seeded via SplitMix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-seeds the engine; identical seeds give identical streams.
+  void reseed(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal deviate (Box–Muller, cached pair).
+  double normal();
+
+  /// Normal deviate with the given mean and standard deviation.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p) { return uniform() < p; }
+
+ private:
+  std::uint64_t state_[4] = {};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace mch

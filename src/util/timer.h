@@ -1,0 +1,26 @@
+// Wall-clock timer used for the runtime columns of the experiment tables.
+#pragma once
+
+#include <chrono>
+
+namespace mch {
+
+/// Monotonic wall-clock stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer() { reset(); }
+
+  /// Restarts the stopwatch.
+  void reset();
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const;
+
+  /// Milliseconds elapsed since construction or the last reset().
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace mch

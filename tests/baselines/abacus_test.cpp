@@ -1,0 +1,166 @@
+#include "baselines/abacus.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "db/legality.h"
+#include "gen/generator.h"
+#include "legal/tetris_alloc.h"
+#include "util/rng.h"
+
+namespace mch::baselines {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(PlaceRowTest, NoOverlapKeepsTargets) {
+  const std::vector<PlaceRowCell> cells = {{0, 2}, {5, 2}, {10, 2}};
+  const std::vector<double> x = place_row(cells);
+  EXPECT_EQ(x, (std::vector<double>{0, 5, 10}));
+}
+
+TEST(PlaceRowTest, TwoOverlappingCellsSplitTheMove) {
+  // Targets 0 and 1, widths 2: optimal cluster center splits the overlap:
+  // minimize (x−0)² + (x+2−1)² → x = −0.5, clamped to min_x = −inf? With
+  // min_x = −10 the exact optimum −0.5 is feasible.
+  const std::vector<PlaceRowCell> cells = {{0, 2}, {1, 2}};
+  const std::vector<double> x = place_row(cells, -10.0);
+  EXPECT_NEAR(x[0], -0.5, 1e-12);
+  EXPECT_NEAR(x[1], 1.5, 1e-12);
+}
+
+TEST(PlaceRowTest, LeftBoundaryClamps) {
+  const std::vector<PlaceRowCell> cells = {{-5, 3}};
+  const std::vector<double> x = place_row(cells, 0.0);
+  EXPECT_DOUBLE_EQ(x[0], 0.0);
+}
+
+TEST(PlaceRowTest, RightBoundaryClamps) {
+  const std::vector<PlaceRowCell> cells = {{98, 5}};
+  const std::vector<double> x = place_row(cells, 0.0, 100.0);
+  EXPECT_DOUBLE_EQ(x[0], 95.0);
+}
+
+TEST(PlaceRowTest, RelaxedRightBoundaryAllowsOverflow) {
+  const std::vector<PlaceRowCell> cells = {{98, 5}};
+  const std::vector<double> x = place_row(cells, 0.0, kInf);
+  EXPECT_DOUBLE_EQ(x[0], 98.0);
+}
+
+TEST(PlaceRowTest, ChainCollapse) {
+  // Three cells all targeting the same spot: the cluster centers on the
+  // weighted mean minus offsets.
+  const std::vector<PlaceRowCell> cells = {{10, 2}, {10, 2}, {10, 2}};
+  const std::vector<double> x = place_row(cells, -100.0);
+  // Cluster: min Σ (x + off_i − 10)², offs {0,2,4} → x = 10 − 2 = 8.
+  EXPECT_NEAR(x[0], 8.0, 1e-12);
+  EXPECT_NEAR(x[1], 10.0, 1e-12);
+  EXPECT_NEAR(x[2], 12.0, 1e-12);
+}
+
+TEST(PlaceRowTest, WeightsBiasTheCluster) {
+  const std::vector<PlaceRowCell> cells = {{0, 2, 3.0}, {0, 2, 1.0}};
+  const std::vector<double> x = place_row(cells, -100.0);
+  // min 3x² + (x+2)² → x = −0.5.
+  EXPECT_NEAR(x[0], -0.5, 1e-12);
+}
+
+TEST(PlaceRowTest, SolutionIsFeasibleAndOrdered) {
+  Rng rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<PlaceRowCell> cells;
+    const int n = 1 + static_cast<int>(rng.uniform_int(0, 30));
+    double target = 0.0;
+    for (int i = 0; i < n; ++i) {
+      target += rng.uniform(0.0, 6.0);
+      cells.push_back({target, rng.uniform(1.0, 5.0)});
+    }
+    const std::vector<double> x = place_row(cells, 0.0, 120.0);
+    for (int i = 0; i < n; ++i) EXPECT_GE(x[i], -1e-12);
+    for (int i = 0; i + 1 < n; ++i)
+      EXPECT_GE(x[i + 1] - x[i] + 1e-12, cells[i].width);
+  }
+}
+
+TEST(PlaceRowTest, OptimalityAgainstPerturbations) {
+  // KKT-style check: no small feasible perturbation improves the objective.
+  Rng rng(4);
+  std::vector<PlaceRowCell> cells;
+  double t = 0.0;
+  for (int i = 0; i < 12; ++i) {
+    t += rng.uniform(0.0, 4.0);
+    cells.push_back({t, rng.uniform(1.0, 3.0)});
+  }
+  const std::vector<double> x = place_row(cells, 0.0, 40.0);
+  const double base = place_row_objective(cells, x);
+  Rng perturb(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> y = x;
+    for (double& v : y) v += perturb.uniform(-0.05, 0.05);
+    bool feasible = y.front() >= 0.0 && y.back() + cells.back().width <= 40.0;
+    for (std::size_t i = 0; i + 1 < y.size() && feasible; ++i)
+      feasible = y[i + 1] - y[i] >= cells[i].width;
+    if (feasible) {
+      EXPECT_GE(place_row_objective(cells, y), base - 1e-9);
+    }
+  }
+}
+
+TEST(AbacusTest, LegalizesSingleHeightDesign) {
+  gen::GeneratorOptions opts;
+  opts.seed = 21;
+  db::Design design = gen::generate_random_design(500, 0, 0.6, opts);
+  const AbacusStats stats = abacus_legalize(design);
+  EXPECT_EQ(stats.failed_cells, 0u);
+  // Abacus output is continuous; snap and check.
+  legal::tetris_allocate(design);
+  const db::LegalityReport report = db::check_legality(design);
+  EXPECT_TRUE(report.legal()) << report.summary();
+}
+
+TEST(AbacusTest, RejectsMultiHeightCells) {
+  gen::GeneratorOptions opts;
+  opts.seed = 22;
+  db::Design design = gen::generate_random_design(20, 5, 0.5, opts);
+  EXPECT_THROW(abacus_legalize(design), CheckError);
+  EXPECT_THROW(placerow_legalize_fixed_rows(design), CheckError);
+}
+
+TEST(AbacusTest, DenseDesignStillLegal) {
+  gen::GeneratorOptions opts;
+  opts.seed = 23;
+  db::Design design = gen::generate_random_design(800, 0, 0.9, opts);
+  const AbacusStats stats = abacus_legalize(design);
+  EXPECT_EQ(stats.failed_cells, 0u);
+  legal::tetris_allocate(design);
+  EXPECT_TRUE(db::check_legality(design).legal());
+}
+
+TEST(PlaceRowFixedRowsTest, KeepsRowAssignment) {
+  gen::GeneratorOptions opts;
+  opts.seed = 24;
+  db::Design design = gen::generate_random_design(300, 0, 0.5, opts);
+  placerow_legalize_fixed_rows(design);
+  for (const db::Cell& cell : design.cells()) {
+    const std::size_t nearest = design.nearest_row(cell.gp_y, 1);
+    EXPECT_DOUBLE_EQ(cell.y, design.chip().row_y(nearest));
+  }
+}
+
+TEST(PlaceRowFixedRowsTest, RelaxedRightBoundaryMayOverflow) {
+  // With clamping on, everything stays inside; with it off, cells may pass
+  // the right edge (that is the relaxation the MMSIM formulation uses).
+  gen::GeneratorOptions opts;
+  opts.seed = 25;
+  db::Design clamped = gen::generate_random_design(400, 0, 0.9, opts);
+  db::Design relaxed = clamped;
+  placerow_legalize_fixed_rows(clamped, /*clamp_right_boundary=*/true);
+  placerow_legalize_fixed_rows(relaxed, /*clamp_right_boundary=*/false);
+  for (const db::Cell& cell : clamped.cells())
+    EXPECT_LE(cell.x + cell.width, clamped.chip().width() + 1e-9);
+}
+
+}  // namespace
+}  // namespace mch::baselines

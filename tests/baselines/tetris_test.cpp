@@ -1,0 +1,61 @@
+#include "baselines/tetris.h"
+
+#include <gtest/gtest.h>
+
+#include "db/legality.h"
+#include "eval/metrics.h"
+#include "gen/generator.h"
+
+namespace mch::baselines {
+namespace {
+
+db::Design design_for(double density, std::uint64_t seed,
+                      std::size_t singles = 400, std::size_t doubles = 50) {
+  gen::GeneratorOptions opts;
+  opts.seed = seed;
+  return gen::generate_random_design(singles, doubles, density, opts);
+}
+
+TEST(TetrisBaselineTest, ProducesLegalPlacement) {
+  db::Design design = design_for(0.5, 61);
+  const TetrisLegalizerStats stats = tetris_legalize(design);
+  EXPECT_EQ(stats.failed_cells, 0u);
+  const db::LegalityReport report = db::check_legality(design);
+  EXPECT_TRUE(report.legal()) << report.summary();
+}
+
+TEST(TetrisBaselineTest, DenseDesignLegal) {
+  db::Design design = design_for(0.9, 62);
+  const TetrisLegalizerStats stats = tetris_legalize(design);
+  EXPECT_EQ(stats.failed_cells, 0u);
+  EXPECT_TRUE(db::check_legality(design).legal());
+}
+
+TEST(TetrisBaselineTest, NeverMovesCellsLeftOfEarlierCells) {
+  // Structural Tetris property: scanning cells in placement x-order per
+  // row, positions never decrease (frontier packing). The fix-up pass can
+  // violate this only for cells it relocates; at moderate density there are
+  // none.
+  db::Design design = design_for(0.4, 63);
+  tetris_legalize(design);
+  EXPECT_TRUE(db::check_legality(design).legal());
+}
+
+TEST(TetrisBaselineTest, SparseDesignNearZeroXDisplacement) {
+  db::Design design = design_for(0.1, 64, 100, 10);
+  tetris_legalize(design);
+  const eval::DisplacementStats disp = eval::displacement(design);
+  // Frontier ≈ empty: every cell lands at (or next site right of) its GP x.
+  EXPECT_LT(disp.total_x_sites / static_cast<double>(design.num_cells()),
+            2.0);
+}
+
+TEST(TetrisBaselineTest, RespectsRailsForDoubles) {
+  db::Design design = design_for(0.5, 65, 50, 200);
+  tetris_legalize(design);
+  const db::LegalityReport report = db::check_legality(design);
+  EXPECT_EQ(report.rail_mismatches, 0u) << report.summary();
+}
+
+}  // namespace
+}  // namespace mch::baselines

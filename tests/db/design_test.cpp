@@ -1,0 +1,208 @@
+#include "db/design.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace mch::db {
+namespace {
+
+Chip test_chip() {
+  Chip chip;
+  chip.num_rows = 8;
+  chip.num_sites = 100;
+  chip.site_width = 1.0;
+  chip.row_height = 10.0;
+  chip.bottom_rail = RailType::kVss;
+  return chip;
+}
+
+TEST(ChipTest, Geometry) {
+  const Chip chip = test_chip();
+  EXPECT_DOUBLE_EQ(chip.width(), 100.0);
+  EXPECT_DOUBLE_EQ(chip.height(), 80.0);
+  EXPECT_DOUBLE_EQ(chip.row_y(3), 30.0);
+}
+
+TEST(ChipTest, RailAlternation) {
+  const Chip chip = test_chip();
+  EXPECT_EQ(chip.rail_at(0), RailType::kVss);
+  EXPECT_EQ(chip.rail_at(1), RailType::kVdd);
+  EXPECT_EQ(chip.rail_at(2), RailType::kVss);
+  EXPECT_EQ(chip.rail_at(7), RailType::kVdd);
+}
+
+TEST(ChipTest, RailAlternationVddBottom) {
+  Chip chip = test_chip();
+  chip.bottom_rail = RailType::kVdd;
+  EXPECT_EQ(chip.rail_at(0), RailType::kVdd);
+  EXPECT_EQ(chip.rail_at(1), RailType::kVss);
+}
+
+TEST(RailTest, Flip) {
+  EXPECT_EQ(flip(RailType::kVss), RailType::kVdd);
+  EXPECT_EQ(flip(RailType::kVdd), RailType::kVss);
+}
+
+TEST(CellTest, RailCompatibility) {
+  const Chip chip = test_chip();
+  Cell odd;
+  odd.width = 4;
+  odd.height_rows = 1;
+  odd.bottom_rail = RailType::kVdd;
+  // Odd heights flip to match any row.
+  EXPECT_TRUE(odd.rail_compatible(chip, 0));
+  EXPECT_TRUE(odd.rail_compatible(chip, 1));
+
+  Cell even;
+  even.width = 4;
+  even.height_rows = 2;
+  even.bottom_rail = RailType::kVss;
+  EXPECT_TRUE(even.rail_compatible(chip, 0));
+  EXPECT_FALSE(even.rail_compatible(chip, 1));
+  EXPECT_TRUE(even.rail_compatible(chip, 2));
+
+  Cell triple;
+  triple.width = 4;
+  triple.height_rows = 3;
+  triple.bottom_rail = RailType::kVdd;
+  EXPECT_TRUE(triple.rail_compatible(chip, 0));
+  EXPECT_TRUE(triple.rail_compatible(chip, 1));
+
+  Cell quad;
+  quad.width = 4;
+  quad.height_rows = 4;
+  quad.bottom_rail = RailType::kVdd;
+  EXPECT_FALSE(quad.rail_compatible(chip, 0));
+  EXPECT_TRUE(quad.rail_compatible(chip, 1));
+}
+
+TEST(DesignTest, AddCellAssignsIds) {
+  Design design(test_chip());
+  Cell cell;
+  cell.width = 5;
+  EXPECT_EQ(design.add_cell(cell), 0u);
+  EXPECT_EQ(design.add_cell(cell), 1u);
+  EXPECT_EQ(design.cells()[1].id, 1u);
+}
+
+TEST(DesignTest, AddCellValidates) {
+  Design design(test_chip());
+  Cell bad;
+  bad.width = 0.0;
+  EXPECT_THROW(design.add_cell(bad), CheckError);
+  bad.width = 5.0;
+  bad.height_rows = 9;  // taller than the chip
+  EXPECT_THROW(design.add_cell(bad), CheckError);
+}
+
+TEST(DesignTest, AddNetValidatesPinTargets) {
+  Design design(test_chip());
+  Cell cell;
+  cell.width = 5;
+  design.add_cell(cell);
+  Net bad;
+  bad.pins.push_back({3, 0, 0});
+  EXPECT_THROW(design.add_net(bad), CheckError);
+}
+
+TEST(DesignTest, AreaAndDensity) {
+  Design design(test_chip());
+  Cell cell;
+  cell.width = 10;
+  cell.height_rows = 2;
+  design.add_cell(cell);  // area 10 * 2 * 10 = 200
+  cell.height_rows = 1;
+  design.add_cell(cell);  // area 100
+  EXPECT_DOUBLE_EQ(design.total_cell_area(), 300.0);
+  EXPECT_DOUBLE_EQ(design.density(), 300.0 / 8000.0);
+}
+
+TEST(DesignTest, NearestRowClampsToFit) {
+  const Design design(test_chip());
+  EXPECT_EQ(design.nearest_row(-5.0, 1), 0u);
+  EXPECT_EQ(design.nearest_row(31.0, 1), 3u);
+  EXPECT_EQ(design.nearest_row(36.0, 1), 4u);
+  EXPECT_EQ(design.nearest_row(1000.0, 1), 7u);
+  EXPECT_EQ(design.nearest_row(1000.0, 3), 5u);  // must fit 3 rows
+}
+
+TEST(DesignTest, NearestLegalRowForEvenHeights) {
+  Design design(test_chip());
+  Cell even;
+  even.width = 4;
+  even.height_rows = 2;
+  even.bottom_rail = RailType::kVss;  // needs even row index
+  even.gp_y = 10.0;                   // nearest row 1 (VDD) — must shift
+  const std::size_t id = design.add_cell(even);
+  const std::size_t row = design.nearest_legal_row(design.cells()[id]);
+  EXPECT_TRUE(row == 0 || row == 2);
+  EXPECT_EQ(design.chip().rail_at(row), RailType::kVss);
+}
+
+TEST(DesignTest, NearestLegalRowPicksCloserCompatible) {
+  Design design(test_chip());
+  Cell even;
+  even.width = 4;
+  even.height_rows = 2;
+  even.bottom_rail = RailType::kVdd;  // rows 1, 3, 5
+  even.gp_y = 21.0;                   // nearest row 2; row 3 closer than 1
+  const std::size_t id = design.add_cell(even);
+  EXPECT_EQ(design.nearest_legal_row(design.cells()[id]), 3u);
+}
+
+TEST(DesignTest, SnapXToSite) {
+  Design design(test_chip());
+  EXPECT_DOUBLE_EQ(design.snap_x_to_site(5.4, 3.0), 5.0);
+  EXPECT_DOUBLE_EQ(design.snap_x_to_site(5.6, 3.0), 6.0);
+  EXPECT_DOUBLE_EQ(design.snap_x_to_site(-2.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(design.snap_x_to_site(99.0, 3.0), 97.0);  // clamped right
+}
+
+TEST(DesignTest, CountCellsWithHeight) {
+  Design design(test_chip());
+  Cell cell;
+  cell.width = 2;
+  cell.height_rows = 1;
+  design.add_cell(cell);
+  design.add_cell(cell);
+  cell.height_rows = 2;
+  design.add_cell(cell);
+  EXPECT_EQ(design.count_cells_with_height(1), 2u);
+  EXPECT_EQ(design.count_cells_with_height(2), 1u);
+  EXPECT_EQ(design.count_cells_with_height(3), 0u);
+}
+
+TEST(DesignTest, FixedCellAccounting) {
+  Design design(test_chip());
+  Cell cell;
+  cell.width = 5;
+  design.add_cell(cell);
+  cell.fixed = true;
+  cell.height_rows = 2;
+  design.add_cell(cell);
+  EXPECT_EQ(design.num_fixed_cells(), 1u);
+  // Height census counts movable cells only.
+  EXPECT_EQ(design.count_cells_with_height(1), 1u);
+  EXPECT_EQ(design.count_cells_with_height(2), 0u);
+}
+
+TEST(DesignTest, PositionResetAndCommit) {
+  Design design(test_chip());
+  Cell cell;
+  cell.width = 2;
+  cell.gp_x = 5;
+  cell.gp_y = 10;
+  design.add_cell(cell);
+  design.cells()[0].x = 7;
+  design.cells()[0].y = 20;
+  design.reset_positions_to_gp();
+  EXPECT_DOUBLE_EQ(design.cells()[0].x, 5);
+  EXPECT_DOUBLE_EQ(design.cells()[0].y, 10);
+  design.cells()[0].x = 9;
+  design.commit_positions_as_gp();
+  EXPECT_DOUBLE_EQ(design.cells()[0].gp_x, 9);
+}
+
+}  // namespace
+}  // namespace mch::db

@@ -1,0 +1,188 @@
+#include "db/legality.h"
+
+#include <gtest/gtest.h>
+
+namespace mch::db {
+namespace {
+
+Chip test_chip() {
+  Chip chip;
+  chip.num_rows = 6;
+  chip.num_sites = 50;
+  chip.site_width = 1.0;
+  chip.row_height = 10.0;
+  return chip;
+}
+
+Design legal_design() {
+  Design design(test_chip());
+  Cell a;
+  a.width = 5;
+  a.height_rows = 1;
+  a.x = 0;
+  a.y = 0;
+  design.add_cell(a);
+  Cell b;
+  b.width = 4;
+  b.height_rows = 2;
+  b.bottom_rail = RailType::kVss;
+  b.x = 10;
+  b.y = 0;
+  design.add_cell(b);
+  Cell c;
+  c.width = 3;
+  c.height_rows = 1;
+  c.x = 5;
+  c.y = 0;
+  design.add_cell(c);
+  return design;
+}
+
+TEST(LegalityTest, LegalDesignPasses) {
+  const LegalityReport report = check_legality(legal_design());
+  EXPECT_TRUE(report.legal());
+  EXPECT_EQ(report.total_violations, 0u);
+  EXPECT_EQ(report.summary(), "legal");
+}
+
+TEST(LegalityTest, AbuttingCellsAreLegal) {
+  Design design(test_chip());
+  Cell a;
+  a.width = 5;
+  a.x = 0;
+  a.y = 0;
+  design.add_cell(a);
+  Cell b;
+  b.width = 5;
+  b.x = 5;  // touches a exactly
+  b.y = 0;
+  design.add_cell(b);
+  EXPECT_TRUE(check_legality(design).legal());
+}
+
+TEST(LegalityTest, DetectsOverlap) {
+  Design design = legal_design();
+  design.cells()[2].x = 3.0;  // overlaps cell 0 ([0,5) vs [3,6))
+  const LegalityReport report = check_legality(design);
+  EXPECT_FALSE(report.legal());
+  EXPECT_EQ(report.overlaps, 1u);
+  EXPECT_NEAR(report.max_overlap_depth, 2.0, 1e-12);
+}
+
+TEST(LegalityTest, DetectsMultiRowOverlap) {
+  Design design = legal_design();
+  // Cell on row 1 horizontally inside the double-height cell 1's span.
+  Cell c;
+  c.width = 2;
+  c.height_rows = 1;
+  c.x = 11;
+  c.y = 10;
+  design.add_cell(c);
+  const LegalityReport report = check_legality(design);
+  EXPECT_FALSE(report.legal());
+  EXPECT_EQ(report.overlaps, 1u);
+}
+
+TEST(LegalityTest, MultiRowPairCountedOnce) {
+  Design design(test_chip());
+  Cell a;
+  a.width = 5;
+  a.height_rows = 2;
+  a.bottom_rail = RailType::kVss;
+  a.x = 0;
+  a.y = 0;
+  design.add_cell(a);
+  Cell b = a;  // same span: overlap in both rows, one pair
+  b.x = 2;
+  design.add_cell(b);
+  const LegalityReport report = check_legality(design);
+  EXPECT_EQ(report.overlaps, 1u);
+}
+
+TEST(LegalityTest, DetectsOutsideChip) {
+  Design design = legal_design();
+  design.cells()[0].x = 47.0;  // width 5 → extends to 52 > 50
+  const LegalityReport report = check_legality(design);
+  EXPECT_FALSE(report.legal());
+  EXPECT_EQ(report.outside_chip, 1u);
+}
+
+TEST(LegalityTest, DetectsNegativeX) {
+  Design design = legal_design();
+  design.cells()[0].x = -1.0;
+  EXPECT_GE(check_legality(design).outside_chip, 1u);
+}
+
+TEST(LegalityTest, DetectsOffSite) {
+  Design design = legal_design();
+  design.cells()[0].x = 0.5;
+  const LegalityReport report = check_legality(design);
+  EXPECT_FALSE(report.legal());
+  EXPECT_EQ(report.off_site, 1u);
+}
+
+TEST(LegalityTest, OffSiteToleratedWhenDisabled) {
+  Design design = legal_design();
+  design.cells()[1].x = 20.5;  // off-site but clear of every other cell
+  LegalityOptions options;
+  options.require_site_alignment = false;
+  EXPECT_TRUE(check_legality(design, options).legal());
+  options.require_site_alignment = true;
+  EXPECT_FALSE(check_legality(design, options).legal());
+}
+
+TEST(LegalityTest, DetectsOffRow) {
+  Design design = legal_design();
+  design.cells()[0].y = 3.0;
+  const LegalityReport report = check_legality(design);
+  EXPECT_FALSE(report.legal());
+  EXPECT_EQ(report.off_row, 1u);
+}
+
+TEST(LegalityTest, DetectsRailMismatch) {
+  Design design = legal_design();
+  design.cells()[1].y = 10.0;  // VSS-bottom double cell on VDD row 1
+  const LegalityReport report = check_legality(design);
+  EXPECT_FALSE(report.legal());
+  EXPECT_EQ(report.rail_mismatches, 1u);
+}
+
+TEST(LegalityTest, OddHeightNeverRailMismatches) {
+  Design design = legal_design();
+  design.cells()[0].y = 10.0;  // single-height on any row is fine
+  design.cells()[0].bottom_rail = RailType::kVdd;
+  EXPECT_TRUE(check_legality(design).legal());
+}
+
+TEST(LegalityTest, ViolationRecordingCapped) {
+  Design design(test_chip());
+  for (int i = 0; i < 10; ++i) {
+    Cell c;
+    c.width = 5;
+    c.x = 0;  // all stacked: many overlapping pairs
+    c.y = 0;
+    design.add_cell(c);
+  }
+  LegalityOptions options;
+  options.max_recorded = 3;
+  const LegalityReport report = check_legality(design, options);
+  EXPECT_EQ(report.violations.size(), 3u);
+  EXPECT_GT(report.total_violations, 3u);
+  EXPECT_EQ(report.overlaps, 45u);  // C(10,2)
+}
+
+TEST(LegalityTest, SummaryMentionsCounts) {
+  Design design = legal_design();
+  design.cells()[0].x = 0.5;
+  const std::string summary = check_legality(design).summary();
+  EXPECT_NE(summary.find("off-site=1"), std::string::npos);
+}
+
+TEST(LegalityTest, ToleranceForgivesRounding) {
+  Design design = legal_design();
+  design.cells()[0].x = 1e-9;
+  EXPECT_TRUE(check_legality(design).legal());
+}
+
+}  // namespace
+}  // namespace mch::db

@@ -1,0 +1,135 @@
+#include "dp/detailed.h"
+
+#include <gtest/gtest.h>
+
+#include "db/legality.h"
+#include "eval/metrics.h"
+#include "gen/generator.h"
+#include "legal/flow.h"
+
+namespace mch::dp {
+namespace {
+
+/// A legalized design with a netlist — the detailed placer's input.
+db::Design legalized_design(std::uint64_t seed, double density = 0.55,
+                            std::size_t macros = 0) {
+  gen::GeneratorOptions options;
+  options.seed = seed;
+  options.fixed_macros = macros;
+  db::Design design = gen::generate_random_design(800, 80, density, options);
+  const legal::FlowResult flow = legal::legalize(design);
+  MCH_CHECK(flow.legal);
+  return design;
+}
+
+TEST(DetailedPlacementTest, PreservesLegality) {
+  db::Design design = legalized_design(1);
+  refine(design);
+  const db::LegalityReport report = db::check_legality(design);
+  EXPECT_TRUE(report.legal()) << report.summary();
+}
+
+TEST(DetailedPlacementTest, NeverIncreasesHpwl) {
+  for (std::uint64_t seed = 2; seed < 6; ++seed) {
+    db::Design design = legalized_design(seed);
+    const double before = eval::hpwl(design);
+    const DetailedPlacementStats stats = refine(design);
+    EXPECT_LE(stats.hpwl_after, before + 1e-6) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(stats.hpwl_before, before);
+    EXPECT_DOUBLE_EQ(stats.hpwl_after, eval::hpwl(design));
+  }
+}
+
+TEST(DetailedPlacementTest, ActuallyImprovesWirelength) {
+  db::Design design = legalized_design(7);
+  const DetailedPlacementStats stats = refine(design);
+  EXPECT_GT(stats.reorder_moves + stats.swap_moves + stats.shift_moves, 0u);
+  EXPECT_GT(stats.improvement_fraction(), 0.0);
+}
+
+TEST(DetailedPlacementTest, FixedCellsNeverMove) {
+  db::Design design = legalized_design(8, 0.5, /*macros=*/4);
+  std::vector<std::pair<double, double>> before;
+  for (const db::Cell& cell : design.cells())
+    if (cell.fixed) before.emplace_back(cell.x, cell.y);
+  refine(design);
+  std::size_t k = 0;
+  for (const db::Cell& cell : design.cells()) {
+    if (!cell.fixed) continue;
+    EXPECT_DOUBLE_EQ(cell.x, before[k].first);
+    EXPECT_DOUBLE_EQ(cell.y, before[k].second);
+    ++k;
+  }
+  EXPECT_TRUE(db::check_legality(design).legal());
+}
+
+TEST(DetailedPlacementTest, Deterministic) {
+  db::Design a = legalized_design(9);
+  db::Design b = legalized_design(9);
+  refine(a);
+  refine(b);
+  for (std::size_t i = 0; i < a.num_cells(); ++i) {
+    EXPECT_DOUBLE_EQ(a.cells()[i].x, b.cells()[i].x);
+    EXPECT_DOUBLE_EQ(a.cells()[i].y, b.cells()[i].y);
+  }
+}
+
+TEST(DetailedPlacementTest, OpsCanBeDisabled) {
+  db::Design design = legalized_design(10);
+  DetailedPlacementOptions options;
+  options.enable_reorder = false;
+  options.enable_vertical_swaps = false;
+  options.enable_shift = false;
+  const DetailedPlacementStats stats = refine(design, options);
+  EXPECT_EQ(stats.reorder_moves, 0u);
+  EXPECT_EQ(stats.swap_moves, 0u);
+  EXPECT_EQ(stats.shift_moves, 0u);
+  EXPECT_DOUBLE_EQ(stats.hpwl_before, stats.hpwl_after);
+}
+
+TEST(DetailedPlacementTest, ShiftOnlyStillLegalAndMonotone) {
+  db::Design design = legalized_design(11, 0.8);
+  DetailedPlacementOptions options;
+  options.enable_reorder = false;
+  options.enable_vertical_swaps = false;
+  const DetailedPlacementStats stats = refine(design, options);
+  EXPECT_LE(stats.hpwl_after, stats.hpwl_before + 1e-6);
+  EXPECT_TRUE(db::check_legality(design).legal());
+}
+
+TEST(DetailedPlacementTest, StopsWhenConverged) {
+  gen::GeneratorOptions options;
+  options.seed = 12;
+  db::Design design = gen::generate_random_design(40, 4, 0.3, options);
+  legal::legalize(design);
+  DetailedPlacementOptions dp_options;
+  dp_options.max_passes = 30;
+  const DetailedPlacementStats stats = refine(design, dp_options);
+  // A 44-cell design converges long before the pass budget.
+  EXPECT_LT(stats.passes, 30u);
+  // Re-running immediately finds nothing.
+  const DetailedPlacementStats again = refine(design, dp_options);
+  EXPECT_EQ(again.reorder_moves + again.swap_moves + again.shift_moves, 0u);
+  EXPECT_EQ(again.passes, 1u);
+}
+
+TEST(DetailedPlacementTest, NoNetsIsNoOp) {
+  gen::GeneratorOptions options;
+  options.seed = 13;
+  options.nets_per_cell = 0.0;
+  db::Design design = gen::generate_random_design(200, 20, 0.5, options);
+  legal::legalize(design);
+  const DetailedPlacementStats stats = refine(design);
+  EXPECT_EQ(stats.reorder_moves + stats.swap_moves + stats.shift_moves, 0u);
+  EXPECT_TRUE(db::check_legality(design).legal());
+}
+
+TEST(DetailedPlacementTest, DenseDesignStaysLegal) {
+  db::Design design = legalized_design(14, 0.9);
+  refine(design);
+  const db::LegalityReport report = db::check_legality(design);
+  EXPECT_TRUE(report.legal()) << report.summary();
+}
+
+}  // namespace
+}  // namespace mch::dp

@@ -1,0 +1,122 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace mch::eval {
+namespace {
+
+db::Design two_cell_design() {
+  db::Chip chip;
+  chip.num_rows = 4;
+  chip.num_sites = 100;
+  chip.site_width = 2.0;  // non-unit site width to exercise the conversion
+  chip.row_height = 10.0;
+  db::Design design(chip);
+  db::Cell a;
+  a.width = 4;
+  a.gp_x = 10;
+  a.gp_y = 5;
+  a.x = 14;  // dx = 4 (2 sites)
+  a.y = 10;  // dy = 5 (2.5 sites)
+  design.add_cell(a);
+  db::Cell b;
+  b.width = 4;
+  b.gp_x = 20;
+  b.gp_y = 20;
+  b.x = 20;
+  b.y = 20;  // unmoved
+  design.add_cell(b);
+  return design;
+}
+
+TEST(MetricsTest, DisplacementInSiteUnits) {
+  const DisplacementStats stats = displacement(two_cell_design());
+  EXPECT_DOUBLE_EQ(stats.total_x_sites, 2.0);
+  EXPECT_DOUBLE_EQ(stats.total_y_sites, 2.5);
+  EXPECT_DOUBLE_EQ(stats.total_sites, 4.5);
+  EXPECT_DOUBLE_EQ(stats.max_sites, 4.5);
+  EXPECT_DOUBLE_EQ(stats.mean_sites, 2.25);
+  EXPECT_DOUBLE_EQ(stats.quadratic, 16.0 + 25.0);
+  EXPECT_EQ(stats.moved_cells, 1u);
+}
+
+TEST(MetricsTest, EmptyDesign) {
+  db::Chip chip;
+  chip.num_rows = 2;
+  chip.num_sites = 10;
+  const db::Design design(chip);
+  const DisplacementStats stats = displacement(design);
+  EXPECT_DOUBLE_EQ(stats.total_sites, 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean_sites, 0.0);
+}
+
+db::Design netlist_design() {
+  db::Chip chip;
+  chip.num_rows = 4;
+  chip.num_sites = 100;
+  chip.site_width = 1.0;
+  chip.row_height = 10.0;
+  db::Design design(chip);
+  db::Cell a;
+  a.width = 4;
+  a.gp_x = 0;
+  a.gp_y = 0;
+  a.x = 0;
+  a.y = 0;
+  design.add_cell(a);
+  db::Cell b;
+  b.width = 4;
+  b.gp_x = 10;
+  b.gp_y = 10;
+  b.x = 10;
+  b.y = 10;
+  design.add_cell(b);
+  db::Net net;
+  net.pins.push_back({0, 1.0, 2.0});
+  net.pins.push_back({1, 0.0, 0.0});
+  design.add_net(net);
+  return design;
+}
+
+TEST(MetricsTest, HpwlOfTwoPinNet) {
+  const db::Design design = netlist_design();
+  // Pins at (1,2) and (10,10): HPWL = 9 + 8 = 17.
+  EXPECT_DOUBLE_EQ(hpwl(design), 17.0);
+  EXPECT_DOUBLE_EQ(gp_hpwl(design), 17.0);
+  EXPECT_DOUBLE_EQ(delta_hpwl_fraction(design), 0.0);
+}
+
+TEST(MetricsTest, HpwlTracksMovement) {
+  db::Design design = netlist_design();
+  design.cells()[1].x = 20.0;  // pin x: 20 → HPWL = 19 + 8
+  EXPECT_DOUBLE_EQ(hpwl(design), 27.0);
+  EXPECT_DOUBLE_EQ(gp_hpwl(design), 17.0);
+  EXPECT_NEAR(delta_hpwl_fraction(design), 10.0 / 17.0, 1e-12);
+}
+
+TEST(MetricsTest, SinglePinNetsIgnored) {
+  db::Design design = netlist_design();
+  db::Net lonely;
+  lonely.pins.push_back({0, 0, 0});
+  design.add_net(lonely);
+  EXPECT_DOUBLE_EQ(hpwl(design), 17.0);
+}
+
+TEST(MetricsTest, NoNetsGivesZeroDelta) {
+  const db::Design design = two_cell_design();
+  EXPECT_DOUBLE_EQ(delta_hpwl_fraction(design), 0.0);
+}
+
+TEST(MetricsTest, MultiPinNetBoundingBox) {
+  db::Design design = netlist_design();
+  db::Net net;
+  net.pins.push_back({0, 0.0, 0.0});   // (0, 0)
+  net.pins.push_back({0, 4.0, 0.0});   // (4, 0)
+  net.pins.push_back({1, 0.0, 10.0});  // (10, 20)
+  design.add_net(net);
+  // New net bbox: x [0,10], y [0,20] → 30. Total = 17 + 30.
+  EXPECT_DOUBLE_EQ(hpwl(design), 47.0);
+}
+
+}  // namespace
+}  // namespace mch::eval

@@ -1,0 +1,75 @@
+// Options plumbing and cross-module consistency checks for the experiment
+// runner: custom solver options must reach the MMSIM, and the metrics the
+// runner reports must agree with direct computation.
+#include <gtest/gtest.h>
+
+#include "eval/suite_runner.h"
+
+namespace mch::eval {
+namespace {
+
+db::Design small_design(std::uint64_t seed) {
+  gen::GeneratorOptions options;
+  options.seed = seed;
+  return gen::generate_random_design(400, 50, 0.6, options);
+}
+
+TEST(SuiteRunnerOptionsTest, CustomLambdaReachesTheModel) {
+  // A tiny λ leaves visible subcell mismatch, which the Tetris allocation
+  // then fixes; the run must still be legal but typically needs more
+  // allocation repairs than the λ=1000 default.
+  db::Design design = small_design(1);
+  legal::FlowOptions loose;
+  loose.solver.model.lambda = 1.0;
+  const RunResult loose_run = run_legalizer(design, Legalizer::kMmsim, loose);
+  EXPECT_TRUE(loose_run.legal) << loose_run.legality_summary;
+
+  legal::FlowOptions tight;
+  tight.solver.model.lambda = 1000.0;
+  const RunResult tight_run = run_legalizer(design, Legalizer::kMmsim, tight);
+  EXPECT_TRUE(tight_run.legal);
+  EXPECT_GE(loose_run.illegal_after_solver, tight_run.illegal_after_solver);
+}
+
+TEST(SuiteRunnerOptionsTest, CustomToleranceChangesIterations) {
+  db::Design design = small_design(2);
+  legal::FlowOptions coarse;
+  coarse.solver.mmsim.tolerance = 1e-2;
+  const RunResult coarse_run =
+      run_legalizer(design, Legalizer::kMmsim, coarse);
+  legal::FlowOptions fine;
+  fine.solver.mmsim.tolerance = 1e-8;
+  const RunResult fine_run = run_legalizer(design, Legalizer::kMmsim, fine);
+  EXPECT_LT(coarse_run.solver_iterations, fine_run.solver_iterations);
+  EXPECT_TRUE(coarse_run.legal);
+  EXPECT_TRUE(fine_run.legal);
+}
+
+TEST(SuiteRunnerOptionsTest, ReportedMetricsMatchDirectComputation) {
+  db::Design design = small_design(3);
+  const RunResult result = run_legalizer(design, Legalizer::kMmsim);
+  // The design still holds the final placement; recompute directly.
+  EXPECT_DOUBLE_EQ(result.disp.total_sites,
+                   displacement(design).total_sites);
+  EXPECT_DOUBLE_EQ(result.hpwl, hpwl(design));
+  EXPECT_DOUBLE_EQ(result.gp_hpwl, gp_hpwl(design));
+  EXPECT_NEAR(result.delta_hpwl,
+              (result.hpwl - result.gp_hpwl) / result.gp_hpwl, 1e-12);
+}
+
+TEST(SuiteRunnerOptionsTest, MacroDesignsRunThroughMmsimAndLocal) {
+  gen::GeneratorOptions options;
+  options.seed = 4;
+  options.fixed_macros = 4;
+  db::Design design = gen::generate_random_design(400, 40, 0.5, options);
+  design.name = "macros";
+  for (const auto which :
+       {Legalizer::kMmsim, Legalizer::kTetris, Legalizer::kLocalBase}) {
+    const RunResult result = run_legalizer(design, which);
+    EXPECT_TRUE(result.legal)
+        << to_string(which) << ": " << result.legality_summary;
+  }
+}
+
+}  // namespace
+}  // namespace mch::eval

@@ -1,0 +1,81 @@
+#include "eval/suite_runner.h"
+
+#include <gtest/gtest.h>
+
+namespace mch::eval {
+namespace {
+
+db::Design small_suite_design(std::uint64_t seed = 1) {
+  gen::GeneratorOptions opts;
+  opts.scale = 0.02;
+  opts.seed = seed;
+  return gen::generate_design(gen::find_spec("fft_2"), opts);
+}
+
+class AllLegalizers : public ::testing::TestWithParam<Legalizer> {};
+
+TEST_P(AllLegalizers, RunsLegallyAndFillsMetrics) {
+  db::Design design = small_suite_design();
+  const RunResult result = run_legalizer(design, GetParam());
+  EXPECT_TRUE(result.legal) << to_string(GetParam()) << ": "
+                            << result.legality_summary;
+  EXPECT_EQ(result.benchmark, "fft_2");
+  EXPECT_EQ(result.num_cells, design.num_cells());
+  EXPECT_GT(result.gp_hpwl, 0.0);
+  EXPECT_GT(result.hpwl, 0.0);
+  EXPECT_GT(result.disp.total_sites, 0.0);
+  EXPECT_GT(result.seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, AllLegalizers,
+    ::testing::Values(Legalizer::kMmsim, Legalizer::kTetris,
+                      Legalizer::kLocalBase, Legalizer::kLocalImproved,
+                      Legalizer::kMixedAbacus),
+    [](const ::testing::TestParamInfo<Legalizer>& info) {
+      std::string name = to_string(info.param);
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+TEST(SuiteRunnerTest, MmsimFillsSolverFields) {
+  db::Design design = small_suite_design();
+  const RunResult result = run_legalizer(design, Legalizer::kMmsim);
+  EXPECT_GT(result.solver_iterations, 0u);
+  EXPECT_TRUE(result.solver_converged);
+}
+
+TEST(SuiteRunnerTest, BaselinesLeaveSolverFieldsEmpty) {
+  db::Design design = small_suite_design();
+  const RunResult result = run_legalizer(design, Legalizer::kTetris);
+  EXPECT_EQ(result.solver_iterations, 0u);
+  EXPECT_EQ(result.illegal_after_solver, 0u);
+}
+
+TEST(SuiteRunnerTest, ResetsPositionsBetweenRuns) {
+  db::Design design = small_suite_design();
+  const RunResult a = run_legalizer(design, Legalizer::kMmsim);
+  const RunResult b = run_legalizer(design, Legalizer::kMmsim);
+  EXPECT_DOUBLE_EQ(a.disp.total_sites, b.disp.total_sites);
+  EXPECT_DOUBLE_EQ(a.hpwl, b.hpwl);
+}
+
+TEST(SuiteRunnerTest, ToStringCoversAll) {
+  EXPECT_STREQ(to_string(Legalizer::kMmsim), "mmsim");
+  EXPECT_STREQ(to_string(Legalizer::kTetris), "tetris");
+  EXPECT_STREQ(to_string(Legalizer::kLocalBase), "local");
+  EXPECT_STREQ(to_string(Legalizer::kLocalImproved), "local-imp");
+  EXPECT_STREQ(to_string(Legalizer::kMixedAbacus), "mixed-abacus");
+}
+
+TEST(SuiteRunnerTest, DesignCharacteristicsReported) {
+  db::Design design = small_suite_design();
+  const RunResult result = run_legalizer(design, Legalizer::kTetris);
+  EXPECT_EQ(result.num_single + result.num_double, result.num_cells);
+  EXPECT_GT(result.density, 0.3);
+  EXPECT_LT(result.density, 0.7);
+}
+
+}  // namespace
+}  // namespace mch::eval

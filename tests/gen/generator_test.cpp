@@ -1,0 +1,183 @@
+#include "gen/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "db/legality.h"
+
+namespace mch::gen {
+namespace {
+
+GeneratorOptions small_options() {
+  GeneratorOptions opts;
+  opts.seed = 5;
+  return opts;
+}
+
+TEST(GeneratorTest, CellCountsMatchRequest) {
+  const db::Design d = generate_random_design(200, 30, 0.5, small_options());
+  EXPECT_EQ(d.num_cells(), 230u);
+  EXPECT_EQ(d.count_cells_with_height(1), 200u);
+  EXPECT_EQ(d.count_cells_with_height(2), 30u);
+}
+
+TEST(GeneratorTest, DensityApproximatelyHonored) {
+  for (const double target : {0.2, 0.5, 0.8}) {
+    const db::Design d =
+        generate_random_design(500, 50, target, small_options());
+    EXPECT_NEAR(d.density(), target, 0.08) << "target " << target;
+  }
+}
+
+TEST(GeneratorTest, Deterministic) {
+  const db::Design a = generate_random_design(100, 10, 0.5, small_options());
+  const db::Design b = generate_random_design(100, 10, 0.5, small_options());
+  ASSERT_EQ(a.num_cells(), b.num_cells());
+  for (std::size_t i = 0; i < a.num_cells(); ++i) {
+    EXPECT_DOUBLE_EQ(a.cells()[i].gp_x, b.cells()[i].gp_x);
+    EXPECT_DOUBLE_EQ(a.cells()[i].gp_y, b.cells()[i].gp_y);
+    EXPECT_DOUBLE_EQ(a.cells()[i].width, b.cells()[i].width);
+  }
+  ASSERT_EQ(a.num_nets(), b.num_nets());
+}
+
+TEST(GeneratorTest, SeedChangesOutput) {
+  GeneratorOptions other = small_options();
+  other.seed = 6;
+  const db::Design a = generate_random_design(100, 10, 0.5, small_options());
+  const db::Design b = generate_random_design(100, 10, 0.5, other);
+  int differing = 0;
+  for (std::size_t i = 0; i < a.num_cells(); ++i)
+    if (a.cells()[i].gp_x != b.cells()[i].gp_x) ++differing;
+  EXPECT_GT(differing, 50);
+}
+
+TEST(GeneratorTest, GpPositionsInsideChip) {
+  const db::Design d = generate_random_design(300, 40, 0.6, small_options());
+  const db::Chip& chip = d.chip();
+  for (const db::Cell& cell : d.cells()) {
+    EXPECT_GE(cell.gp_x, 0.0);
+    EXPECT_LE(cell.gp_x + cell.width, chip.width() + 1e-9);
+    EXPECT_GE(cell.gp_y, 0.0);
+    EXPECT_LE(cell.gp_y + static_cast<double>(cell.height_rows) *
+                              chip.row_height,
+              chip.height() + 1e-9);
+  }
+}
+
+TEST(GeneratorTest, CurrentPositionsStartAtGp) {
+  const db::Design d = generate_random_design(50, 5, 0.5, small_options());
+  for (const db::Cell& cell : d.cells()) {
+    EXPECT_DOUBLE_EQ(cell.x, cell.gp_x);
+    EXPECT_DOUBLE_EQ(cell.y, cell.gp_y);
+  }
+}
+
+TEST(GeneratorTest, WidthsArePositiveIntegralSites) {
+  const db::Design d = generate_random_design(300, 50, 0.5, small_options());
+  for (const db::Cell& cell : d.cells()) {
+    EXPECT_GT(cell.width, 0.0);
+    const double sites = cell.width / d.chip().site_width;
+    EXPECT_NEAR(sites, std::round(sites), 1e-9);
+  }
+}
+
+TEST(GeneratorTest, DoubleHeightCellsNarrower) {
+  const db::Design d = generate_random_design(400, 400, 0.5, small_options());
+  double single_width = 0.0, double_width = 0.0;
+  for (const db::Cell& cell : d.cells()) {
+    if (cell.height_rows == 1)
+      single_width += cell.width;
+    else
+      double_width += cell.width;
+  }
+  // Halved widths: the double-height population is markedly narrower.
+  EXPECT_LT(double_width, 0.75 * single_width);
+}
+
+TEST(GeneratorTest, NetlistSizeTracksOption) {
+  GeneratorOptions opts = small_options();
+  opts.nets_per_cell = 2.0;
+  const db::Design d = generate_random_design(100, 10, 0.5, opts);
+  EXPECT_EQ(d.num_nets(), 220u);
+  for (const db::Net& net : d.nets()) {
+    EXPECT_GE(net.pins.size(), static_cast<std::size_t>(opts.min_pins));
+    EXPECT_LE(net.pins.size(), static_cast<std::size_t>(opts.max_pins));
+  }
+}
+
+TEST(GeneratorTest, NoNetsWhenDisabled) {
+  GeneratorOptions opts = small_options();
+  opts.nets_per_cell = 0.0;
+  const db::Design d = generate_random_design(100, 10, 0.5, opts);
+  EXPECT_EQ(d.num_nets(), 0u);
+}
+
+TEST(GeneratorTest, TripleAndQuadHeights) {
+  GeneratorOptions opts = small_options();
+  opts.triple_fraction = 0.1;
+  opts.quad_fraction = 0.05;
+  const db::Design d = generate_random_design(200, 20, 0.5, opts);
+  EXPECT_EQ(d.count_cells_with_height(3), 20u);
+  EXPECT_EQ(d.count_cells_with_height(4), 10u);
+  EXPECT_EQ(d.count_cells_with_height(1), 170u);
+  EXPECT_EQ(d.num_cells(), 220u);
+}
+
+TEST(GeneratorTest, SuiteSpecScaling) {
+  GeneratorOptions opts = small_options();
+  opts.scale = 0.01;
+  const BenchmarkSpec& spec = find_spec("fft_a");  // 28718 + 1907
+  const db::Design d = generate_design(spec, opts);
+  EXPECT_EQ(d.name, "fft_a");
+  EXPECT_EQ(d.count_cells_with_height(1), 287u);
+  EXPECT_EQ(d.count_cells_with_height(2), 19u);
+  EXPECT_NEAR(d.density(), spec.density, 0.08);
+}
+
+TEST(GeneratorTest, DifferentSuiteEntriesDiffer) {
+  GeneratorOptions opts = small_options();
+  opts.scale = 0.01;
+  const db::Design a = generate_design(find_spec("fft_a"), opts);
+  const db::Design b = generate_design(find_spec("fft_b"), opts);
+  // Same counts but different derived seeds → different placements.
+  ASSERT_EQ(a.num_cells(), b.num_cells());
+  int differing = 0;
+  for (std::size_t i = 0; i < a.num_cells(); ++i)
+    if (a.cells()[i].gp_x != b.cells()[i].gp_x) ++differing;
+  EXPECT_GT(differing, 100);
+}
+
+TEST(GeneratorTest, GpIsNearLegal) {
+  // The GP synthesis perturbs a legal packing: after snapping cells back to
+  // rows/sites the overlap count should be a small fraction of all cells.
+  GeneratorOptions opts = small_options();
+  const db::Design d = generate_random_design(1000, 100, 0.5, opts);
+  db::Design snapped = d;
+  for (db::Cell& cell : snapped.cells()) {
+    cell.y = snapped.chip().row_y(snapped.nearest_row(cell.gp_y,
+                                                      cell.height_rows));
+    cell.x = snapped.snap_x_to_site(cell.gp_x, cell.width);
+  }
+  db::LegalityOptions lo;
+  lo.max_recorded = 0;
+  const db::LegalityReport report = db::check_legality(snapped, lo);
+  // Most cells are *not* involved in any overlap.
+  EXPECT_LT(report.overlaps, snapped.num_cells() / 2);
+}
+
+TEST(GeneratorTest, EvenHeightRailTypesConsistentWithSomeLegalRow) {
+  const db::Design d = generate_random_design(100, 100, 0.4, small_options());
+  for (const db::Cell& cell : d.cells()) {
+    if (!cell.is_even_height()) continue;
+    // Some row in the chip accommodates this rail type.
+    bool any = false;
+    for (std::size_t r = 0; r + cell.height_rows <= d.chip().num_rows; ++r)
+      any = any || cell.rail_compatible(d.chip(), r);
+    EXPECT_TRUE(any);
+  }
+}
+
+}  // namespace
+}  // namespace mch::gen

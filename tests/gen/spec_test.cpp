@@ -1,0 +1,64 @@
+#include "gen/spec.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/check.h"
+
+namespace mch::gen {
+namespace {
+
+TEST(SpecTest, SuiteHasTwentyBenchmarks) {
+  EXPECT_EQ(ispd2015_mch_suite().size(), 20u);
+}
+
+TEST(SpecTest, NamesAreUniqueAndNonEmpty) {
+  std::set<std::string> names;
+  for (const BenchmarkSpec& spec : ispd2015_mch_suite()) {
+    EXPECT_FALSE(spec.name.empty());
+    EXPECT_TRUE(names.insert(spec.name).second) << spec.name;
+  }
+}
+
+TEST(SpecTest, Table1ValuesSpotCheck) {
+  const BenchmarkSpec& des = find_spec("des_perf_1");
+  EXPECT_EQ(des.num_single_cells, 103842u);
+  EXPECT_EQ(des.num_double_cells, 8802u);
+  EXPECT_DOUBLE_EQ(des.density, 0.91);
+
+  const BenchmarkSpec& sb12 = find_spec("superblue12");
+  EXPECT_EQ(sb12.num_single_cells, 1172586u);
+  EXPECT_EQ(sb12.num_double_cells, 114362u);
+  EXPECT_DOUBLE_EQ(sb12.density, 0.45);
+
+  const BenchmarkSpec& pci = find_spec("pci_bridge32_b");
+  EXPECT_EQ(pci.num_single_cells, 25734u);
+  EXPECT_DOUBLE_EQ(pci.density, 0.14);
+}
+
+TEST(SpecTest, DoubleFractionRoughlyTenPercent) {
+  // The benchmarks were built by doubling 10% of cells; the published
+  // counts should reflect that within a loose band.
+  for (const BenchmarkSpec& spec : ispd2015_mch_suite()) {
+    const double fraction =
+        static_cast<double>(spec.num_double_cells) /
+        static_cast<double>(spec.num_single_cells + spec.num_double_cells);
+    EXPECT_GT(fraction, 0.015) << spec.name;
+    EXPECT_LT(fraction, 0.15) << spec.name;
+  }
+}
+
+TEST(SpecTest, DensitiesInUnitInterval) {
+  for (const BenchmarkSpec& spec : ispd2015_mch_suite()) {
+    EXPECT_GT(spec.density, 0.0) << spec.name;
+    EXPECT_LE(spec.density, 1.0) << spec.name;
+  }
+}
+
+TEST(SpecTest, FindSpecUnknownThrows) {
+  EXPECT_THROW(find_spec("nonexistent"), CheckError);
+}
+
+}  // namespace
+}  // namespace mch::gen

@@ -1,0 +1,90 @@
+#include "gen/transform.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generator.h"
+#include "legal/flow.h"
+
+namespace mch::gen {
+namespace {
+
+db::Design single_height_design(std::uint64_t seed) {
+  GeneratorOptions options;
+  options.seed = seed;
+  return generate_random_design(1000, 0, 0.5, options);
+}
+
+TEST(TransformTest, ConvertsRequestedFraction) {
+  db::Design design = single_height_design(1);
+  const MixedHeightTransformStats stats =
+      make_mixed_height(design, 0.10, 7);
+  EXPECT_EQ(stats.converted_cells, 100u);
+  EXPECT_EQ(design.count_cells_with_height(2), 100u);
+  EXPECT_EQ(design.count_cells_with_height(1), 900u);
+}
+
+TEST(TransformTest, AreaApproximatelyPreserved) {
+  db::Design design = single_height_design(2);
+  const MixedHeightTransformStats stats =
+      make_mixed_height(design, 0.10, 7);
+  // "This modification maintains the total cell area" — up to the one-site
+  // round-up of odd widths.
+  EXPECT_NEAR(stats.area_after, stats.area_before,
+              0.05 * stats.area_before);
+  EXPECT_GE(stats.area_after, stats.area_before - 1e-9);
+}
+
+TEST(TransformTest, Deterministic) {
+  db::Design a = single_height_design(3);
+  db::Design b = single_height_design(3);
+  make_mixed_height(a, 0.2, 11);
+  make_mixed_height(b, 0.2, 11);
+  for (std::size_t i = 0; i < a.num_cells(); ++i) {
+    EXPECT_EQ(a.cells()[i].height_rows, b.cells()[i].height_rows);
+    EXPECT_DOUBLE_EQ(a.cells()[i].width, b.cells()[i].width);
+  }
+}
+
+TEST(TransformTest, ConvertedCellsAreRailFeasible) {
+  db::Design design = single_height_design(4);
+  make_mixed_height(design, 0.15, 13);
+  for (const db::Cell& cell : design.cells()) {
+    if (cell.height_rows != 2) continue;
+    bool feasible = false;
+    for (std::size_t r = 0; r + 2 <= design.chip().num_rows; ++r)
+      feasible = feasible || cell.rail_compatible(design.chip(), r);
+    EXPECT_TRUE(feasible);
+  }
+}
+
+TEST(TransformTest, ZeroFractionIsNoOp) {
+  db::Design design = single_height_design(5);
+  const MixedHeightTransformStats stats = make_mixed_height(design, 0.0, 1);
+  EXPECT_EQ(stats.converted_cells, 0u);
+  EXPECT_EQ(design.count_cells_with_height(2), 0u);
+}
+
+TEST(TransformTest, FixedCellsNeverConverted) {
+  GeneratorOptions options;
+  options.seed = 6;
+  options.fixed_macros = 3;
+  db::Design design = generate_random_design(200, 0, 0.4, options);
+  make_mixed_height(design, 1.0, 9);
+  for (const db::Cell& cell : design.cells()) {
+    if (cell.fixed) {
+      EXPECT_GT(cell.height_rows, 2u);  // macros stay macros
+    }
+  }
+  EXPECT_EQ(design.count_cells_with_height(2), 200u);
+}
+
+TEST(TransformTest, TransformedDesignLegalizes) {
+  // The full paper pipeline: single-height design → 10% doubling → MMSIM.
+  db::Design design = single_height_design(7);
+  make_mixed_height(design, 0.10, 17);
+  const legal::FlowResult result = legal::legalize(design);
+  EXPECT_TRUE(result.legal) << result.legality.summary();
+}
+
+}  // namespace
+}  // namespace mch::gen

@@ -1,0 +1,124 @@
+#include "gp/quadratic_placer.h"
+
+#include <gtest/gtest.h>
+
+#include "db/legality.h"
+#include "eval/metrics.h"
+#include "gen/generator.h"
+#include "legal/flow.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace mch::gp {
+namespace {
+
+/// A design whose generator GP is discarded: only the netlist and cell
+/// population matter; the placer must find positions on its own.
+db::Design netlist_design(std::uint64_t seed, std::size_t cells = 600,
+                          std::size_t macros = 0) {
+  gen::GeneratorOptions options;
+  options.seed = seed;
+  options.fixed_macros = macros;
+  db::Design design = gen::generate_random_design(
+      cells - cells / 10, cells / 10, 0.5, options);
+  // Scramble the positions so nothing of the generator's placement leaks.
+  Rng rng(seed + 1000);
+  for (db::Cell& cell : design.cells()) {
+    if (cell.fixed) continue;
+    cell.x = cell.gp_x = rng.uniform(0.0, design.chip().width() / 10.0);
+    cell.y = cell.gp_y = rng.uniform(0.0, design.chip().height() / 10.0);
+  }
+  return design;
+}
+
+TEST(QuadraticPlacerTest, ProducesInChipPositions) {
+  db::Design design = netlist_design(1);
+  const GlobalPlacementStats stats = place(design);
+  EXPECT_EQ(stats.iterations, GlobalPlacementOptions{}.iterations);
+  for (const db::Cell& cell : design.cells()) {
+    EXPECT_GE(cell.gp_x, 0.0);
+    EXPECT_LE(cell.gp_x + cell.width, design.chip().width() + 1e-9);
+    EXPECT_GE(cell.gp_y, 0.0);
+    EXPECT_LE(cell.gp_y + static_cast<double>(cell.height_rows) *
+                              design.chip().row_height,
+              design.chip().height() + 1e-9);
+  }
+}
+
+TEST(QuadraticPlacerTest, BeatsRandomPlacementOnHpwl) {
+  db::Design design = netlist_design(2);
+  // Random baseline wirelength.
+  Rng rng(77);
+  for (db::Cell& cell : design.cells()) {
+    if (cell.fixed) continue;
+    cell.x = rng.uniform(0.0, design.chip().width() - cell.width);
+    cell.y = rng.uniform(0.0, design.chip().height() / 2.0);
+  }
+  const double random_hpwl = eval::hpwl(design);
+  const GlobalPlacementStats stats = place(design);
+  EXPECT_LT(stats.final_hpwl, 0.7 * random_hpwl);
+}
+
+TEST(QuadraticPlacerTest, SpreadingReducesOverlapWhileKeepingHpwlSane) {
+  db::Design design = netlist_design(3);
+  const GlobalPlacementStats stats = place(design);
+  // The anchored solution must not collapse: the placement should span a
+  // significant part of the chip.
+  double min_x = 1e18, max_x = -1e18;
+  for (const db::Cell& cell : design.cells()) {
+    min_x = std::min(min_x, cell.gp_x);
+    max_x = std::max(max_x, cell.gp_x + cell.width);
+  }
+  EXPECT_GT(max_x - min_x, design.chip().width() * 0.4);
+  // Wirelength stays within a small factor of the unconstrained optimum.
+  EXPECT_LT(stats.final_hpwl, 20.0 * stats.initial_hpwl + 1e-9);
+}
+
+TEST(QuadraticPlacerTest, OutputLegalizes) {
+  db::Design design = netlist_design(4, 800);
+  place(design);
+  const legal::FlowResult result = legal::legalize(design);
+  EXPECT_TRUE(result.legal) << result.legality.summary();
+  // The legalization shock stays bounded: the GP is spread enough that
+  // legalizing it costs a small multiple, not an order of magnitude (a
+  // quadratic placer with a Tetris upper bound spreads less aggressively
+  // than a production density-driven GP).
+  EXPECT_LT(eval::delta_hpwl_fraction(design), 2.0);
+}
+
+TEST(QuadraticPlacerTest, FixedCellsAreAnchors) {
+  db::Design design = netlist_design(5, 400, /*macros=*/3);
+  std::vector<std::pair<double, double>> before;
+  for (const db::Cell& cell : design.cells())
+    if (cell.fixed) before.emplace_back(cell.x, cell.y);
+  place(design);
+  std::size_t k = 0;
+  for (const db::Cell& cell : design.cells()) {
+    if (!cell.fixed) continue;
+    EXPECT_DOUBLE_EQ(cell.x, before[k].first);
+    EXPECT_DOUBLE_EQ(cell.y, before[k].second);
+    ++k;
+  }
+}
+
+TEST(QuadraticPlacerTest, Deterministic) {
+  db::Design a = netlist_design(6);
+  db::Design b = netlist_design(6);
+  place(a);
+  place(b);
+  for (std::size_t i = 0; i < a.num_cells(); ++i) {
+    EXPECT_DOUBLE_EQ(a.cells()[i].gp_x, b.cells()[i].gp_x);
+    EXPECT_DOUBLE_EQ(a.cells()[i].gp_y, b.cells()[i].gp_y);
+  }
+}
+
+TEST(QuadraticPlacerTest, RequiresNetlist) {
+  gen::GeneratorOptions options;
+  options.seed = 7;
+  options.nets_per_cell = 0.0;
+  db::Design design = gen::generate_random_design(50, 5, 0.5, options);
+  EXPECT_THROW(place(design), CheckError);
+}
+
+}  // namespace
+}  // namespace mch::gp

@@ -1,0 +1,177 @@
+// Property-based sweeps over the whole pipeline: for a grid of densities,
+// height mixes, and seeds, the flow must always produce a legal placement
+// that preserves the GP ordering within rows, and the MMSIM's continuous
+// solution must always satisfy its KKT system.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "db/legality.h"
+#include "eval/metrics.h"
+#include "gen/generator.h"
+#include "legal/flow.h"
+#include "legal/model.h"
+
+namespace mch {
+namespace {
+
+struct Scenario {
+  double density;
+  double double_fraction;   ///< of the cell count
+  double triple_fraction;   ///< of the single-cell budget
+  std::uint64_t seed;
+};
+
+class FlowPropertyTest : public ::testing::TestWithParam<Scenario> {};
+
+db::Design make_design(const Scenario& s) {
+  gen::GeneratorOptions options;
+  options.seed = s.seed;
+  options.triple_fraction = s.triple_fraction;
+  const std::size_t total = 700;
+  const auto doubles =
+      static_cast<std::size_t>(s.double_fraction * total);
+  return gen::generate_random_design(total - doubles, doubles, s.density,
+                                     options);
+}
+
+TEST_P(FlowPropertyTest, AlwaysLegal) {
+  db::Design design = make_design(GetParam());
+  const legal::FlowResult result = legal::legalize(design);
+  EXPECT_TRUE(result.legal) << result.legality.summary();
+  EXPECT_EQ(result.allocation.unplaced_cells, 0u);
+}
+
+TEST_P(FlowPropertyTest, DisplacementBounded) {
+  db::Design design = make_design(GetParam());
+  const legal::FlowResult result = legal::legalize(design);
+  ASSERT_TRUE(result.legal);
+  const eval::DisplacementStats disp = eval::displacement(design);
+  // Mean displacement stays within a handful of sites for near-legal GP
+  // input at any density the chip can hold.
+  EXPECT_LT(disp.mean_sites, 25.0);
+  // No cell teleports across the chip unless density forces relocation.
+  if (GetParam().density < 0.7) {
+    EXPECT_LT(disp.max_sites,
+              static_cast<double>(design.chip().num_sites));
+  }
+}
+
+TEST_P(FlowPropertyTest, KktResidualsHoldAtSolverOutput) {
+  db::Design design = make_design(GetParam());
+  const legal::RowAssignment rows = legal::assign_rows(design);
+  const legal::LegalizationModel model = legal::build_model(design, rows);
+  lcp::MmsimOptions options;
+  options.tolerance = 1e-8;
+  options.max_iterations = 300000;
+  const lcp::MmsimResult result =
+      lcp::MmsimSolver(model.qp, options).solve();
+  ASSERT_TRUE(result.converged);
+  const lcp::LcpResidual residual = model.qp.lcp_residual(result.z);
+  const double scale = 1.0 + linalg::norm_inf(result.z);
+  EXPECT_LT(residual.z_negativity, 1e-9 * scale);
+  EXPECT_LT(residual.w_negativity, 1e-6 * scale);
+  EXPECT_LT(residual.complementarity, 1e-5 * scale * scale);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FlowPropertyTest,
+    ::testing::Values(Scenario{0.15, 0.10, 0.0, 1},
+                      Scenario{0.40, 0.10, 0.0, 2},
+                      Scenario{0.60, 0.10, 0.0, 3},
+                      Scenario{0.80, 0.10, 0.0, 4},
+                      Scenario{0.90, 0.10, 0.0, 5},
+                      Scenario{0.50, 0.00, 0.0, 6},   // singles only
+                      Scenario{0.50, 0.30, 0.0, 7},   // many doubles
+                      Scenario{0.50, 0.10, 0.08, 8},  // with triples
+                      Scenario{0.70, 0.20, 0.05, 9},
+                      Scenario{0.30, 0.10, 0.0, 10}));
+
+TEST(FlowEdgeCaseTest, SingleCellDesign) {
+  db::Chip chip;
+  chip.num_rows = 4;
+  chip.num_sites = 20;
+  chip.row_height = 8.0;
+  db::Design design(chip);
+  db::Cell cell;
+  cell.width = 5;
+  cell.gp_x = 7.3;
+  cell.gp_y = 9.1;
+  design.add_cell(cell);
+  const legal::FlowResult result = legal::legalize(design);
+  EXPECT_TRUE(result.legal);
+  EXPECT_DOUBLE_EQ(design.cells()[0].x, 7.0);  // nearest site
+  EXPECT_DOUBLE_EQ(design.cells()[0].y, 8.0);  // nearest row
+}
+
+TEST(FlowEdgeCaseTest, CellAsWideAsTheChip) {
+  db::Chip chip;
+  chip.num_rows = 4;
+  chip.num_sites = 10;
+  db::Design design(chip);
+  db::Cell wide;
+  wide.width = 10;
+  wide.gp_x = 3.0;  // pushes past the right edge
+  wide.gp_y = 0.0;
+  design.add_cell(wide);
+  const legal::FlowResult result = legal::legalize(design);
+  EXPECT_TRUE(result.legal) << result.legality.summary();
+  EXPECT_DOUBLE_EQ(design.cells()[0].x, 0.0);
+}
+
+TEST(FlowEdgeCaseTest, EverythingInOneRow) {
+  db::Chip chip;
+  chip.num_rows = 2;
+  chip.num_sites = 200;
+  chip.row_height = 10.0;
+  db::Design design(chip);
+  for (int i = 0; i < 30; ++i) {
+    db::Cell cell;
+    cell.width = 5;
+    cell.gp_x = 50.0 + 0.1 * i;  // all piled onto the same spot
+    cell.gp_y = 1.0;
+    design.add_cell(cell);
+  }
+  const legal::FlowResult result = legal::legalize(design);
+  EXPECT_TRUE(result.legal) << result.legality.summary();
+  // Chain must have spread into a 150-site run of abutting cells.
+  double min_x = 1e9, max_x = -1e9;
+  for (const db::Cell& cell : design.cells()) {
+    min_x = std::min(min_x, cell.x);
+    max_x = std::max(max_x, cell.x + cell.width);
+  }
+  EXPECT_GE(max_x - min_x, 150.0 - 1e-9);
+}
+
+TEST(FlowEdgeCaseTest, IdenticalGpPositionsDeterministicOrder) {
+  db::Chip chip;
+  chip.num_rows = 2;
+  chip.num_sites = 100;
+  chip.row_height = 10.0;
+  db::Design design(chip);
+  for (int i = 0; i < 5; ++i) {
+    db::Cell cell;
+    cell.width = 4;
+    cell.gp_x = 40.0;
+    cell.gp_y = 0.0;
+    design.add_cell(cell);
+  }
+  const legal::FlowResult result = legal::legalize(design);
+  ASSERT_TRUE(result.legal);
+  // Ties broken by id: cells appear left-to-right in id order.
+  for (std::size_t i = 0; i + 1 < design.num_cells(); ++i)
+    EXPECT_LT(design.cells()[i].x, design.cells()[i + 1].x);
+}
+
+TEST(FlowEdgeCaseTest, NearCapacityDesignStillLegal) {
+  gen::GeneratorOptions options;
+  options.seed = 99;
+  db::Design design = gen::generate_random_design(900, 100, 0.97, options);
+  const legal::FlowResult result = legal::legalize(design);
+  EXPECT_TRUE(result.legal) << result.legality.summary();
+  EXPECT_EQ(result.allocation.unplaced_cells, 0u);
+}
+
+}  // namespace
+}  // namespace mch

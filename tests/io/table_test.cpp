@@ -1,0 +1,77 @@
+#include "io/table.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace mch::io {
+namespace {
+
+Table sample_table() {
+  Table t({"name", "count", "ratio"});
+  t.row().cell("alpha").cell(std::size_t{42}).cell(0.125, 3);
+  t.row().cell("beta").cell(std::size_t{7}).percent(0.0123);
+  return t;
+}
+
+TEST(TableTest, TextAlignsColumns) {
+  const std::string text = sample_table().to_text();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("0.125"), std::string::npos);
+  EXPECT_NE(text.find("1.23%"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(TableTest, MarkdownShape) {
+  const std::string md = sample_table().to_markdown();
+  EXPECT_EQ(md.rfind("| name | count | ratio |", 0), 0u);
+  EXPECT_NE(md.find("|---|---|---|"), std::string::npos);
+  EXPECT_NE(md.find("| alpha | 42 | 0.125 |"), std::string::npos);
+}
+
+TEST(TableTest, CsvEscaping) {
+  Table t({"a", "b"});
+  t.row().cell("has,comma").cell("has\"quote");
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(TableTest, NumRows) {
+  EXPECT_EQ(sample_table().num_rows(), 2u);
+  Table empty({"x"});
+  EXPECT_EQ(empty.num_rows(), 0u);
+}
+
+TEST(TableTest, CellBeforeRowThrows) {
+  Table t({"x"});
+  EXPECT_THROW(t.cell("v"), CheckError);
+}
+
+TEST(TableTest, OverfullRowThrows) {
+  Table t({"x"});
+  t.row().cell("a");
+  EXPECT_THROW(t.cell("b"), CheckError);
+}
+
+TEST(TableTest, IncompleteRowDetectedOnNextRow) {
+  Table t({"x", "y"});
+  t.row().cell("a");
+  EXPECT_THROW(t.row(), CheckError);
+}
+
+TEST(TableTest, DoubleFormattingPrecision) {
+  Table t({"v"});
+  t.row().cell(3.14159, 1);
+  EXPECT_NE(t.to_text().find("3.1"), std::string::npos);
+  EXPECT_EQ(t.to_text().find("3.14"), std::string::npos);
+}
+
+TEST(TableTest, EmptyHeadersRejected) {
+  EXPECT_THROW(Table({}), CheckError);
+}
+
+}  // namespace
+}  // namespace mch::io

@@ -1,0 +1,88 @@
+#include "lcp/lemke.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace mch::lcp {
+namespace {
+
+TEST(LemkeTest, TrivialNonnegativeQ) {
+  DenseLcp p;
+  p.A = linalg::DenseMatrix::identity(3);
+  p.q = {1, 0, 2};
+  const LemkeResult r = solve_lemke(p);
+  ASSERT_EQ(r.status, LemkeStatus::kSolved);
+  EXPECT_EQ(r.z, (Vector{0, 0, 0}));
+}
+
+TEST(LemkeTest, OneDimensional) {
+  // w = z - 2 >= 0, z >= 0, zw = 0  =>  z = 2.
+  DenseLcp p;
+  p.A = linalg::DenseMatrix::identity(1);
+  p.q = {-2};
+  const LemkeResult r = solve_lemke(p);
+  ASSERT_EQ(r.status, LemkeStatus::kSolved);
+  EXPECT_NEAR(r.z[0], 2.0, 1e-9);
+}
+
+TEST(LemkeTest, TextbookTwoByTwo) {
+  // A = [[2,1],[1,2]], q = [-5,-6]: solution z = (4/3, 7/3).
+  DenseLcp p;
+  p.A = linalg::DenseMatrix(2, 2);
+  p.A(0, 0) = 2;
+  p.A(0, 1) = 1;
+  p.A(1, 0) = 1;
+  p.A(1, 1) = 2;
+  p.q = {-5, -6};
+  const LemkeResult r = solve_lemke(p);
+  ASSERT_EQ(r.status, LemkeStatus::kSolved);
+  EXPECT_NEAR(r.z[0], 4.0 / 3.0, 1e-9);
+  EXPECT_NEAR(r.z[1], 7.0 / 3.0, 1e-9);
+  EXPECT_LT(residual(p, r.z).max(), 1e-8);
+}
+
+TEST(LemkeTest, MixedActiveInactive) {
+  // Identity A: z_i = max(0, -q_i).
+  DenseLcp p;
+  p.A = linalg::DenseMatrix::identity(4);
+  p.q = {-1, 2, -3, 0};
+  const LemkeResult r = solve_lemke(p);
+  ASSERT_EQ(r.status, LemkeStatus::kSolved);
+  EXPECT_NEAR(r.z[0], 1, 1e-9);
+  EXPECT_NEAR(r.z[1], 0, 1e-9);
+  EXPECT_NEAR(r.z[2], 3, 1e-9);
+  EXPECT_NEAR(r.z[3], 0, 1e-9);
+}
+
+TEST(LemkeTest, RandomSpdProblemsSolve) {
+  Rng rng(31);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 11));
+    linalg::DenseMatrix g(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c) g(r, c) = rng.uniform(-1, 1);
+    DenseLcp p;
+    p.A = g.multiply(g.transpose());
+    for (std::size_t i = 0; i < n; ++i) p.A(i, i) += 0.5;
+    p.q.resize(n);
+    for (double& v : p.q) v = rng.uniform(-5, 5);
+
+    const LemkeResult r = solve_lemke(p);
+    ASSERT_EQ(r.status, LemkeStatus::kSolved) << "trial " << trial;
+    EXPECT_LT(residual(p, r.z).max(), 1e-7) << "trial " << trial;
+  }
+}
+
+TEST(LemkeTest, RayTerminationOnInfeasible) {
+  // A = 0 with negative q has no solution: w = q < 0 regardless of z.
+  DenseLcp p;
+  p.A = linalg::DenseMatrix(1, 1);
+  p.A(0, 0) = 0.0;
+  p.q = {-1};
+  const LemkeResult r = solve_lemke(p);
+  EXPECT_EQ(r.status, LemkeStatus::kRayTermination);
+}
+
+}  // namespace
+}  // namespace mch::lcp

@@ -1,0 +1,266 @@
+// MMSIM solver tests: cross-validation against Lemke (exact) on small
+// structured QPs from the real model builder, parameter invariances, and
+// the Sherman–Morrison closed form of the paper.
+#include "lcp/mmsim.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/generator.h"
+#include "lcp/lemke.h"
+#include "legal/model.h"
+#include "legal/row_assign.h"
+#include "util/check.h"
+
+namespace mch::lcp {
+namespace {
+
+/// A small legalization QP produced by the real pipeline.
+struct SmallProblem {
+  db::Design design;
+  legal::LegalizationModel model;
+};
+
+SmallProblem make_problem(std::size_t singles, std::size_t doubles,
+                          double density, std::uint64_t seed) {
+  gen::GeneratorOptions opts;
+  opts.seed = seed;
+  opts.nets_per_cell = 0.0;  // no netlist needed here
+  SmallProblem p{gen::generate_random_design(singles, doubles, density, opts),
+                 {}};
+  const legal::RowAssignment rows = legal::assign_rows(p.design);
+  p.model = legal::build_model(p.design, rows);
+  return p;
+}
+
+MmsimOptions tight() {
+  MmsimOptions o;
+  o.tolerance = 1e-10;
+  o.max_iterations = 200000;
+  return o;
+}
+
+TEST(MmsimTest, MatchesLemkeOnSmallSingleHeightProblem) {
+  const SmallProblem p = make_problem(12, 0, 0.6, 7);
+  const MmsimSolver solver(p.model.qp, tight());
+  const MmsimResult mmsim = solver.solve();
+  ASSERT_TRUE(mmsim.converged);
+
+  const LemkeResult lemke = solve_lemke(p.model.qp.to_dense_lcp());
+  ASSERT_EQ(lemke.status, LemkeStatus::kSolved);
+
+  // Primal parts must agree (unique QP optimum; duals may be degenerate).
+  for (std::size_t i = 0; i < p.model.num_variables(); ++i)
+    EXPECT_NEAR(mmsim.x[i], lemke.z[i], 1e-5) << "variable " << i;
+  EXPECT_NEAR(p.model.qp.objective(mmsim.x),
+              p.model.qp.objective(Vector(
+                  lemke.z.begin(),
+                  lemke.z.begin() +
+                      static_cast<std::ptrdiff_t>(p.model.num_variables()))),
+              1e-6);
+}
+
+TEST(MmsimTest, MatchesLemkeOnSmallMixedHeightProblem) {
+  const SmallProblem p = make_problem(10, 4, 0.7, 11);
+  const MmsimSolver solver(p.model.qp, tight());
+  const MmsimResult mmsim = solver.solve();
+  ASSERT_TRUE(mmsim.converged);
+
+  const LemkeResult lemke = solve_lemke(p.model.qp.to_dense_lcp());
+  ASSERT_EQ(lemke.status, LemkeStatus::kSolved);
+  for (std::size_t i = 0; i < p.model.num_variables(); ++i)
+    EXPECT_NEAR(mmsim.x[i], lemke.z[i], 1e-4) << "variable " << i;
+}
+
+TEST(MmsimTest, SolutionSatisfiesLcpConditions) {
+  const SmallProblem p = make_problem(30, 5, 0.75, 13);
+  const MmsimSolver solver(p.model.qp, tight());
+  const MmsimResult r = solver.solve();
+  ASSERT_TRUE(r.converged);
+  const LcpResidual res = p.model.qp.lcp_residual(r.z);
+  EXPECT_LT(res.z_negativity, 1e-9);
+  EXPECT_LT(res.w_negativity, 1e-6);
+  EXPECT_LT(res.complementarity, 1e-4);
+}
+
+TEST(MmsimTest, SpacingConstraintsHoldAtSolution) {
+  const SmallProblem p = make_problem(40, 8, 0.8, 17);
+  const MmsimSolver solver(p.model.qp, tight());
+  const MmsimResult r = solver.solve();
+  ASSERT_TRUE(r.converged);
+  EXPECT_LT(p.model.qp.max_constraint_violation(r.x), 1e-6);
+}
+
+TEST(MmsimTest, GammaInvariance) {
+  const SmallProblem p = make_problem(15, 3, 0.6, 19);
+  MmsimOptions base = tight();
+  base.gamma = 2.0;
+  MmsimOptions other = tight();
+  other.gamma = 1.0;
+  const MmsimResult a = MmsimSolver(p.model.qp, base).solve();
+  const MmsimResult b = MmsimSolver(p.model.qp, other).solve();
+  ASSERT_TRUE(a.converged);
+  ASSERT_TRUE(b.converged);
+  for (std::size_t i = 0; i < p.model.num_variables(); ++i)
+    EXPECT_NEAR(a.x[i], b.x[i], 1e-6);
+}
+
+TEST(MmsimTest, WarmStartReachesSameSolution) {
+  const SmallProblem p = make_problem(20, 4, 0.7, 23);
+  const MmsimSolver solver(p.model.qp, tight());
+  const MmsimResult cold = solver.solve();
+  ASSERT_TRUE(cold.converged);
+
+  Vector s0(p.model.qp.lcp_size(), 0.0);
+  for (std::size_t i = 0; i < p.model.num_variables(); ++i)
+    s0[i] = -p.model.qp.p[i];  // start at the GP positions
+  const MmsimResult warm = solver.solve_from(s0);
+  ASSERT_TRUE(warm.converged);
+  for (std::size_t i = 0; i < p.model.num_variables(); ++i)
+    EXPECT_NEAR(cold.x[i], warm.x[i], 1e-6);
+}
+
+TEST(MmsimTest, UnconstrainedProblemReturnsClampedTargets) {
+  // One cell per row: no spacing constraints; optimum is x = max(x', 0).
+  gen::GeneratorOptions opts;
+  opts.seed = 3;
+  opts.nets_per_cell = 0.0;
+  db::Design design = gen::generate_random_design(4, 0, 0.05, opts);
+  const legal::RowAssignment rows = legal::assign_rows(design);
+  const legal::LegalizationModel model = legal::build_model(design, rows);
+  if (model.qp.num_constraints() > 0) GTEST_SKIP() << "cells share rows";
+  const MmsimResult r = MmsimSolver(model.qp, tight()).solve();
+  ASSERT_TRUE(r.converged);
+  for (std::size_t i = 0; i < model.num_variables(); ++i)
+    EXPECT_NEAR(r.x[i], std::max(0.0, -model.qp.p[i]), 1e-7);
+}
+
+TEST(MmsimTest, InvalidBetaRejected) {
+  const SmallProblem p = make_problem(5, 0, 0.5, 29);
+  MmsimOptions o;
+  o.beta = 2.5;
+  EXPECT_THROW(MmsimSolver(p.model.qp, o), CheckError);
+  o.beta = 0.0;
+  EXPECT_THROW(MmsimSolver(p.model.qp, o), CheckError);
+}
+
+// Paper §3.2: with only double-height cells, EEᵀ = 2I and the
+// Sherman–Morrison formula gives K⁻¹ = I − λ/(2λ+1)·EᵀE in closed form;
+// our per-block inverse must match it.
+TEST(MmsimTest, ShermanMorrisonClosedFormForDoubles) {
+  const double lambda = 1000.0;
+  const SmallProblem p = make_problem(0, 6, 0.5, 31);
+  const auto& k = p.model.qp.K;
+  const double off = -lambda / (2.0 * lambda + 1.0);
+  const double diag = 1.0 - lambda / (2.0 * lambda + 1.0);
+  for (std::size_t b = 0; b < k.block_count(); ++b) {
+    ASSERT_EQ(k.block_size(b), 2u);
+    const auto& inv = k.block_inverse(b);
+    EXPECT_NEAR(inv(0, 0), diag, 1e-9);
+    EXPECT_NEAR(inv(1, 1), diag, 1e-9);
+    EXPECT_NEAR(inv(0, 1), -off, 1e-9);  // E row is (−1, 1): EᵀE off-diag −1
+    EXPECT_NEAR(inv(1, 0), -off, 1e-9);
+  }
+}
+
+TEST(MmsimTest, SchurTridiagonalMatchesBruteForce) {
+  const SmallProblem p = make_problem(10, 3, 0.8, 37);
+  const auto d = schur_tridiagonal(p.model.qp.K, p.model.qp.B);
+  const std::size_t m = p.model.qp.num_constraints();
+  ASSERT_EQ(d.size(), m);
+
+  // Brute force: assemble B K⁻¹ Bᵀ densely.
+  const std::size_t n = p.model.num_variables();
+  linalg::DenseMatrix kinv(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      kinv(i, j) = p.model.qp.K.inverse_entry(i, j);
+  linalg::DenseMatrix bd(m, n);
+  for (std::size_t r = 0; r < m; ++r)
+    for (std::size_t c = 0; c < n; ++c) bd(r, c) = p.model.qp.B.at(r, c);
+  const linalg::DenseMatrix full = bd.multiply(kinv).multiply(bd.transpose());
+  for (std::size_t r = 0; r < m; ++r) {
+    EXPECT_NEAR(d.diag(r), full(r, r), 1e-9);
+    if (r + 1 < m) {
+      EXPECT_NEAR(d.upper(r), full(r, r + 1), 1e-9);
+      EXPECT_NEAR(d.lower(r), full(r + 1, r), 1e-9);
+    }
+  }
+}
+
+TEST(MmsimTest, SuggestThetaPositiveAndBounded) {
+  const SmallProblem p = make_problem(25, 5, 0.7, 41);
+  const MmsimSolver solver(p.model.qp, MmsimOptions{});
+  const double theta = solver.suggest_theta();
+  EXPECT_GT(theta, 0.0);
+  EXPECT_LE(theta, 0.9);
+  EXPECT_GT(solver.estimate_mu_max(), 0.0);
+}
+
+TEST(MmsimTest, JacobiSplittingReachesSameSolution) {
+  // The block-Jacobi ablation converges (slower) to the same fixed point —
+  // any fixed point of the modulus map solves the LCP regardless of M.
+  const SmallProblem p = make_problem(20, 4, 0.6, 43);
+  MmsimOptions gs = tight();
+  MmsimOptions jacobi = tight();
+  jacobi.splitting = MmsimSplitting::kJacobi;
+  const MmsimResult a = MmsimSolver(p.model.qp, gs).solve();
+  const MmsimResult b = MmsimSolver(p.model.qp, jacobi).solve();
+  ASSERT_TRUE(a.converged);
+  ASSERT_TRUE(b.converged);
+  for (std::size_t i = 0; i < p.model.num_variables(); ++i)
+    EXPECT_NEAR(a.x[i], b.x[i], 1e-5);
+}
+
+TEST(MmsimTest, GaussSeidelNotSlowerThanJacobi) {
+  const SmallProblem p = make_problem(60, 10, 0.7, 47);
+  MmsimOptions gs = tight();
+  MmsimOptions jacobi = tight();
+  jacobi.splitting = MmsimSplitting::kJacobi;
+  const MmsimResult a = MmsimSolver(p.model.qp, gs).solve();
+  const MmsimResult b = MmsimSolver(p.model.qp, jacobi).solve();
+  ASSERT_TRUE(a.converged);
+  if (b.converged) {
+    EXPECT_LE(a.iterations, b.iterations * 2);
+  }
+}
+
+TEST(MmsimTest, TraceRecordsDecay) {
+  const SmallProblem p = make_problem(40, 8, 0.7, 51);
+  MmsimOptions o = tight();
+  o.trace_stride = 10;
+  const MmsimResult r = MmsimSolver(p.model.qp, o).solve();
+  ASSERT_TRUE(r.converged);
+  ASSERT_GE(r.trace.size(), 2u);
+  // Deltas shrink overall (allow plateaus between adjacent samples).
+  EXPECT_LT(r.trace.back().second, r.trace.front().second);
+  for (std::size_t k = 0; k < r.trace.size(); ++k)
+    EXPECT_EQ(r.trace[k].first % 10, 1u);  // sampled every 10, 1-indexed
+}
+
+// Objective decrease property: MMSIM's solution is at least as good as the
+// snapped GP projection, across random instances.
+class MmsimRandomSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MmsimRandomSweep, BeatsNaiveFeasiblePoints) {
+  const SmallProblem p =
+      make_problem(8 + GetParam() * 3, GetParam(), 0.5 + 0.04 * GetParam(),
+                   100 + GetParam());
+  const MmsimResult r = MmsimSolver(p.model.qp, tight()).solve();
+  ASSERT_TRUE(r.converged);
+  ASSERT_LT(p.model.qp.max_constraint_violation(r.x), 1e-6);
+
+  const LemkeResult lemke = solve_lemke(p.model.qp.to_dense_lcp());
+  ASSERT_EQ(lemke.status, LemkeStatus::kSolved);
+  const Vector lemke_x(
+      lemke.z.begin(),
+      lemke.z.begin() + static_cast<std::ptrdiff_t>(p.model.num_variables()));
+  EXPECT_NEAR(p.model.qp.objective(r.x), p.model.qp.objective(lemke_x),
+              1e-4 * (1.0 + std::abs(p.model.qp.objective(lemke_x))));
+}
+
+INSTANTIATE_TEST_SUITE_P(Instances, MmsimRandomSweep, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace mch::lcp

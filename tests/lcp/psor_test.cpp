@@ -1,0 +1,96 @@
+#include "lcp/psor.h"
+
+#include <gtest/gtest.h>
+
+#include "lcp/lemke.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace mch::lcp {
+namespace {
+
+TEST(PsorTest, OneDimensional) {
+  DenseLcp p;
+  p.A = linalg::DenseMatrix::identity(1);
+  p.q = {-3};
+  const PsorResult r = solve_psor(p);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.z[0], 3.0, 1e-8);
+}
+
+TEST(PsorTest, MatchesLemkeOnSpdProblems) {
+  Rng rng(41);
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 7));
+    linalg::DenseMatrix g(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c) g(r, c) = rng.uniform(-1, 1);
+    DenseLcp p;
+    p.A = g.multiply(g.transpose());
+    for (std::size_t i = 0; i < n; ++i) p.A(i, i) += 1.0;
+    p.q.resize(n);
+    for (double& v : p.q) v = rng.uniform(-4, 4);
+
+    const PsorResult psor = solve_psor(p);
+    const LemkeResult lemke = solve_lemke(p);
+    ASSERT_TRUE(psor.converged);
+    ASSERT_EQ(lemke.status, LemkeStatus::kSolved);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(psor.z[i], lemke.z[i], 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(PsorTest, ResidualSmallAtSolution) {
+  DenseLcp p;
+  p.A = linalg::DenseMatrix(3, 3);
+  for (int i = 0; i < 3; ++i) p.A(i, i) = 2.0;
+  p.A(0, 1) = p.A(1, 0) = 1.0;
+  p.A(1, 2) = p.A(2, 1) = 1.0;
+  p.q = {-1, -2, -3};
+  const PsorResult r = solve_psor(p);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(residual(p, r.z).max(), 1e-7);
+}
+
+TEST(PsorTest, NonPositiveDiagonalRejected) {
+  DenseLcp p;
+  p.A = linalg::DenseMatrix(2, 2);
+  p.A(0, 0) = 1.0;
+  p.A(1, 1) = 0.0;
+  p.q = {-1, -1};
+  EXPECT_THROW(solve_psor(p), CheckError);
+}
+
+TEST(PsorTest, InvalidOmegaRejected) {
+  DenseLcp p;
+  p.A = linalg::DenseMatrix::identity(1);
+  p.q = {-1};
+  PsorOptions o;
+  o.omega = 2.5;
+  EXPECT_THROW(solve_psor(p, o), CheckError);
+}
+
+// Parameterized over relaxation factors: all valid ω converge to the same
+// solution.
+class PsorOmegaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PsorOmegaSweep, OmegaInvariantSolution) {
+  DenseLcp p;
+  p.A = linalg::DenseMatrix(2, 2);
+  p.A(0, 0) = 3;
+  p.A(0, 1) = 1;
+  p.A(1, 0) = 1;
+  p.A(1, 1) = 3;
+  p.q = {-2, -8};
+  PsorOptions o;
+  o.omega = GetParam();
+  const PsorResult r = solve_psor(p, o);
+  ASSERT_TRUE(r.converged);
+  EXPECT_LT(residual(p, r.z).max(), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Omegas, PsorOmegaSweep,
+                         ::testing::Values(0.5, 0.9, 1.0, 1.3, 1.7));
+
+}  // namespace
+}  // namespace mch::lcp

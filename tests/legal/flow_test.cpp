@@ -1,0 +1,112 @@
+// End-to-end tests of the full legalization flow (paper Fig. 4).
+#include "legal/flow.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "gen/generator.h"
+
+namespace mch::legal {
+namespace {
+
+db::Design suite_design(const char* name, double scale, std::uint64_t seed) {
+  gen::GeneratorOptions opts;
+  opts.scale = scale;
+  opts.seed = seed;
+  return gen::generate_design(gen::find_spec(name), opts);
+}
+
+TEST(FlowTest, LegalizesMixedDesign) {
+  db::Design design = suite_design("fft_2", 0.02, 1);
+  const FlowResult result = legalize(design);
+  EXPECT_TRUE(result.legal) << result.legality.summary();
+  EXPECT_TRUE(result.solver.converged);
+  EXPECT_EQ(result.allocation.unplaced_cells, 0u);
+  EXPECT_GT(result.total_seconds, 0.0);
+}
+
+TEST(FlowTest, DisplacementIsReasonable) {
+  db::Design design = suite_design("fft_2", 0.02, 2);
+  const FlowResult result = legalize(design);
+  ASSERT_TRUE(result.legal);
+  const eval::DisplacementStats disp = eval::displacement(design);
+  // Near-legal GP input: a few sites per cell on average.
+  EXPECT_LT(disp.mean_sites, 10.0);
+  EXPECT_GT(disp.total_sites, 0.0);
+}
+
+TEST(FlowTest, HighDensityStillLegal) {
+  db::Design design = suite_design("des_perf_1", 0.01, 3);
+  const FlowResult result = legalize(design);
+  EXPECT_TRUE(result.legal) << result.legality.summary();
+}
+
+TEST(FlowTest, LowDensityHasNoIllegalCellsAfterMmsim) {
+  db::Design design = suite_design("pci_bridge32_b", 0.02, 4);
+  const FlowResult result = legalize(design);
+  ASSERT_TRUE(result.legal);
+  // Paper Table 1: sparse designs have zero illegal cells after MMSIM.
+  EXPECT_EQ(result.allocation.illegal_cells, 0u);
+}
+
+TEST(FlowTest, VerifyCanBeDisabled) {
+  db::Design design = suite_design("fft_a", 0.02, 5);
+  FlowOptions options;
+  options.verify = false;
+  const FlowResult result = legalize(design, options);
+  EXPECT_FALSE(result.legal);  // not computed
+  EXPECT_EQ(result.legality.total_violations, 0u);
+}
+
+TEST(FlowTest, DeterministicAcrossRuns) {
+  db::Design a = suite_design("fft_b", 0.02, 6);
+  db::Design b = suite_design("fft_b", 0.02, 6);
+  legalize(a);
+  legalize(b);
+  for (std::size_t i = 0; i < a.num_cells(); ++i) {
+    EXPECT_DOUBLE_EQ(a.cells()[i].x, b.cells()[i].x);
+    EXPECT_DOUBLE_EQ(a.cells()[i].y, b.cells()[i].y);
+  }
+}
+
+TEST(FlowTest, WorksOnTripleAndQuadHeights) {
+  // Paper extension: the formulation covers any row height; exercise it.
+  gen::GeneratorOptions opts;
+  opts.seed = 7;
+  opts.triple_fraction = 0.05;
+  opts.quad_fraction = 0.03;
+  db::Design design = gen::generate_random_design(800, 80, 0.55, opts);
+  const FlowResult result = legalize(design);
+  EXPECT_TRUE(result.legal) << result.legality.summary();
+  EXPECT_TRUE(result.solver.converged);
+}
+
+TEST(FlowTest, EmptyRowsTolerated) {
+  // A tiny design on a big chip: most rows are empty.
+  gen::GeneratorOptions opts;
+  opts.seed = 8;
+  db::Design design = gen::generate_random_design(10, 2, 0.05, opts);
+  const FlowResult result = legalize(design);
+  EXPECT_TRUE(result.legal) << result.legality.summary();
+}
+
+TEST(FlowTest, HpwlIncreaseSmall) {
+  db::Design design = suite_design("fft_2", 0.02, 9);
+  legalize(design);
+  // Paper Table 2: ΔHPWL well under 1% on fft_2-like densities.
+  EXPECT_LT(eval::delta_hpwl_fraction(design), 0.02);
+}
+
+TEST(FlowTest, RelegalizingALegalPlacementIsAlmostFree) {
+  db::Design design = suite_design("fft_a", 0.02, 10);
+  legalize(design);
+  design.commit_positions_as_gp();  // legal placement becomes the new GP
+  const FlowResult second = legalize(design);
+  ASSERT_TRUE(second.legal);
+  const eval::DisplacementStats disp = eval::displacement(design);
+  EXPECT_LT(disp.total_sites, 1.0);  // nothing should move
+  EXPECT_EQ(second.allocation.illegal_cells, 0u);
+}
+
+}  // namespace
+}  // namespace mch::legal

@@ -1,0 +1,249 @@
+// Constraint-builder tests, including exact reproductions of the paper's
+// Figure 2 (single-height constraint matrix) and Figure 3 (mixed-height
+// subcell splitting with the Ex = 0 coupling) — experiment E5 in DESIGN.md.
+#include "legal/model.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/generator.h"
+
+namespace mch::legal {
+namespace {
+
+db::Chip two_row_chip() {
+  db::Chip chip;
+  chip.num_rows = 2;
+  chip.num_sites = 100;
+  chip.site_width = 1.0;
+  chip.row_height = 10.0;
+  return chip;
+}
+
+// Figure 2 of the paper: cells c2, c4 on row 0 and c1, c3, c5 on row 1.
+db::Design figure2_design() {
+  db::Design design(two_row_chip());
+  const auto add = [&](double width, double gp_x, double gp_y) {
+    db::Cell cell;
+    cell.width = width;
+    cell.gp_x = gp_x;
+    cell.gp_y = gp_y;
+    design.add_cell(cell);
+  };
+  add(3.0, 10.0, 10.0);  // c1 (row 1, leftmost)
+  add(2.0, 12.0, 0.0);   // c2 (row 0, leftmost)
+  add(2.0, 20.0, 10.0);  // c3 (row 1, middle)
+  add(4.0, 25.0, 0.0);   // c4 (row 0, right)
+  add(3.0, 30.0, 10.0);  // c5 (row 1, right)
+  return design;
+}
+
+TEST(ModelTest, Figure2ConstraintMatrix) {
+  db::Design design = figure2_design();
+  const RowAssignment rows = assign_rows(design);
+  const LegalizationModel model = build_model(design, rows);
+
+  // Five single-height cells: one variable each, identity Hessian blocks.
+  ASSERT_EQ(model.num_variables(), 5u);
+  ASSERT_EQ(model.qp.num_constraints(), 3u);
+  for (std::size_t b = 0; b < 5; ++b) {
+    ASSERT_EQ(model.qp.K.block_size(b), 1u);
+    EXPECT_DOUBLE_EQ(model.qp.K.block(b)(0, 0), 1.0);
+  }
+
+  // B exactly as in the paper (row 0 of the chip first):
+  //   [ 0 −1  0  1  0 ]   x4 − x2 ≥ w2
+  //   [−1  0  1  0  0 ]   x3 − x1 ≥ w1
+  //   [ 0  0 −1  0  1 ]   x5 − x3 ≥ w3
+  const double expected_b[3][5] = {{0, -1, 0, 1, 0},
+                                   {-1, 0, 1, 0, 0},
+                                   {0, 0, -1, 0, 1}};
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 5; ++c)
+      EXPECT_DOUBLE_EQ(model.qp.B.at(r, c), expected_b[r][c])
+          << "B(" << r << "," << c << ")";
+
+  // b = [w2, w1, w3] and p = −x'.
+  EXPECT_EQ(model.qp.b, (lcp::Vector{2.0, 3.0, 2.0}));
+  EXPECT_EQ(model.qp.p, (lcp::Vector{-10, -12, -20, -25, -30}));
+}
+
+// Figure 3 of the paper: double-height c1 and c3 with single-height c2
+// between them on the lower row.
+db::Design figure3_design() {
+  db::Design design(two_row_chip());
+  db::Cell c1;
+  c1.width = 3.0;
+  c1.height_rows = 2;
+  c1.bottom_rail = db::RailType::kVss;
+  c1.gp_x = 5.0;
+  c1.gp_y = 0.0;
+  design.add_cell(c1);
+  db::Cell c2;
+  c2.width = 2.0;
+  c2.gp_x = 9.0;
+  c2.gp_y = 0.0;
+  design.add_cell(c2);
+  db::Cell c3;
+  c3.width = 3.0;
+  c3.height_rows = 2;
+  c3.bottom_rail = db::RailType::kVss;
+  c3.gp_x = 14.0;
+  c3.gp_y = 0.0;
+  design.add_cell(c3);
+  return design;
+}
+
+TEST(ModelTest, Figure3SubcellSplitting) {
+  db::Design design = figure3_design();
+  const RowAssignment rows = assign_rows(design);
+  const ModelOptions options;  // λ = 1000
+  const LegalizationModel model = build_model(design, rows, options);
+
+  // Variables: c1 → {0,1}, c2 → {2}, c3 → {3,4}.
+  ASSERT_EQ(model.num_variables(), 5u);
+  EXPECT_EQ(model.cell_first_var, (std::vector<std::size_t>{0, 2, 3}));
+  EXPECT_EQ(model.variables[1].cell, 0u);
+  EXPECT_EQ(model.variables[1].subrow, 1u);
+
+  // Constraints (paper's example, in our variable order):
+  //   row 0:  x_c2 − x_c1,0 ≥ w1;  x_c3,0 − x_c2 ≥ w2
+  //   row 1:  x_c3,1 − x_c1,1 ≥ w1
+  ASSERT_EQ(model.qp.num_constraints(), 3u);
+  const double expected_b[3][5] = {{-1, 0, 1, 0, 0},
+                                   {0, 0, -1, 1, 0},
+                                   {0, -1, 0, 0, 1}};
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 5; ++c)
+      EXPECT_DOUBLE_EQ(model.qp.B.at(r, c), expected_b[r][c])
+          << "B(" << r << "," << c << ")";
+  EXPECT_EQ(model.qp.b, (lcp::Vector{3.0, 2.0, 3.0}));
+
+  // p duplicates the GP target for each subcell.
+  EXPECT_EQ(model.qp.p, (lcp::Vector{-5, -5, -9, -14, -14}));
+
+  // The Ex = 0 coupling folded into K: I + λ·[[1,−1],[−1,1]] per tall cell.
+  const auto& block = model.qp.K.block(0);
+  ASSERT_EQ(block.rows(), 2u);
+  EXPECT_DOUBLE_EQ(block(0, 0), 1.0 + options.lambda);
+  EXPECT_DOUBLE_EQ(block(0, 1), -options.lambda);
+  EXPECT_DOUBLE_EQ(block(1, 0), -options.lambda);
+  EXPECT_DOUBLE_EQ(block(1, 1), 1.0 + options.lambda);
+  EXPECT_EQ(model.qp.K.block_size(1), 1u);
+}
+
+TEST(ModelTest, RowOrderingByGpXWithIdTieBreak) {
+  db::Design design(two_row_chip());
+  db::Cell cell;
+  cell.width = 2.0;
+  cell.gp_y = 0.0;
+  cell.gp_x = 5.0;
+  design.add_cell(cell);  // id 0
+  design.add_cell(cell);  // id 1, same gp_x → id order
+  cell.gp_x = 1.0;
+  design.add_cell(cell);  // id 2, leftmost
+  const RowAssignment rows = assign_rows(design);
+  const LegalizationModel model = build_model(design, rows);
+  ASSERT_EQ(model.row_variables[0].size(), 3u);
+  EXPECT_EQ(model.row_variables[0][0], 2u);
+  EXPECT_EQ(model.row_variables[0][1], 0u);
+  EXPECT_EQ(model.row_variables[0][2], 1u);
+}
+
+TEST(ModelTest, ConstraintRowsHaveExactlyTwoNonzeros) {
+  gen::GeneratorOptions opts;
+  opts.seed = 77;
+  db::Design design = gen::generate_random_design(150, 30, 0.7, opts);
+  const RowAssignment rows = assign_rows(design);
+  const LegalizationModel model = build_model(design, rows);
+  const auto& B = model.qp.B;
+  for (std::size_t r = 0; r < B.rows(); ++r) {
+    const std::size_t nnz = B.row_ptr()[r + 1] - B.row_ptr()[r];
+    ASSERT_EQ(nnz, 2u) << "constraint " << r;
+    double sum = 0.0;
+    for (std::size_t k = B.row_ptr()[r]; k < B.row_ptr()[r + 1]; ++k)
+      sum += B.values()[k];
+    EXPECT_DOUBLE_EQ(sum, 0.0);  // one −1 and one +1
+  }
+}
+
+TEST(ModelTest, VariablesAppearInAtMostTwoConstraints) {
+  // Full-row-rank argument of Propositions 1 and 2 rests on this.
+  gen::GeneratorOptions opts;
+  opts.seed = 78;
+  db::Design design = gen::generate_random_design(150, 30, 0.8, opts);
+  const RowAssignment rows = assign_rows(design);
+  const LegalizationModel model = build_model(design, rows);
+  std::vector<int> uses(model.num_variables(), 0);
+  const auto& B = model.qp.B;
+  for (std::size_t k = 0; k < B.nnz(); ++k) ++uses[B.col_idx()[k]];
+  for (std::size_t v = 0; v < uses.size(); ++v)
+    EXPECT_LE(uses[v], 2) << "variable " << v;
+}
+
+TEST(ModelTest, SpacingRhsIsLeftCellWidth) {
+  gen::GeneratorOptions opts;
+  opts.seed = 79;
+  db::Design design = gen::generate_random_design(80, 10, 0.6, opts);
+  const RowAssignment rows = assign_rows(design);
+  const LegalizationModel model = build_model(design, rows);
+  const auto& B = model.qp.B;
+  for (std::size_t r = 0; r < B.rows(); ++r) {
+    // Find the −1 column (the left cell's variable).
+    std::size_t left_var = 0;
+    for (std::size_t k = B.row_ptr()[r]; k < B.row_ptr()[r + 1]; ++k)
+      if (B.values()[k] < 0) left_var = B.col_idx()[k];
+    const std::size_t cell = model.variables[left_var].cell;
+    EXPECT_DOUBLE_EQ(model.qp.b[r], design.cells()[cell].width);
+  }
+}
+
+TEST(ModelTest, CellXAveragesSubcells) {
+  db::Design design = figure3_design();
+  const RowAssignment rows = assign_rows(design);
+  const LegalizationModel model = build_model(design, rows);
+  lcp::Vector x = {4.0, 6.0, 9.0, 14.0, 14.0};
+  EXPECT_DOUBLE_EQ(model.cell_x(x, 0), 5.0);
+  EXPECT_DOUBLE_EQ(model.cell_x(x, 1), 9.0);
+  EXPECT_DOUBLE_EQ(model.cell_x(x, 2), 14.0);
+  EXPECT_DOUBLE_EQ(model.cell_mismatch(x, 0), 1.0);
+  EXPECT_DOUBLE_EQ(model.cell_mismatch(x, 1), 0.0);
+  EXPECT_DOUBLE_EQ(model.max_mismatch(x), 1.0);
+}
+
+TEST(ModelTest, LambdaValidated) {
+  db::Design design = figure2_design();
+  const RowAssignment rows = assign_rows(design);
+  ModelOptions options;
+  options.lambda = 0.0;
+  EXPECT_THROW(build_model(design, rows, options), CheckError);
+}
+
+TEST(ModelTest, TripleHeightChainBlock) {
+  db::Chip chip = two_row_chip();
+  chip.num_rows = 4;
+  db::Design design(chip);
+  db::Cell cell;
+  cell.width = 2.0;
+  cell.height_rows = 3;
+  cell.gp_x = 5.0;
+  cell.gp_y = 0.0;
+  design.add_cell(cell);
+  const RowAssignment rows = assign_rows(design);
+  ModelOptions options;
+  options.lambda = 10.0;
+  const LegalizationModel model = build_model(design, rows, options);
+  ASSERT_EQ(model.num_variables(), 3u);
+  const auto& block = model.qp.K.block(0);
+  // I + 10·chain-Laplacian of a 3-path: diag (11, 21, 11), off −10.
+  EXPECT_DOUBLE_EQ(block(0, 0), 11.0);
+  EXPECT_DOUBLE_EQ(block(1, 1), 21.0);
+  EXPECT_DOUBLE_EQ(block(2, 2), 11.0);
+  EXPECT_DOUBLE_EQ(block(0, 1), -10.0);
+  EXPECT_DOUBLE_EQ(block(1, 2), -10.0);
+  EXPECT_DOUBLE_EQ(block(0, 2), 0.0);
+}
+
+}  // namespace
+}  // namespace mch::legal

@@ -1,0 +1,162 @@
+// Model-based property tests: the interval-map occupancy structures are
+// checked against a brute-force bitmap reference model under randomized
+// operation sequences, and the windowed nearest-gap search is checked
+// against exhaustive scanning.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "legal/eviction.h"
+#include "legal/occupancy.h"
+#include "util/rng.h"
+
+namespace mch::legal {
+namespace {
+
+db::Chip test_chip(std::size_t rows = 8, std::size_t sites = 120) {
+  db::Chip chip;
+  chip.num_rows = rows;
+  chip.num_sites = sites;
+  chip.site_width = 1.0;
+  chip.row_height = 10.0;
+  return chip;
+}
+
+TEST(OccupancyPropertyTest, RandomOccupyReleaseMatchesBitmap) {
+  Rng rng(101);
+  for (int trial = 0; trial < 20; ++trial) {
+    RowOccupancy row;
+    std::vector<bool> bitmap(200, false);
+    struct Span {
+      SiteIndex start, end;
+    };
+    std::vector<Span> live;
+
+    for (int op = 0; op < 300; ++op) {
+      if (live.empty() || rng.bernoulli(0.6)) {
+        // Try to occupy a random span; legal only if bitmap-free.
+        const auto start =
+            static_cast<SiteIndex>(rng.uniform_int(0, 190));
+        const auto len = static_cast<SiteIndex>(rng.uniform_int(1, 9));
+        const SiteIndex end = std::min<SiteIndex>(start + len, 200);
+        bool free = true;
+        for (SiteIndex i = start; i < end; ++i) free = free && !bitmap[i];
+        ASSERT_EQ(row.is_free(start, end), free)
+            << "trial " << trial << " op " << op;
+        if (free) {
+          row.occupy(start, end);
+          for (SiteIndex i = start; i < end; ++i) bitmap[i] = true;
+          live.push_back({start, end});
+        }
+      } else {
+        // Release a random live span.
+        const auto pick = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(live.size()) - 1));
+        const Span span = live[pick];
+        row.release(span.start, span.end);
+        for (SiteIndex i = span.start; i < span.end; ++i) bitmap[i] = false;
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      }
+    }
+    // Final agreement over every unit span.
+    for (SiteIndex i = 0; i < 200; ++i)
+      ASSERT_EQ(row.is_free(i, i + 1), !bitmap[i]) << "site " << i;
+  }
+}
+
+TEST(OccupancyPropertyTest, FindInRowsMatchesExhaustiveSearch) {
+  Rng rng(202);
+  for (int trial = 0; trial < 30; ++trial) {
+    const db::Chip chip = test_chip();
+    OccupancyGrid grid(chip);
+    // Random blockers.
+    const int blocks = static_cast<int>(rng.uniform_int(0, 25));
+    for (int b = 0; b < blocks; ++b) {
+      const auto r = static_cast<std::size_t>(rng.uniform_int(0, 7));
+      const auto s = static_cast<SiteIndex>(rng.uniform_int(0, 110));
+      const auto w = static_cast<SiteIndex>(rng.uniform_int(1, 10));
+      if (grid.is_free(r, 1, s, w)) grid.occupy(r, 1, s, w);
+    }
+
+    const auto base = static_cast<std::size_t>(rng.uniform_int(0, 6));
+    const std::size_t height = rng.bernoulli(0.3) ? 2 : 1;
+    const auto width = static_cast<SiteIndex>(rng.uniform_int(1, 12));
+    const double target = rng.uniform(0.0, 120.0);
+
+    const PlacementCandidate cand =
+        grid.find_in_rows(base, height, width, target);
+
+    // Exhaustive reference. find_in_rows quantizes the target to the
+    // nearest site first, so the reference does too.
+    const double target_site =
+        static_cast<double>(std::llround(target / chip.site_width));
+    bool exists = false;
+    double best_cost = 1e18;
+    for (SiteIndex s = 0; s + width <= 120; ++s) {
+      if (!grid.is_free(base, height, s, width)) continue;
+      exists = true;
+      best_cost = std::min(
+          best_cost, std::abs(static_cast<double>(s) - target_site));
+    }
+
+    ASSERT_EQ(cand.found, exists) << "trial " << trial;
+    if (exists) {
+      EXPECT_NEAR(cand.cost, best_cost, 1e-9) << "trial " << trial;
+      EXPECT_TRUE(grid.is_free(base, height, cand.site, width));
+    }
+  }
+}
+
+TEST(OccupancyPropertyTest, FindNearestCandidateAlwaysPlaceable) {
+  Rng rng(303);
+  for (int trial = 0; trial < 20; ++trial) {
+    const db::Chip chip = test_chip();
+    OccupancyGrid grid(chip);
+    const int blocks = static_cast<int>(rng.uniform_int(10, 40));
+    for (int b = 0; b < blocks; ++b) {
+      const auto r = static_cast<std::size_t>(rng.uniform_int(0, 7));
+      const auto s = static_cast<SiteIndex>(rng.uniform_int(0, 100));
+      const auto w = static_cast<SiteIndex>(rng.uniform_int(3, 20));
+      if (grid.is_free(r, 1, s, w)) grid.occupy(r, 1, s, w);
+    }
+    db::Cell cell;
+    cell.width = static_cast<double>(rng.uniform_int(2, 8));
+    cell.height_rows = rng.bernoulli(0.3) ? 2 : 1;
+    cell.bottom_rail =
+        rng.bernoulli(0.5) ? db::RailType::kVss : db::RailType::kVdd;
+    const PlacementCandidate cand = grid.find_nearest(
+        cell, rng.uniform(0.0, 120.0), rng.uniform(0.0, 80.0));
+    if (!cand.found) continue;
+    EXPECT_TRUE(grid.is_free(cand.base_row, cell.height_rows, cand.site,
+                             grid.width_sites(cell)));
+    EXPECT_TRUE(cell.rail_compatible(chip, cand.base_row));
+  }
+}
+
+TEST(OccupancyPropertyTest, UnalignedFixedOutlineFullyBlocks) {
+  const db::Chip chip = test_chip();
+  OwnedOccupancy occ(chip);
+  db::Design design(chip);
+  db::Cell macro;
+  macro.width = 7.4;  // covers sites [3, 11) after outward rounding
+  macro.height_rows = 2;
+  macro.fixed = true;
+  macro.x = macro.gp_x = 3.2;
+  macro.y = macro.gp_y = 10.0;
+  const std::size_t id = design.add_cell(macro);
+  occ.place_fixed(design, id);
+  EXPECT_FALSE(occ.is_free(1, 1, 3, 1));
+  EXPECT_FALSE(occ.is_free(1, 1, 10, 1));
+  EXPECT_FALSE(occ.is_free(2, 1, 5, 2));
+  EXPECT_TRUE(occ.is_free(1, 1, 0, 3));
+  EXPECT_TRUE(occ.is_free(1, 1, 11, 5));
+  EXPECT_TRUE(occ.is_free(3, 1, 3, 8));  // row above the macro
+  // The macro is found as a blocker and refuses eviction.
+  const auto ids = occ.blockers(1, 2, 5, 3);
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], id);
+}
+
+}  // namespace
+}  // namespace mch::legal

@@ -1,0 +1,166 @@
+#include "legal/row_assign.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/generator.h"
+#include "legal/flow.h"
+#include "util/check.h"
+
+namespace mch::legal {
+namespace {
+
+db::Chip test_chip() {
+  db::Chip chip;
+  chip.num_rows = 10;
+  chip.num_sites = 100;
+  chip.site_width = 1.0;
+  chip.row_height = 10.0;
+  return chip;
+}
+
+TEST(RowAssignTest, SingleHeightGoesToNearestRow) {
+  db::Design design(test_chip());
+  db::Cell cell;
+  cell.width = 4;
+  cell.gp_y = 27.0;  // nearest row 3
+  design.add_cell(cell);
+  cell.gp_y = 22.0;  // nearest row 2
+  design.add_cell(cell);
+  const RowAssignment rows = compute_row_assignment(design);
+  EXPECT_EQ(rows[0], 3u);
+  EXPECT_EQ(rows[1], 2u);
+}
+
+TEST(RowAssignTest, EvenHeightHonorsRail) {
+  db::Design design(test_chip());
+  db::Cell cell;
+  cell.width = 4;
+  cell.height_rows = 2;
+  cell.bottom_rail = db::RailType::kVdd;  // odd row indices
+  cell.gp_y = 20.0;                       // nearest row 2 → must move to 1 or 3
+  design.add_cell(cell);
+  const RowAssignment rows = compute_row_assignment(design);
+  EXPECT_TRUE(rows[0] == 1 || rows[0] == 3);
+}
+
+TEST(RowAssignTest, AssignRowsWritesY) {
+  db::Design design(test_chip());
+  db::Cell cell;
+  cell.width = 4;
+  cell.gp_y = 27.0;
+  cell.y = -1.0;
+  design.add_cell(cell);
+  const RowAssignment rows = assign_rows(design);
+  EXPECT_DOUBLE_EQ(design.cells()[0].y, design.chip().row_y(rows[0]));
+}
+
+TEST(RowAssignTest, TallCellClampedToFit) {
+  db::Design design(test_chip());
+  db::Cell cell;
+  cell.width = 4;
+  cell.height_rows = 3;
+  cell.gp_y = 95.0;  // top of the chip; base must be ≤ 7
+  design.add_cell(cell);
+  const RowAssignment rows = compute_row_assignment(design);
+  EXPECT_LE(rows[0], 7u);
+}
+
+TEST(RowAssignTest, YDisplacementIsMinimalAmongLegalRows) {
+  // Property: no other rail-compatible row is strictly closer.
+  gen::GeneratorOptions opts;
+  opts.seed = 33;
+  db::Design design = gen::generate_random_design(200, 50, 0.4, opts);
+  const RowAssignment rows = compute_row_assignment(design);
+  for (std::size_t i = 0; i < design.num_cells(); ++i) {
+    const db::Cell& cell = design.cells()[i];
+    const double chosen =
+        std::abs(design.chip().row_y(rows[i]) - cell.gp_y);
+    for (std::size_t r = 0;
+         r + cell.height_rows <= design.chip().num_rows; ++r) {
+      if (!cell.rail_compatible(design.chip(), r)) continue;
+      EXPECT_GE(std::abs(design.chip().row_y(r) - cell.gp_y) + 1e-9, chosen)
+          << "cell " << i << " row " << r;
+    }
+  }
+}
+
+TEST(OrientationTest, OddHeightFlipsToMatchRail) {
+  db::Design design(test_chip());  // bottom rail VSS; row 1 = VDD
+  db::Cell cell;
+  cell.width = 4;
+  cell.bottom_rail = db::RailType::kVss;
+  cell.x = 0;
+  cell.y = 10.0;  // row 1 (VDD): VSS-bottom single must flip
+  design.add_cell(cell);
+  cell.y = 0.0;  // row 0 (VSS): no flip
+  design.add_cell(cell);
+  const std::size_t flipped = assign_orientations(design);
+  EXPECT_EQ(flipped, 1u);
+  EXPECT_TRUE(design.cells()[0].flipped);
+  EXPECT_FALSE(design.cells()[1].flipped);
+}
+
+TEST(OrientationTest, EvenHeightNeverFlips) {
+  db::Design design(test_chip());
+  db::Cell cell;
+  cell.width = 4;
+  cell.height_rows = 2;
+  cell.bottom_rail = db::RailType::kVss;
+  cell.x = 0;
+  cell.y = 0.0;  // row 0: rail matches
+  design.add_cell(cell);
+  EXPECT_EQ(assign_orientations(design), 0u);
+  EXPECT_FALSE(design.cells()[0].flipped);
+}
+
+TEST(OrientationTest, EvenHeightOnWrongRailRejected) {
+  db::Design design(test_chip());
+  db::Cell cell;
+  cell.width = 4;
+  cell.height_rows = 2;
+  cell.bottom_rail = db::RailType::kVdd;  // row 0 is VSS
+  cell.x = 0;
+  cell.y = 0.0;
+  design.add_cell(cell);
+  EXPECT_THROW(assign_orientations(design), CheckError);
+}
+
+TEST(OrientationTest, TripleHeightFlipsLikeSingles) {
+  db::Design design(test_chip());
+  db::Cell cell;
+  cell.width = 4;
+  cell.height_rows = 3;
+  cell.bottom_rail = db::RailType::kVdd;
+  cell.x = 0;
+  cell.y = 0.0;  // row 0 = VSS: flip
+  design.add_cell(cell);
+  EXPECT_EQ(assign_orientations(design), 1u);
+  EXPECT_TRUE(design.cells()[0].flipped);
+}
+
+TEST(OrientationTest, FlowAssignsOrientations) {
+  gen::GeneratorOptions opts;
+  opts.seed = 44;
+  db::Design design = gen::generate_random_design(300, 40, 0.5, opts);
+  // Scatter designed rails so some odd cells land on mismatched rows.
+  for (std::size_t i = 0; i < design.num_cells(); ++i)
+    design.cells()[i].bottom_rail =
+        (i % 2 == 0) ? db::RailType::kVss : db::RailType::kVdd;
+  legal::FlowOptions options;
+  const legal::FlowResult result = legal::legalize(design);
+  ASSERT_TRUE(result.legal);
+  std::size_t flipped = 0;
+  for (const db::Cell& cell : design.cells()) {
+    if (cell.flipped) ++flipped;
+    if (cell.is_even_height()) {
+      EXPECT_FALSE(cell.flipped);
+    }
+  }
+  EXPECT_GT(flipped, 0u);
+  (void)options;
+}
+
+}  // namespace
+}  // namespace mch::legal

@@ -1,0 +1,150 @@
+#include "legal/tetris_alloc.h"
+
+#include <gtest/gtest.h>
+
+#include "db/legality.h"
+#include "gen/generator.h"
+#include "legal/row_assign.h"
+
+namespace mch::legal {
+namespace {
+
+db::Chip test_chip() {
+  db::Chip chip;
+  chip.num_rows = 6;
+  chip.num_sites = 50;
+  chip.site_width = 1.0;
+  chip.row_height = 10.0;
+  return chip;
+}
+
+TEST(TetrisAllocTest, AlreadyLegalPlacementUntouched) {
+  db::Design design(test_chip());
+  db::Cell cell;
+  cell.width = 5;
+  cell.gp_x = cell.x = 10;
+  cell.gp_y = cell.y = 0;
+  design.add_cell(cell);
+  cell.gp_x = cell.x = 20;
+  design.add_cell(cell);
+  const TetrisStats stats = tetris_allocate(design);
+  EXPECT_EQ(stats.illegal_cells, 0u);
+  EXPECT_DOUBLE_EQ(design.cells()[0].x, 10.0);
+  EXPECT_DOUBLE_EQ(design.cells()[1].x, 20.0);
+  EXPECT_TRUE(db::check_legality(design).legal());
+}
+
+TEST(TetrisAllocTest, SnapsOffSitePositions) {
+  db::Design design(test_chip());
+  db::Cell cell;
+  cell.width = 5;
+  cell.x = 10.37;
+  cell.y = 0;
+  design.add_cell(cell);
+  const TetrisStats stats = tetris_allocate(design);
+  EXPECT_EQ(stats.illegal_cells, 0u);
+  EXPECT_DOUBLE_EQ(design.cells()[0].x, 10.0);
+}
+
+TEST(TetrisAllocTest, ResolvesResidualOverlap) {
+  db::Design design(test_chip());
+  db::Cell cell;
+  cell.width = 5;
+  cell.x = 10;
+  cell.y = 0;
+  design.add_cell(cell);
+  cell.x = 12;  // overlaps the first
+  design.add_cell(cell);
+  const TetrisStats stats = tetris_allocate(design);
+  EXPECT_EQ(stats.illegal_cells, 1u);
+  EXPECT_EQ(stats.unplaced_cells, 0u);
+  EXPECT_TRUE(db::check_legality(design).legal());
+}
+
+TEST(TetrisAllocTest, LeftCellKeepsPosition) {
+  db::Design design(test_chip());
+  db::Cell cell;
+  cell.width = 5;
+  cell.x = 10;
+  cell.y = 0;
+  design.add_cell(cell);
+  cell.x = 12;
+  design.add_cell(cell);
+  tetris_allocate(design);
+  // Scan order is left-to-right: the left cell is accepted unmoved.
+  EXPECT_DOUBLE_EQ(design.cells()[0].x, 10.0);
+  EXPECT_GE(design.cells()[1].x, 15.0);
+}
+
+TEST(TetrisAllocTest, FixesOutOfRightBoundary) {
+  db::Design design(test_chip());
+  db::Cell cell;
+  cell.width = 8;
+  cell.x = 47;  // extends to 55 > 50
+  cell.y = 0;
+  design.add_cell(cell);
+  const TetrisStats stats = tetris_allocate(design);
+  EXPECT_EQ(stats.illegal_cells, 1u);
+  EXPECT_TRUE(db::check_legality(design).legal());
+  EXPECT_LE(design.cells()[0].x + design.cells()[0].width, 50.0);
+}
+
+TEST(TetrisAllocTest, RelocatedMultiRowKeepsRailParity) {
+  db::Design design(test_chip());
+  // Fill row 0 completely so the double cell must move.
+  db::Cell filler;
+  filler.width = 50;
+  filler.x = 0;
+  filler.y = 0;
+  design.add_cell(filler);
+  db::Cell tall;
+  tall.width = 5;
+  tall.height_rows = 2;
+  tall.bottom_rail = db::RailType::kVss;  // even rows
+  tall.x = 10;
+  tall.y = 0;  // conflicts with the filler
+  design.add_cell(tall);
+  const TetrisStats stats = tetris_allocate(design);
+  EXPECT_EQ(stats.illegal_cells, 1u);
+  const db::LegalityReport report = db::check_legality(design);
+  EXPECT_TRUE(report.legal()) << report.summary();
+  const auto row = static_cast<std::size_t>(design.cells()[1].y / 10.0);
+  EXPECT_EQ(row % 2, 0u);
+}
+
+TEST(TetrisAllocTest, NotRowAlignedInputRejected) {
+  db::Design design(test_chip());
+  db::Cell cell;
+  cell.width = 5;
+  cell.x = 10;
+  cell.y = 57.0;  // rounds to row 6 > 5 for height 1... row 6 doesn't exist
+  design.add_cell(cell);
+  EXPECT_THROW(tetris_allocate(design), CheckError);
+}
+
+TEST(TetrisAllocTest, RelocationCostAccounted) {
+  db::Design design(test_chip());
+  db::Cell cell;
+  cell.width = 5;
+  cell.gp_x = cell.x = 10;
+  cell.gp_y = cell.y = 0;
+  design.add_cell(cell);
+  design.add_cell(cell);  // exact duplicate: one must move
+  const TetrisStats stats = tetris_allocate(design);
+  EXPECT_EQ(stats.illegal_cells, 1u);
+  EXPECT_GT(stats.relocation_cost_sites, 0.0);
+}
+
+TEST(TetrisAllocTest, EndToEndAfterRowAssignment) {
+  gen::GeneratorOptions opts;
+  opts.seed = 55;
+  db::Design design = gen::generate_random_design(400, 60, 0.6, opts);
+  assign_rows(design);  // y on rows; x still the (noisy) GP values
+  const TetrisStats stats = tetris_allocate(design);
+  EXPECT_EQ(stats.unplaced_cells, 0u);
+  const db::LegalityReport report = db::check_legality(design);
+  EXPECT_TRUE(report.legal()) << report.summary();
+}
+
+}  // namespace
+}  // namespace mch::legal

@@ -1,0 +1,110 @@
+#include "linalg/cg.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/dense_matrix.h"
+#include "linalg/sparse.h"
+#include "util/rng.h"
+
+namespace mch::linalg {
+namespace {
+
+TEST(CgTest, DiagonalSystem) {
+  const Vector diag = {2.0, 4.0, 8.0};
+  const auto apply = [&](const Vector& x, Vector& y) {
+    y.resize(3);
+    for (int i = 0; i < 3; ++i) y[i] = diag[i] * x[i];
+  };
+  Vector x;
+  const CgResult result = conjugate_gradient(apply, diag, {2, 4, 8}, x);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(x[0], 1.0, 1e-8);
+  EXPECT_NEAR(x[1], 1.0, 1e-8);
+  EXPECT_NEAR(x[2], 1.0, 1e-8);
+}
+
+TEST(CgTest, ZeroRhsGivesZero) {
+  const Vector diag = {1.0, 1.0};
+  const auto apply = [&](const Vector& x, Vector& y) { y = x; };
+  Vector x = {5.0, -3.0};
+  const CgResult result = conjugate_gradient(apply, diag, {0, 0}, x);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(x, (Vector{0, 0}));
+}
+
+TEST(CgTest, RandomSpdSystems) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 5 + static_cast<std::size_t>(rng.uniform_int(0, 30));
+    DenseMatrix g(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c) g(r, c) = rng.uniform(-1, 1);
+    DenseMatrix a = g.multiply(g.transpose());
+    for (std::size_t i = 0; i < n; ++i) a(i, i) += 1.0;
+
+    Vector diag(n);
+    for (std::size_t i = 0; i < n; ++i) diag[i] = a(i, i);
+    Vector b(n);
+    for (double& v : b) v = rng.uniform(-3, 3);
+
+    const auto apply = [&](const Vector& x, Vector& y) { a.multiply(x, y); };
+    Vector x;
+    CgOptions options;
+    options.tolerance = 1e-10;
+    const CgResult result = conjugate_gradient(apply, diag, b, x, options);
+    ASSERT_TRUE(result.converged) << "trial " << trial;
+
+    Vector back;
+    a.multiply(x, back);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(back[i], b[i], 1e-6) << trial;
+  }
+}
+
+TEST(CgTest, WarmStartReducesIterations) {
+  Rng rng(6);
+  const std::size_t n = 50;
+  // Laplacian of a chain + I: well-conditioned SPD.
+  CooMatrix coo(n, n);
+  for (std::size_t i = 0; i < n; ++i) coo.add(i, i, 3.0);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    coo.add(i, i + 1, -1.0);
+    coo.add(i + 1, i, -1.0);
+  }
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  Vector diag(n, 3.0), b(n);
+  for (double& v : b) v = rng.uniform(-1, 1);
+  const auto apply = [&](const Vector& x, Vector& y) { a.multiply(x, y); };
+
+  Vector cold;
+  const CgResult cold_result = conjugate_gradient(apply, diag, b, cold);
+  ASSERT_TRUE(cold_result.converged);
+
+  Vector warm = cold;  // start at the solution
+  const CgResult warm_result = conjugate_gradient(apply, diag, b, warm);
+  EXPECT_TRUE(warm_result.converged);
+  EXPECT_LE(warm_result.iterations, 1u);
+}
+
+TEST(CgTest, IterationCapRespected) {
+  Rng rng(7);
+  const std::size_t n = 64;
+  DenseMatrix g(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) g(r, c) = rng.uniform(-1, 1);
+  DenseMatrix a = g.multiply(g.transpose());
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += 0.01;  // ill-conditioned
+  Vector diag(n);
+  for (std::size_t i = 0; i < n; ++i) diag[i] = a(i, i);
+  Vector b(n, 1.0), x;
+  CgOptions options;
+  options.max_iterations = 3;
+  options.tolerance = 1e-14;
+  const CgResult result = conjugate_gradient(
+      [&](const Vector& v, Vector& y) { a.multiply(v, y); }, diag, b, x,
+      options);
+  EXPECT_LE(result.iterations, 3u);
+}
+
+}  // namespace
+}  // namespace mch::linalg

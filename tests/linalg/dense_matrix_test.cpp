@@ -1,0 +1,158 @@
+#include "linalg/dense_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace mch::linalg {
+namespace {
+
+DenseMatrix random_spd(std::size_t n, Rng& rng) {
+  // A = G Gᵀ + n·I is SPD for any G.
+  DenseMatrix g(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) g(r, c) = rng.uniform(-1, 1);
+  DenseMatrix a = g.multiply(g.transpose());
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+TEST(DenseMatrixTest, IdentityMultiply) {
+  const DenseMatrix eye = DenseMatrix::identity(3);
+  Vector y;
+  eye.multiply({1, 2, 3}, y);
+  EXPECT_EQ(y, (Vector{1, 2, 3}));
+}
+
+TEST(DenseMatrixTest, MultiplyRectangular) {
+  DenseMatrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  Vector y;
+  a.multiply({1, 1, 1}, y);
+  EXPECT_EQ(y, (Vector{6, 15}));
+}
+
+TEST(DenseMatrixTest, MatrixProduct) {
+  DenseMatrix a(2, 2), b(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  b(0, 0) = 0;
+  b(0, 1) = 1;
+  b(1, 0) = 1;
+  b(1, 1) = 0;
+  const DenseMatrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 2);
+  EXPECT_DOUBLE_EQ(c(0, 1), 1);
+  EXPECT_DOUBLE_EQ(c(1, 0), 4);
+  EXPECT_DOUBLE_EQ(c(1, 1), 3);
+}
+
+TEST(DenseMatrixTest, Transpose) {
+  DenseMatrix a(2, 3);
+  a(0, 2) = 7;
+  a(1, 0) = -2;
+  const DenseMatrix at = a.transpose();
+  EXPECT_EQ(at.rows(), 3u);
+  EXPECT_EQ(at.cols(), 2u);
+  EXPECT_DOUBLE_EQ(at(2, 0), 7);
+  EXPECT_DOUBLE_EQ(at(0, 1), -2);
+}
+
+TEST(DenseMatrixTest, SolveDiagonal) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 2;
+  a(1, 1) = 4;
+  Vector x;
+  ASSERT_TRUE(a.solve({2, 8}, x));
+  EXPECT_DOUBLE_EQ(x[0], 1);
+  EXPECT_DOUBLE_EQ(x[1], 2);
+}
+
+TEST(DenseMatrixTest, SolveNeedsPivoting) {
+  // Zero on the initial pivot position forces a row swap.
+  DenseMatrix a(2, 2);
+  a(0, 0) = 0;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 0;
+  Vector x;
+  ASSERT_TRUE(a.solve({3, 5}, x));
+  EXPECT_DOUBLE_EQ(x[0], 5);
+  EXPECT_DOUBLE_EQ(x[1], 3);
+}
+
+TEST(DenseMatrixTest, SolveSingularFails) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  Vector x;
+  EXPECT_FALSE(a.solve({1, 2}, x));
+}
+
+TEST(DenseMatrixTest, InverseRoundTrip) {
+  Rng rng(3);
+  const DenseMatrix a = random_spd(5, rng);
+  DenseMatrix inv;
+  ASSERT_TRUE(a.inverse(inv));
+  const DenseMatrix prod = a.multiply(inv);
+  EXPECT_LT(prod.frobenius_distance(DenseMatrix::identity(5)), 1e-9);
+}
+
+TEST(DenseMatrixTest, CholeskyFactorReconstructs) {
+  Rng rng(4);
+  const DenseMatrix a = random_spd(6, rng);
+  DenseMatrix lower;
+  ASSERT_TRUE(a.cholesky(lower));
+  const DenseMatrix rebuilt = lower.multiply(lower.transpose());
+  EXPECT_LT(rebuilt.frobenius_distance(a), 1e-9);
+}
+
+TEST(DenseMatrixTest, CholeskyRejectsIndefinite) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 1;  // eigenvalues 3, -1
+  DenseMatrix lower;
+  EXPECT_FALSE(a.cholesky(lower));
+}
+
+TEST(DenseMatrixTest, AddScaled) {
+  DenseMatrix a = DenseMatrix::identity(2);
+  a.add_scaled(3.0, DenseMatrix::identity(2));
+  EXPECT_DOUBLE_EQ(a(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), 0.0);
+}
+
+// Property sweep: solve(rhs) then multiply reproduces rhs for random SPD
+// systems of several orders.
+class DenseSolveSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DenseSolveSweep, SolveMultiplyRoundTrip) {
+  const std::size_t n = GetParam();
+  Rng rng(77 + n);
+  const DenseMatrix a = random_spd(n, rng);
+  Vector rhs(n);
+  for (double& v : rhs) v = rng.uniform(-3, 3);
+  Vector x, back;
+  ASSERT_TRUE(a.solve(rhs, x));
+  a.multiply(x, back);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(back[i], rhs[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DenseSolveSweep,
+                         ::testing::Values(1, 2, 3, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace mch::linalg

@@ -1,0 +1,70 @@
+#include "linalg/power_iteration.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/dense_matrix.h"
+#include "util/rng.h"
+
+namespace mch::linalg {
+namespace {
+
+TEST(PowerIterationTest, DiagonalDominantEigenvalue) {
+  DenseMatrix a(3, 3);
+  a(0, 0) = 1.0;
+  a(1, 1) = 5.0;
+  a(2, 2) = 2.0;
+  const auto result = power_iteration(
+      3, [&](const Vector& x, Vector& y) { a.multiply(x, y); });
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.eigenvalue, 5.0, 1e-6);
+}
+
+TEST(PowerIterationTest, SymmetricMatrixKnownSpectrum) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  DenseMatrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 2;
+  const auto result = power_iteration(
+      2, [&](const Vector& x, Vector& y) { a.multiply(x, y); });
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.eigenvalue, 3.0, 1e-6);
+}
+
+TEST(PowerIterationTest, ZeroOperator) {
+  const auto result = power_iteration(4, [](const Vector& x, Vector& y) {
+    y.assign(x.size(), 0.0);
+  });
+  EXPECT_TRUE(result.converged);
+  EXPECT_DOUBLE_EQ(result.eigenvalue, 0.0);
+}
+
+TEST(PowerIterationTest, EmptyDimension) {
+  const auto result =
+      power_iteration(0, [](const Vector&, Vector&) { FAIL(); });
+  EXPECT_TRUE(result.converged);
+  EXPECT_DOUBLE_EQ(result.eigenvalue, 0.0);
+}
+
+TEST(PowerIterationTest, ScalingLinearity) {
+  // Dominant eigenvalue of 10·A is 10·λmax(A).
+  Rng rng(21);
+  DenseMatrix g(5, 5);
+  for (std::size_t r = 0; r < 5; ++r)
+    for (std::size_t c = 0; c < 5; ++c) g(r, c) = rng.uniform(-1, 1);
+  const DenseMatrix a = g.multiply(g.transpose());  // PSD: power iter safe
+  const auto base = power_iteration(
+      5, [&](const Vector& x, Vector& y) { a.multiply(x, y); });
+  const auto scaled = power_iteration(5, [&](const Vector& x, Vector& y) {
+    a.multiply(x, y);
+    for (double& v : y) v *= 10.0;
+  });
+  EXPECT_TRUE(base.converged);
+  EXPECT_TRUE(scaled.converged);
+  EXPECT_NEAR(scaled.eigenvalue, 10.0 * base.eigenvalue,
+              1e-4 * scaled.eigenvalue);
+}
+
+}  // namespace
+}  // namespace mch::linalg

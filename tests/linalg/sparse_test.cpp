@@ -1,0 +1,139 @@
+#include "linalg/sparse.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace mch::linalg {
+namespace {
+
+CsrMatrix small_matrix() {
+  // [ 1 0 2 ]
+  // [ 0 0 0 ]
+  // [ 3 4 0 ]
+  CooMatrix coo(3, 3);
+  coo.add(0, 0, 1.0);
+  coo.add(0, 2, 2.0);
+  coo.add(2, 0, 3.0);
+  coo.add(2, 1, 4.0);
+  return CsrMatrix::from_coo(coo);
+}
+
+TEST(SparseTest, FromCooBasicStructure) {
+  const CsrMatrix a = small_matrix();
+  EXPECT_EQ(a.rows(), 3u);
+  EXPECT_EQ(a.cols(), 3u);
+  EXPECT_EQ(a.nnz(), 4u);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 0), 3.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 1), 4.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 0.0);
+}
+
+TEST(SparseTest, DuplicateEntriesAreSummed) {
+  CooMatrix coo(2, 2);
+  coo.add(0, 1, 1.5);
+  coo.add(0, 1, 2.5);
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  EXPECT_EQ(a.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 4.0);
+}
+
+TEST(SparseTest, CancellingDuplicatesAreDropped) {
+  CooMatrix coo(2, 2);
+  coo.add(1, 0, 3.0);
+  coo.add(1, 0, -3.0);
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  EXPECT_EQ(a.nnz(), 0u);
+}
+
+TEST(SparseTest, OutOfRangeCooEntryThrows) {
+  CooMatrix coo(2, 2);
+  EXPECT_THROW(coo.add(2, 0, 1.0), CheckError);
+  EXPECT_THROW(coo.add(0, 2, 1.0), CheckError);
+}
+
+TEST(SparseTest, Multiply) {
+  const CsrMatrix a = small_matrix();
+  Vector y;
+  a.multiply({1, 2, 3}, y);
+  EXPECT_EQ(y, (Vector{7, 0, 11}));
+}
+
+TEST(SparseTest, MultiplyTranspose) {
+  const CsrMatrix a = small_matrix();
+  Vector y;
+  a.multiply_transpose({1, 2, 3}, y);
+  // Aᵀ x = [1*1 + 3*3, 4*3, 2*1] = [10, 12, 2]
+  EXPECT_EQ(y, (Vector{10, 12, 2}));
+}
+
+TEST(SparseTest, MultiplyAddAccumulates) {
+  const CsrMatrix a = small_matrix();
+  Vector y = {1, 1, 1};
+  a.multiply_add(2.0, {1, 0, 0}, y);
+  EXPECT_EQ(y, (Vector{3, 1, 7}));
+}
+
+TEST(SparseTest, TransposeExplicit) {
+  const CsrMatrix at = small_matrix().transpose();
+  EXPECT_EQ(at.rows(), 3u);
+  EXPECT_DOUBLE_EQ(at.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(at.at(2, 0), 2.0);
+  EXPECT_DOUBLE_EQ(at.at(0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(at.at(1, 2), 4.0);
+}
+
+TEST(SparseTest, Identity) {
+  const CsrMatrix eye = CsrMatrix::identity(4);
+  Vector y;
+  eye.multiply({1, 2, 3, 4}, y);
+  EXPECT_EQ(y, (Vector{1, 2, 3, 4}));
+  EXPECT_EQ(eye.nnz(), 4u);
+}
+
+TEST(SparseTest, EmptyMatrix) {
+  const CsrMatrix a(0, 0);
+  Vector y;
+  a.multiply({}, y);
+  EXPECT_TRUE(y.empty());
+}
+
+TEST(SparseTest, SizeMismatchThrows) {
+  const CsrMatrix a = small_matrix();
+  Vector y;
+  EXPECT_THROW(a.multiply({1, 2}, y), CheckError);
+  EXPECT_THROW(a.multiply_transpose({1, 2}, y), CheckError);
+}
+
+// Property check: transpose-multiply agrees with explicit transpose on
+// random matrices.
+TEST(SparseTest, TransposeMultiplyMatchesExplicitTranspose) {
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t rows = 1 + static_cast<std::size_t>(rng.uniform_int(0, 20));
+    const std::size_t cols = 1 + static_cast<std::size_t>(rng.uniform_int(0, 20));
+    CooMatrix coo(rows, cols);
+    const int entries = static_cast<int>(rng.uniform_int(0, 60));
+    for (int e = 0; e < entries; ++e)
+      coo.add(static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(rows) - 1)),
+              static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(cols) - 1)),
+              rng.uniform(-2.0, 2.0));
+    const CsrMatrix a = CsrMatrix::from_coo(coo);
+    const CsrMatrix at = a.transpose();
+
+    Vector x(rows);
+    for (double& v : x) v = rng.uniform(-1.0, 1.0);
+    Vector via_transpose_mult, via_explicit;
+    a.multiply_transpose(x, via_transpose_mult);
+    at.multiply(x, via_explicit);
+    ASSERT_EQ(via_transpose_mult.size(), via_explicit.size());
+    for (std::size_t i = 0; i < via_explicit.size(); ++i)
+      EXPECT_NEAR(via_transpose_mult[i], via_explicit[i], 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace mch::linalg

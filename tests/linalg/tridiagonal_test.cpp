@@ -1,0 +1,131 @@
+#include "linalg/tridiagonal.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace mch::linalg {
+namespace {
+
+Tridiagonal chain_laplacian_plus_identity(std::size_t n) {
+  Tridiagonal t(n);
+  for (std::size_t i = 0; i < n; ++i) t.diag(i) = 3.0;  // 2 + 1
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    t.lower(i) = -1.0;
+    t.upper(i) = -1.0;
+  }
+  return t;
+}
+
+TEST(TridiagonalTest, MultiplySmall) {
+  Tridiagonal t(3);
+  t.diag(0) = 2;
+  t.diag(1) = 3;
+  t.diag(2) = 4;
+  t.upper(0) = 1;
+  t.upper(1) = 1;
+  t.lower(0) = 5;
+  t.lower(1) = 6;
+  Vector y;
+  t.multiply({1, 2, 3}, y);
+  // row0: 2*1 + 1*2 = 4; row1: 5*1 + 3*2 + 1*3 = 14; row2: 6*2 + 4*3 = 24
+  EXPECT_EQ(y, (Vector{4, 14, 24}));
+}
+
+TEST(TridiagonalTest, SolveIdentity) {
+  Tridiagonal t(4);
+  for (std::size_t i = 0; i < 4; ++i) t.diag(i) = 1.0;
+  Vector x;
+  ASSERT_TRUE(t.solve({1, 2, 3, 4}, x));
+  EXPECT_EQ(x, (Vector{1, 2, 3, 4}));
+}
+
+TEST(TridiagonalTest, SolveThenMultiplyRoundTrips) {
+  const Tridiagonal t = chain_laplacian_plus_identity(50);
+  Rng rng(5);
+  Vector rhs(50);
+  for (double& v : rhs) v = rng.uniform(-10, 10);
+  Vector x, back;
+  ASSERT_TRUE(t.solve(rhs, x));
+  t.multiply(x, back);
+  for (std::size_t i = 0; i < rhs.size(); ++i)
+    EXPECT_NEAR(back[i], rhs[i], 1e-9);
+}
+
+TEST(TridiagonalTest, SolveSizeOne) {
+  Tridiagonal t(1);
+  t.diag(0) = 4.0;
+  Vector x;
+  ASSERT_TRUE(t.solve({8.0}, x));
+  EXPECT_DOUBLE_EQ(x[0], 2.0);
+}
+
+TEST(TridiagonalTest, SolveEmpty) {
+  Tridiagonal t(0);
+  Vector x;
+  EXPECT_TRUE(t.solve({}, x));
+  EXPECT_TRUE(x.empty());
+}
+
+TEST(TridiagonalTest, SingularPivotReturnsFalse) {
+  Tridiagonal t(2);  // all zeros
+  Vector x;
+  EXPECT_FALSE(t.solve({1, 1}, x));
+}
+
+TEST(TridiagonalTest, ScaledPlusIdentity) {
+  Tridiagonal t(3);
+  t.diag(0) = 2;
+  t.diag(1) = 2;
+  t.diag(2) = 2;
+  t.upper(0) = -1;
+  t.lower(0) = -1;
+  const Tridiagonal s = t.scaled_plus_identity(2.0, 1.0);
+  EXPECT_DOUBLE_EQ(s.diag(0), 5.0);
+  EXPECT_DOUBLE_EQ(s.upper(0), -2.0);
+  EXPECT_DOUBLE_EQ(s.lower(0), -2.0);
+  EXPECT_DOUBLE_EQ(s.upper(1), 0.0);
+}
+
+TEST(TridiagonalTest, AsymmetricSolve) {
+  Tridiagonal t(3);
+  t.diag(0) = 4;
+  t.diag(1) = 5;
+  t.diag(2) = 6;
+  t.upper(0) = 1;
+  t.upper(1) = 2;
+  t.lower(0) = -1;
+  t.lower(1) = 0.5;
+  Vector x, back;
+  ASSERT_TRUE(t.solve({1, -2, 3}, x));
+  t.multiply(x, back);
+  EXPECT_NEAR(back[0], 1, 1e-12);
+  EXPECT_NEAR(back[1], -2, 1e-12);
+  EXPECT_NEAR(back[2], 3, 1e-12);
+}
+
+// Property sweep: random diagonally dominant systems of many sizes.
+class TridiagonalSolveSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TridiagonalSolveSweep, RandomDiagonallyDominant) {
+  const std::size_t n = GetParam();
+  Rng rng(1000 + n);
+  Tridiagonal t(n);
+  for (std::size_t i = 0; i < n; ++i) t.diag(i) = rng.uniform(2.5, 6.0);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    t.lower(i) = rng.uniform(-1.0, 1.0);
+    t.upper(i) = rng.uniform(-1.0, 1.0);
+  }
+  Vector rhs(n);
+  for (double& v : rhs) v = rng.uniform(-5, 5);
+  Vector x, back;
+  ASSERT_TRUE(t.solve(rhs, x));
+  t.multiply(x, back);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(back[i], rhs[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TridiagonalSolveSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 64, 256, 1000));
+
+}  // namespace
+}  // namespace mch::linalg

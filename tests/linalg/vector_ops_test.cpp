@@ -1,0 +1,66 @@
+#include "linalg/vector_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace mch::linalg {
+namespace {
+
+TEST(VectorOpsTest, DotProduct) {
+  EXPECT_DOUBLE_EQ(dot({1, 2, 3}, {4, 5, 6}), 32.0);
+}
+
+TEST(VectorOpsTest, DotEmptyIsZero) { EXPECT_DOUBLE_EQ(dot({}, {}), 0.0); }
+
+TEST(VectorOpsTest, DotSizeMismatchThrows) {
+  EXPECT_THROW(dot({1, 2}, {1}), CheckError);
+}
+
+TEST(VectorOpsTest, Axpy) {
+  Vector y = {1, 1, 1};
+  axpy(2.0, {1, 2, 3}, y);
+  EXPECT_EQ(y, (Vector{3, 5, 7}));
+}
+
+TEST(VectorOpsTest, Norm2) {
+  EXPECT_DOUBLE_EQ(norm2({3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(norm2({}), 0.0);
+}
+
+TEST(VectorOpsTest, NormInf) {
+  EXPECT_DOUBLE_EQ(norm_inf({1, -7, 3}), 7.0);
+  EXPECT_DOUBLE_EQ(norm_inf({}), 0.0);
+}
+
+TEST(VectorOpsTest, DiffNormInf) {
+  EXPECT_DOUBLE_EQ(diff_norm_inf({1, 2, 3}, {1, 5, 2}), 3.0);
+  EXPECT_DOUBLE_EQ(diff_norm_inf({1}, {1}), 0.0);
+}
+
+TEST(VectorOpsTest, Scale) {
+  Vector a = {1, -2, 4};
+  scale(-0.5, a);
+  EXPECT_EQ(a, (Vector{-0.5, 1, -2}));
+}
+
+TEST(VectorOpsTest, AbsInto) {
+  Vector out;
+  abs_into({-1, 2, -3}, out);
+  EXPECT_EQ(out, (Vector{1, 2, 3}));
+}
+
+TEST(VectorOpsTest, AbsIntoResizes) {
+  Vector out(10, 99.0);
+  abs_into({-1.5}, out);
+  EXPECT_EQ(out, (Vector{1.5}));
+}
+
+TEST(VectorOpsTest, PositivePart) {
+  Vector out;
+  positive_part({-1, 0, 2.5}, out);
+  EXPECT_EQ(out, (Vector{0, 0, 2.5}));
+}
+
+}  // namespace
+}  // namespace mch::linalg

@@ -1,0 +1,43 @@
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mch {
+namespace {
+
+TEST(CheckTest, PassingCheckDoesNothing) {
+  EXPECT_NO_THROW(MCH_CHECK(1 + 1 == 2));
+}
+
+TEST(CheckTest, FailingCheckThrowsCheckError) {
+  EXPECT_THROW(MCH_CHECK(false), CheckError);
+}
+
+TEST(CheckTest, MessageContainsExpressionAndLocation) {
+  try {
+    MCH_CHECK(2 < 1);
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, CheckMsgIncludesStreamedDetail) {
+  try {
+    MCH_CHECK_MSG(false, "value was " << 42);
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("value was 42"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, CheckErrorIsLogicError) {
+  EXPECT_THROW(MCH_CHECK(false), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mch

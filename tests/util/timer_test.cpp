@@ -1,0 +1,57 @@
+#include "util/timer.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/log.h"
+
+namespace mch {
+namespace {
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = timer.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);  // generous upper bound for loaded CI machines
+}
+
+TEST(TimerTest, ResetRestartsClock) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  timer.reset();
+  EXPECT_LT(timer.seconds(), 0.015);
+}
+
+TEST(TimerTest, MillisecondsConsistentWithSeconds) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double s = timer.seconds();
+  const double ms = timer.milliseconds();
+  EXPECT_NEAR(ms, s * 1e3, 2.0);
+}
+
+TEST(LogTest, LevelRoundTrips) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(original);
+}
+
+TEST(LogTest, SuppressedLevelsDoNotEvaluate) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kOff);
+  int evaluations = 0;
+  MCH_LOG(kDebug) << [&] {
+    ++evaluations;
+    return "side effect";
+  }();
+  EXPECT_EQ(evaluations, 0);
+  set_log_level(original);
+}
+
+}  // namespace
+}  // namespace mch

@@ -1,0 +1,181 @@
+// mchlegal — command-line mixed-cell-height legalizer.
+//
+//   mchlegal <input> [options]
+//
+// Input formats (by extension):
+//   .aux         Bookshelf bundle (ISPD contest format)
+//   .mchdesign   this library's native design format
+//
+// Options:
+//   --algo <mmsim|tetris|local|local-imp|mixed-abacus>   (default mmsim)
+//   --double <fraction>   apply the paper's mixed-height transform first
+//   --dp                  run detailed placement after legalization
+//   --out <path>          write result (.pl for .aux inputs, .mchdesign
+//                         otherwise; default <input-stem>_legal.<ext>)
+//   --svg <path>          write an SVG layout plot
+//   --lambda <v>          subcell penalty λ            (default 1000)
+//   --beta <v> --theta <v>  MMSIM splitting parameters (default 0.5/0.5)
+//   --tolerance <v>       MMSIM stop tolerance         (default 1e-4)
+//   --seed <n>            seed for --double            (default 1)
+//   --quiet               suppress the report
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "db/legality.h"
+#include "dp/detailed.h"
+#include "eval/suite_runner.h"
+#include "gen/transform.h"
+#include "io/bookshelf.h"
+#include "io/design_io.h"
+#include "io/svg.h"
+
+namespace {
+
+[[noreturn]] void usage_error(const char* message) {
+  std::fprintf(stderr, "error: %s\nrun with no arguments for usage\n",
+               message);
+  std::exit(2);
+}
+
+bool ends_with(const std::string& value, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return value.size() >= n &&
+         value.compare(value.size() - n, n, suffix) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mch;
+  if (argc < 2) {
+    std::printf("usage: mchlegal <input.aux|input.mchdesign> [options]\n"
+                "see the header of tools/mchlegal.cpp for the option list\n");
+    return 0;
+  }
+
+  const std::string input = argv[1];
+  std::string algo = "mmsim";
+  std::string out_path;
+  std::string svg_path;
+  double double_fraction = 0.0;
+  bool run_dp = false;
+  bool quiet = false;
+  std::uint64_t seed = 1;
+  legal::FlowOptions flow_options;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage_error(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--algo") algo = value();
+    else if (arg == "--out") out_path = value();
+    else if (arg == "--svg") svg_path = value();
+    else if (arg == "--double") double_fraction = std::atof(value().c_str());
+    else if (arg == "--dp") run_dp = true;
+    else if (arg == "--quiet") quiet = true;
+    else if (arg == "--seed") seed = std::strtoull(value().c_str(), nullptr, 10);
+    else if (arg == "--lambda")
+      flow_options.solver.model.lambda = std::atof(value().c_str());
+    else if (arg == "--beta")
+      flow_options.solver.mmsim.beta = std::atof(value().c_str());
+    else if (arg == "--theta")
+      flow_options.solver.mmsim.theta = std::atof(value().c_str());
+    else if (arg == "--tolerance")
+      flow_options.solver.mmsim.tolerance = std::atof(value().c_str());
+    else
+      usage_error(("unknown option " + arg).c_str());
+  }
+
+  // Load.
+  const bool bookshelf = ends_with(input, ".aux");
+  db::Design design;
+  try {
+    design = bookshelf ? io::load_bookshelf(input) : io::load_design(input);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "failed to load %s: %s\n", input.c_str(), e.what());
+    return 1;
+  }
+  if (!quiet)
+    std::printf("loaded %s: %zu cells (%zu fixed), %zu nets\n",
+                design.name.c_str(), design.num_cells(),
+                design.num_fixed_cells(), design.num_nets());
+
+  if (double_fraction > 0.0) {
+    const gen::MixedHeightTransformStats t =
+        gen::make_mixed_height(design, double_fraction, seed);
+    if (!quiet)
+      std::printf("doubled %zu cells (%.0f%%)\n", t.converted_cells,
+                  double_fraction * 100.0);
+  }
+
+  // Legalize.
+  eval::Legalizer which;
+  if (algo == "mmsim") which = eval::Legalizer::kMmsim;
+  else if (algo == "tetris") which = eval::Legalizer::kTetris;
+  else if (algo == "local") which = eval::Legalizer::kLocalBase;
+  else if (algo == "local-imp") which = eval::Legalizer::kLocalImproved;
+  else if (algo == "mixed-abacus") which = eval::Legalizer::kMixedAbacus;
+  else usage_error("unknown --algo");
+
+  eval::RunResult result;
+  try {
+    result = eval::run_legalizer(design, which, flow_options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "legalization failed: %s\n", e.what());
+    return 1;
+  }
+
+  dp::DetailedPlacementStats dp_stats;
+  if (run_dp) dp_stats = dp::refine(design);
+
+  if (!quiet) {
+    std::printf("algorithm:           %s\n", eval::to_string(which));
+    std::printf("legal:               %s\n",
+                result.legal ? "yes" : result.legality_summary.c_str());
+    std::printf("total displacement:  %.1f sites (mean %.3f)\n",
+                result.disp.total_sites, result.disp.mean_sites);
+    std::printf("delta HPWL:          %.4f%%\n", result.delta_hpwl * 100.0);
+    std::printf("runtime:             %.3f s\n", result.seconds);
+    if (which == eval::Legalizer::kMmsim)
+      std::printf("solver:              %zu iterations%s, %zu illegal "
+                  "cells fixed by allocation\n",
+                  result.solver_iterations,
+                  result.solver_converged ? "" : " (NOT converged)",
+                  result.illegal_after_solver);
+    if (run_dp)
+      std::printf("detailed placement:  HPWL %.0f -> %.0f (%.3f%%), "
+                  "%zu moves\n",
+                  dp_stats.hpwl_before, dp_stats.hpwl_after,
+                  dp_stats.improvement_fraction() * 100.0,
+                  dp_stats.reorder_moves + dp_stats.swap_moves +
+                      dp_stats.shift_moves);
+  }
+
+  // Write outputs.
+  if (out_path.empty()) {
+    const std::size_t dot = input.find_last_of('.');
+    out_path = input.substr(0, dot) + "_legal" +
+               (bookshelf ? ".pl" : ".mchdesign");
+  }
+  try {
+    if (bookshelf)
+      io::save_bookshelf_pl(out_path, design);
+    else
+      io::save_design(out_path, design);
+    if (!quiet) std::printf("wrote %s\n", out_path.c_str());
+    if (!svg_path.empty()) {
+      io::SvgOptions svg;
+      svg.pixels_per_unit = 1200.0 / design.chip().width();
+      io::save_svg(svg_path, design, svg);
+      if (!quiet) std::printf("wrote %s\n", svg_path.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "failed to write output: %s\n", e.what());
+    return 1;
+  }
+  return result.legal ? 0 : 1;
+}
