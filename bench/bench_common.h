@@ -9,6 +9,11 @@
 //                     cells)
 //   MCH_BENCH_SEED    generator seed (default 1)
 //
+// Thread count is shared with the rest of the harness: every bench accepts
+// --threads N (and the MCH_THREADS environment variable) via
+// bench_threads(), which forwards to runtime/options.h so examples, tools
+// and benches all parse the knob identically.
+//
 // Experiment shapes (who wins, by what factor, where the crossovers are)
 // are scale-invariant; see EXPERIMENTS.md.
 #pragma once
@@ -17,8 +22,15 @@
 #include <string>
 
 #include "gen/generator.h"
+#include "runtime/options.h"
 
 namespace mch::bench {
+
+/// Configures the global Runtime from --threads/MCH_THREADS and returns the
+/// resolved thread count. Call first thing in main().
+inline unsigned bench_threads(int argc, char* const* argv) {
+  return runtime::configure_threads_from_cli(argc, argv);
+}
 
 inline double bench_scale() {
   if (const char* env = std::getenv("MCH_BENCH_SCALE")) {

@@ -2,9 +2,19 @@
 // the linear-time scaling that underpins the paper's efficiency claim:
 // model build, MMSIM setup + iterations, PlaceRow collapse, and the
 // Tetris-like allocation all scale ~O(n).
+//
+// Run with --scaling for the thread-scaling sweep instead: MMSIM iteration
+// throughput at 1/2/4/8 threads on the largest micro case (snapshot in
+// results/micro_solver_scaling.txt). --threads N / MCH_THREADS set the
+// thread count for the regular microbenchmarks.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
 #include <map>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "baselines/abacus.h"
 #include "gen/generator.h"
@@ -13,6 +23,9 @@
 #include "legal/model.h"
 #include "legal/row_assign.h"
 #include "legal/tetris_alloc.h"
+#include "runtime/options.h"
+#include "runtime/runtime.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -115,6 +128,75 @@ void BM_FullFlow(benchmark::State& state) {
 }
 BENCHMARK(BM_FullFlow)->Range(1000, 16000);
 
+// Thread-scaling sweep: fixed-budget MMSIM iterations on the largest micro
+// case at 1/2/4/8 threads, reporting iterations/s and speedup over one
+// thread. Determinism means every run computes the identical iterates, so
+// the sweep measures runtime overhead/scaling and nothing else.
+void run_scaling_sweep() {
+  constexpr std::size_t kCells = 64000;
+  constexpr std::size_t kIterations = 200;
+  const std::vector<unsigned> thread_counts = {1, 2, 4, 8};
+
+  std::printf("MMSIM thread-scaling sweep — %zu cells, %zu iterations per "
+              "run (hardware threads available: %u)\n\n",
+              kCells, kIterations, std::thread::hardware_concurrency());
+
+  const mch::db::Design& design = cached_design(kCells);
+  mch::db::Design copy = design;
+  const mch::legal::RowAssignment rows = mch::legal::assign_rows(copy);
+  const mch::legal::LegalizationModel model =
+      mch::legal::build_model(copy, rows);
+  mch::lcp::MmsimOptions options;
+  options.max_iterations = kIterations;  // fixed budget: per-iteration cost
+  options.tolerance = 0.0;
+  options.residual_check = false;
+  const mch::lcp::MmsimSolver solver(model.qp, options);
+
+  std::printf("%8s %12s %14s %10s\n", "threads", "seconds", "iters/s",
+              "speedup");
+  double baseline_seconds = 0.0;
+  for (const unsigned threads : thread_counts) {
+    mch::runtime::Runtime::configure(threads);
+    solver.solve();  // warm-up: page in buffers, spin up the pool
+    mch::Timer timer;
+    solver.solve();
+    const double seconds = timer.seconds();
+    if (threads == 1) baseline_seconds = seconds;
+    std::printf("%8u %12.3f %14.1f %9.2fx\n", threads, seconds,
+                static_cast<double>(kIterations) / seconds,
+                baseline_seconds / seconds);
+  }
+  mch::runtime::Runtime::configure(1);
+  std::printf("\nSpeedup is bounded by the serial Thomas solve "
+              "(runtime/parallel.h documents the determinism contract) and "
+              "by the physical core count of the machine.\n");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  mch::runtime::configure_threads_from_cli(argc, argv);
+  // Strip our flags so google-benchmark does not reject them.
+  std::vector<char*> filtered;
+  bool scaling = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scaling") == 0) {
+      scaling = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 ||
+               std::strcmp(argv[i], "-j") == 0) {
+      ++i;  // skip the value
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+    } else {
+      filtered.push_back(argv[i]);
+    }
+  }
+  if (scaling) {
+    run_scaling_sweep();
+    return 0;
+  }
+  int filtered_argc = static_cast<int>(filtered.size());
+  benchmark::Initialize(&filtered_argc, filtered.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -11,13 +11,14 @@
 #include "eval/suite_runner.h"
 #include "io/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mch;
+  const unsigned threads = bench::bench_threads(argc, argv);
   const gen::GeneratorOptions options = bench::bench_options();
   std::printf("Table 1 — illegal cells after MMSIM legalization "
-              "(scale %.3f, seed %llu)\n\n",
+              "(scale %.3f, seed %llu, threads %u)\n\n",
               options.scale,
-              static_cast<unsigned long long>(options.seed));
+              static_cast<unsigned long long>(options.seed), threads);
 
   io::Table table({"Benchmark", "#S. Cell", "#D. Cell", "Density", "#I. Cell",
                    "%I. Cell", "legal"});
@@ -25,15 +26,20 @@ int main() {
   std::size_t total_single = 0, total_double = 0, total_illegal = 0;
   double density_sum = 0.0;
 
-  for (const gen::BenchmarkSpec& spec : gen::ispd2015_mch_suite()) {
-    db::Design design = gen::generate_design(spec, options);
-    const eval::RunResult result =
-        eval::run_legalizer(design, eval::Legalizer::kMmsim);
+  // One design per runtime task: the suite fans out across all cores.
+  const std::vector<gen::BenchmarkSpec>& suite = gen::ispd2015_mch_suite();
+  const std::vector<eval::RunResult> results =
+      eval::SuiteRunner(options).run_cross(suite, {eval::Legalizer::kMmsim},
+                                           {}, &std::cerr);
+  std::cerr << "\n";
+
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const eval::RunResult& result = results[i];
     const double ratio =
         static_cast<double>(result.illegal_after_solver) /
         static_cast<double>(result.num_cells);
     table.row()
-        .cell(spec.name)
+        .cell(suite[i].name)
         .cell(result.num_single)
         .cell(result.num_double)
         .cell(result.density, 2)
@@ -45,9 +51,7 @@ int main() {
     total_double += result.num_double;
     total_illegal += result.illegal_after_solver;
     density_sum += result.density;
-    std::cerr << "." << std::flush;
   }
-  std::cerr << "\n";
 
   const double n = static_cast<double>(gen::ispd2015_mch_suite().size());
   table.row()

@@ -19,12 +19,14 @@
 #include "eval/suite_runner.h"
 #include "io/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mch;
+  const unsigned threads = bench::bench_threads(argc, argv);
   const gen::GeneratorOptions options = bench::bench_options();
-  std::printf("Table 2 — legalizer comparison (scale %.3f, seed %llu)\n\n",
+  std::printf("Table 2 — legalizer comparison (scale %.3f, seed %llu, "
+              "threads %u)\n\n",
               options.scale,
-              static_cast<unsigned long long>(options.seed));
+              static_cast<unsigned long long>(options.seed), threads);
 
   const std::vector<eval::Legalizer> methods = {
       eval::Legalizer::kLocalBase, eval::Legalizer::kLocalImproved,
@@ -45,21 +47,26 @@ int main() {
   std::vector<double> time_ratio_sum(methods.size(), 0.0);
   bool all_legal = true;
 
-  for (const gen::BenchmarkSpec& spec : gen::ispd2015_mch_suite()) {
-    std::vector<eval::RunResult> results;
-    for (const eval::Legalizer method : methods) {
-      db::Design design = gen::generate_design(spec, options);
-      results.push_back(eval::run_legalizer(design, method));
-      all_legal = all_legal && results.back().legal;
-      std::cerr << "." << std::flush;
-    }
-    const eval::RunResult& ours = results.back();
+  // All (benchmark × method) runs fan out across the runtime's cores; the
+  // results come back in row-major (spec, method) order.
+  const std::vector<gen::BenchmarkSpec>& suite = gen::ispd2015_mch_suite();
+  const std::vector<eval::RunResult> all_results =
+      eval::SuiteRunner(options).run_cross(suite, methods, {}, &std::cerr);
+  std::cerr << "\n";
 
-    table.row().cell(spec.name).cell(ours.gp_hpwl / 1e6, 3);
-    for (const eval::RunResult& r : results)
-      table.cell(r.disp.total_sites, 0);
-    for (const eval::RunResult& r : results) table.percent(r.delta_hpwl);
-    for (const eval::RunResult& r : results) table.cell(r.seconds, 2);
+  for (std::size_t s = 0; s < suite.size(); ++s) {
+    const eval::RunResult* results = &all_results[s * methods.size()];
+    for (std::size_t m = 0; m < methods.size(); ++m)
+      all_legal = all_legal && results[m].legal;
+    const eval::RunResult& ours = results[methods.size() - 1];
+
+    table.row().cell(suite[s].name).cell(ours.gp_hpwl / 1e6, 3);
+    for (std::size_t m = 0; m < methods.size(); ++m)
+      table.cell(results[m].disp.total_sites, 0);
+    for (std::size_t m = 0; m < methods.size(); ++m)
+      table.percent(results[m].delta_hpwl);
+    for (std::size_t m = 0; m < methods.size(); ++m)
+      table.cell(results[m].seconds, 2);
 
     for (std::size_t m = 0; m < methods.size(); ++m) {
       disp_ratio_sum[m] +=
@@ -70,7 +77,6 @@ int main() {
       time_ratio_sum[m] += results[m].seconds / ours.seconds;
     }
   }
-  std::cerr << "\n";
 
   const double n = static_cast<double>(gen::ispd2015_mch_suite().size());
   table.row().cell("N. Average").cell("");

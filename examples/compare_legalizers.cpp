@@ -2,19 +2,35 @@
 // Table-2-style comparison row — the quickest way to see the paper's
 // headline result on your machine.
 //
-//   ./compare_legalizers [benchmark-name] [scale]
+//   ./compare_legalizers [benchmark-name] [scale] [--threads N]
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "eval/suite_runner.h"
 #include "io/table.h"
+#include "runtime/options.h"
 
 int main(int argc, char** argv) {
   using namespace mch;
-  const std::string name = argc > 1 ? argv[1] : "des_perf_1";
-  const double scale = argc > 2 ? std::atof(argv[2]) : 0.05;
+  runtime::configure_threads_from_cli(argc, argv);
+  // Positional args, with the --threads flag (and its value) skipped.
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 ||
+        std::strcmp(argv[i], "-j") == 0) {
+      ++i;
+    } else if (std::strncmp(argv[i], "--threads=", 10) != 0) {
+      positional.push_back(argv[i]);
+    }
+  }
+  const std::string name =
+      !positional.empty() ? positional[0] : "des_perf_1";
+  const double scale =
+      positional.size() > 1 ? std::atof(positional[1].c_str()) : 0.05;
 
   gen::GeneratorOptions options;
   options.scale = scale;

@@ -1,10 +1,13 @@
 #include "eval/suite_runner.h"
 
+#include <ostream>
+
 #include "baselines/local.h"
 #include "baselines/mixed_abacus.h"
 #include "baselines/tetris.h"
 #include "db/legality.h"
 #include "legal/tetris_alloc.h"
+#include "runtime/parallel.h"
 #include "util/timer.h"
 
 namespace mch::eval {
@@ -77,6 +80,43 @@ RunResult run_legalizer(db::Design& design, Legalizer which,
       result.gp_hpwl > 0.0 ? (result.hpwl - result.gp_hpwl) / result.gp_hpwl
                            : 0.0;
   return result;
+}
+
+std::vector<RunResult> SuiteRunner::run(const std::vector<SuiteJob>& jobs,
+                                        std::ostream* progress) const {
+  std::vector<RunResult> results(jobs.size());
+  // Grain 1: one design per task. Each job builds its design from the spec
+  // (the generator draws from a per-design RNG seeded by the spec and the
+  // generator options, so jobs are fully independent), and nested
+  // parallelism inside the solver runs inline on the same task. Results are
+  // written into the job's own slot — order and content are therefore
+  // independent of the thread count.
+  runtime::parallel_for(
+      std::size_t{0}, jobs.size(), 1,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t j = lo; j < hi; ++j) {
+          db::Design design = gen::generate_design(jobs[j].spec, gen_options_);
+          results[j] =
+              run_legalizer(design, jobs[j].legalizer, jobs[j].options);
+          // Writing one character to a standard stream is race-free per the
+          // iostreams guarantees; dots may arrive out of order, which is
+          // fine for a progress ticker.
+          if (progress) *progress << '.' << std::flush;
+        }
+      });
+  return results;
+}
+
+std::vector<RunResult> SuiteRunner::run_cross(
+    const std::vector<gen::BenchmarkSpec>& specs,
+    const std::vector<Legalizer>& methods,
+    const legal::FlowOptions& mmsim_options, std::ostream* progress) const {
+  std::vector<SuiteJob> jobs;
+  jobs.reserve(specs.size() * methods.size());
+  for (const gen::BenchmarkSpec& spec : specs)
+    for (const Legalizer method : methods)
+      jobs.push_back({spec, method, mmsim_options});
+  return run(jobs, progress);
 }
 
 }  // namespace mch::eval

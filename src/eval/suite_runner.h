@@ -1,9 +1,19 @@
 // Uniform driver running any legalizer on a design and collecting the
 // metrics the paper's tables report. Shared by the benches, the examples,
 // and the integration tests so every experiment measures identically.
+//
+// SuiteRunner adds the coarse-grained layer on top: a whole experiment —
+// (benchmark spec, legalizer) jobs — fans out one design per runtime task,
+// so the Table 1–3 benches use every core the global Runtime is configured
+// with (--threads / MCH_THREADS; see src/runtime/runtime.h). Every job
+// generates its own design from its spec, so jobs share no mutable state
+// and the reported metrics are identical at any thread count; only the
+// wall-clock fields vary with machine load.
 #pragma once
 
+#include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "db/design.h"
 #include "eval/metrics.h"
@@ -51,5 +61,37 @@ struct RunResult {
 /// result and fills in all metrics.
 RunResult run_legalizer(db::Design& design, Legalizer which,
                         const legal::FlowOptions& mmsim_options = {});
+
+/// One unit of suite work: generate the spec'd design, run the legalizer.
+struct SuiteJob {
+  gen::BenchmarkSpec spec;
+  Legalizer legalizer = Legalizer::kMmsim;
+  legal::FlowOptions options;
+};
+
+/// Runs experiment suites with per-design fan-out over the global Runtime.
+class SuiteRunner {
+ public:
+  explicit SuiteRunner(gen::GeneratorOptions generator_options = {})
+      : gen_options_(generator_options) {}
+
+  /// Runs every job (concurrently when the Runtime has threads to spare)
+  /// and returns the results in job order. When `progress` is non-null one
+  /// '.' is written per finished job. Metric fields are independent of the
+  /// thread count; the seconds fields are wall-clock and are not.
+  std::vector<RunResult> run(const std::vector<SuiteJob>& jobs,
+                             std::ostream* progress = nullptr) const;
+
+  /// Cross-product convenience: every spec × every method, in row-major
+  /// order (result index = spec_index * methods.size() + method_index).
+  std::vector<RunResult> run_cross(
+      const std::vector<gen::BenchmarkSpec>& specs,
+      const std::vector<Legalizer>& methods,
+      const legal::FlowOptions& mmsim_options = {},
+      std::ostream* progress = nullptr) const;
+
+ private:
+  gen::GeneratorOptions gen_options_;
+};
 
 }  // namespace mch::eval

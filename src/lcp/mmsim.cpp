@@ -4,10 +4,16 @@
 #include <cmath>
 
 #include "linalg/power_iteration.h"
+#include "runtime/parallel.h"
 #include "util/check.h"
 #include "util/timer.h"
 
 namespace mch::lcp {
+
+namespace {
+using runtime::kGrainElementwise;
+using runtime::parallel_for;
+}  // namespace
 
 using linalg::BlockDiagMatrix;
 using linalg::CsrMatrix;
@@ -128,17 +134,35 @@ MmsimResult MmsimSolver::solve_from(const Vector& s0) const {
   const double inv_theta = 1.0 / opts_.theta;
 
   for (std::size_t k = 0; k < opts_.max_iterations; ++k) {
-    for (std::size_t i = 0; i < n; ++i) abs1[i] = std::abs(s1[i]);
-    for (std::size_t i = 0; i < m; ++i) abs2[i] = std::abs(s2[i]);
+    // All element-wise stages of the modulus update run on the runtime; the
+    // matrix products parallelize internally. Each stage owns its output
+    // elements, so the iterates are identical at every thread count.
+    parallel_for(std::size_t{0}, n, kGrainElementwise,
+                 [&](std::size_t lo, std::size_t hi) {
+                   for (std::size_t i = lo; i < hi; ++i)
+                     abs1[i] = std::abs(s1[i]);
+                 });
+    parallel_for(std::size_t{0}, m, kGrainElementwise,
+                 [&](std::size_t lo, std::size_t hi) {
+                   for (std::size_t i = lo; i < hi; ++i)
+                     abs2[i] = std::abs(s2[i]);
+                 });
 
     // rhs1 = (1/β−1)·K s1 + Bᵀ s2 + (|s1| − K|s1|) + Bᵀ|s2| − γ p.
     rhs1.assign(n, 0.0);
     qp_.K.multiply_add(inv_beta_minus_1, s1, rhs1);
     qp_.B.multiply_transpose_add(1.0, s2, rhs1);
-    for (std::size_t i = 0; i < n; ++i) rhs1[i] += abs1[i];
+    parallel_for(std::size_t{0}, n, kGrainElementwise,
+                 [&](std::size_t lo, std::size_t hi) {
+                   for (std::size_t i = lo; i < hi; ++i) rhs1[i] += abs1[i];
+                 });
     qp_.K.multiply_add(-1.0, abs1, rhs1);
     qp_.B.multiply_transpose_add(1.0, abs2, rhs1);
-    for (std::size_t i = 0; i < n; ++i) rhs1[i] -= opts_.gamma * qp_.p[i];
+    parallel_for(std::size_t{0}, n, kGrainElementwise,
+                 [&](std::size_t lo, std::size_t hi) {
+                   for (std::size_t i = lo; i < hi; ++i)
+                     rhs1[i] -= opts_.gamma * qp_.p[i];
+                 });
 
     // Forward solve of the block lower triangular system:
     //   (K/β + I)·s1' = rhs1             (block-diagonal solve)
@@ -149,8 +173,12 @@ MmsimResult MmsimSolver::solve_from(const Vector& s0) const {
     //   block of M) or the previous one under the Jacobi ablation.
     if (m > 0) {
       d_.multiply(s2, rhs2);
-      for (std::size_t i = 0; i < m; ++i)
-        rhs2[i] = inv_theta * rhs2[i] + abs2[i] + opts_.gamma * qp_.b[i];
+      parallel_for(std::size_t{0}, m, kGrainElementwise,
+                   [&](std::size_t lo, std::size_t hi) {
+                     for (std::size_t i = lo; i < hi; ++i)
+                       rhs2[i] = inv_theta * rhs2[i] + abs2[i] +
+                                 opts_.gamma * qp_.b[i];
+                   });
       qp_.B.multiply_add(-1.0, abs1, rhs2);
       qp_.B.multiply_add(
           -1.0,
@@ -166,10 +194,16 @@ MmsimResult MmsimSolver::solve_from(const Vector& s0) const {
     s2.swap(new_s2);
 
     // z = (|s| + s)/γ  (so z = max(s, 0)·2/γ).
-    for (std::size_t i = 0; i < n; ++i)
-      z[i] = (std::abs(s1[i]) + s1[i]) / opts_.gamma;
-    for (std::size_t i = 0; i < m; ++i)
-      z[n + i] = (std::abs(s2[i]) + s2[i]) / opts_.gamma;
+    parallel_for(std::size_t{0}, n, kGrainElementwise,
+                 [&](std::size_t lo, std::size_t hi) {
+                   for (std::size_t i = lo; i < hi; ++i)
+                     z[i] = (std::abs(s1[i]) + s1[i]) / opts_.gamma;
+                 });
+    parallel_for(std::size_t{0}, m, kGrainElementwise,
+                 [&](std::size_t lo, std::size_t hi) {
+                   for (std::size_t i = lo; i < hi; ++i)
+                     z[n + i] = (std::abs(s2[i]) + s2[i]) / opts_.gamma;
+                 });
 
     result.iterations = k + 1;
     result.final_delta = linalg::diff_norm_inf(z, z_prev);

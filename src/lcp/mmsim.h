@@ -19,6 +19,10 @@
 // solve in O(m)). Every iteration is therefore linear-time in the circuit
 // size; this is the paper's central efficiency claim.
 //
+// The element-wise modulus stages and all matrix products run on the global
+// parallel runtime (src/runtime/) and are bitwise-deterministic for any
+// thread count; the Thomas solve is the one inherently sequential stage.
+//
 // Convergence (paper Theorem 2): guaranteed for 0 < β* < 2 and
 // 0 < θ* < 2(2 − β*)/(β*·μ_max), μ_max the largest eigenvalue of
 // Γ = D⁻¹ B K⁻¹ Bᵀ. suggest_theta() estimates that bound by power

@@ -2,9 +2,19 @@
 
 #include <algorithm>
 
+#include "runtime/parallel.h"
 #include "util/check.h"
 
 namespace mch::linalg {
+
+namespace {
+using runtime::kGrainElementwise;
+using runtime::parallel_for;
+
+/// Grain for the non-1×1 block sweeps: blocks are small dense systems, a
+/// few hundred per chunk keeps dispatch cost negligible.
+constexpr std::size_t kGrainBlocks = 256;
+}  // namespace
 
 std::size_t BlockDiagMatrix::add_block(const DenseMatrix& block) {
   MCH_CHECK(block.rows() == block.cols() && block.rows() > 0);
@@ -55,34 +65,53 @@ void BlockDiagMatrix::multiply(const Vector& x, Vector& y) const {
 void BlockDiagMatrix::multiply_add(double alpha, const Vector& x,
                                    Vector& y) const {
   MCH_CHECK(x.size() == size_ && y.size() == size_);
-  // One flat sweep covers every scalar block (zeros elsewhere are benign).
-  for (std::size_t i = 0; i < size_; ++i)
-    y[i] += alpha * scalar_values_[i] * x[i];
-  for (const std::size_t b : general_blocks_) {
-    const std::size_t off = offsets_[b];
-    const std::size_t n = blocks_[b].rows();
-    for (std::size_t r = 0; r < n; ++r) {
-      double sum = 0.0;
-      for (std::size_t c = 0; c < n; ++c) sum += blocks_[b](r, c) * x[off + c];
-      y[off + r] += alpha * sum;
-    }
-  }
+  // One flat sweep covers every scalar block (zeros elsewhere are benign);
+  // a second sweep handles the multi-row blocks. Both are parallel: every
+  // y element is owned by one index of one sweep (general blocks overwrite
+  // only their own offsets, and the sweeps are separated by a barrier).
+  parallel_for(std::size_t{0}, size_, kGrainElementwise,
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i)
+                   y[i] += alpha * scalar_values_[i] * x[i];
+               });
+  parallel_for(std::size_t{0}, general_blocks_.size(), kGrainBlocks,
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t g = lo; g < hi; ++g) {
+                   const std::size_t b = general_blocks_[g];
+                   const std::size_t off = offsets_[b];
+                   const std::size_t n = blocks_[b].rows();
+                   for (std::size_t r = 0; r < n; ++r) {
+                     double sum = 0.0;
+                     for (std::size_t c = 0; c < n; ++c)
+                       sum += blocks_[b](r, c) * x[off + c];
+                     y[off + r] += alpha * sum;
+                   }
+                 }
+               });
 }
 
 void BlockDiagMatrix::solve(const Vector& x, Vector& y) const {
   MCH_CHECK(x.size() == size_);
   y.resize(size_);
-  for (std::size_t i = 0; i < size_; ++i) y[i] = scalar_inverses_[i] * x[i];
-  for (const std::size_t b : general_blocks_) {
-    const std::size_t off = offsets_[b];
-    const std::size_t n = blocks_[b].rows();
-    for (std::size_t r = 0; r < n; ++r) {
-      double sum = 0.0;
-      for (std::size_t c = 0; c < n; ++c)
-        sum += inverses_[b](r, c) * x[off + c];
-      y[off + r] = sum;
-    }
-  }
+  parallel_for(std::size_t{0}, size_, kGrainElementwise,
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i)
+                   y[i] = scalar_inverses_[i] * x[i];
+               });
+  parallel_for(std::size_t{0}, general_blocks_.size(), kGrainBlocks,
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t g = lo; g < hi; ++g) {
+                   const std::size_t b = general_blocks_[g];
+                   const std::size_t off = offsets_[b];
+                   const std::size_t n = blocks_[b].rows();
+                   for (std::size_t r = 0; r < n; ++r) {
+                     double sum = 0.0;
+                     for (std::size_t c = 0; c < n; ++c)
+                       sum += inverses_[b](r, c) * x[off + c];
+                     y[off + r] = sum;
+                   }
+                 }
+               });
 }
 
 void BlockDiagMatrix::solve_shifted(double alpha, double beta, const Vector& x,

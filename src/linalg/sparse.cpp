@@ -2,10 +2,70 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
+#include "runtime/parallel.h"
 #include "util/check.h"
 
 namespace mch::linalg {
+
+namespace {
+using runtime::kGrainRows;
+using runtime::parallel_for;
+}  // namespace
+
+CsrMatrix::CsrMatrix(const CsrMatrix& other)
+    : rows_(other.rows_),
+      cols_(other.cols_),
+      row_ptr_(other.row_ptr_),
+      col_idx_(other.col_idx_),
+      values_(other.values_) {
+  std::lock_guard<std::mutex> lock(other.transpose_mutex_);
+  transpose_cache_ = other.transpose_cache_;
+}
+
+CsrMatrix& CsrMatrix::operator=(const CsrMatrix& other) {
+  if (this == &other) return *this;
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  row_ptr_ = other.row_ptr_;
+  col_idx_ = other.col_idx_;
+  values_ = other.values_;
+  std::shared_ptr<const CsrMatrix> cache;
+  {
+    std::lock_guard<std::mutex> lock(other.transpose_mutex_);
+    cache = other.transpose_cache_;
+  }
+  std::lock_guard<std::mutex> lock(transpose_mutex_);
+  transpose_cache_ = std::move(cache);
+  return *this;
+}
+
+CsrMatrix::CsrMatrix(CsrMatrix&& other) noexcept
+    : rows_(other.rows_),
+      cols_(other.cols_),
+      row_ptr_(std::move(other.row_ptr_)),
+      col_idx_(std::move(other.col_idx_)),
+      values_(std::move(other.values_)),
+      transpose_cache_(std::move(other.transpose_cache_)) {
+  other.rows_ = 0;
+  other.cols_ = 0;
+  other.row_ptr_.assign(1, 0);
+}
+
+CsrMatrix& CsrMatrix::operator=(CsrMatrix&& other) noexcept {
+  if (this == &other) return *this;
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  row_ptr_ = std::move(other.row_ptr_);
+  col_idx_ = std::move(other.col_idx_);
+  values_ = std::move(other.values_);
+  transpose_cache_ = std::move(other.transpose_cache_);
+  other.rows_ = 0;
+  other.cols_ = 0;
+  other.row_ptr_.assign(1, 0);
+  return *this;
+}
 
 void CooMatrix::add(std::size_t row, std::size_t col, double value) {
   MCH_CHECK_MSG(row < rows_ && col < cols_,
@@ -83,12 +143,29 @@ void CsrMatrix::multiply(const Vector& x, Vector& y) const {
 
 void CsrMatrix::multiply_add(double alpha, const Vector& x, Vector& y) const {
   MCH_CHECK(x.size() == cols_ && y.size() == rows_);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    double sum = 0.0;
-    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
-      sum += values_[k] * x[col_idx_[k]];
-    y[r] += alpha * sum;
+  // Row-parallel: each output row is owned by exactly one iteration.
+  parallel_for(std::size_t{0}, rows_, kGrainRows,
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t r = lo; r < hi; ++r) {
+                   double sum = 0.0;
+                   for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+                     sum += values_[k] * x[col_idx_[k]];
+                   y[r] += alpha * sum;
+                 }
+               });
+}
+
+const CsrMatrix& CsrMatrix::gather_view() const {
+  {
+    std::lock_guard<std::mutex> lock(transpose_mutex_);
+    if (transpose_cache_) return *transpose_cache_;
   }
+  // Build outside the lock (from_coo is the expensive part), then publish.
+  // Two threads racing here build identical views; the first store wins.
+  auto built = std::make_shared<const CsrMatrix>(transpose());
+  std::lock_guard<std::mutex> lock(transpose_mutex_);
+  if (!transpose_cache_) transpose_cache_ = std::move(built);
+  return *transpose_cache_;
 }
 
 void CsrMatrix::multiply_transpose(const Vector& x, Vector& y) const {
@@ -100,12 +177,22 @@ void CsrMatrix::multiply_transpose(const Vector& x, Vector& y) const {
 void CsrMatrix::multiply_transpose_add(double alpha, const Vector& x,
                                        Vector& y) const {
   MCH_CHECK(x.size() == rows_ && y.size() == cols_);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const double xr = alpha * x[r];
-    if (xr == 0.0) continue;
-    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
-      y[col_idx_[k]] += values_[k] * xr;
-  }
+  // Gather through the cached Aᵀ view rather than scattering into y: row c
+  // of Aᵀ lists exactly the entries of column c of A, so each output
+  // element is owned by one iteration and rows parallelize safely. The
+  // entries arrive in the same ascending-row order the serial scatter
+  // visited them, and the result does not depend on the thread count.
+  const CsrMatrix& at = gather_view();
+  parallel_for(std::size_t{0}, cols_, kGrainRows,
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t c = lo; c < hi; ++c) {
+                   double sum = 0.0;
+                   for (std::size_t k = at.row_ptr_[c]; k < at.row_ptr_[c + 1];
+                        ++k)
+                     sum += at.values_[k] * x[at.col_idx_[k]];
+                   y[c] += alpha * sum;
+                 }
+               });
 }
 
 CsrMatrix CsrMatrix::transpose() const {

@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "linalg/vector_ops.h"
@@ -46,10 +48,22 @@ class CooMatrix {
 };
 
 /// Immutable compressed-sparse-row matrix.
+///
+/// The transpose products gather through a lazily built and cached CSR view
+/// of Aᵀ instead of scattering into y: each output element is then owned by
+/// exactly one loop iteration, which lets the runtime parallelize transpose
+/// products row-wise with results independent of the thread count (the
+/// cache also makes repeated transpose products cheaper in any case). The
+/// cache is immutable once built and shared between copies.
 class CsrMatrix {
  public:
   /// Empty rows x cols matrix with no entries.
   CsrMatrix(std::size_t rows = 0, std::size_t cols = 0);
+
+  CsrMatrix(const CsrMatrix& other);
+  CsrMatrix& operator=(const CsrMatrix& other);
+  CsrMatrix(CsrMatrix&& other) noexcept;
+  CsrMatrix& operator=(CsrMatrix&& other) noexcept;
 
   /// Builds from a COO accumulator; duplicate entries are summed, explicit
   /// zeros (after summing) are kept out of the structure.
@@ -86,11 +100,19 @@ class CsrMatrix {
   const std::vector<double>& values() const { return values_; }
 
  private:
+  /// The cached Aᵀ, built on first use by a transpose product.
+  const CsrMatrix& gather_view() const;
+
   std::size_t rows_;
   std::size_t cols_;
   std::vector<std::size_t> row_ptr_;
   std::vector<std::size_t> col_idx_;
   std::vector<double> values_;
+
+  // Lazily built Aᵀ (see class comment). shared_ptr so copies share the
+  // already-built view; the mutex only guards the one-time build.
+  mutable std::shared_ptr<const CsrMatrix> transpose_cache_;
+  mutable std::mutex transpose_mutex_;
 };
 
 }  // namespace mch::linalg

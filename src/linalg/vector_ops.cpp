@@ -3,50 +3,89 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runtime/parallel.h"
 #include "util/check.h"
 
 namespace mch::linalg {
 
+namespace {
+using runtime::kGrainElementwise;
+using runtime::parallel_for;
+using runtime::parallel_reduce;
+}  // namespace
+
 double dot(const Vector& a, const Vector& b) {
   MCH_CHECK(a.size() == b.size());
-  double sum = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
-  return sum;
+  // Fixed-chunk reduction (see runtime/parallel.h): the summation order is
+  // a function of the vector length only, so the result is bitwise
+  // reproducible at every thread count.
+  return parallel_reduce(
+      std::size_t{0}, a.size(), kGrainElementwise, 0.0,
+      [&](std::size_t lo, std::size_t hi) {
+        double sum = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) sum += a[i] * b[i];
+        return sum;
+      },
+      [](double acc, double partial) { return acc + partial; });
 }
 
 void axpy(double alpha, const Vector& x, Vector& y) {
   MCH_CHECK(x.size() == y.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  parallel_for(std::size_t{0}, x.size(), kGrainElementwise,
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i) y[i] += alpha * x[i];
+               });
 }
 
 double norm2(const Vector& a) { return std::sqrt(dot(a, a)); }
 
 double norm_inf(const Vector& a) {
-  double best = 0.0;
-  for (double v : a) best = std::max(best, std::abs(v));
-  return best;
+  return parallel_reduce(
+      std::size_t{0}, a.size(), kGrainElementwise, 0.0,
+      [&](std::size_t lo, std::size_t hi) {
+        double best = 0.0;
+        for (std::size_t i = lo; i < hi; ++i)
+          best = std::max(best, std::abs(a[i]));
+        return best;
+      },
+      [](double acc, double partial) { return std::max(acc, partial); });
 }
 
 double diff_norm_inf(const Vector& a, const Vector& b) {
   MCH_CHECK(a.size() == b.size());
-  double best = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i)
-    best = std::max(best, std::abs(a[i] - b[i]));
-  return best;
+  return parallel_reduce(
+      std::size_t{0}, a.size(), kGrainElementwise, 0.0,
+      [&](std::size_t lo, std::size_t hi) {
+        double best = 0.0;
+        for (std::size_t i = lo; i < hi; ++i)
+          best = std::max(best, std::abs(a[i] - b[i]));
+        return best;
+      },
+      [](double acc, double partial) { return std::max(acc, partial); });
 }
 
 void scale(double alpha, Vector& a) {
-  for (double& v : a) v *= alpha;
+  parallel_for(std::size_t{0}, a.size(), kGrainElementwise,
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i) a[i] *= alpha;
+               });
 }
 
 void abs_into(const Vector& a, Vector& out) {
   out.resize(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) out[i] = std::abs(a[i]);
+  parallel_for(std::size_t{0}, a.size(), kGrainElementwise,
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i) out[i] = std::abs(a[i]);
+               });
 }
 
 void positive_part(const Vector& a, Vector& out) {
   out.resize(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) out[i] = std::max(a[i], 0.0);
+  parallel_for(std::size_t{0}, a.size(), kGrainElementwise,
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i)
+                   out[i] = std::max(a[i], 0.0);
+               });
 }
 
 }  // namespace mch::linalg

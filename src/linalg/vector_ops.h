@@ -3,6 +3,11 @@
 // Vectors are plain std::vector<double>: the problem sizes here (millions of
 // entries) never justify an expression-template layer, and plain loops let
 // the compiler vectorize. All functions check size agreement.
+//
+// Every kernel runs on the global runtime (src/runtime/) when it is
+// configured with more than one thread. Reductions (dot, the norms) use the
+// fixed-chunk deterministic reduce, so their results are bitwise-identical
+// at every thread count.
 #pragma once
 
 #include <cstddef>

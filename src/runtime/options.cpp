@@ -1,0 +1,41 @@
+#include "runtime/options.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "runtime/runtime.h"
+#include "util/log.h"
+
+namespace mch::runtime {
+
+namespace {
+unsigned parse_count(const char* text) {
+  const long value = std::atol(text);
+  if (value < 1) {
+    MCH_LOG(kWarn) << "ignoring invalid --threads value '" << text << "'";
+    return 0;
+  }
+  return static_cast<unsigned>(value);
+}
+}  // namespace
+
+unsigned threads_from_cli(int argc, char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--threads") == 0 || std::strcmp(arg, "-j") == 0) {
+      if (i + 1 < argc) return parse_count(argv[i + 1]);
+      MCH_LOG(kWarn) << "--threads given without a value; ignoring";
+      return 0;
+    }
+    if (std::strncmp(arg, "--threads=", 10) == 0) return parse_count(arg + 10);
+  }
+  return 0;
+}
+
+unsigned configure_threads_from_cli(int argc, char* const* argv) {
+  Runtime::configure(threads_from_cli(argc, argv));
+  return Runtime::instance().threads();
+}
+
+}  // namespace mch::runtime

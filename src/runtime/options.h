@@ -1,0 +1,24 @@
+// Shared command-line plumbing for the thread-count knob.
+//
+// Every bench, example, and tool accepts the same flag:
+//
+//   --threads N      run on N threads (N >= 1)
+//   --threads=N      same
+//
+// Precedence matches runtime/runtime.h: an explicit flag beats MCH_THREADS,
+// which beats hardware concurrency. bench/bench_common.h forwards here so
+// the whole harness parses the flag uniformly.
+#pragma once
+
+namespace mch::runtime {
+
+/// Scans argv for --threads/-j, configures the global Runtime accordingly
+/// (falling back to MCH_THREADS / hardware concurrency when absent), and
+/// returns the resolved thread count. Unrelated arguments are ignored, so
+/// binaries with their own positional arguments can call this first.
+unsigned configure_threads_from_cli(int argc, char* const* argv);
+
+/// Parses the flag without configuring anything; returns 0 when absent.
+unsigned threads_from_cli(int argc, char* const* argv);
+
+}  // namespace mch::runtime

@@ -1,0 +1,46 @@
+#include "runtime/runtime.h"
+
+#include <cstdlib>
+#include <thread>
+
+#include "util/log.h"
+
+namespace mch::runtime {
+
+namespace {
+unsigned env_threads() {
+  const char* env = std::getenv("MCH_THREADS");
+  if (!env || *env == '\0') return 0;
+  const long value = std::atol(env);
+  if (value < 1) {
+    MCH_LOG(kWarn) << "ignoring invalid MCH_THREADS='" << env << "'";
+    return 0;
+  }
+  return static_cast<unsigned>(value);
+}
+}  // namespace
+
+unsigned Runtime::resolve_thread_count(unsigned requested) {
+  if (requested >= 1) return requested;
+  const unsigned from_env = env_threads();
+  if (from_env >= 1) return from_env;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware >= 1 ? hardware : 1;
+}
+
+Runtime::Runtime(unsigned threads) { reconfigure(threads); }
+
+void Runtime::reconfigure(unsigned threads) {
+  threads_ = resolve_thread_count(threads);
+  pool_.reset();  // join the old workers before spawning new ones
+  if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
+}
+
+Runtime& Runtime::instance() {
+  static Runtime runtime(0);
+  return runtime;
+}
+
+void Runtime::configure(unsigned threads) { instance().reconfigure(threads); }
+
+}  // namespace mch::runtime

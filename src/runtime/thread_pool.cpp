@@ -1,0 +1,112 @@
+#include "runtime/thread_pool.h"
+
+#include "util/check.h"
+#include "util/log.h"
+
+namespace mch::runtime {
+
+namespace {
+thread_local bool t_in_task = false;
+
+/// RAII flag so nested parallel constructs detect they are inside a chunk.
+struct InTaskScope {
+  InTaskScope() { t_in_task = true; }
+  ~InTaskScope() { t_in_task = false; }
+};
+}  // namespace
+
+bool ThreadPool::in_task() { return t_in_task; }
+
+ThreadPool::ThreadPool(unsigned thread_count) {
+  MCH_CHECK_MSG(thread_count >= 1, "thread pool needs at least one thread");
+  workers_.reserve(thread_count - 1);
+  for (unsigned id = 1; id < thread_count; ++id)
+    workers_.emplace_back([this, id] { worker_main(id); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::execute_chunk(const std::function<void(std::size_t)>& task,
+                               std::size_t chunk) {
+  InTaskScope scope;
+  try {
+    task(chunk);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+}
+
+void ThreadPool::worker_main(unsigned worker_id) {
+  set_log_worker_id(static_cast<int>(worker_id));
+  std::uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    wake_.wait(lock, [&] {
+      return shutdown_ || (task_ != nullptr && generation_ != seen_generation);
+    });
+    if (shutdown_) return;
+    // Join the new job: copy its state while still holding the lock. The
+    // submitter cannot finish the job (and recycle the state) before this
+    // worker leaves, because active_workers_ is raised under the same lock
+    // its completion wait re-checks.
+    seen_generation = generation_;
+    const std::function<void(std::size_t)>* task = task_;
+    const std::size_t limit = chunk_limit_;
+    ++active_workers_;
+    lock.unlock();
+    for (;;) {
+      const std::size_t chunk =
+          next_chunk_.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= limit) break;
+      execute_chunk(*task, chunk);
+    }
+    lock.lock();
+    if (--active_workers_ == 0) done_.notify_all();
+  }
+}
+
+void ThreadPool::run(std::size_t chunks,
+                     const std::function<void(std::size_t)>& task) {
+  if (chunks == 0) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  MCH_CHECK_MSG(task_ == nullptr,
+                "concurrent top-level ThreadPool::run calls are not supported");
+  task_ = &task;
+  chunk_limit_ = chunks;
+  next_chunk_.store(0, std::memory_order_relaxed);
+  first_error_ = nullptr;
+  ++generation_;
+  lock.unlock();
+  wake_.notify_all();
+
+  // The submitter is one of the pool's threads: help drain the chunks.
+  for (;;) {
+    const std::size_t chunk =
+        next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= chunks) break;
+    execute_chunk(task, chunk);
+  }
+
+  // Every chunk has been claimed; wait for joined workers to finish theirs.
+  // A worker may still join while we wait — it finds the cursor drained and
+  // leaves again. Once task_ is cleared below (under the same lock the wait
+  // holds) no worker joins until the next run().
+  lock.lock();
+  done_.wait(lock, [&] { return active_workers_ == 0; });
+  task_ = nullptr;
+  chunk_limit_ = 0;
+  std::exception_ptr error = first_error_;
+  first_error_ = nullptr;
+  lock.unlock();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace mch::runtime

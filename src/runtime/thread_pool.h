@@ -1,0 +1,83 @@
+// Fixed-size worker thread pool executing statically chunked jobs.
+//
+// The pool is the mechanism under runtime/parallel.h: a job is a count of
+// chunks plus a callable invoked once per chunk index. Chunk *assignment* to
+// threads is dynamic (threads race on an atomic cursor, so an unlucky
+// scheduling cannot stall the job), but nothing a caller can observe depends
+// on that assignment: the chunk *layout* is fixed by the caller, every chunk
+// writes disjoint state, and reductions are combined in chunk-index order by
+// the caller. This is what makes results independent of the thread count.
+//
+// The submitting thread participates in chunk execution, so a pool created
+// for T threads runs jobs on exactly T threads using T-1 workers.
+//
+// Exceptions thrown by chunk bodies are caught, the first one is remembered,
+// the remaining chunks still run (keeping the pool state consistent), and
+// the stored exception is rethrown on the submitting thread once the job
+// completes. The pool therefore survives throwing tasks and can be reused
+// or destroyed cleanly afterwards.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mch::runtime {
+
+class ThreadPool {
+ public:
+  /// Creates a pool that runs jobs on `thread_count` threads total: the
+  /// submitting thread plus `thread_count - 1` workers. Requires >= 1.
+  explicit ThreadPool(unsigned thread_count);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  unsigned thread_count() const {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  /// Runs task(c) for every c in [0, chunks), distributed over all threads,
+  /// and blocks until every chunk has finished. Must be called from one
+  /// top-level thread at a time (parallel.h routes nested calls inline).
+  /// Rethrows the first exception thrown by any chunk.
+  void run(std::size_t chunks, const std::function<void(std::size_t)>& task);
+
+  /// True while the calling thread is executing a chunk body (on a worker
+  /// *or* on the submitting thread helping out). Used to run nested
+  /// parallel constructs inline instead of deadlocking on the pool.
+  static bool in_task();
+
+ private:
+  void worker_main(unsigned worker_id);
+  void execute_chunk(const std::function<void(std::size_t)>& task,
+                     std::size_t chunk);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;  ///< signals workers: new job or shutdown
+  std::condition_variable done_;  ///< signals submitter: last worker left
+  bool shutdown_ = false;
+
+  // State of the job in flight, guarded by mutex_ except for the cursor.
+  // Workers copy task_/chunk_limit_ under the lock when they join a job
+  // (generation_ tells them it is new), then race on next_chunk_. The
+  // submitter drains the cursor itself and afterwards waits for
+  // active_workers_ == 0: at that point every claimed chunk has finished,
+  // so the job is complete and the state can be reused for the next job.
+  const std::function<void(std::size_t)>* task_ = nullptr;
+  std::size_t chunk_limit_ = 0;
+  std::uint64_t generation_ = 0;  ///< bumped per job so workers join once
+  std::size_t active_workers_ = 0;
+  std::atomic<std::size_t> next_chunk_{0};
+  std::exception_ptr first_error_;
+};
+
+}  // namespace mch::runtime

@@ -1,11 +1,15 @@
 #include "util/log.h"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace mch {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_sink_mutex;
+thread_local int t_worker_id = -1;
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -24,13 +28,26 @@ const char* level_tag(LogLevel level) {
 }
 }  // namespace
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void set_log_worker_id(int worker_id) { t_worker_id = worker_id; }
+
+int log_worker_id() { return t_worker_id; }
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& message) {
-  std::fprintf(stderr, "[%s] %s\n", level_tag(level), message.c_str());
+  // One fprintf per line under the mutex: concurrent lines never interleave.
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (t_worker_id >= 0) {
+    std::fprintf(stderr, "[%s][w%d] %s\n", level_tag(level), t_worker_id,
+                 message.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", level_tag(level), message.c_str());
+  }
 }
 }  // namespace detail
 

@@ -1,8 +1,11 @@
 // Minimal leveled logger writing to stderr.
 //
 // The library is quiet by default (Level::kWarn); benches and examples raise
-// the level to kInfo for progress reporting. Not thread-safe by design: all
-// algorithms in this project are single-threaded, matching the paper.
+// the level to kInfo for progress reporting. Thread-safe: the level is an
+// atomic and sink writes are serialized by a mutex, so kernels running on
+// the runtime's worker pool (src/runtime/) may log freely. Lines emitted
+// off the main thread are prefixed with the worker id registered via
+// set_log_worker_id (the thread pool does this for its workers).
 #pragma once
 
 #include <sstream>
@@ -17,6 +20,13 @@ LogLevel log_level();
 
 /// Sets the process-wide minimum level that is emitted.
 void set_log_level(LogLevel level);
+
+/// Tags the calling thread's log lines with "[wN]". The main thread keeps
+/// the default id -1 (no prefix); pool workers register their index.
+void set_log_worker_id(int worker_id);
+
+/// The calling thread's registered worker id, -1 when unregistered.
+int log_worker_id();
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& message);

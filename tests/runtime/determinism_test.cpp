@@ -1,0 +1,181 @@
+// End-to-end determinism: sparse products, the MMSIM solver, the full
+// legalization flow and the evaluation suite must produce bitwise-identical
+// results at 1 thread and at N threads.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "eval/suite_runner.h"
+#include "gen/generator.h"
+#include "lcp/mmsim.h"
+#include "legal/flow.h"
+#include "legal/model.h"
+#include "legal/row_assign.h"
+#include "linalg/sparse.h"
+#include "runtime/runtime.h"
+
+namespace mch {
+namespace {
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  void TearDown() override { runtime::Runtime::configure(1); }
+};
+
+linalg::CsrMatrix random_csr(std::size_t rows, std::size_t cols,
+                             std::size_t nnz_per_row, std::uint64_t seed) {
+  linalg::CooMatrix coo(rows, cols);
+  std::uint64_t state = seed;
+  const auto next = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 11;
+  };
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t k = 0; k < nnz_per_row; ++k)
+      coo.add(r, next() % cols,
+              static_cast<double>(next() % 2000) / 1000.0 - 1.0);
+  return linalg::CsrMatrix::from_coo(coo);
+}
+
+linalg::Vector random_vector(std::size_t n, std::uint64_t seed) {
+  linalg::Vector v(n);
+  std::uint64_t state = seed;
+  for (double& x : v) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    x = static_cast<double>(state >> 11) / static_cast<double>(1ULL << 53) -
+        0.5;
+  }
+  return v;
+}
+
+TEST_F(DeterminismTest, SparseProductsBitwiseIdentical1VsN) {
+  const linalg::CsrMatrix a = random_csr(311, 203, 5, 99);
+  const linalg::Vector x = random_vector(203, 1);
+  const linalg::Vector xt = random_vector(311, 2);
+
+  runtime::Runtime::configure(1);
+  linalg::Vector y1, y1_add = random_vector(311, 3);
+  linalg::Vector t1, t1_add = random_vector(203, 4);
+  a.multiply(x, y1);
+  a.multiply_add(0.5, x, y1_add);
+  a.multiply_transpose(xt, t1);
+  a.multiply_transpose_add(-2.0, xt, t1_add);
+
+  runtime::Runtime::configure(4);
+  linalg::Vector y4, y4_add = random_vector(311, 3);
+  linalg::Vector t4, t4_add = random_vector(203, 4);
+  a.multiply(x, y4);
+  a.multiply_add(0.5, x, y4_add);
+  a.multiply_transpose(xt, t4);
+  a.multiply_transpose_add(-2.0, xt, t4_add);
+
+  ASSERT_EQ(y1, y4);
+  ASSERT_EQ(y1_add, y4_add);
+  ASSERT_EQ(t1, t4);
+  ASSERT_EQ(t1_add, t4_add);
+}
+
+TEST_F(DeterminismTest, TransposeProductsIdenticalOnFreshCopies) {
+  // The lazily built gather view must not change results whether it is
+  // built serially, in parallel, or inherited from a copy.
+  const linalg::CsrMatrix a = random_csr(200, 150, 4, 5);
+  const linalg::Vector x = random_vector(200, 6);
+
+  runtime::Runtime::configure(1);
+  linalg::Vector serial;
+  a.multiply_transpose(x, serial);  // also primes a's cache
+
+  runtime::Runtime::configure(4);
+  const linalg::CsrMatrix shared_cache = a;  // copy shares the built view
+  const linalg::CsrMatrix fresh = random_csr(200, 150, 4, 5);  // cold cache
+  linalg::Vector from_shared, from_fresh;
+  shared_cache.multiply_transpose(x, from_shared);
+  fresh.multiply_transpose(x, from_fresh);
+  ASSERT_EQ(serial, from_shared);
+  ASSERT_EQ(serial, from_fresh);
+}
+
+TEST_F(DeterminismTest, MmsimSolveBitwiseIdentical1VsN) {
+  gen::GeneratorOptions opts;
+  opts.seed = 11;
+  opts.nets_per_cell = 0.0;
+  db::Design design = gen::generate_random_design(120, 20, 0.6, opts);
+  const legal::RowAssignment rows = legal::assign_rows(design);
+  const legal::LegalizationModel model = legal::build_model(design, rows);
+  lcp::MmsimOptions options;
+  options.tolerance = 1e-8;
+  options.max_iterations = 100000;
+  const lcp::MmsimSolver solver(model.qp, options);
+
+  runtime::Runtime::configure(1);
+  const lcp::MmsimResult serial = solver.solve();
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    runtime::Runtime::configure(threads);
+    const lcp::MmsimResult parallel = solver.solve();
+    ASSERT_EQ(parallel.iterations, serial.iterations)
+        << "threads=" << threads;
+    ASSERT_EQ(parallel.converged, serial.converged);
+    ASSERT_EQ(parallel.final_delta, serial.final_delta);
+    ASSERT_EQ(parallel.z, serial.z) << "threads=" << threads;
+  }
+}
+
+TEST_F(DeterminismTest, FullLegalizationIdenticalPlacements1VsN) {
+  gen::GeneratorOptions opts;
+  opts.scale = 0.02;
+  opts.seed = 1;
+  const db::Design base = gen::generate_design(gen::find_spec("fft_2"), opts);
+
+  runtime::Runtime::configure(1);
+  db::Design serial = base;
+  legal::legalize(serial);
+
+  runtime::Runtime::configure(4);
+  db::Design parallel = base;
+  legal::legalize(parallel);
+
+  ASSERT_EQ(serial.num_cells(), parallel.num_cells());
+  for (std::size_t i = 0; i < serial.num_cells(); ++i) {
+    ASSERT_EQ(serial.cells()[i].x, parallel.cells()[i].x) << "cell " << i;
+    ASSERT_EQ(serial.cells()[i].y, parallel.cells()[i].y) << "cell " << i;
+    ASSERT_EQ(serial.cells()[i].flipped, parallel.cells()[i].flipped);
+  }
+}
+
+std::vector<eval::RunResult> run_small_suite() {
+  gen::GeneratorOptions opts;
+  opts.scale = 0.02;
+  opts.seed = 1;
+  std::vector<eval::SuiteJob> jobs;
+  for (const char* name : {"fft_2", "pci_bridge32_a", "des_perf_a"})
+    jobs.push_back({gen::find_spec(name), eval::Legalizer::kMmsim, {}});
+  jobs.push_back({gen::find_spec("fft_2"), eval::Legalizer::kTetris, {}});
+  return eval::SuiteRunner(opts).run(jobs);
+}
+
+TEST_F(DeterminismTest, SuiteRunnerMetricsIdentical1VsN) {
+  runtime::Runtime::configure(1);
+  const std::vector<eval::RunResult> serial = run_small_suite();
+
+  runtime::Runtime::configure(4);
+  const std::vector<eval::RunResult> parallel = run_small_suite();
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].benchmark, parallel[i].benchmark) << "job " << i;
+    ASSERT_EQ(serial[i].legal, parallel[i].legal) << "job " << i;
+    ASSERT_EQ(serial[i].disp.total_sites, parallel[i].disp.total_sites)
+        << "job " << i;
+    ASSERT_EQ(serial[i].hpwl, parallel[i].hpwl) << "job " << i;
+    ASSERT_EQ(serial[i].delta_hpwl, parallel[i].delta_hpwl) << "job " << i;
+    ASSERT_EQ(serial[i].illegal_after_solver,
+              parallel[i].illegal_after_solver)
+        << "job " << i;
+    ASSERT_EQ(serial[i].solver_iterations, parallel[i].solver_iterations)
+        << "job " << i;
+  }
+}
+
+}  // namespace
+}  // namespace mch

@@ -1,0 +1,168 @@
+// parallel_reduce determinism: bitwise-identical results at every thread
+// count, ordered combination, and agreement of the linalg vector kernels
+// with straight serial loops.
+#include "runtime/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/vector_ops.h"
+#include "runtime/runtime.h"
+
+namespace mch::runtime {
+namespace {
+
+/// Deterministic pseudo-random doubles in [-1, 1) (no <random> to keep the
+/// sequence pinned across standard libraries).
+std::vector<double> random_vector(std::size_t n, std::uint64_t seed) {
+  std::vector<double> v(n);
+  std::uint64_t state = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    v[i] = static_cast<double>(static_cast<std::int64_t>(state >> 11)) /
+           static_cast<double>(1LL << 52);
+  }
+  return v;
+}
+
+double reduce_sum(const std::vector<double>& v, std::size_t grain) {
+  return parallel_reduce(
+      std::size_t{0}, v.size(), grain, 0.0,
+      [&](std::size_t lo, std::size_t hi) {
+        double s = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) s += v[i];
+        return s;
+      },
+      [](double a, double b) { return a + b; });
+}
+
+class ParallelReduceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Runtime::configure(1); }
+};
+
+TEST_F(ParallelReduceTest, SumBitwiseIdenticalAcrossThreadCounts) {
+  const std::vector<double> v = random_vector(100003, 42);
+  Runtime::configure(1);
+  const double serial = reduce_sum(v, 1000);
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    Runtime::configure(threads);
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      const double parallel = reduce_sum(v, 1000);
+      ASSERT_EQ(parallel, serial)  // bitwise, not almost-equal
+          << "threads=" << threads << " repeat=" << repeat;
+    }
+  }
+  // And the chunked sum is still numerically the plain sum.
+  double straight = 0.0;
+  for (const double x : v) straight += x;
+  EXPECT_NEAR(serial, straight, 1e-9 * v.size());
+}
+
+TEST_F(ParallelReduceTest, MaxReduceMatchesSerialExactly) {
+  const std::vector<double> v = random_vector(54321, 7);
+  const double expected = *std::max_element(v.begin(), v.end());
+  for (const unsigned threads : {1u, 4u}) {
+    Runtime::configure(threads);
+    const double maxed = parallel_reduce(
+        std::size_t{0}, v.size(), 512, v[0],
+        [&](std::size_t lo, std::size_t hi) {
+          double m = v[lo];
+          for (std::size_t i = lo; i < hi; ++i) m = std::max(m, v[i]);
+          return m;
+        },
+        [](double a, double b) { return std::max(a, b); });
+    EXPECT_EQ(maxed, expected) << "threads=" << threads;
+  }
+}
+
+TEST_F(ParallelReduceTest, CombineFoldsInChunkOrder) {
+  Runtime::configure(4);
+  using Trace = std::vector<std::size_t>;
+  const Trace order = parallel_reduce(
+      std::size_t{0}, std::size_t{1000}, 32, Trace{},
+      [](std::size_t lo, std::size_t) { return Trace{lo}; },
+      [](Trace acc, const Trace& chunk) {
+        acc.insert(acc.end(), chunk.begin(), chunk.end());
+        return acc;
+      });
+  ASSERT_EQ(order.size(), chunk_count(1000, 32));
+  for (std::size_t c = 0; c < order.size(); ++c)
+    EXPECT_EQ(order[c], c * 32);  // ascending chunk starts, no interleaving
+}
+
+TEST_F(ParallelReduceTest, EmptyRangeReturnsIdentity) {
+  Runtime::configure(4);
+  EXPECT_EQ(reduce_sum({}, 64), 0.0);
+  const double sentinel = parallel_reduce(
+      std::size_t{5}, std::size_t{5}, 8, -1.5,
+      [](std::size_t, std::size_t) { return 99.0; },
+      [](double a, double b) { return a + b; });
+  EXPECT_EQ(sentinel, -1.5);
+}
+
+class VectorOpsParallelTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Runtime::configure(1); }
+};
+
+TEST_F(VectorOpsParallelTest, DotBitwiseIdenticalAcrossThreadCounts) {
+  const std::vector<double> a = random_vector(70001, 3);
+  const std::vector<double> b = random_vector(70001, 11);
+  Runtime::configure(1);
+  const double serial = linalg::dot(a, b);
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    Runtime::configure(threads);
+    ASSERT_EQ(linalg::dot(a, b), serial) << "threads=" << threads;
+  }
+  double straight = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) straight += a[i] * b[i];
+  EXPECT_NEAR(serial, straight, 1e-9 * a.size());
+}
+
+TEST_F(VectorOpsParallelTest, NormsBitwiseIdenticalAcrossThreadCounts) {
+  const std::vector<double> a = random_vector(70001, 5);
+  const std::vector<double> b = random_vector(70001, 6);
+  Runtime::configure(1);
+  const double n2 = linalg::norm2(a);
+  const double ninf = linalg::norm_inf(a);
+  const double dinf = linalg::diff_norm_inf(a, b);
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    Runtime::configure(threads);
+    ASSERT_EQ(linalg::norm2(a), n2) << "threads=" << threads;
+    ASSERT_EQ(linalg::norm_inf(a), ninf) << "threads=" << threads;
+    ASSERT_EQ(linalg::diff_norm_inf(a, b), dinf) << "threads=" << threads;
+  }
+  double max_abs = 0.0;
+  for (const double x : a) max_abs = std::max(max_abs, std::abs(x));
+  EXPECT_EQ(ninf, max_abs);
+}
+
+TEST_F(VectorOpsParallelTest, ElementwiseKernelsMatchSerial) {
+  const std::vector<double> x = random_vector(50000, 13);
+  std::vector<double> y_serial = random_vector(50000, 17);
+  std::vector<double> y_parallel = y_serial;
+
+  Runtime::configure(1);
+  linalg::axpy(2.5, x, y_serial);
+  linalg::scale(0.75, y_serial);
+  Runtime::configure(4);
+  linalg::axpy(2.5, x, y_parallel);
+  linalg::scale(0.75, y_parallel);
+  ASSERT_EQ(y_serial, y_parallel);  // elementwise, so trivially bitwise
+
+  std::vector<double> abs_out, pos_out;
+  linalg::abs_into(x, abs_out);
+  linalg::positive_part(x, pos_out);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ASSERT_EQ(abs_out[i], std::abs(x[i]));
+    ASSERT_EQ(pos_out[i], std::max(x[i], 0.0));
+  }
+}
+
+}  // namespace
+}  // namespace mch::runtime

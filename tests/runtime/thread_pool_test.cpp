@@ -1,0 +1,160 @@
+// Pool mechanics: exact chunk coverage under adversarial grains, nested
+// parallel_for inlining, exception propagation with pool reuse, and clean
+// reconfiguration/shutdown cycles.
+#include "runtime/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/parallel.h"
+#include "runtime/runtime.h"
+
+namespace mch::runtime {
+namespace {
+
+/// Every test leaves the global Runtime serial so suites sharing the binary
+/// start from the default state.
+class RuntimeTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Runtime::configure(1); }
+};
+
+TEST_F(RuntimeTest, ChunkCount) {
+  EXPECT_EQ(chunk_count(0, 64), 0u);
+  EXPECT_EQ(chunk_count(1, 64), 1u);
+  EXPECT_EQ(chunk_count(64, 64), 1u);
+  EXPECT_EQ(chunk_count(65, 64), 2u);
+  EXPECT_EQ(chunk_count(10, 3), 4u);
+  EXPECT_EQ(chunk_count(10, 0), 10u);  // grain 0 behaves as grain 1
+}
+
+TEST_F(RuntimeTest, ResolveThreadCount) {
+  EXPECT_EQ(Runtime::resolve_thread_count(1), 1u);
+  EXPECT_EQ(Runtime::resolve_thread_count(5), 5u);
+  EXPECT_GE(Runtime::resolve_thread_count(0), 1u);  // auto is at least 1
+}
+
+TEST_F(RuntimeTest, CoversRangeExactlyOnceUnderAdversarialGrains) {
+  const std::size_t grains[] = {1, 2, 3, 7, 64, 1000000};
+  const std::size_t sizes[] = {0, 1, 5, 1023, 1024, 1025, 10000};
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    Runtime::configure(threads);
+    for (const std::size_t grain : grains) {
+      for (const std::size_t n : sizes) {
+        std::vector<int> counts(n, 0);
+        parallel_for(std::size_t{0}, n, grain,
+                     [&](std::size_t lo, std::size_t hi) {
+                       ASSERT_LT(lo, hi);
+                       ASSERT_LE(hi, n);
+                       ASSERT_LE(hi - lo, grain == 0 ? 1 : grain);
+                       for (std::size_t i = lo; i < hi; ++i) ++counts[i];
+                     });
+        const long total =
+            std::accumulate(counts.begin(), counts.end(), 0L);
+        ASSERT_EQ(total, static_cast<long>(n))
+            << "threads=" << threads << " grain=" << grain << " n=" << n;
+        for (std::size_t i = 0; i < n; ++i)
+          ASSERT_EQ(counts[i], 1) << "index " << i << " ran " << counts[i]
+                                  << " times (threads=" << threads
+                                  << " grain=" << grain << " n=" << n << ")";
+      }
+    }
+  }
+}
+
+TEST_F(RuntimeTest, OffsetRangeCoversExactlyOnce) {
+  Runtime::configure(4);
+  constexpr std::size_t kBegin = 17, kEnd = 1042;
+  std::vector<int> counts(kEnd, 0);
+  parallel_for(kBegin, kEnd, 7, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) ++counts[i];
+  });
+  for (std::size_t i = 0; i < kEnd; ++i)
+    ASSERT_EQ(counts[i], i >= kBegin ? 1 : 0) << "index " << i;
+}
+
+TEST_F(RuntimeTest, NestedParallelForRunsInline) {
+  Runtime::configure(4);
+  EXPECT_FALSE(ThreadPool::in_task());
+  constexpr std::size_t kOuter = 8, kInner = 100;
+  std::vector<std::vector<int>> hits(kOuter,
+                                     std::vector<int>(kInner, 0));
+  std::atomic<int> nested_in_task{0};
+  parallel_for(std::size_t{0}, kOuter, 1,
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t o = lo; o < hi; ++o) {
+                   if (ThreadPool::in_task()) ++nested_in_task;
+                   parallel_for(std::size_t{0}, kInner, 10,
+                                [&, o](std::size_t ilo, std::size_t ihi) {
+                                  for (std::size_t i = ilo; i < ihi; ++i)
+                                    ++hits[o][i];
+                                });
+                 }
+               });
+  // With a 4-thread pool the outer bodies run inside pool tasks, so every
+  // inner loop must have executed inline — and still exactly once per index.
+  EXPECT_EQ(nested_in_task.load(), static_cast<int>(kOuter));
+  for (std::size_t o = 0; o < kOuter; ++o)
+    for (std::size_t i = 0; i < kInner; ++i)
+      ASSERT_EQ(hits[o][i], 1) << "outer " << o << " inner " << i;
+  EXPECT_FALSE(ThreadPool::in_task());
+}
+
+TEST_F(RuntimeTest, ExceptionPropagatesAndPoolSurvives) {
+  Runtime::configure(4);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(
+        parallel_for(std::size_t{0}, std::size_t{100}, 1,
+                     [&](std::size_t lo, std::size_t) {
+                       if (lo == 37)
+                         throw std::runtime_error("chunk failure");
+                     }),
+        std::runtime_error);
+    // The pool must stay usable after a throwing job.
+    std::vector<int> counts(1000, 0);
+    parallel_for(std::size_t{0}, counts.size(), 64,
+                 [&](std::size_t lo, std::size_t hi) {
+                   for (std::size_t i = lo; i < hi; ++i) ++counts[i];
+                 });
+    for (std::size_t i = 0; i < counts.size(); ++i)
+      ASSERT_EQ(counts[i], 1);
+  }
+}
+
+TEST_F(RuntimeTest, PoolRunExecutesEveryChunkOnceAndIsReusable) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  for (const std::size_t chunks : {std::size_t{1}, std::size_t{257},
+                                   std::size_t{13}}) {
+    std::unique_ptr<std::atomic<int>[]> counts(new std::atomic<int>[chunks]);
+    for (std::size_t c = 0; c < chunks; ++c) counts[c] = 0;
+    pool.run(chunks, [&](std::size_t c) { ++counts[c]; });
+    for (std::size_t c = 0; c < chunks; ++c)
+      ASSERT_EQ(counts[c].load(), 1) << "chunk " << c << " of " << chunks;
+  }
+}
+
+TEST_F(RuntimeTest, ReconfigureCyclesShutDownCleanly) {
+  for (const unsigned threads : {1u, 2u, 4u, 8u, 3u, 1u, 4u}) {
+    Runtime::configure(threads);
+    EXPECT_EQ(Runtime::instance().threads(), threads);
+    EXPECT_EQ(Runtime::instance().pool() == nullptr, threads == 1);
+    long sum = parallel_reduce(
+        std::size_t{0}, std::size_t{1000}, 16, 0L,
+        [](std::size_t lo, std::size_t hi) {
+          long s = 0;
+          for (std::size_t i = lo; i < hi; ++i) s += static_cast<long>(i);
+          return s;
+        },
+        [](long a, long b) { return a + b; });
+    EXPECT_EQ(sum, 999L * 1000L / 2);
+  }
+}
+
+}  // namespace
+}  // namespace mch::runtime

@@ -17,6 +17,7 @@
 //   --beta <v> --theta <v>  MMSIM splitting parameters (default 0.5/0.5)
 //   --tolerance <v>       MMSIM stop tolerance         (default 1e-4)
 //   --seed <n>            seed for --double            (default 1)
+//   --threads <n>         worker threads (0 = auto; also MCH_THREADS)
 //   --quiet               suppress the report
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +31,7 @@
 #include "io/bookshelf.h"
 #include "io/design_io.h"
 #include "io/svg.h"
+#include "runtime/options.h"
 
 namespace {
 
@@ -55,6 +57,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  runtime::configure_threads_from_cli(argc, argv);
   const std::string input = argv[1];
   std::string algo = "mmsim";
   std::string out_path;
@@ -78,6 +81,8 @@ int main(int argc, char** argv) {
     else if (arg == "--dp") run_dp = true;
     else if (arg == "--quiet") quiet = true;
     else if (arg == "--seed") seed = std::strtoull(value().c_str(), nullptr, 10);
+    else if (arg == "--threads") value();  // consumed by the runtime above
+    else if (arg.rfind("--threads=", 0) == 0) {}  // ditto, inline form
     else if (arg == "--lambda")
       flow_options.solver.model.lambda = std::atof(value().c_str());
     else if (arg == "--beta")
