@@ -9,6 +9,7 @@
 // thread count for the regular microbenchmarks.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -84,6 +85,54 @@ void BM_MmsimSolveToConvergence(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_MmsimSolveToConvergence)->Range(1000, 16000);
+
+// Obstacle-rich design for the decomposition benchmarks: fixed macros break
+// the row chains, so the constraint graph falls into many independent
+// components and the partitioned solve paths have real fan-out to exploit.
+const db::Design& cached_obstacle_design(std::size_t cells) {
+  static std::map<std::size_t, db::Design> cache;
+  auto it = cache.find(cells);
+  if (it == cache.end()) {
+    gen::GeneratorOptions options;
+    options.seed = 7;
+    options.nets_per_cell = 0.0;
+    options.fixed_macros = std::max<std::size_t>(4, cells / 250);
+    it = cache
+             .emplace(cells, gen::generate_random_design(
+                                 cells - cells / 10, cells / 10, 0.6,
+                                 options))
+             .first;
+  }
+  return it->second;
+}
+
+void solve_partitioned(benchmark::State& state, legal::PartitionMode mode) {
+  db::Design design =
+      cached_obstacle_design(static_cast<std::size_t>(state.range(0)));
+  const legal::RowAssignment rows = legal::assign_rows(design);
+  legal::MmsimLegalizerOptions options;
+  options.partition = mode;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        legal::mmsim_legalize_continuous(design, rows, options));
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_SolveMonolithic(benchmark::State& state) {
+  solve_partitioned(state, legal::PartitionMode::kOff);
+}
+BENCHMARK(BM_SolveMonolithic)->Range(1000, 16000);
+
+void BM_SolvePartitionMatch(benchmark::State& state) {
+  solve_partitioned(state, legal::PartitionMode::kMatch);
+}
+BENCHMARK(BM_SolvePartitionMatch)->Range(1000, 16000);
+
+void BM_SolvePartitionTiered(benchmark::State& state) {
+  solve_partitioned(state, legal::PartitionMode::kTiered);
+}
+BENCHMARK(BM_SolvePartitionTiered)->Range(1000, 16000);
 
 void BM_PlaceRow(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -55,6 +55,13 @@ struct RunResult {
   std::size_t illegal_after_solver = 0;
   std::size_t solver_iterations = 0;
   bool solver_converged = false;
+
+  // Constraint-graph decomposition diagnostics (zero when the solver ran
+  // monolithically; see legal::PartitionMode).
+  std::size_t solver_components = 0;
+  std::size_t solver_max_component = 0;        ///< largest component n + m
+  double solver_mean_component = 0.0;          ///< mean component n + m
+  std::size_t solver_component_iterations = 0; ///< summed over components
 };
 
 /// Resets the design to its GP positions, runs the legalizer, validates the

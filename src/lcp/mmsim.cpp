@@ -20,8 +20,10 @@ using linalg::CsrMatrix;
 using linalg::DenseMatrix;
 using linalg::Tridiagonal;
 
-Tridiagonal schur_tridiagonal(const BlockDiagMatrix& k, const CsrMatrix& b) {
+Tridiagonal schur_tridiagonal(const BlockDiagMatrix& k, const CsrMatrix& b,
+                              const std::vector<bool>* coupling_breaks) {
   const std::size_t m = b.rows();
+  MCH_CHECK(coupling_breaks == nullptr || coupling_breaks->size() == m);
   Tridiagonal d(m);
 
   // Entry (r, r') of B K⁻¹ Bᵀ = Σ_{i,j} B[r,i] · K⁻¹[i,j] · B[r',j].
@@ -38,7 +40,7 @@ Tridiagonal schur_tridiagonal(const BlockDiagMatrix& k, const CsrMatrix& b) {
 
   for (std::size_t r = 0; r < m; ++r) {
     d.diag(r) = entry(r, r);
-    if (r + 1 < m) {
+    if (r + 1 < m && !(coupling_breaks && (*coupling_breaks)[r + 1])) {
       d.upper(r) = entry(r, r + 1);
       d.lower(r) = entry(r + 1, r);
     }
@@ -46,7 +48,8 @@ Tridiagonal schur_tridiagonal(const BlockDiagMatrix& k, const CsrMatrix& b) {
   return d;
 }
 
-MmsimSolver::MmsimSolver(const StructuredQp& qp, const MmsimOptions& options)
+MmsimSolver::MmsimSolver(const StructuredQp& qp, const MmsimOptions& options,
+                         const std::vector<bool>* schur_coupling_breaks)
     : qp_(qp), opts_(options) {
   MCH_CHECK_MSG(opts_.beta > 0.0 && opts_.beta < 2.0,
                 "beta must be in (0, 2)");
@@ -64,7 +67,7 @@ MmsimSolver::MmsimSolver(const StructuredQp& qp, const MmsimOptions& options)
     shifted_k_.add_block(shifted);
   }
 
-  d_ = mch::lcp::schur_tridiagonal(qp_.K, qp_.B);
+  d_ = mch::lcp::schur_tridiagonal(qp_.K, qp_.B, schur_coupling_breaks);
   // (2,2) block of M + I: D/θ* + I.
   shifted_d_ = d_.scaled_plus_identity(1.0 / opts_.theta, 1.0);
   setup_seconds_ = timer.seconds();
@@ -98,129 +101,178 @@ MmsimResult MmsimSolver::solve() const {
   return solve_from(Vector(qp_.lcp_size(), 0.0));
 }
 
-bool MmsimSolver::scaled_residual_ok(const Vector& z) const {
+void MmsimResidualPartials::merge_max(const MmsimResidualPartials& other) {
+  z_norm = std::max(z_norm, other.z_norm);
+  w_norm = std::max(w_norm, other.w_norm);
+  z_negativity = std::max(z_negativity, other.z_negativity);
+  w_negativity = std::max(w_negativity, other.w_negativity);
+  complementarity = std::max(complementarity, other.complementarity);
+}
+
+MmsimResidualPartials MmsimSolver::residual_partials(const Vector& z) const {
   Vector w;
   qp_.lcp_apply(z, w);
-  const double scale_z = 1.0 + linalg::norm_inf(z);
-  const double scale_w = 1.0 + linalg::norm_inf(w);
-  double z_neg = 0.0, w_neg = 0.0, comp = 0.0;
+  MmsimResidualPartials partials;
+  partials.z_norm = linalg::norm_inf(z);
+  partials.w_norm = linalg::norm_inf(w);
   for (std::size_t i = 0; i < z.size(); ++i) {
-    z_neg = std::max(z_neg, -z[i]);
-    w_neg = std::max(w_neg, -w[i]);
-    comp = std::max(comp, std::abs(z[i] * w[i]));
+    partials.z_negativity = std::max(partials.z_negativity, -z[i]);
+    partials.w_negativity = std::max(partials.w_negativity, -w[i]);
+    partials.complementarity =
+        std::max(partials.complementarity, std::abs(z[i] * w[i]));
   }
-  const double tol = opts_.residual_tolerance;
-  return z_neg <= tol * scale_z && w_neg <= tol * scale_w &&
-         comp <= tol * scale_z * scale_w;
+  return partials;
+}
+
+bool MmsimSolver::residual_ok(const MmsimResidualPartials& partials,
+                              double tolerance) {
+  const double scale_z = 1.0 + partials.z_norm;
+  const double scale_w = 1.0 + partials.w_norm;
+  return partials.z_negativity <= tolerance * scale_z &&
+         partials.w_negativity <= tolerance * scale_w &&
+         partials.complementarity <= tolerance * scale_z * scale_w;
+}
+
+bool MmsimSolver::scaled_residual_ok(const Vector& z) const {
+  return residual_ok(residual_partials(z), opts_.residual_tolerance);
+}
+
+MmsimSolver::State MmsimSolver::make_state() const {
+  return make_state(Vector(qp_.lcp_size(), 0.0));
+}
+
+MmsimSolver::State MmsimSolver::make_state(const Vector& s0) const {
+  const std::size_t n = qp_.num_variables();
+  const std::size_t m = qp_.num_constraints();
+  MCH_CHECK(s0.size() == n + m);
+  State state;
+  state.s1.assign(s0.begin(), s0.begin() + static_cast<std::ptrdiff_t>(n));
+  state.s2.assign(s0.begin() + static_cast<std::ptrdiff_t>(n), s0.end());
+  state.z.assign(n + m, 0.0);
+  state.z_prev.assign(n + m, 0.0);
+  state.abs1.resize(n);
+  state.abs2.resize(m);
+  state.rhs1.resize(n);
+  state.rhs2.resize(m);
+  return state;
+}
+
+double MmsimSolver::step(State& state) const {
+  const std::size_t n = qp_.num_variables();
+  const std::size_t m = qp_.num_constraints();
+  Vector& s1 = state.s1;
+  Vector& s2 = state.s2;
+  Vector& abs1 = state.abs1;
+  Vector& abs2 = state.abs2;
+  Vector& rhs1 = state.rhs1;
+  Vector& rhs2 = state.rhs2;
+  const double inv_beta_minus_1 = 1.0 / opts_.beta - 1.0;
+  const double inv_theta = 1.0 / opts_.theta;
+
+  state.z_prev = state.z;
+
+  // All element-wise stages of the modulus update run on the runtime; the
+  // matrix products parallelize internally. Each stage owns its output
+  // elements, so the iterates are identical at every thread count.
+  parallel_for(std::size_t{0}, n, kGrainElementwise,
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i)
+                   abs1[i] = std::abs(s1[i]);
+               });
+  parallel_for(std::size_t{0}, m, kGrainElementwise,
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i)
+                   abs2[i] = std::abs(s2[i]);
+               });
+
+  // rhs1 = (1/β−1)·K s1 + Bᵀ s2 + (|s1| − K|s1|) + Bᵀ|s2| − γ p.
+  rhs1.assign(n, 0.0);
+  qp_.K.multiply_add(inv_beta_minus_1, s1, rhs1);
+  qp_.B.multiply_transpose_add(1.0, s2, rhs1);
+  parallel_for(std::size_t{0}, n, kGrainElementwise,
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i) rhs1[i] += abs1[i];
+               });
+  qp_.K.multiply_add(-1.0, abs1, rhs1);
+  qp_.B.multiply_transpose_add(1.0, abs2, rhs1);
+  parallel_for(std::size_t{0}, n, kGrainElementwise,
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i)
+                   rhs1[i] -= opts_.gamma * qp_.p[i];
+               });
+
+  // Forward solve of the block lower triangular system:
+  //   (K/β + I)·s1' = rhs1             (block-diagonal solve)
+  shifted_k_.solve(rhs1, state.new_s1);
+
+  //   rhs2 = (D/θ)·s2 − B|s1| + |s2| + γ b − B·s1_used, where s1_used is
+  //   the fresh iterate under the paper's Gauss–Seidel splitting (the B
+  //   block of M) or the previous one under the Jacobi ablation.
+  if (m > 0) {
+    d_.multiply(s2, rhs2);
+    parallel_for(std::size_t{0}, m, kGrainElementwise,
+                 [&](std::size_t lo, std::size_t hi) {
+                   for (std::size_t i = lo; i < hi; ++i)
+                     rhs2[i] = inv_theta * rhs2[i] + abs2[i] +
+                               opts_.gamma * qp_.b[i];
+                 });
+    qp_.B.multiply_add(-1.0, abs1, rhs2);
+    qp_.B.multiply_add(
+        -1.0,
+        opts_.splitting == MmsimSplitting::kGaussSeidel ? state.new_s1 : s1,
+        rhs2);
+    //   (D/θ + I)·s2' = rhs2           (Thomas solve)
+    MCH_CHECK_MSG(shifted_d_.solve(rhs2, state.new_s2), "D/θ + I singular");
+  } else {
+    state.new_s2.clear();
+  }
+
+  s1.swap(state.new_s1);
+  s2.swap(state.new_s2);
+
+  // z = (|s| + s)/γ  (so z = max(s, 0)·2/γ).
+  Vector& z = state.z;
+  parallel_for(std::size_t{0}, n, kGrainElementwise,
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i)
+                   z[i] = (std::abs(s1[i]) + s1[i]) / opts_.gamma;
+               });
+  parallel_for(std::size_t{0}, m, kGrainElementwise,
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i)
+                   z[n + i] = (std::abs(s2[i]) + s2[i]) / opts_.gamma;
+               });
+
+  ++state.iterations;
+  return linalg::diff_norm_inf(z, state.z_prev);
 }
 
 MmsimResult MmsimSolver::solve_from(const Vector& s0) const {
   const std::size_t n = qp_.num_variables();
-  const std::size_t m = qp_.num_constraints();
-  MCH_CHECK(s0.size() == n + m);
 
   Timer timer;
   MmsimResult result;
   result.setup_seconds = setup_seconds_;
 
-  // State split into the primal part s1 (n) and the dual part s2 (m).
-  Vector s1(s0.begin(), s0.begin() + static_cast<std::ptrdiff_t>(n));
-  Vector s2(s0.begin() + static_cast<std::ptrdiff_t>(n), s0.end());
-
-  // Scratch buffers reused across iterations.
-  Vector abs1(n), abs2(m), rhs1(n), rhs2(m), new_s1, new_s2;
-  Vector z(n + m, 0.0), z_prev(n + m, 0.0);
-  const double inv_beta_minus_1 = 1.0 / opts_.beta - 1.0;
-  const double inv_theta = 1.0 / opts_.theta;
-
+  State state = make_state(s0);
   for (std::size_t k = 0; k < opts_.max_iterations; ++k) {
-    // All element-wise stages of the modulus update run on the runtime; the
-    // matrix products parallelize internally. Each stage owns its output
-    // elements, so the iterates are identical at every thread count.
-    parallel_for(std::size_t{0}, n, kGrainElementwise,
-                 [&](std::size_t lo, std::size_t hi) {
-                   for (std::size_t i = lo; i < hi; ++i)
-                     abs1[i] = std::abs(s1[i]);
-                 });
-    parallel_for(std::size_t{0}, m, kGrainElementwise,
-                 [&](std::size_t lo, std::size_t hi) {
-                   for (std::size_t i = lo; i < hi; ++i)
-                     abs2[i] = std::abs(s2[i]);
-                 });
-
-    // rhs1 = (1/β−1)·K s1 + Bᵀ s2 + (|s1| − K|s1|) + Bᵀ|s2| − γ p.
-    rhs1.assign(n, 0.0);
-    qp_.K.multiply_add(inv_beta_minus_1, s1, rhs1);
-    qp_.B.multiply_transpose_add(1.0, s2, rhs1);
-    parallel_for(std::size_t{0}, n, kGrainElementwise,
-                 [&](std::size_t lo, std::size_t hi) {
-                   for (std::size_t i = lo; i < hi; ++i) rhs1[i] += abs1[i];
-                 });
-    qp_.K.multiply_add(-1.0, abs1, rhs1);
-    qp_.B.multiply_transpose_add(1.0, abs2, rhs1);
-    parallel_for(std::size_t{0}, n, kGrainElementwise,
-                 [&](std::size_t lo, std::size_t hi) {
-                   for (std::size_t i = lo; i < hi; ++i)
-                     rhs1[i] -= opts_.gamma * qp_.p[i];
-                 });
-
-    // Forward solve of the block lower triangular system:
-    //   (K/β + I)·s1' = rhs1             (block-diagonal solve)
-    shifted_k_.solve(rhs1, new_s1);
-
-    //   rhs2 = (D/θ)·s2 − B|s1| + |s2| + γ b − B·s1_used, where s1_used is
-    //   the fresh iterate under the paper's Gauss–Seidel splitting (the B
-    //   block of M) or the previous one under the Jacobi ablation.
-    if (m > 0) {
-      d_.multiply(s2, rhs2);
-      parallel_for(std::size_t{0}, m, kGrainElementwise,
-                   [&](std::size_t lo, std::size_t hi) {
-                     for (std::size_t i = lo; i < hi; ++i)
-                       rhs2[i] = inv_theta * rhs2[i] + abs2[i] +
-                                 opts_.gamma * qp_.b[i];
-                   });
-      qp_.B.multiply_add(-1.0, abs1, rhs2);
-      qp_.B.multiply_add(
-          -1.0,
-          opts_.splitting == MmsimSplitting::kGaussSeidel ? new_s1 : s1,
-          rhs2);
-      //   (D/θ + I)·s2' = rhs2           (Thomas solve)
-      MCH_CHECK_MSG(shifted_d_.solve(rhs2, new_s2), "D/θ + I singular");
-    } else {
-      new_s2.clear();
-    }
-
-    s1.swap(new_s1);
-    s2.swap(new_s2);
-
-    // z = (|s| + s)/γ  (so z = max(s, 0)·2/γ).
-    parallel_for(std::size_t{0}, n, kGrainElementwise,
-                 [&](std::size_t lo, std::size_t hi) {
-                   for (std::size_t i = lo; i < hi; ++i)
-                     z[i] = (std::abs(s1[i]) + s1[i]) / opts_.gamma;
-                 });
-    parallel_for(std::size_t{0}, m, kGrainElementwise,
-                 [&](std::size_t lo, std::size_t hi) {
-                   for (std::size_t i = lo; i < hi; ++i)
-                     z[n + i] = (std::abs(s2[i]) + s2[i]) / opts_.gamma;
-                 });
-
+    result.final_delta = step(state);
     result.iterations = k + 1;
-    result.final_delta = linalg::diff_norm_inf(z, z_prev);
     if (opts_.trace_stride > 0 && k % opts_.trace_stride == 0)
       result.trace.emplace_back(k + 1, result.final_delta);
     if (k > 0 && result.final_delta < opts_.tolerance) {
-      if (!opts_.residual_check || scaled_residual_ok(z)) {
+      if (!opts_.residual_check || scaled_residual_ok(state.z)) {
         result.converged = true;
         break;
       }
     }
-    z_prev = z;
   }
 
-  result.z = z;
-  result.x.assign(z.begin(), z.begin() + static_cast<std::ptrdiff_t>(n));
-  result.dual.assign(z.begin() + static_cast<std::ptrdiff_t>(n), z.end());
+  result.z = std::move(state.z);
+  result.x.assign(result.z.begin(),
+                  result.z.begin() + static_cast<std::ptrdiff_t>(n));
+  result.dual.assign(result.z.begin() + static_cast<std::ptrdiff_t>(n),
+                     result.z.end());
   result.solve_seconds = timer.seconds();
   return result;
 }

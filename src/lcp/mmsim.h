@@ -85,18 +85,71 @@ struct MmsimResult {
   std::vector<std::pair<std::size_t, double>> trace;
 };
 
+/// Per-part maxima of the scaled-residual stopping test. Each field is an
+/// ∞-norm-style maximum, so the partials of a sub-problem combine with those
+/// of its siblings by plain max — the combined decision is then exactly the
+/// decision the monolithic solver would have made on the concatenated z
+/// (the partitioned legalizer relies on this to stay bitwise-faithful).
+struct MmsimResidualPartials {
+  double z_norm = 0.0;          ///< ‖z‖∞
+  double w_norm = 0.0;          ///< ‖Az + q‖∞
+  double z_negativity = 0.0;    ///< max(0, −z_i)
+  double w_negativity = 0.0;    ///< max(0, −w_i)
+  double complementarity = 0.0; ///< max |z_i·w_i|
+  void merge_max(const MmsimResidualPartials& other);
+};
+
 class MmsimSolver {
  public:
   /// Prepares the splitting for the given QP: builds the shifted block
   /// inverses of K/β* + I and the tridiagonal D/θ* + I. The QP must outlive
   /// the solver.
-  MmsimSolver(const StructuredQp& qp, const MmsimOptions& options = {});
+  ///
+  /// `schur_coupling_breaks` (optional, size = #constraints) marks rows
+  /// whose tridiagonal coupling to the *preceding* row must be dropped from
+  /// D. A sub-problem extracted from a larger system passes the rows that
+  /// were not adjacent in the parent ordering, so the sub-solve iterates
+  /// exactly as the parent solver would on those rows.
+  MmsimSolver(const StructuredQp& qp, const MmsimOptions& options = {},
+              const std::vector<bool>* schur_coupling_breaks = nullptr);
 
   /// Runs Algorithm 1 from s⁽⁰⁾ = 0.
   MmsimResult solve() const;
 
   /// Runs Algorithm 1 from the given start vector s⁽⁰⁾ (size lcp_size()).
   MmsimResult solve_from(const Vector& s0) const;
+
+  /// Iteration state for the incremental step() API. The partitioned
+  /// legalizer advances many per-component solvers in lockstep with a
+  /// global stopping rule; solve_from() runs on the same machinery.
+  struct State {
+    Vector z;                 ///< current iterate [x; dual] (modulus image)
+    std::size_t iterations = 0;
+
+   private:
+    friend class MmsimSolver;
+    Vector s1, s2;            ///< splitting state, primal / dual parts
+    Vector z_prev;
+    Vector abs1, abs2, rhs1, rhs2, new_s1, new_s2;  ///< scratch
+  };
+
+  /// Fresh state at s⁽⁰⁾ = 0.
+  State make_state() const;
+  /// Fresh state at the given s⁽⁰⁾ (size lcp_size()).
+  State make_state(const Vector& s0) const;
+
+  /// Advances one modulus iteration and returns ‖z⁽ᵏ⁾ − z⁽ᵏ⁻¹⁾‖∞. The
+  /// caller owns the stopping rule (solve_from() applies the tolerance +
+  /// residual_check policy in MmsimOptions).
+  double step(State& state) const;
+
+  /// Residual maxima of z for the scaled stopping test; combine across
+  /// sub-problems with merge_max, decide with residual_ok.
+  MmsimResidualPartials residual_partials(const Vector& z) const;
+
+  /// The scaled-residual decision on (possibly merged) partials.
+  static bool residual_ok(const MmsimResidualPartials& partials,
+                          double tolerance);
 
   /// The tridiagonal Schur approximation D = tridiag(B K⁻¹ Bᵀ).
   const linalg::Tridiagonal& schur_tridiagonal() const { return d_; }
@@ -128,8 +181,11 @@ class MmsimSolver {
 
 /// Computes D = tridiag(B K⁻¹ Bᵀ) directly from the block-diagonal inverse
 /// of K. Exposed for tests (validated against the paper's Sherman–Morrison
-/// closed form for all-double-height designs).
-linalg::Tridiagonal schur_tridiagonal(const linalg::BlockDiagMatrix& k,
-                                      const linalg::CsrMatrix& b);
+/// closed form for all-double-height designs). When `coupling_breaks` is
+/// given (size = #rows), rows flagged true get zero coupling to their
+/// predecessor — see the MmsimSolver constructor.
+linalg::Tridiagonal schur_tridiagonal(
+    const linalg::BlockDiagMatrix& k, const linalg::CsrMatrix& b,
+    const std::vector<bool>* coupling_breaks = nullptr);
 
 }  // namespace mch::lcp

@@ -1,0 +1,136 @@
+#include "lcp/solver.h"
+
+#include <utility>
+
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace mch::lcp {
+
+namespace {
+
+class MmsimLcpSolver final : public LcpSolver {
+ public:
+  MmsimLcpSolver(const StructuredQp& qp, const LcpSolverConfig& config)
+      : solver_(qp, config.mmsim, config.schur_coupling_breaks) {}
+
+  LcpSolverKind kind() const override { return LcpSolverKind::kMmsim; }
+
+  LcpSolveResult solve() const override {
+    MmsimResult mmsim = solver_.solve();
+    LcpSolveResult result;
+    result.x = std::move(mmsim.x);
+    result.dual = std::move(mmsim.dual);
+    result.iterations = mmsim.iterations;
+    result.converged = mmsim.converged;
+    result.setup_seconds = mmsim.setup_seconds;
+    result.solve_seconds = mmsim.solve_seconds;
+    return result;
+  }
+
+ private:
+  MmsimSolver solver_;
+};
+
+class PsorLcpSolver final : public LcpSolver {
+ public:
+  PsorLcpSolver(const StructuredQp& qp, const LcpSolverConfig& config)
+      : options_(config.psor) {
+    MCH_CHECK_MSG(qp.num_constraints() == 0,
+                  "PSOR requires a positive diagonal; the saddle KKT matrix "
+                  "of a constrained QP has zero diagonal entries (m = "
+                      << qp.num_constraints() << ")");
+    Timer timer;
+    // Bound-constrained QP: LCP(p, K) with K SPD — PSOR's home turf.
+    const std::size_t n = qp.num_variables();
+    problem_.A = linalg::DenseMatrix(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) problem_.A(i, j) = qp.K.entry(i, j);
+    problem_.q = qp.p;
+    setup_seconds_ = timer.seconds();
+  }
+
+  LcpSolverKind kind() const override { return LcpSolverKind::kPsor; }
+
+  LcpSolveResult solve() const override {
+    Timer timer;
+    PsorResult psor = solve_psor(problem_, options_);
+    LcpSolveResult result;
+    result.x = std::move(psor.z);
+    result.iterations = psor.iterations;
+    result.converged = psor.converged;
+    result.setup_seconds = setup_seconds_;
+    result.solve_seconds = timer.seconds();
+    return result;
+  }
+
+ private:
+  PsorOptions options_;
+  DenseLcp problem_;
+  double setup_seconds_ = 0.0;
+};
+
+class LemkeLcpSolver final : public LcpSolver {
+ public:
+  LemkeLcpSolver(const StructuredQp& qp, const LcpSolverConfig& config)
+      : num_variables_(qp.num_variables()),
+        max_pivots_(config.lemke_max_pivots) {
+    Timer timer;
+    problem_ = qp.to_dense_lcp();
+    setup_seconds_ = timer.seconds();
+  }
+
+  LcpSolverKind kind() const override { return LcpSolverKind::kLemke; }
+
+  LcpSolveResult solve() const override {
+    Timer timer;
+    LemkeResult lemke = solve_lemke(problem_, max_pivots_);
+    LcpSolveResult result;
+    const auto split =
+        lemke.z.begin() + static_cast<std::ptrdiff_t>(num_variables_);
+    result.x.assign(lemke.z.begin(), split);
+    result.dual.assign(split, lemke.z.end());
+    result.iterations = lemke.pivots;
+    result.converged = lemke.status == LemkeStatus::kSolved;
+    result.setup_seconds = setup_seconds_;
+    result.solve_seconds = timer.seconds();
+    return result;
+  }
+
+ private:
+  std::size_t num_variables_;
+  std::size_t max_pivots_;
+  DenseLcp problem_;
+  double setup_seconds_ = 0.0;
+};
+
+}  // namespace
+
+const char* to_string(LcpSolverKind kind) {
+  switch (kind) {
+    case LcpSolverKind::kMmsim:
+      return "mmsim";
+    case LcpSolverKind::kPsor:
+      return "psor";
+    case LcpSolverKind::kLemke:
+      return "lemke";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<LcpSolver> make_lcp_solver(LcpSolverKind kind,
+                                           const StructuredQp& qp,
+                                           const LcpSolverConfig& config) {
+  switch (kind) {
+    case LcpSolverKind::kMmsim:
+      return std::make_unique<MmsimLcpSolver>(qp, config);
+    case LcpSolverKind::kPsor:
+      return std::make_unique<PsorLcpSolver>(qp, config);
+    case LcpSolverKind::kLemke:
+      return std::make_unique<LemkeLcpSolver>(qp, config);
+  }
+  MCH_CHECK_MSG(false, "unknown LcpSolverKind");
+  return nullptr;
+}
+
+}  // namespace mch::lcp

@@ -1,0 +1,71 @@
+// Pluggable per-component LCP solver layer.
+//
+// The legalization constraint graph decomposes into independent connected
+// components (see legal/partition.h), and the best solver differs by
+// component size: a handful of variables is solved exactly by Lemke
+// pivoting in microseconds, a constraint-free component (a cell alone
+// between two obstacles) is a bound-constrained QP that PSOR handles
+// directly, and everything else runs the paper's MMSIM. This header gives
+// the three solvers one interface behind a factory so the legalizer's
+// SolverPolicy can pick per component.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "lcp/lemke.h"
+#include "lcp/mmsim.h"
+#include "lcp/psor.h"
+#include "lcp/qp.h"
+
+namespace mch::lcp {
+
+enum class LcpSolverKind {
+  kMmsim,  ///< structured modulus splitting — the production path
+  kPsor,   ///< projected SOR on the bound-constrained QP (m = 0 only)
+  kLemke,  ///< dense complementary pivoting — exact, small systems only
+};
+
+const char* to_string(LcpSolverKind kind);
+
+struct LcpSolveResult {
+  Vector x;     ///< primal variables (cell/subcell positions)
+  Vector dual;  ///< multipliers of the spacing rows (empty for PSOR)
+  /// MMSIM/PSOR iterations, or Lemke pivots.
+  std::size_t iterations = 0;
+  bool converged = false;
+  double setup_seconds = 0.0;
+  double solve_seconds = 0.0;
+};
+
+struct LcpSolverConfig {
+  MmsimOptions mmsim;
+  PsorOptions psor;
+  std::size_t lemke_max_pivots = 20000;
+  /// For MMSIM on a sub-problem extracted from a larger system: rows whose
+  /// tridiagonal Schur coupling to the preceding row must be dropped
+  /// because the rows were not adjacent in the parent ordering (keeps the
+  /// sub-solve iterating exactly as the parent would). Not owned; must
+  /// outlive the solver. nullptr = no breaks.
+  const std::vector<bool>* schur_coupling_breaks = nullptr;
+};
+
+/// Uniform interface over the LCP solvers. Instances are bound to one QP
+/// (setup happens at construction); the QP must outlive the solver.
+class LcpSolver {
+ public:
+  virtual ~LcpSolver() = default;
+  virtual LcpSolverKind kind() const = 0;
+  /// Solves the QP's KKT LCP from the zero start.
+  virtual LcpSolveResult solve() const = 0;
+};
+
+/// Builds the requested solver for the QP. Throws CheckError when the kind
+/// cannot handle the QP's structure (PSOR with m > 0: the saddle KKT matrix
+/// has zero diagonal entries, see lcp/psor.h).
+std::unique_ptr<LcpSolver> make_lcp_solver(LcpSolverKind kind,
+                                           const StructuredQp& qp,
+                                           const LcpSolverConfig& config = {});
+
+}  // namespace mch::lcp

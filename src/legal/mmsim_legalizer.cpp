@@ -1,9 +1,253 @@
 #include "legal/mmsim_legalizer.h"
 
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lcp/solver.h"
+#include "legal/partition.h"
+#include "runtime/parallel.h"
+#include "util/check.h"
 #include "util/log.h"
 #include "util/timer.h"
 
 namespace mch::legal {
+
+namespace {
+
+using lcp::MmsimResidualPartials;
+using lcp::MmsimSolver;
+using lcp::Vector;
+using runtime::parallel_for;
+
+/// Components are heterogeneous units of work; schedule them one at a time.
+constexpr std::size_t kGrainComponents = 1;
+
+PartitionMode resolve_partition_mode(PartitionMode requested) {
+  if (requested != PartitionMode::kAuto) return requested;
+  if (const char* env = std::getenv("MCH_PARTITION")) {
+    const std::string value(env);
+    if (value == "off") return PartitionMode::kOff;
+    if (value == "match") return PartitionMode::kMatch;
+    if (value == "tiered") return PartitionMode::kTiered;
+    if (!value.empty()) {
+      MCH_LOG(kWarn) << "unknown MCH_PARTITION value '" << value
+                     << "'; using match";
+    }
+  }
+  return PartitionMode::kMatch;
+}
+
+/// What every solve driver produces; one shared epilogue consumes it.
+struct SolveOutcome {
+  Vector x;  ///< global primal solution
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Extracts every component sub-problem. Element slots are pre-sized so the
+/// parallel writes are disjoint and the result is schedule-independent.
+std::vector<ComponentProblem> extract_components(
+    const LegalizationModel& model, const ConstraintPartition& partition) {
+  std::vector<ComponentProblem> components(partition.num_components());
+  parallel_for(std::size_t{0}, components.size(), kGrainComponents,
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t c = lo; c < hi; ++c)
+                   components[c] = model.component_problem(
+                       partition.component_variables[c],
+                       partition.component_constraints[c]);
+               });
+  return components;
+}
+
+/// Scatters each component's primal part into the global x.
+void scatter_primal(const std::vector<ComponentProblem>& components,
+                    const std::vector<Vector>& local_x, Vector& x) {
+  for (std::size_t c = 0; c < components.size(); ++c)
+    for (std::size_t v = 0; v < components[c].variables.size(); ++v)
+      x[components[c].variables[v]] = local_x[c][v];
+}
+
+/// Monolithic reference path (PartitionMode::kOff).
+SolveOutcome solve_monolithic(const LegalizationModel& model,
+                              const lcp::MmsimOptions& mmsim_options) {
+  const MmsimSolver solver(model.qp, mmsim_options);
+  lcp::MmsimResult result = solver.solve();
+  if (!result.converged) {
+    MCH_LOG(kWarn) << "MMSIM did not converge in " << result.iterations
+                   << " iterations (delta " << result.final_delta << ")";
+  }
+  SolveOutcome outcome;
+  outcome.x = std::move(result.x);
+  outcome.iterations = result.iterations;
+  outcome.converged = result.converged;
+  return outcome;
+}
+
+/// Lockstep driver (PartitionMode::kMatch): every component advances one
+/// MMSIM iteration per round, and the stopping rule is the monolithic one —
+/// per-component deltas and residual partials fold by max, which is exactly
+/// the ∞-norm of the concatenated system. All iterates are therefore
+/// bitwise equal to the monolithic solver's, at any thread count.
+SolveOutcome solve_lockstep(const LegalizationModel& model,
+                            const std::vector<ComponentProblem>& components,
+                            const lcp::MmsimOptions& mmsim_options,
+                            MmsimLegalizerStats& stats) {
+  const std::size_t num = components.size();
+  std::vector<std::unique_ptr<MmsimSolver>> solvers(num);
+  std::vector<MmsimSolver::State> states(num);
+  parallel_for(std::size_t{0}, num, kGrainComponents,
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t c = lo; c < hi; ++c) {
+                   solvers[c] = std::make_unique<MmsimSolver>(
+                       components[c].qp, mmsim_options,
+                       &components[c].schur_coupling_breaks);
+                   states[c] = solvers[c]->make_state();
+                 }
+               });
+
+  std::vector<double> deltas(num, 0.0);
+  std::vector<MmsimResidualPartials> partials(num);
+  SolveOutcome outcome;
+  for (std::size_t k = 0; k < mmsim_options.max_iterations; ++k) {
+    parallel_for(std::size_t{0}, num, kGrainComponents,
+                 [&](std::size_t lo, std::size_t hi) {
+                   for (std::size_t c = lo; c < hi; ++c)
+                     deltas[c] = solvers[c]->step(states[c]);
+                 });
+    double delta = 0.0;
+    for (const double d : deltas) delta = std::max(delta, d);
+    outcome.iterations = k + 1;
+    if (k > 0 && delta < mmsim_options.tolerance) {
+      bool stop = true;
+      if (mmsim_options.residual_check) {
+        parallel_for(std::size_t{0}, num, kGrainComponents,
+                     [&](std::size_t lo, std::size_t hi) {
+                       for (std::size_t c = lo; c < hi; ++c)
+                         partials[c] = solvers[c]->residual_partials(
+                             states[c].z);
+                     });
+        MmsimResidualPartials merged;
+        for (const MmsimResidualPartials& p : partials) merged.merge_max(p);
+        stop = MmsimSolver::residual_ok(merged,
+                                        mmsim_options.residual_tolerance);
+      }
+      if (stop) {
+        outcome.converged = true;
+        break;
+      }
+    }
+  }
+  if (!outcome.converged) {
+    MCH_LOG(kWarn) << "lockstep MMSIM did not converge in "
+                   << outcome.iterations << " iterations over " << num
+                   << " components";
+  }
+
+  std::vector<Vector> local_x(num);
+  for (std::size_t c = 0; c < num; ++c) {
+    states[c].z.resize(components[c].variables.size());
+    local_x[c] = std::move(states[c].z);
+  }
+  outcome.x.assign(model.num_variables(), 0.0);
+  scatter_primal(components, local_x, outcome.x);
+
+  stats.components_mmsim = num;
+  stats.component_iterations = outcome.iterations * num;
+  return outcome;
+}
+
+lcp::LcpSolverKind pick_solver(const ComponentProblem& component,
+                               const SolverPolicy& policy) {
+  const std::size_t size =
+      component.variables.size() + component.constraints.size();
+  if (policy.psor_for_unconstrained && component.constraints.empty())
+    return lcp::LcpSolverKind::kPsor;
+  if (policy.lemke_max_size > 0 && size <= policy.lemke_max_size)
+    return lcp::LcpSolverKind::kLemke;
+  return lcp::LcpSolverKind::kMmsim;
+}
+
+/// Tiered driver (PartitionMode::kTiered): each component gets the solver
+/// its size calls for and terminates independently — the sum of iterations
+/// across components is what the decomposition saves versus running every
+/// component to the globally slowest count.
+SolveOutcome solve_tiered(const LegalizationModel& model,
+                          const std::vector<ComponentProblem>& components,
+                          const lcp::MmsimOptions& mmsim_options,
+                          const SolverPolicy& policy,
+                          MmsimLegalizerStats& stats) {
+  const std::size_t num = components.size();
+  std::vector<lcp::LcpSolverKind> kinds(num);
+  std::vector<lcp::LcpSolveResult> results(num);
+  parallel_for(
+      std::size_t{0}, num, kGrainComponents,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t c = lo; c < hi; ++c) {
+          kinds[c] = pick_solver(components[c], policy);
+          lcp::LcpSolverConfig config;
+          config.mmsim = mmsim_options;
+          config.schur_coupling_breaks = &components[c].schur_coupling_breaks;
+          // Match the MMSIM stopping quality so the tiers agree on accuracy.
+          config.psor.tolerance = mmsim_options.tolerance;
+          config.psor.max_iterations = mmsim_options.max_iterations;
+          results[c] =
+              lcp::make_lcp_solver(kinds[c], components[c].qp, config)
+                  ->solve();
+        }
+      });
+
+  SolveOutcome outcome;
+  outcome.converged = true;
+  std::vector<Vector> local_x(num);
+  for (std::size_t c = 0; c < num; ++c) {
+    switch (kinds[c]) {
+      case lcp::LcpSolverKind::kMmsim:
+        ++stats.components_mmsim;
+        break;
+      case lcp::LcpSolverKind::kPsor:
+        ++stats.components_psor;
+        break;
+      case lcp::LcpSolverKind::kLemke:
+        ++stats.components_lemke;
+        break;
+    }
+    stats.component_iterations += results[c].iterations;
+    outcome.iterations = std::max(outcome.iterations, results[c].iterations);
+    if (!results[c].converged) {
+      outcome.converged = false;
+      MCH_LOG(kWarn) << "component " << c << " ("
+                     << lcp::to_string(kinds[c]) << ", size "
+                     << components[c].variables.size() +
+                            components[c].constraints.size()
+                     << ") did not converge in " << results[c].iterations
+                     << " iterations";
+    }
+    local_x[c] = std::move(results[c].x);
+  }
+  outcome.x.assign(model.num_variables(), 0.0);
+  scatter_primal(components, local_x, outcome.x);
+  return outcome;
+}
+
+}  // namespace
+
+const char* to_string(PartitionMode mode) {
+  switch (mode) {
+    case PartitionMode::kAuto:
+      return "auto";
+    case PartitionMode::kOff:
+      return "off";
+    case PartitionMode::kMatch:
+      return "match";
+    case PartitionMode::kTiered:
+      return "tiered";
+  }
+  return "unknown";
+}
 
 MmsimLegalizerStats mmsim_legalize_continuous(
     db::Design& design, const RowAssignment& base_rows,
@@ -17,42 +261,47 @@ MmsimLegalizerStats mmsim_legalize_continuous(
   stats.num_variables = model.num_variables();
   stats.num_constraints = model.qp.num_constraints();
 
+  const PartitionMode mode = resolve_partition_mode(options.partition);
   lcp::MmsimOptions mmsim_options = options.mmsim;
-  lcp::MmsimSolver solver(model.qp, mmsim_options);
+
+  // Wall clock over the entire solve section — auto-θ probe, partitioning,
+  // per-solver setup, and the iterations — so solve_seconds means the same
+  // thing in every mode.
+  Timer solve_timer;
   if (options.auto_theta) {
-    mmsim_options.theta = solver.suggest_theta();
-    // Rebuild with the derived θ*; setup is linear-time so this is cheap.
-    lcp::MmsimSolver tuned(model.qp, mmsim_options);
-    const lcp::MmsimResult result = tuned.solve();
-    stats.theta_used = mmsim_options.theta;
-    stats.iterations = result.iterations;
-    stats.converged = result.converged;
-    stats.solve_seconds = result.solve_seconds + result.setup_seconds;
-    stats.max_mismatch = model.max_mismatch(result.x);
-    stats.objective = model.qp.objective(result.x);
-    for (std::size_t c = 0; c < design.num_cells(); ++c) {
-      if (design.cells()[c].fixed) continue;
-      design.cells()[c].x = model.cell_x(result.x, c);
-      design.cells()[c].y = design.chip().row_y(base_rows[c]);
-    }
-    return stats;
+    // Probe the monolithic system for the Theorem-2 bound. Running the
+    // probe globally keeps θ* identical across partition modes (and equal
+    // to the pre-decomposition behaviour).
+    const MmsimSolver probe(model.qp, mmsim_options);
+    mmsim_options.theta = probe.suggest_theta();
   }
 
-  const lcp::MmsimResult result = solver.solve();
-  stats.theta_used = mmsim_options.theta;
-  stats.iterations = result.iterations;
-  stats.converged = result.converged;
-  stats.solve_seconds = result.solve_seconds + result.setup_seconds;
-  stats.max_mismatch = model.max_mismatch(result.x);
-  stats.objective = model.qp.objective(result.x);
-  if (!result.converged) {
-    MCH_LOG(kWarn) << "MMSIM did not converge in " << result.iterations
-                   << " iterations (delta " << result.final_delta << ")";
+  SolveOutcome outcome;
+  if (mode == PartitionMode::kOff) {
+    outcome = solve_monolithic(model, mmsim_options);
+  } else {
+    const ConstraintPartition partition = partition_model(model);
+    stats.num_components = partition.num_components();
+    stats.max_component_size = partition.max_component_size();
+    stats.mean_component_size = partition.mean_component_size();
+    const std::vector<ComponentProblem> components =
+        extract_components(model, partition);
+    outcome = mode == PartitionMode::kMatch
+                  ? solve_lockstep(model, components, mmsim_options, stats)
+                  : solve_tiered(model, components, mmsim_options,
+                                 options.policy, stats);
   }
+  stats.solve_seconds = solve_timer.seconds();
+
+  stats.theta_used = mmsim_options.theta;
+  stats.iterations = outcome.iterations;
+  stats.converged = outcome.converged;
+  stats.max_mismatch = model.max_mismatch(outcome.x);
+  stats.objective = model.qp.objective(outcome.x);
 
   for (std::size_t c = 0; c < design.num_cells(); ++c) {
     if (design.cells()[c].fixed) continue;
-    design.cells()[c].x = model.cell_x(result.x, c);
+    design.cells()[c].x = model.cell_x(outcome.x, c);
     design.cells()[c].y = design.chip().row_y(base_rows[c]);
   }
   return stats;

@@ -4,6 +4,26 @@
 // relaxed problem (13); the Tetris-like allocation then snaps it to sites
 // and repairs right-boundary spills. Split from the flow driver so the
 // optimality experiments (§5.3) can run the solver in isolation.
+//
+// The solve decomposes over the connected components of the constraint
+// graph (legal/partition.h): obstacles break the row chains, and rows that
+// share no tall cell are independent, so real designs fall apart into many
+// small sub-problems. Three execution modes:
+//
+//   * kOff    — the legacy monolithic solve (escape hatch / reference);
+//   * kMatch  — per-component MMSIM solvers advanced in lockstep under the
+//               monolithic stopping rule. Every kernel of the iteration is
+//               elementwise, per-block, per-row, or max-fold, so the
+//               per-component iterates are bitwise identical to the
+//               monolithic iterates restricted to the component — this mode
+//               produces the exact monolithic result while parallelizing
+//               the otherwise-serial Thomas stage across components;
+//   * kTiered — per-component solver choice by SolverPolicy (exact Lemke
+//               pivoting for tiny components, PSOR for constraint-free
+//               ones, MMSIM otherwise) with independent termination: each
+//               component stops as soon as *it* converges, which is where
+//               the decomposition's iteration savings come from. Results
+//               agree with the monolithic solve to solver tolerance.
 #pragma once
 
 #include <cstddef>
@@ -15,24 +35,67 @@
 
 namespace mch::legal {
 
+/// How the legalizer decomposes (or not) the relaxed LCP.
+enum class PartitionMode {
+  /// Resolve from the MCH_PARTITION environment variable
+  /// ("off" | "match" | "tiered"); defaults to kMatch when unset.
+  kAuto,
+  kOff,     ///< monolithic solve — the pre-decomposition code path
+  kMatch,   ///< lockstep per-component MMSIM, bitwise equal to kOff
+  kTiered,  ///< per-component solver policy + independent termination
+};
+
+const char* to_string(PartitionMode mode);
+
+/// Per-component solver selection for PartitionMode::kTiered.
+struct SolverPolicy {
+  /// Components whose KKT LCP dimension (n + m) is at most this are solved
+  /// exactly by Lemke pivoting. 0 disables the Lemke tier.
+  std::size_t lemke_max_size = 32;
+  /// Constraint-free components (a lone cell between obstacles) are
+  /// bound-constrained QPs; solve them with PSOR instead of the saddle
+  /// MMSIM machinery.
+  bool psor_for_unconstrained = true;
+};
+
 struct MmsimLegalizerOptions {
   ModelOptions model;        ///< λ penalty (paper: 1000)
   lcp::MmsimOptions mmsim;   ///< β*, θ*, γ, tolerance (paper: 0.5/0.5)
   /// When true, θ* is re-derived from the Theorem-2 bound via power
-  /// iteration instead of using options.mmsim.theta.
+  /// iteration instead of using options.mmsim.theta. Under partitioning the
+  /// probe runs on the monolithic system, so the derived θ* is identical in
+  /// every mode.
   bool auto_theta = false;
+  PartitionMode partition = PartitionMode::kAuto;
+  SolverPolicy policy;       ///< used by PartitionMode::kTiered
 };
 
 struct MmsimLegalizerStats {
   std::size_t num_variables = 0;
   std::size_t num_constraints = 0;
+  /// Monolithic / kMatch: global MMSIM iterations. kTiered: the maximum
+  /// over components — the parallel critical path.
   std::size_t iterations = 0;
   bool converged = false;
   double max_mismatch = 0.0;     ///< worst subcell disagreement before restore
   double theta_used = 0.0;
   double model_seconds = 0.0;
+  /// Wall-clock time of the whole solve section, including solver setup
+  /// and the auto-θ probe when enabled.
   double solve_seconds = 0.0;
   double objective = 0.0;        ///< relaxed QP objective at the solution
+
+  // Decomposition stats (zero when the monolithic path ran).
+  std::size_t num_components = 0;
+  std::size_t max_component_size = 0;    ///< largest per-component n + m
+  double mean_component_size = 0.0;
+  std::size_t components_mmsim = 0;      ///< components solved by MMSIM
+  std::size_t components_psor = 0;       ///< ... by PSOR (kTiered only)
+  std::size_t components_lemke = 0;      ///< ... by Lemke (kTiered only)
+  /// Total iterations (or Lemke pivots) summed over components. Under
+  /// kTiered this is the decomposition's headline saving: components stop
+  /// independently instead of all running to the slowest one's count.
+  std::size_t component_iterations = 0;
 };
 
 /// Solves the relaxed problem for the given row assignment and writes the

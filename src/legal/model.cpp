@@ -42,6 +42,56 @@ double LegalizationModel::max_mismatch(const Vector& x) const {
   return worst;
 }
 
+ComponentProblem LegalizationModel::component_problem(
+    const std::vector<std::size_t>& vars,
+    const std::vector<std::size_t>& rows) const {
+  ComponentProblem component;
+  component.variables = vars;
+  component.constraints = rows;
+
+  // Hessian: the component's variables cover whole blocks (a block is one
+  // cell, and a cell is never split across components), so walk the sorted
+  // variable list block by block.
+  std::size_t i = 0;
+  while (i < vars.size()) {
+    const std::size_t blk = qp.K.block_of(vars[i]);
+    const std::size_t off = qp.K.block_offset(blk);
+    const std::size_t d = qp.K.block_size(blk);
+    MCH_CHECK_MSG(vars[i] == off && i + d <= vars.size() &&
+                      vars[i + d - 1] == off + d - 1,
+                  "component variable set splits Hessian block " << blk);
+    qp.K.append_block_to(component.qp.K, blk);
+    i += d;
+  }
+
+  component.qp.p.resize(vars.size());
+  for (std::size_t v = 0; v < vars.size(); ++v)
+    component.qp.p[v] = qp.p[vars[v]];
+
+  // Constraints, with columns remapped to local indices. Rows and (sorted)
+  // columns keep their global relative order, so the CSR built here is the
+  // global one restricted to the component.
+  const auto local_var = [&](std::size_t global) {
+    const auto it = std::lower_bound(vars.begin(), vars.end(), global);
+    MCH_CHECK_MSG(it != vars.end() && *it == global,
+                  "constraint references variable " << global
+                                                    << " outside component");
+    return static_cast<std::size_t>(it - vars.begin());
+  };
+  linalg::CooMatrix coo(rows.size(), vars.size());
+  component.qp.b.resize(rows.size());
+  component.schur_coupling_breaks.assign(rows.size(), false);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const std::size_t g = rows[r];
+    for (std::size_t e = qp.B.row_ptr()[g]; e < qp.B.row_ptr()[g + 1]; ++e)
+      coo.add(r, local_var(qp.B.col_idx()[e]), qp.B.values()[e]);
+    component.qp.b[r] = qp.b[g];
+    component.schur_coupling_breaks[r] = r == 0 || rows[r - 1] + 1 != g;
+  }
+  component.qp.B = linalg::CsrMatrix::from_coo(coo);
+  return component;
+}
+
 LegalizationModel build_model(const db::Design& design,
                               const RowAssignment& base_rows,
                               const ModelOptions& options) {

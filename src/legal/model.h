@@ -40,6 +40,22 @@ struct VariableInfo {
   std::size_t subrow = 0;  ///< 0-based row offset within the cell
 };
 
+/// One connected component of the legalization QP, extracted as a
+/// self-contained StructuredQp plus the scatter maps back to the global
+/// numbering. Local variable/constraint order preserves the global
+/// ascending order, so every per-row sum and per-block solve of a
+/// sub-problem computes exactly what the monolithic system computes on the
+/// same indices.
+struct ComponentProblem {
+  lcp::StructuredQp qp;
+  std::vector<std::size_t> variables;    ///< local var -> global var
+  std::vector<std::size_t> constraints;  ///< local row -> global B row
+  /// Local rows whose predecessor was not globally adjacent: their
+  /// tridiagonal Schur coupling must be dropped to match the monolithic
+  /// approximation (see lcp::schur_tridiagonal).
+  std::vector<bool> schur_coupling_breaks;
+};
+
 /// The assembled QP plus the bookkeeping to map solutions back to cells.
 struct LegalizationModel {
   /// cell_first_var value for fixed cells (they have no variables).
@@ -67,6 +83,15 @@ struct LegalizationModel {
 
   /// Maximum mismatch over all cells.
   double max_mismatch(const lcp::Vector& x) const;
+
+  /// Extracts the sub-problem spanning the given (sorted, ascending)
+  /// variable and constraint index sets — one connected component as
+  /// computed by legal::partition_model. The variable set must cover whole
+  /// Hessian blocks and the constraints must only reference those
+  /// variables; both hold for genuine components.
+  ComponentProblem component_problem(
+      const std::vector<std::size_t>& vars,
+      const std::vector<std::size_t>& rows) const;
 };
 
 struct ModelOptions {

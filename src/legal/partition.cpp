@@ -1,0 +1,110 @@
+#include "legal/partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace mch::legal {
+
+namespace {
+
+/// Plain union-find with path halving and union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t find(std::size_t v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];
+      v = parent_[v];
+    }
+    return v;
+  }
+
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+};
+
+}  // namespace
+
+std::size_t ConstraintPartition::max_component_size() const {
+  std::size_t worst = 0;
+  for (std::size_t c = 0; c < num_components(); ++c)
+    worst = std::max(worst, component_size(c));
+  return worst;
+}
+
+double ConstraintPartition::mean_component_size() const {
+  if (num_components() == 0) return 0.0;
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < num_components(); ++c)
+    total += component_size(c);
+  return static_cast<double>(total) / static_cast<double>(num_components());
+}
+
+ConstraintPartition partition_model(const LegalizationModel& model) {
+  const std::size_t n = model.num_variables();
+  const std::size_t m = model.qp.num_constraints();
+  UnionFind uf(n);
+
+  // Subcell ties: each Hessian block spans one cell's contiguous variables.
+  const auto& k = model.qp.K;
+  for (std::size_t b = 0; b < k.block_count(); ++b) {
+    const std::size_t off = k.block_offset(b);
+    for (std::size_t i = 1; i < k.block_size(b); ++i)
+      uf.unite(off, off + i);
+  }
+
+  // Spacing chains: each row of B couples its (at most two) variables.
+  const auto& B = model.qp.B;
+  for (std::size_t r = 0; r < m; ++r) {
+    const std::size_t begin = B.row_ptr()[r];
+    const std::size_t end = B.row_ptr()[r + 1];
+    MCH_CHECK_MSG(end > begin, "constraint " << r << " has no variables");
+    for (std::size_t e = begin + 1; e < end; ++e)
+      uf.unite(B.col_idx()[begin], B.col_idx()[e]);
+  }
+
+  ConstraintPartition partition;
+  partition.variable_component.assign(n, 0);
+
+  // Canonical component ids: ascending smallest variable index. Scanning
+  // the variables in order and numbering unseen roots achieves exactly
+  // that, and fills component_variables sorted as a side effect.
+  std::vector<std::size_t> root_component(n, static_cast<std::size_t>(-1));
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t root = uf.find(v);
+    if (root_component[root] == static_cast<std::size_t>(-1)) {
+      root_component[root] = partition.component_variables.size();
+      partition.component_variables.emplace_back();
+    }
+    const std::size_t c = root_component[root];
+    partition.variable_component[v] = c;
+    partition.component_variables[c].push_back(v);
+  }
+
+  partition.constraint_component.assign(m, 0);
+  partition.component_constraints.resize(partition.num_components());
+  for (std::size_t r = 0; r < m; ++r) {
+    const std::size_t c =
+        partition.variable_component[B.col_idx()[B.row_ptr()[r]]];
+    partition.constraint_component[r] = c;
+    partition.component_constraints[c].push_back(r);
+  }
+  return partition;
+}
+
+}  // namespace mch::legal

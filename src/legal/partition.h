@@ -1,0 +1,53 @@
+// Connected-component decomposition of the legalization constraint graph.
+//
+// The relaxed LCP couples variables only through (a) same-row spacing
+// chains — the rows of B — and (b) the subcell ties of multi-row cells —
+// the blocks of K. Treating both as edges, the constraint graph falls
+// apart into many independent components: every obstacle breaks a row
+// chain, and rows that share no tall cell never talk to each other. Each
+// component is a self-contained QP that can be solved in isolation and in
+// parallel with the others; the partitioned legalizer in mmsim_legalizer.cpp
+// is built on exactly this observation (cf. the locality argument of Cong &
+// Romesis & Xie's placement-suboptimality studies: post-GP subproblems are
+// overwhelmingly local).
+//
+// The decomposition is lossless: the right chip boundary is relaxed in the
+// model (repaired later by the Tetris-like allocation), so no global
+// resource couples the components — the partitioned optimum is the global
+// optimum restricted to each component.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "legal/model.h"
+
+namespace mch::legal {
+
+/// The connected components of a model's constraint graph, in canonical
+/// order (ascending smallest global variable index). All index lists are
+/// sorted ascending, so extracted sub-problems preserve the global relative
+/// ordering of variables and constraint rows.
+struct ConstraintPartition {
+  std::vector<std::size_t> variable_component;    ///< variable -> component
+  std::vector<std::size_t> constraint_component;  ///< B row -> component
+  std::vector<std::vector<std::size_t>> component_variables;
+  std::vector<std::vector<std::size_t>> component_constraints;
+
+  std::size_t num_components() const { return component_variables.size(); }
+
+  /// Variables + constraints of component c (its KKT LCP dimension).
+  std::size_t component_size(std::size_t c) const {
+    return component_variables[c].size() + component_constraints[c].size();
+  }
+
+  std::size_t max_component_size() const;
+  double mean_component_size() const;
+};
+
+/// Computes the components by union-find over the model's variables: the
+/// variables of each Hessian block (one multi-row cell) are united, as are
+/// the variables sharing a spacing row of B.
+ConstraintPartition partition_model(const LegalizationModel& model);
+
+}  // namespace mch::legal

@@ -39,6 +39,29 @@ std::size_t BlockDiagMatrix::add_block(const DenseMatrix& block) {
   return offsets_.size() - 1;
 }
 
+std::size_t BlockDiagMatrix::append_block_to(BlockDiagMatrix& dst,
+                                             std::size_t b) const {
+  MCH_CHECK(b < blocks_.size());
+  const DenseMatrix& block = blocks_[b];
+  dst.offsets_.push_back(dst.size_);
+  dst.blocks_.push_back(block);
+  dst.inverses_.push_back(inverses_[b]);
+
+  const bool scalar = block.rows() == 1;
+  dst.scalar_mask_.push_back(scalar);
+  dst.scalar_values_.resize(dst.size_ + block.rows(), 0.0);
+  dst.scalar_inverses_.resize(dst.size_ + block.rows(), 0.0);
+  if (scalar) {
+    dst.scalar_values_[dst.size_] = block(0, 0);
+    dst.scalar_inverses_[dst.size_] = inverses_[b](0, 0);
+  } else {
+    dst.general_blocks_.push_back(dst.offsets_.size() - 1);
+  }
+
+  dst.size_ += block.rows();
+  return dst.offsets_.size() - 1;
+}
+
 std::size_t BlockDiagMatrix::block_of(std::size_t i) const {
   MCH_CHECK(i < size_);
   const auto it = std::upper_bound(offsets_.begin(), offsets_.end(), i);

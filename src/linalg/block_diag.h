@@ -24,6 +24,12 @@ class BlockDiagMatrix {
   /// block is not invertible. Returns the block index.
   std::size_t add_block(const DenseMatrix& block);
 
+  /// Appends a copy of this matrix's block b — block and stored inverse —
+  /// to dst, skipping the re-inversion add_block would do. Used when
+  /// extracting sub-problems that reuse existing blocks verbatim. Returns
+  /// dst's new block index.
+  std::size_t append_block_to(BlockDiagMatrix& dst, std::size_t b) const;
+
   /// Total matrix dimension (sum of block sizes).
   std::size_t size() const { return size_; }
   std::size_t block_count() const { return offsets_.size(); }

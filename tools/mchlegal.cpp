@@ -16,6 +16,8 @@
 //   --lambda <v>          subcell penalty λ            (default 1000)
 //   --beta <v> --theta <v>  MMSIM splitting parameters (default 0.5/0.5)
 //   --tolerance <v>       MMSIM stop tolerance         (default 1e-4)
+//   --partition <off|match|tiered>  constraint-graph decomposition mode
+//                         (default: MCH_PARTITION env, else match)
 //   --seed <n>            seed for --double            (default 1)
 //   --threads <n>         worker threads (0 = auto; also MCH_THREADS)
 //   --quiet               suppress the report
@@ -91,7 +93,17 @@ int main(int argc, char** argv) {
       flow_options.solver.mmsim.theta = std::atof(value().c_str());
     else if (arg == "--tolerance")
       flow_options.solver.mmsim.tolerance = std::atof(value().c_str());
-    else
+    else if (arg == "--partition") {
+      const std::string mode = value();
+      if (mode == "off")
+        flow_options.solver.partition = legal::PartitionMode::kOff;
+      else if (mode == "match")
+        flow_options.solver.partition = legal::PartitionMode::kMatch;
+      else if (mode == "tiered")
+        flow_options.solver.partition = legal::PartitionMode::kTiered;
+      else
+        usage_error("unknown --partition mode (off|match|tiered)");
+    } else
       usage_error(("unknown option " + arg).c_str());
   }
 
@@ -145,12 +157,18 @@ int main(int argc, char** argv) {
                 result.disp.total_sites, result.disp.mean_sites);
     std::printf("delta HPWL:          %.4f%%\n", result.delta_hpwl * 100.0);
     std::printf("runtime:             %.3f s\n", result.seconds);
-    if (which == eval::Legalizer::kMmsim)
+    if (which == eval::Legalizer::kMmsim) {
       std::printf("solver:              %zu iterations%s, %zu illegal "
                   "cells fixed by allocation\n",
                   result.solver_iterations,
                   result.solver_converged ? "" : " (NOT converged)",
                   result.illegal_after_solver);
+      if (result.solver_components > 0)
+        std::printf("decomposition:       %zu components (largest %zu), "
+                    "%zu component iterations\n",
+                    result.solver_components, result.solver_max_component,
+                    result.solver_component_iterations);
+    }
     if (run_dp)
       std::printf("detailed placement:  HPWL %.0f -> %.0f (%.3f%%), "
                   "%zu moves\n",
