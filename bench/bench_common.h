@@ -18,6 +18,7 @@
 // are scale-invariant; see EXPERIMENTS.md.
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
@@ -26,10 +27,36 @@
 
 namespace mch::bench {
 
+/// The CMake build type the bench binary was compiled under (stamped by
+/// bench/CMakeLists.txt). results/*.txt snapshots must say "Release" — the
+/// bench build refuses to configure as Debug for exactly this reason.
+inline const char* bench_build_type() {
+#ifdef MCH_BUILD_TYPE
+  return MCH_BUILD_TYPE;
+#else
+  return "unknown";
+#endif
+}
+
+/// Prints the provenance header every bench emits at the top of its output
+/// (and thus into its results/*.txt snapshot): build type, scale, seed.
+inline void print_bench_banner(const char* name) {
+  std::printf("# %s — build: %s, MCH_BENCH_SCALE=%s, MCH_BENCH_SEED=%s\n",
+              name, bench_build_type(),
+              std::getenv("MCH_BENCH_SCALE") ? std::getenv("MCH_BENCH_SCALE")
+                                             : "(default)",
+              std::getenv("MCH_BENCH_SEED") ? std::getenv("MCH_BENCH_SEED")
+                                            : "(default)");
+}
+
 /// Configures the global Runtime from --threads/MCH_THREADS and returns the
-/// resolved thread count. Call first thing in main().
+/// resolved thread count. Call first thing in main(). Also stamps the
+/// build-type provenance line into the output (every results/*.txt snapshot
+/// starts with it).
 inline unsigned bench_threads(int argc, char* const* argv) {
-  return runtime::configure_threads_from_cli(argc, argv);
+  const unsigned threads = runtime::configure_threads_from_cli(argc, argv);
+  std::printf("# build: %s, threads: %u\n", bench_build_type(), threads);
+  return threads;
 }
 
 inline double bench_scale() {

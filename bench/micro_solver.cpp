@@ -18,8 +18,10 @@
 #include <vector>
 
 #include "baselines/abacus.h"
+#include "bench_common.h"
 #include "gen/generator.h"
 #include "lcp/mmsim.h"
+#include "linalg/csr.h"
 #include "legal/flow.h"
 #include "legal/model.h"
 #include "legal/row_assign.h"
@@ -73,6 +75,71 @@ void BM_MmsimIterations(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_MmsimIterations)->Range(1000, 64000)->Complexity(benchmark::oN);
+
+// A/B of the fused single-sweep iteration kernels against the retained
+// stage-by-stage reference path (arg 1: 0 = reference, 1 = fused). Both
+// compute bitwise-identical iterates (tests/lcp/mmsim_fused_test.cpp), so
+// the ratio is pure kernel-structure speedup.
+void BM_MmsimFusedVsUnfused(benchmark::State& state) {
+  db::Design design = cached_design(static_cast<std::size_t>(state.range(0)));
+  const legal::RowAssignment rows = legal::assign_rows(design);
+  const legal::LegalizationModel model = legal::build_model(design, rows);
+  lcp::MmsimOptions options;
+  options.max_iterations = 100;  // fixed budget: measures per-iteration cost
+  options.tolerance = 0.0;
+  options.residual_check = false;
+  options.fused = state.range(1) != 0;
+  const lcp::MmsimSolver solver(model.qp, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve());
+  }
+  state.SetComplexityN(state.range(0));
+  state.SetLabel(options.fused ? "fused" : "reference");
+}
+BENCHMARK(BM_MmsimFusedVsUnfused)
+    ->ArgsProduct({{8000, 32000, 64000}, {0, 1}});
+
+// CSR sparse engine: one fused two-vector traversal (multiply_add2) against
+// the two sequential single-vector products it replaces — the access
+// pattern of the MMSIM rhs accumulation. arg 1: 0 = sequential pair,
+// 1 = fused. The transpose variant runs through the cached Bᵀ view.
+void csr_spmv(benchmark::State& state, bool transpose) {
+  db::Design design = cached_design(static_cast<std::size_t>(state.range(0)));
+  const legal::RowAssignment rows = legal::assign_rows(design);
+  const legal::LegalizationModel model = legal::build_model(design, rows);
+  const linalg::CsrMatrix& b = model.qp.B;
+  const std::size_t xs = transpose ? b.rows() : b.cols();
+  const std::size_t ys = transpose ? b.cols() : b.rows();
+  const lcp::Vector x1(xs, 1.0), x2(xs, 0.5);
+  lcp::Vector y(ys, 0.0);
+  const bool fused = state.range(1) != 0;
+  for (auto _ : state) {
+    if (transpose) {
+      if (fused) {
+        b.multiply_transpose_add2(0.5, x1, -1.0, x2, y);
+      } else {
+        b.multiply_transpose_add(0.5, x1, y);
+        b.multiply_transpose_add(-1.0, x2, y);
+      }
+    } else {
+      if (fused) {
+        b.multiply_add2(0.5, x1, -1.0, x2, y);
+      } else {
+        b.multiply_add(0.5, x1, y);
+        b.multiply_add(-1.0, x2, y);
+      }
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetComplexityN(state.range(0));
+  state.SetLabel(fused ? "fused" : "pair");
+}
+
+void BM_CsrSpmv(benchmark::State& state) { csr_spmv(state, false); }
+BENCHMARK(BM_CsrSpmv)->ArgsProduct({{8000, 64000}, {0, 1}});
+
+void BM_CsrSpmvTranspose(benchmark::State& state) { csr_spmv(state, true); }
+BENCHMARK(BM_CsrSpmvTranspose)->ArgsProduct({{8000, 64000}, {0, 1}});
 
 void BM_MmsimSolveToConvergence(benchmark::State& state) {
   db::Design design = cached_design(static_cast<std::size_t>(state.range(0)));
@@ -225,6 +292,7 @@ void run_scaling_sweep() {
 
 int main(int argc, char** argv) {
   mch::runtime::configure_threads_from_cli(argc, argv);
+  mch::bench::print_bench_banner("micro_solver");
   // Strip our flags so google-benchmark does not reject them.
   std::vector<char*> filtered;
   bool scaling = false;

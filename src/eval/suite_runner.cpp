@@ -50,6 +50,8 @@ RunResult run_legalizer(db::Design& design, Legalizer which,
       result.illegal_after_solver = flow.allocation.illegal_cells;
       result.solver_iterations = flow.solver.iterations;
       result.solver_converged = flow.solver.converged;
+      result.solver_solve_seconds = flow.solver.solve_seconds;
+      result.solver_phase = flow.solver.phase;
       result.solver_components = flow.solver.num_components;
       result.solver_max_component = flow.solver.max_component_size;
       result.solver_mean_component = flow.solver.mean_component_size;

@@ -56,6 +56,13 @@ struct RunResult {
   std::size_t solver_iterations = 0;
   bool solver_converged = false;
 
+  // Solver wall time and its per-phase breakdown (kernel sweeps, SpMV,
+  // Thomas solves, stopping-rule reductions; see lcp::MmsimPhaseTimes).
+  // The phase fields stay zero for systems small enough that per-phase
+  // profiling is disabled.
+  double solver_solve_seconds = 0.0;
+  lcp::MmsimPhaseTimes solver_phase;
+
   // Constraint-graph decomposition diagnostics (zero when the solver ran
   // monolithically; see legal::PartitionMode).
   std::size_t solver_components = 0;

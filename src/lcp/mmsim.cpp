@@ -1,10 +1,15 @@
 #include "lcp/mmsim.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
 
 #include "linalg/power_iteration.h"
 #include "runtime/parallel.h"
+#include "runtime/scratch.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -13,12 +18,54 @@ namespace mch::lcp {
 namespace {
 using runtime::kGrainElementwise;
 using runtime::parallel_for;
+using runtime::parallel_reduce;
+
+/// Grain for the non-1×1 block sweep of the fused kernel; mirrors the
+/// block sweeps in linalg/block_diag.cpp.
+constexpr std::size_t kGrainBlocks = 256;
+
+/// Systems below this LCP dimension skip phase-time collection: two clock
+/// reads per scope would rival the arithmetic of a tiny component solve.
+constexpr std::size_t kPhaseProfileMinSize = 256;
+
+/// Adds the scope's wall time to `bucket` when enabled; costs nothing (not
+/// even a clock read) when disabled.
+class PhaseTimer {
+ public:
+  PhaseTimer(bool enabled, double& bucket)
+      : bucket_(enabled ? &bucket : nullptr) {
+    if (bucket_) start_ = std::chrono::steady_clock::now();
+  }
+  ~PhaseTimer() {
+    if (bucket_)
+      *bucket_ += std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count();
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  double* bucket_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+double fold_max(double a, double b) { return std::max(a, b); }
+
 }  // namespace
 
 using linalg::BlockDiagMatrix;
 using linalg::CsrMatrix;
 using linalg::DenseMatrix;
 using linalg::Tridiagonal;
+
+bool fused_kernels_default() {
+  if (const char* env = std::getenv("MCH_FUSED_KERNELS")) {
+    const std::string value(env);
+    if (value == "0" || value == "off" || value == "false") return false;
+  }
+  return true;
+}
 
 Tridiagonal schur_tridiagonal(const BlockDiagMatrix& k, const CsrMatrix& b,
                               const std::vector<bool>* coupling_breaks) {
@@ -68,8 +115,88 @@ MmsimSolver::MmsimSolver(const StructuredQp& qp, const MmsimOptions& options,
   }
 
   d_ = mch::lcp::schur_tridiagonal(qp_.K, qp_.B, schur_coupling_breaks);
-  // (2,2) block of M + I: D/θ* + I.
+  // (2,2) block of M + I: D/θ* + I. The matrix is constant across the
+  // iteration, so factor the Thomas pivots once here; every step then runs
+  // only the short-recurrence forward sweep.
   shifted_d_ = d_.scaled_plus_identity(1.0 / opts_.theta, 1.0);
+  MCH_CHECK_MSG(shifted_d_lu_.factor(shifted_d_), "D/θ + I singular");
+
+  // Prebuild what the fused kernels traverse per element: the cached Bᵀ
+  // view (so no per-product lock) and the scalar/general classification of
+  // each variable's K block.
+  bt_ = &qp_.B.transpose_view();
+  general_var_.assign(qp_.K.size(), 0);
+  for (const std::size_t b : qp_.K.general_block_indices()) {
+    const std::size_t off = qp_.K.block_offset(b);
+    const std::size_t size = qp_.K.block_size(b);
+    for (std::size_t i = 0; i < size; ++i) general_var_[off + i] = 1;
+    max_general_rows_ = std::max(max_general_rows_, size);
+  }
+  // Fixed-width-2 gather tables (see the header). Only the fused path reads
+  // them, so skip the build entirely for reference-path solvers.
+  if (opts_.fused) {
+    const auto max_row_len = [](const linalg::CsrMatrix& mat) {
+      std::size_t longest = 0;
+      for (std::size_t r = 0; r < mat.rows(); ++r)
+        longest = std::max(longest,
+                           mat.row_ptr()[r + 1] - mat.row_ptr()[r]);
+      return longest;
+    };
+    const std::size_t limit = std::numeric_limits<std::uint32_t>::max();
+    // num_constraints() > 0: the padding slots load (and discard) column 0
+    // of the opposite s half, which must therefore exist. An empty B makes
+    // every gather a no-op anyway, so the CSR loops lose nothing there.
+    if (qp_.num_constraints() > 0 && qp_.num_variables() > 0 &&
+        qp_.num_variables() < limit && qp_.num_constraints() < limit &&
+        max_row_len(qp_.B) <= 2 && max_row_len(*bt_) <= 2) {
+      const auto build = [](const linalg::CsrMatrix& mat, Vector& gval,
+                            std::vector<std::uint32_t>& gcol) {
+        gval.assign(2 * mat.rows(), 0.0);
+        gcol.assign(2 * mat.rows(), 0);
+        for (std::size_t r = 0; r < mat.rows(); ++r) {
+          std::size_t slot = 2 * r;
+          for (std::size_t k = mat.row_ptr()[r]; k < mat.row_ptr()[r + 1];
+               ++k, ++slot) {
+            gval[slot] = mat.values()[k];
+            gcol[slot] = static_cast<std::uint32_t>(mat.col_idx()[k]);
+          }
+          // Padding slots keep value 0.0; point them at the row's first
+          // real column (or 0) so the gather load stays in-bounds.
+          for (; slot < 2 * r + 2; ++slot) gcol[slot] = gcol[2 * r];
+        }
+      };
+      build(*bt_, bt_gval_, bt_gcol_);
+      build(qp_.B, b_gval_, b_gcol_);
+      gather2_ = true;
+    }
+    // Flattened general-block tables (see the header): K block + inverse
+    // per block, contiguous, so the block sweep streams one array instead
+    // of chasing two small heap objects per block.
+    const std::vector<std::size_t>& gb = qp_.K.general_block_indices();
+    gb_off_.resize(gb.size());
+    gb_dim_.resize(gb.size());
+    gb_data_.resize(gb.size());
+    std::size_t total = 0;
+    for (std::size_t g = 0; g < gb.size(); ++g) {
+      const std::size_t bn = qp_.K.block_size(gb[g]);
+      gb_off_[g] = qp_.K.block_offset(gb[g]);
+      gb_dim_[g] = static_cast<std::uint32_t>(bn);
+      gb_data_[g] = total;
+      total += 2 * bn * bn;
+    }
+    gb_vals_.resize(total);
+    for (std::size_t g = 0; g < gb.size(); ++g) {
+      const std::size_t bn = gb_dim_[g];
+      const DenseMatrix& kb = qp_.K.block(gb[g]);
+      const DenseMatrix& inv = shifted_k_.block_inverse(gb[g]);
+      double* out = gb_vals_.data() + gb_data_[g];
+      for (std::size_t r = 0; r < bn; ++r)
+        for (std::size_t c = 0; c < bn; ++c) *out++ = kb(r, c);
+      for (std::size_t r = 0; r < bn; ++r)
+        for (std::size_t c = 0; c < bn; ++c) *out++ = inv(r, c);
+    }
+  }
+  profile_ = qp_.lcp_size() >= kPhaseProfileMinSize;
   setup_seconds_ = timer.seconds();
 }
 
@@ -138,26 +265,52 @@ bool MmsimSolver::scaled_residual_ok(const Vector& z) const {
 }
 
 MmsimSolver::State MmsimSolver::make_state() const {
-  return make_state(Vector(qp_.lcp_size(), 0.0));
+  State state;
+  reset_state(state);
+  return state;
 }
 
 MmsimSolver::State MmsimSolver::make_state(const Vector& s0) const {
+  State state;
+  reset_state(state, &s0);
+  return state;
+}
+
+void MmsimSolver::reset_state(State& state, const Vector* s0) const {
   const std::size_t n = qp_.num_variables();
   const std::size_t m = qp_.num_constraints();
-  MCH_CHECK(s0.size() == n + m);
-  State state;
-  state.s1.assign(s0.begin(), s0.begin() + static_cast<std::ptrdiff_t>(n));
-  state.s2.assign(s0.begin() + static_cast<std::ptrdiff_t>(n), s0.end());
+  if (s0 != nullptr) {
+    MCH_CHECK(s0->size() == n + m);
+    state.s1.assign(s0->begin(),
+                    s0->begin() + static_cast<std::ptrdiff_t>(n));
+    state.s2.assign(s0->begin() + static_cast<std::ptrdiff_t>(n), s0->end());
+  } else {
+    state.s1.assign(n, 0.0);
+    state.s2.assign(m, 0.0);
+  }
   state.z.assign(n + m, 0.0);
   state.z_prev.assign(n + m, 0.0);
   state.abs1.resize(n);
   state.abs2.resize(m);
   state.rhs1.resize(n);
   state.rhs2.resize(m);
-  return state;
+  state.new_s1.resize(n);
+  state.new_s2.resize(m);
+  state.iterations = 0;
+  state.phase = MmsimPhaseTimes{};
 }
 
 double MmsimSolver::step(State& state) const {
+  return opts_.fused ? step_fused(state) : step_reference(state);
+}
+
+// The retained stage-by-stage iteration: the bitwise reference the fused
+// kernels must reproduce (tests/lcp/mmsim_fused_test compares them step by
+// step) and the MCH_FUSED_KERNELS=0 escape hatch. Two pieces of shared
+// machinery intentionally differ from the pre-fusion code — the prefactored
+// Thomas solve and the hoisted 1/γ multiply — because both paths must use
+// the same rounding for their bitwise contract to hold.
+double MmsimSolver::step_reference(State& state) const {
   const std::size_t n = qp_.num_variables();
   const std::size_t m = qp_.num_constraints();
   Vector& s1 = state.s1;
@@ -168,61 +321,90 @@ double MmsimSolver::step(State& state) const {
   Vector& rhs2 = state.rhs2;
   const double inv_beta_minus_1 = 1.0 / opts_.beta - 1.0;
   const double inv_theta = 1.0 / opts_.theta;
+  const double inv_gamma = 1.0 / opts_.gamma;
 
-  state.z_prev = state.z;
+  {
+    PhaseTimer timer(profile_, state.phase.kernel_seconds);
+    state.z_prev = state.z;
 
-  // All element-wise stages of the modulus update run on the runtime; the
-  // matrix products parallelize internally. Each stage owns its output
-  // elements, so the iterates are identical at every thread count.
-  parallel_for(std::size_t{0}, n, kGrainElementwise,
-               [&](std::size_t lo, std::size_t hi) {
-                 for (std::size_t i = lo; i < hi; ++i)
-                   abs1[i] = std::abs(s1[i]);
-               });
-  parallel_for(std::size_t{0}, m, kGrainElementwise,
-               [&](std::size_t lo, std::size_t hi) {
-                 for (std::size_t i = lo; i < hi; ++i)
-                   abs2[i] = std::abs(s2[i]);
-               });
+    // All element-wise stages of the modulus update run on the runtime; the
+    // matrix products parallelize internally. Each stage owns its output
+    // elements, so the iterates are identical at every thread count.
+    parallel_for(std::size_t{0}, n, kGrainElementwise,
+                 [&](std::size_t lo, std::size_t hi) {
+                   for (std::size_t i = lo; i < hi; ++i)
+                     abs1[i] = std::abs(s1[i]);
+                 });
+    parallel_for(std::size_t{0}, m, kGrainElementwise,
+                 [&](std::size_t lo, std::size_t hi) {
+                   for (std::size_t i = lo; i < hi; ++i)
+                     abs2[i] = std::abs(s2[i]);
+                 });
+    rhs1.assign(n, 0.0);
+  }
 
   // rhs1 = (1/β−1)·K s1 + Bᵀ s2 + (|s1| − K|s1|) + Bᵀ|s2| − γ p.
-  rhs1.assign(n, 0.0);
-  qp_.K.multiply_add(inv_beta_minus_1, s1, rhs1);
-  qp_.B.multiply_transpose_add(1.0, s2, rhs1);
-  parallel_for(std::size_t{0}, n, kGrainElementwise,
-               [&](std::size_t lo, std::size_t hi) {
-                 for (std::size_t i = lo; i < hi; ++i) rhs1[i] += abs1[i];
-               });
-  qp_.K.multiply_add(-1.0, abs1, rhs1);
-  qp_.B.multiply_transpose_add(1.0, abs2, rhs1);
-  parallel_for(std::size_t{0}, n, kGrainElementwise,
-               [&](std::size_t lo, std::size_t hi) {
-                 for (std::size_t i = lo; i < hi; ++i)
-                   rhs1[i] -= opts_.gamma * qp_.p[i];
-               });
+  {
+    PhaseTimer timer(profile_, state.phase.spmv_seconds);
+    qp_.K.multiply_add(inv_beta_minus_1, s1, rhs1);
+    qp_.B.multiply_transpose_add(1.0, s2, rhs1);
+  }
+  {
+    PhaseTimer timer(profile_, state.phase.kernel_seconds);
+    parallel_for(std::size_t{0}, n, kGrainElementwise,
+                 [&](std::size_t lo, std::size_t hi) {
+                   for (std::size_t i = lo; i < hi; ++i) rhs1[i] += abs1[i];
+                 });
+  }
+  {
+    PhaseTimer timer(profile_, state.phase.spmv_seconds);
+    qp_.K.multiply_add(-1.0, abs1, rhs1);
+    qp_.B.multiply_transpose_add(1.0, abs2, rhs1);
+  }
+  {
+    PhaseTimer timer(profile_, state.phase.kernel_seconds);
+    parallel_for(std::size_t{0}, n, kGrainElementwise,
+                 [&](std::size_t lo, std::size_t hi) {
+                   for (std::size_t i = lo; i < hi; ++i)
+                     rhs1[i] -= opts_.gamma * qp_.p[i];
+                 });
+  }
 
   // Forward solve of the block lower triangular system:
   //   (K/β + I)·s1' = rhs1             (block-diagonal solve)
-  shifted_k_.solve(rhs1, state.new_s1);
+  {
+    PhaseTimer timer(profile_, state.phase.spmv_seconds);
+    shifted_k_.solve(rhs1, state.new_s1);
+  }
 
   //   rhs2 = (D/θ)·s2 − B|s1| + |s2| + γ b − B·s1_used, where s1_used is
   //   the fresh iterate under the paper's Gauss–Seidel splitting (the B
   //   block of M) or the previous one under the Jacobi ablation.
   if (m > 0) {
-    d_.multiply(s2, rhs2);
-    parallel_for(std::size_t{0}, m, kGrainElementwise,
-                 [&](std::size_t lo, std::size_t hi) {
-                   for (std::size_t i = lo; i < hi; ++i)
-                     rhs2[i] = inv_theta * rhs2[i] + abs2[i] +
-                               opts_.gamma * qp_.b[i];
-                 });
-    qp_.B.multiply_add(-1.0, abs1, rhs2);
-    qp_.B.multiply_add(
-        -1.0,
-        opts_.splitting == MmsimSplitting::kGaussSeidel ? state.new_s1 : s1,
-        rhs2);
-    //   (D/θ + I)·s2' = rhs2           (Thomas solve)
-    MCH_CHECK_MSG(shifted_d_.solve(rhs2, state.new_s2), "D/θ + I singular");
+    {
+      PhaseTimer timer(profile_, state.phase.spmv_seconds);
+      d_.multiply(s2, rhs2);
+    }
+    {
+      PhaseTimer timer(profile_, state.phase.kernel_seconds);
+      parallel_for(std::size_t{0}, m, kGrainElementwise,
+                   [&](std::size_t lo, std::size_t hi) {
+                     for (std::size_t i = lo; i < hi; ++i)
+                       rhs2[i] = inv_theta * rhs2[i] + abs2[i] +
+                                 opts_.gamma * qp_.b[i];
+                   });
+    }
+    {
+      PhaseTimer timer(profile_, state.phase.spmv_seconds);
+      qp_.B.multiply_add(-1.0, abs1, rhs2);
+      qp_.B.multiply_add(
+          -1.0,
+          opts_.splitting == MmsimSplitting::kGaussSeidel ? state.new_s1 : s1,
+          rhs2);
+    }
+    //   (D/θ + I)·s2' = rhs2           (Thomas solve, prefactored)
+    PhaseTimer timer(profile_, state.phase.thomas_seconds);
+    shifted_d_lu_.solve(rhs2, state.new_s2, state.thomas_d);
   } else {
     state.new_s2.clear();
   }
@@ -232,49 +414,327 @@ double MmsimSolver::step(State& state) const {
 
   // z = (|s| + s)/γ  (so z = max(s, 0)·2/γ).
   Vector& z = state.z;
-  parallel_for(std::size_t{0}, n, kGrainElementwise,
-               [&](std::size_t lo, std::size_t hi) {
-                 for (std::size_t i = lo; i < hi; ++i)
-                   z[i] = (std::abs(s1[i]) + s1[i]) / opts_.gamma;
-               });
-  parallel_for(std::size_t{0}, m, kGrainElementwise,
-               [&](std::size_t lo, std::size_t hi) {
-                 for (std::size_t i = lo; i < hi; ++i)
-                   z[n + i] = (std::abs(s2[i]) + s2[i]) / opts_.gamma;
-               });
+  {
+    PhaseTimer timer(profile_, state.phase.kernel_seconds);
+    parallel_for(std::size_t{0}, n, kGrainElementwise,
+                 [&](std::size_t lo, std::size_t hi) {
+                   for (std::size_t i = lo; i < hi; ++i)
+                     z[i] = (std::abs(s1[i]) + s1[i]) * inv_gamma;
+                 });
+    parallel_for(std::size_t{0}, m, kGrainElementwise,
+                 [&](std::size_t lo, std::size_t hi) {
+                   for (std::size_t i = lo; i < hi; ++i)
+                     z[n + i] = (std::abs(s2[i]) + s2[i]) * inv_gamma;
+                 });
+  }
 
   ++state.iterations;
+  PhaseTimer timer(profile_, state.phase.reduction_seconds);
   return linalg::diff_norm_inf(z, state.z_prev);
 }
 
-MmsimResult MmsimSolver::solve_from(const Vector& s0) const {
+// Fused iteration: one parallel sweep per half-step computes |s|, the rhs
+// chain, the triangular solve's local part, the z update, and the delta
+// partial in a single pass, with Bᵀ/B gathers inlined through the cached
+// CSR views. No abs1/abs2/rhs1 intermediates are materialized.
+//
+// Bitwise equality with step_reference holds because every output element's
+// floating-point operation chain is replicated term by term in the
+// reference order — including the zero-valued scalar-sweep terms that
+// BlockDiagMatrix::multiply_add contributes at non-1×1-block positions, and
+// recomputing |s| on the fly (std::abs is exact). The delta is an ∞-norm
+// max-fold, associative and commutative over the identical value multiset,
+// so splitting it across the three sweeps changes nothing.
+double MmsimSolver::step_fused(State& state) const {
+  return gather2_ ? step_fused_impl<true>(state)
+                  : step_fused_impl<false>(state);
+}
+
+// kGather2 = true swaps every CSR row loop for a constant-trip-count pass
+// over the padded width-2 tables: no per-row trip-count branch to
+// mispredict, uint32 column loads, no row_ptr loads at all. The padding
+// terms are trailing `0.0 · x` adds; x + ±0.0 == x bitwise for every x
+// except −0.0 + +0.0 == +0.0, so the only observable deviation from the
+// CSR loop is the sign of an exactly-zero accumulator — which the chains
+// below erase before it can touch a nonzero bit (each gather sum is
+// followed by further adds, and z = (|s|+s)/γ collapses zero signs), so
+// z/x/dual stay bitwise identical to step_reference.
+template <bool kGather2>
+double MmsimSolver::step_fused_impl(State& state) const {
   const std::size_t n = qp_.num_variables();
+  const std::size_t m = qp_.num_constraints();
+  Vector& s1 = state.s1;
+  Vector& s2 = state.s2;
+  Vector& rhs2 = state.rhs2;
+  Vector& new_s1 = state.new_s1;
+  Vector& new_s2 = state.new_s2;
+  Vector& z = state.z;
+  const double c1 = 1.0 / opts_.beta - 1.0;
+  const double inv_theta = 1.0 / opts_.theta;
+  const double gamma = opts_.gamma;
+  const double inv_gamma = 1.0 / opts_.gamma;
+
+  const std::vector<double>& kv = qp_.K.scalar_values();
+  const std::vector<double>& siv = shifted_k_.scalar_inverses();
+  const std::vector<std::size_t>& bt_rp = bt_->row_ptr();
+  const std::vector<std::size_t>& bt_ci = bt_->col_idx();
+  const std::vector<double>& bt_v = bt_->values();
+  const double* const bt_gv = bt_gval_.data();
+  const std::uint32_t* const bt_gc = bt_gcol_.data();
+
+  double delta = 0.0;
+  {
+    PhaseTimer timer(profile_, state.phase.kernel_seconds);
+
+    // Primal half, 1×1-block rows (the ~90% fast path).
+    const double scalar_delta = parallel_reduce(
+        std::size_t{0}, n, kGrainElementwise, 0.0,
+        [&](std::size_t lo, std::size_t hi) {
+          double best = 0.0;
+          for (std::size_t i = lo; i < hi; ++i) {
+            if (general_var_[i]) continue;
+            const double s1i = s1[i];
+            const double a1 = std::abs(s1i);
+            // One traversal of the Bᵀ row feeds both gather terms (each
+            // accumulator folds the same values in the same order as its
+            // standalone gather would).
+            double g_s2 = 0.0;   // Bᵀ s2
+            double g_abs = 0.0;  // Bᵀ |s2|
+            if constexpr (kGather2) {
+              for (std::size_t k = 2 * i; k < 2 * i + 2; ++k) {
+                const double v = bt_gv[k];
+                const double x = s2[bt_gc[k]];
+                g_s2 += v * x;
+                g_abs += v * std::abs(x);
+              }
+            } else {
+              for (std::size_t k = bt_rp[i]; k < bt_rp[i + 1]; ++k) {
+                const double v = bt_v[k];
+                const double x = s2[bt_ci[k]];
+                g_s2 += v * x;
+                g_abs += v * std::abs(x);
+              }
+            }
+            double r = 0.0;
+            r += c1 * kv[i] * s1i;   // (1/β−1)·K s1, scalar sweep
+            r += g_s2;
+            r += a1;                 // + |s1|
+            r += -1.0 * kv[i] * a1;  // − K|s1|, scalar sweep
+            r += g_abs;
+            r -= gamma * qp_.p[i];
+            const double ns = siv[i] * r;  // (K/β + I)⁻¹, scalar row
+            new_s1[i] = ns;
+            const double zi = (std::abs(ns) + ns) * inv_gamma;
+            best = std::max(best, std::abs(zi - z[i]));
+            z[i] = zi;
+          }
+          return best;
+        },
+        fold_max);
+
+    // Primal half, multi-row blocks (tall cells), streaming the flattened
+    // gb_* tables. The per-thread scratch holds the block's rhs; the chain
+    // includes the zero terms the flat scalar sweeps of the reference
+    // contribute at these positions. kBn = 2 compiles the dominant
+    // double-height case with every block loop fully unrolled; kBn = 0 is
+    // the runtime-size fallback. Identical values in identical order either
+    // way.
+    const auto block_body = [&]<std::size_t kBn>(std::size_t g, double& best,
+                                                 std::vector<double>& rb) {
+      const std::size_t off = gb_off_[g];
+      const std::size_t bn = kBn != 0 ? kBn : gb_dim_[g];
+      const double* const kd = gb_vals_.data() + gb_data_[g];
+      const double* const invd = kd + bn * bn;
+      for (std::size_t r = 0; r < bn; ++r) {
+        const std::size_t i = off + r;
+        const double s1i = s1[i];
+        const double a1 = std::abs(s1i);
+        double g_s2 = 0.0;   // Bᵀ s2
+        double g_abs = 0.0;  // Bᵀ |s2|, same single traversal
+        if constexpr (kGather2) {
+          for (std::size_t k = 2 * i; k < 2 * i + 2; ++k) {
+            const double v = bt_gv[k];
+            const double x = s2[bt_gc[k]];
+            g_s2 += v * x;
+            g_abs += v * std::abs(x);
+          }
+        } else {
+          for (std::size_t k = bt_rp[i]; k < bt_rp[i + 1]; ++k) {
+            const double v = bt_v[k];
+            const double x = s2[bt_ci[k]];
+            g_s2 += v * x;
+            g_abs += v * std::abs(x);
+          }
+        }
+        double acc = 0.0;
+        acc += c1 * kv[i] * s1i;  // zero term of the scalar sweep
+        double sum = 0.0;
+        for (std::size_t c = 0; c < bn; ++c)
+          sum += kd[r * bn + c] * s1[off + c];
+        acc += c1 * sum;  // (1/β−1)·K s1, block sweep
+        acc += g_s2;
+        acc += a1;
+        acc += -1.0 * kv[i] * a1;  // zero term of the scalar sweep
+        sum = 0.0;
+        for (std::size_t c = 0; c < bn; ++c)
+          sum += kd[r * bn + c] * std::abs(s1[off + c]);
+        acc += -1.0 * sum;  // − K|s1|, block sweep
+        acc += g_abs;
+        acc -= gamma * qp_.p[i];
+        rb[r] = acc;
+      }
+      for (std::size_t r = 0; r < bn; ++r) {
+        double sum = 0.0;
+        for (std::size_t c = 0; c < bn; ++c) sum += invd[r * bn + c] * rb[c];
+        new_s1[off + r] = sum;
+        const double zi = (std::abs(sum) + sum) * inv_gamma;
+        best = std::max(best, std::abs(zi - z[off + r]));
+        z[off + r] = zi;
+      }
+    };
+    const double general_delta = parallel_reduce(
+        std::size_t{0}, gb_off_.size(), kGrainBlocks, 0.0,
+        [&](std::size_t lo, std::size_t hi) {
+          double best = 0.0;
+          std::vector<double>& rb =
+              runtime::thread_scratch(0, max_general_rows_);
+          for (std::size_t g = lo; g < hi; ++g) {
+            if (gb_dim_[g] == 2)
+              block_body.template operator()<2>(g, best, rb);
+            else
+              block_body.template operator()<0>(g, best, rb);
+          }
+          return best;
+        },
+        fold_max);
+    delta = std::max(scalar_delta, general_delta);
+  }
+
+  if (m > 0) {
+    {
+      PhaseTimer timer(profile_, state.phase.kernel_seconds);
+      // Dual rhs in one sweep: the tridiagonal D row, the modulus terms,
+      // and both B-row gathers (|s1| and the splitting-dependent s1).
+      const Vector& s1_used =
+          opts_.splitting == MmsimSplitting::kGaussSeidel ? new_s1 : s1;
+      const std::vector<std::size_t>& b_rp = qp_.B.row_ptr();
+      const std::vector<std::size_t>& b_ci = qp_.B.col_idx();
+      const std::vector<double>& b_v = qp_.B.values();
+      const double* const b_gv = b_gval_.data();
+      const std::uint32_t* const b_gc = b_gcol_.data();
+      parallel_for(
+          std::size_t{0}, m, kGrainElementwise,
+          [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+              double sum = d_.diag(i) * s2[i];
+              if (i > 0) sum += d_.lower(i - 1) * s2[i - 1];
+              if (i + 1 < m) sum += d_.upper(i) * s2[i + 1];
+              double t =
+                  inv_theta * sum + std::abs(s2[i]) + gamma * qp_.b[i];
+              double g_abs = 0.0;   // B |s1|
+              double g_used = 0.0;  // B s1_used, same single traversal
+              if constexpr (kGather2) {
+                for (std::size_t k = 2 * i; k < 2 * i + 2; ++k) {
+                  const double v = b_gv[k];
+                  const std::size_t c = b_gc[k];
+                  g_abs += v * std::abs(s1[c]);
+                  g_used += v * s1_used[c];
+                }
+              } else {
+                for (std::size_t k = b_rp[i]; k < b_rp[i + 1]; ++k) {
+                  const double v = b_v[k];
+                  const std::size_t c = b_ci[k];
+                  g_abs += v * std::abs(s1[c]);
+                  g_used += v * s1_used[c];
+                }
+              }
+              t += -1.0 * g_abs;
+              t += -1.0 * g_used;
+              rhs2[i] = t;
+            }
+          });
+    }
+    {
+      PhaseTimer timer(profile_, state.phase.thomas_seconds);
+      shifted_d_lu_.solve(rhs2, new_s2, state.thomas_d);
+    }
+    {
+      PhaseTimer timer(profile_, state.phase.kernel_seconds);
+      const double dual_delta = parallel_reduce(
+          std::size_t{0}, m, kGrainElementwise, 0.0,
+          [&](std::size_t lo, std::size_t hi) {
+            double best = 0.0;
+            for (std::size_t i = lo; i < hi; ++i) {
+              const double ns = new_s2[i];
+              const double zi = (std::abs(ns) + ns) * inv_gamma;
+              best = std::max(best, std::abs(zi - z[n + i]));
+              z[n + i] = zi;
+            }
+            return best;
+          },
+          fold_max);
+      delta = std::max(delta, dual_delta);
+    }
+  } else {
+    new_s2.clear();
+  }
+
+  s1.swap(new_s1);
+  s2.swap(new_s2);
+  ++state.iterations;
+  return delta;
+}
+
+MmsimResult MmsimSolver::run_loop(State& state) const {
+  const std::size_t n = qp_.num_variables();
+  const std::size_t m = qp_.num_constraints();
 
   Timer timer;
   MmsimResult result;
   result.setup_seconds = setup_seconds_;
 
-  State state = make_state(s0);
   for (std::size_t k = 0; k < opts_.max_iterations; ++k) {
     result.final_delta = step(state);
     result.iterations = k + 1;
     if (opts_.trace_stride > 0 && k % opts_.trace_stride == 0)
       result.trace.emplace_back(k + 1, result.final_delta);
     if (k > 0 && result.final_delta < opts_.tolerance) {
-      if (!opts_.residual_check || scaled_residual_ok(state.z)) {
+      bool stop = true;
+      if (opts_.residual_check) {
+        PhaseTimer phase_timer(profile_, state.phase.reduction_seconds);
+        stop = scaled_residual_ok(state.z);
+      }
+      if (stop) {
         result.converged = true;
         break;
       }
     }
   }
 
-  result.z = std::move(state.z);
+  // Copy (not move) out of the state: its buffers stay alive for the next
+  // reset_state() to reuse.
+  result.z = state.z;
   result.x.assign(result.z.begin(),
                   result.z.begin() + static_cast<std::ptrdiff_t>(n));
   result.dual.assign(result.z.begin() + static_cast<std::ptrdiff_t>(n),
                      result.z.end());
+  result.s.resize(n + m);
+  std::copy(state.s1.begin(), state.s1.end(), result.s.begin());
+  std::copy(state.s2.begin(), state.s2.end(),
+            result.s.begin() + static_cast<std::ptrdiff_t>(n));
+  result.phase = state.phase;
   result.solve_seconds = timer.seconds();
   return result;
+}
+
+MmsimResult MmsimSolver::solve_from(const Vector& s0) const {
+  State state = make_state(s0);
+  return run_loop(state);
+}
+
+MmsimResult MmsimSolver::solve_in(State& state, const Vector* s0) const {
+  reset_state(state, s0);
+  return run_loop(state);
 }
 
 }  // namespace mch::lcp

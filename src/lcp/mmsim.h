@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -37,6 +38,12 @@
 #include "linalg/tridiagonal.h"
 
 namespace mch::lcp {
+
+/// Default for MmsimOptions::fused: false when the MCH_FUSED_KERNELS
+/// environment variable is "0"/"off"/"false", true otherwise. The fused
+/// kernels are bitwise identical to the reference path, so the knob exists
+/// for A/B benchmarking and the .fused-off ctest variant, not correctness.
+bool fused_kernels_default();
 
 /// Which splitting builds M (ablation of the paper's Eq. 16 choice).
 enum class MmsimSplitting {
@@ -70,12 +77,42 @@ struct MmsimOptions {
   /// Record ‖z⁽ᵏ⁾ − z⁽ᵏ⁻¹⁾‖∞ every `trace_stride` iterations into
   /// MmsimResult::trace (0 = off). Used by the convergence bench/plots.
   std::size_t trace_stride = 0;
+  /// Run the fused single-sweep iteration kernels (two parallel sweeps per
+  /// half-step, no abs1/abs2/rhs1 intermediates) instead of the retained
+  /// stage-by-stage reference path. Both produce bitwise-identical iterates
+  /// at every thread count; fused is ~2× faster on large systems.
+  bool fused = fused_kernels_default();
+};
+
+/// Wall-clock breakdown of a solve by kernel phase, accumulated across
+/// step() calls. Only collected for systems of at least 256 LCP variables —
+/// timer reads would dominate the arithmetic of the many tiny component
+/// solves the partitioned legalizer runs, and those contribute nothing to
+/// the totals anyway.
+struct MmsimPhaseTimes {
+  double kernel_seconds = 0.0;     ///< element-wise modulus/rhs/z sweeps
+  double spmv_seconds = 0.0;       ///< standalone matrix products + block solves
+  double thomas_seconds = 0.0;     ///< tridiagonal (D/θ* + I) solves
+  double reduction_seconds = 0.0;  ///< delta folds of the stopping rule
+  double total() const {
+    return kernel_seconds + spmv_seconds + thomas_seconds + reduction_seconds;
+  }
+  void accumulate(const MmsimPhaseTimes& other) {
+    kernel_seconds += other.kernel_seconds;
+    spmv_seconds += other.spmv_seconds;
+    thomas_seconds += other.thomas_seconds;
+    reduction_seconds += other.reduction_seconds;
+  }
 };
 
 struct MmsimResult {
   Vector x;                   ///< primal variables (cell/subcell positions)
   Vector dual;                ///< multipliers of the spacing constraints
   Vector z;                   ///< full LCP solution [x; dual]
+  /// Final splitting iterate [s1; s2] — the warm-start vector for a later
+  /// solve of the same (or a nearby) problem via solve_from()/solve_in().
+  Vector s;
+  MmsimPhaseTimes phase;      ///< per-phase timing (see MmsimPhaseTimes)
   std::size_t iterations = 0;
   bool converged = false;
   double final_delta = 0.0;   ///< last ‖z⁽ᵏ⁾ − z⁽ᵏ⁻¹⁾‖∞
@@ -121,22 +158,36 @@ class MmsimSolver {
 
   /// Iteration state for the incremental step() API. The partitioned
   /// legalizer advances many per-component solvers in lockstep with a
-  /// global stopping rule; solve_from() runs on the same machinery.
+  /// global stopping rule; solve_from()/solve_in() run on the same
+  /// machinery. States are plain buffer bundles: a SolverWorkspace slot
+  /// keeps one alive across solves so reset_state() can reuse its capacity.
   struct State {
     Vector z;                 ///< current iterate [x; dual] (modulus image)
     std::size_t iterations = 0;
+    MmsimPhaseTimes phase;    ///< timing accumulated by step()
 
    private:
     friend class MmsimSolver;
     Vector s1, s2;            ///< splitting state, primal / dual parts
     Vector z_prev;
     Vector abs1, abs2, rhs1, rhs2, new_s1, new_s2;  ///< scratch
+    Vector thomas_d;          ///< Thomas forward-sweep scratch
   };
 
   /// Fresh state at s⁽⁰⁾ = 0.
   State make_state() const;
   /// Fresh state at the given s⁽⁰⁾ (size lcp_size()).
   State make_state(const Vector& s0) const;
+
+  /// Re-initializes `state` in place at s⁽⁰⁾ = *s0 (zero when null),
+  /// reusing the buffers' capacity — no allocation when the shapes repeat.
+  /// Equivalent to overwriting with make_state().
+  void reset_state(State& state, const Vector* s0 = nullptr) const;
+
+  /// Runs Algorithm 1 on caller-owned buffers: reset_state(state, s0), then
+  /// the MmsimOptions stopping rule. Bitwise identical to solve_from() for
+  /// the same s0; the point is buffer reuse across solves (SolverWorkspace).
+  MmsimResult solve_in(State& state, const Vector* s0 = nullptr) const;
 
   /// Advances one modulus iteration and returns ‖z⁽ᵏ⁾ − z⁽ᵏ⁻¹⁾‖∞. The
   /// caller owns the stopping rule (solve_from() applies the tolerance +
@@ -171,11 +222,65 @@ class MmsimSolver {
   /// True when the scaled LCP residual of z is below residual_tolerance.
   bool scaled_residual_ok(const Vector& z) const;
 
+  /// The retained stage-by-stage iteration (opts_.fused == false).
+  double step_reference(State& state) const;
+  /// The fused single-sweep iteration; bitwise equal to step_reference.
+  double step_fused(State& state) const;
+  /// step_fused body, specialized on whether the fixed-width-2 gather
+  /// tables are in use (kGather2 = true compiles the B/Bᵀ gathers as
+  /// constant-trip-count loops with no per-row branch).
+  template <bool kGather2>
+  double step_fused_impl(State& state) const;
+  /// Iteration loop + result packaging shared by solve_from()/solve_in().
+  MmsimResult run_loop(State& state) const;
+
   const StructuredQp& qp_;
   MmsimOptions opts_;
   linalg::BlockDiagMatrix shifted_k_;  ///< K/β* + I with block inverses
   linalg::Tridiagonal d_;              ///< tridiag(B K⁻¹ Bᵀ)
   linalg::Tridiagonal shifted_d_;      ///< D/θ* + I
+  /// Thomas factorization of shifted_d_, computed once at setup. Both step
+  /// paths solve through it (required for their bitwise equality — see
+  /// TridiagonalFactorization on why it rounds differently from
+  /// Tridiagonal::solve).
+  linalg::TridiagonalFactorization shifted_d_lu_;
+  /// Cached Bᵀ view, prebuilt at construction so the fused kernels gather
+  /// through it without the per-call lock of multiply_transpose_add.
+  const linalg::CsrMatrix* bt_ = nullptr;
+  /// Per-variable flag: 1 when the variable belongs to a non-1×1 K block
+  /// (handled by the block sweep of the fused kernel instead of the flat
+  /// scalar sweep).
+  std::vector<unsigned char> general_var_;
+  /// Fixed-width-2 (padded ELL) gather tables for the fused sweeps, built
+  /// at construction when every B and Bᵀ row has at most two entries —
+  /// always true for the pairwise spacing constraints this solver exists
+  /// for. Row i of Bᵀ lives at [2i, 2i+2) of bt_gval_/bt_gcol_ (same for B
+  /// in b_gval_/b_gcol_); short rows are padded with value 0.0 *after*
+  /// their real entries, so each gather folds the same values in the same
+  /// order as the CSR loop plus trailing ±0 terms. Those padding terms can
+  /// at most flip the sign of an exactly-zero s entry (never a z bit — see
+  /// step_fused_impl), which is below the solver's bitwise contract on
+  /// z/x/dual. uint32 columns halve the index traffic of the hot sweeps.
+  bool gather2_ = false;
+  std::vector<std::uint32_t> bt_gcol_;
+  Vector bt_gval_;
+  std::vector<std::uint32_t> b_gcol_;
+  Vector b_gval_;
+  /// Flattened copies of the non-1×1 K blocks for the fused block sweep
+  /// (built only for fused solvers). Block g of general_block_indices()
+  /// owns gb_vals_[gb_data_[g] .. gb_data_[g] + 2·bn²): its K block
+  /// (row-major, bn = gb_dim_[g]) followed by the block's inverse from
+  /// shifted_k_. One contiguous stream instead of two heap-scattered
+  /// DenseMatrix objects per block — same values, same arithmetic order.
+  std::vector<std::size_t> gb_off_;
+  std::vector<std::uint32_t> gb_dim_;
+  std::vector<std::size_t> gb_data_;
+  Vector gb_vals_;
+  /// Largest non-1×1 block dimension — sizes the per-thread block scratch.
+  std::size_t max_general_rows_ = 0;
+  /// Collect MmsimPhaseTimes. Disabled for tiny systems, where the timer
+  /// reads would rival the arithmetic (see MmsimPhaseTimes).
+  bool profile_ = false;
   double setup_seconds_ = 0.0;
 };
 

@@ -8,15 +8,23 @@
 namespace mch::lcp {
 
 PsorResult solve_psor(const DenseLcp& problem, const PsorOptions& options) {
+  PsorResult result;
+  const PsorRunStats stats = solve_psor_in(problem, options, result.z);
+  result.iterations = stats.iterations;
+  result.converged = stats.converged;
+  return result;
+}
+
+PsorRunStats solve_psor_in(const DenseLcp& problem, const PsorOptions& options,
+                           Vector& z, bool warm_start) {
   const std::size_t n = problem.size();
   MCH_CHECK(options.omega > 0.0 && options.omega < 2.0);
   for (std::size_t i = 0; i < n; ++i)
     MCH_CHECK_MSG(problem.A(i, i) > 0.0, "PSOR needs a positive diagonal");
 
-  PsorResult result;
-  result.z.assign(n, 0.0);
-  Vector& z = result.z;
+  if (!(warm_start && z.size() == n)) z.assign(n, 0.0);
 
+  PsorRunStats stats;
   for (std::size_t k = 0; k < options.max_iterations; ++k) {
     double delta = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
@@ -27,13 +35,13 @@ PsorResult solve_psor(const DenseLcp& problem, const PsorOptions& options) {
       delta = std::max(delta, std::abs(updated - z[i]));
       z[i] = updated;
     }
-    result.iterations = k + 1;
+    stats.iterations = k + 1;
     if (delta < options.tolerance) {
-      result.converged = true;
+      stats.converged = true;
       break;
     }
   }
-  return result;
+  return stats;
 }
 
 }  // namespace mch::lcp

@@ -12,12 +12,32 @@ namespace {
 class MmsimLcpSolver final : public LcpSolver {
  public:
   MmsimLcpSolver(const StructuredQp& qp, const LcpSolverConfig& config)
-      : solver_(qp, config.mmsim, config.schur_coupling_breaks) {}
+      : solver_(qp, config.mmsim, config.schur_coupling_breaks),
+        num_variables_(qp.num_variables()),
+        num_constraints_(qp.num_constraints()) {}
 
   LcpSolverKind kind() const override { return LcpSolverKind::kMmsim; }
 
-  LcpSolveResult solve() const override {
-    MmsimResult mmsim = solver_.solve();
+  LcpSolveResult solve() const override { return pack(solver_.solve()); }
+
+  LcpSolveResult solve(SolverWorkspace::Slot* slot,
+                       bool warm_start) const override {
+    if (slot == nullptr) return solve();
+    const Vector* s0 = nullptr;
+    if (warm_start && slot->warm_variables == num_variables_ &&
+        slot->warm_constraints == num_constraints_ &&
+        slot->warm_s.size() == num_variables_ + num_constraints_) {
+      s0 = &slot->warm_s;
+    }
+    MmsimResult mmsim = solver_.solve_in(slot->state, s0);
+    slot->warm_s = std::move(mmsim.s);
+    slot->warm_variables = num_variables_;
+    slot->warm_constraints = num_constraints_;
+    return pack(std::move(mmsim));
+  }
+
+ private:
+  LcpSolveResult pack(MmsimResult mmsim) const {
     LcpSolveResult result;
     result.x = std::move(mmsim.x);
     result.dual = std::move(mmsim.dual);
@@ -25,11 +45,13 @@ class MmsimLcpSolver final : public LcpSolver {
     result.converged = mmsim.converged;
     result.setup_seconds = mmsim.setup_seconds;
     result.solve_seconds = mmsim.solve_seconds;
+    result.phase = mmsim.phase;
     return result;
   }
 
- private:
   MmsimSolver solver_;
+  std::size_t num_variables_ = 0;
+  std::size_t num_constraints_ = 0;
 };
 
 class PsorLcpSolver final : public LcpSolver {
@@ -59,6 +81,26 @@ class PsorLcpSolver final : public LcpSolver {
     result.x = std::move(psor.z);
     result.iterations = psor.iterations;
     result.converged = psor.converged;
+    result.setup_seconds = setup_seconds_;
+    result.solve_seconds = timer.seconds();
+    return result;
+  }
+
+  LcpSolveResult solve(SolverWorkspace::Slot* slot,
+                       bool warm_start) const override {
+    if (slot == nullptr) return solve();
+    Timer timer;
+    const std::size_t n = problem_.size();
+    const bool warm = warm_start && slot->warm_variables == n &&
+                      slot->warm_constraints == 0 && slot->psor_z.size() == n;
+    const PsorRunStats stats =
+        solve_psor_in(problem_, options_, slot->psor_z, warm);
+    slot->warm_variables = n;
+    slot->warm_constraints = 0;
+    LcpSolveResult result;
+    result.x = slot->psor_z;  // buffer stays in the slot for the next solve
+    result.iterations = stats.iterations;
+    result.converged = stats.converged;
     result.setup_seconds = setup_seconds_;
     result.solve_seconds = timer.seconds();
     return result;
@@ -105,6 +147,11 @@ class LemkeLcpSolver final : public LcpSolver {
 };
 
 }  // namespace
+
+LcpSolveResult LcpSolver::solve(SolverWorkspace::Slot* /*slot*/,
+                                bool /*warm_start*/) const {
+  return solve();
+}
 
 const char* to_string(LcpSolverKind kind) {
   switch (kind) {

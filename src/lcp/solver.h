@@ -18,6 +18,7 @@
 #include "lcp/mmsim.h"
 #include "lcp/psor.h"
 #include "lcp/qp.h"
+#include "lcp/workspace.h"
 
 namespace mch::lcp {
 
@@ -37,6 +38,9 @@ struct LcpSolveResult {
   bool converged = false;
   double setup_seconds = 0.0;
   double solve_seconds = 0.0;
+  /// MMSIM per-phase timing (zero for PSOR/Lemke and for tiny systems —
+  /// see MmsimPhaseTimes).
+  MmsimPhaseTimes phase;
 };
 
 struct LcpSolverConfig {
@@ -59,6 +63,15 @@ class LcpSolver {
   virtual LcpSolverKind kind() const = 0;
   /// Solves the QP's KKT LCP from the zero start.
   virtual LcpSolveResult solve() const = 0;
+  /// Workspace-backed solve: iterates in the slot's buffers (no per-solve
+  /// allocation once the slot has seen the shape) and stores the final
+  /// iterate back as the slot's warm-start payload. When `warm_start` is
+  /// true and the slot holds a payload of matching shape, iteration starts
+  /// from it — same fixed point, fewer iterations; when false the solve is
+  /// bitwise identical to solve(). A null slot forwards to solve(); the
+  /// base implementation (Lemke) ignores the slot entirely.
+  virtual LcpSolveResult solve(SolverWorkspace::Slot* slot,
+                               bool warm_start) const;
 };
 
 /// Builds the requested solver for the QP. Throws CheckError when the kind

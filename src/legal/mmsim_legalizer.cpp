@@ -71,15 +71,21 @@ void scatter_primal(const std::vector<ComponentProblem>& components,
       x[components[c].variables[v]] = local_x[c][v];
 }
 
-/// Monolithic reference path (PartitionMode::kOff).
+/// Monolithic reference path (PartitionMode::kOff). Iterates in workspace
+/// slot 0's buffers (always from the cold start, so results are unchanged)
+/// to avoid reallocating the iteration state on every outer call.
 SolveOutcome solve_monolithic(const LegalizationModel& model,
-                              const lcp::MmsimOptions& mmsim_options) {
+                              const lcp::MmsimOptions& mmsim_options,
+                              lcp::SolverWorkspace& workspace,
+                              MmsimLegalizerStats& stats) {
   const MmsimSolver solver(model.qp, mmsim_options);
-  lcp::MmsimResult result = solver.solve();
+  workspace.prepare(1);
+  lcp::MmsimResult result = solver.solve_in(workspace.slot(0).state);
   if (!result.converged) {
     MCH_LOG(kWarn) << "MMSIM did not converge in " << result.iterations
                    << " iterations (delta " << result.final_delta << ")";
   }
+  stats.phase.accumulate(result.phase);
   SolveOutcome outcome;
   outcome.x = std::move(result.x);
   outcome.iterations = result.iterations;
@@ -95,17 +101,22 @@ SolveOutcome solve_monolithic(const LegalizationModel& model,
 SolveOutcome solve_lockstep(const LegalizationModel& model,
                             const std::vector<ComponentProblem>& components,
                             const lcp::MmsimOptions& mmsim_options,
+                            lcp::SolverWorkspace& workspace,
                             MmsimLegalizerStats& stats) {
   const std::size_t num = components.size();
+  workspace.prepare(num);
   std::vector<std::unique_ptr<MmsimSolver>> solvers(num);
-  std::vector<MmsimSolver::State> states(num);
+  // States live in the workspace slots: reset_state() reuses their capacity,
+  // so re-entering the legalizer allocates nothing per component here. The
+  // start is always cold — kMatch is bitwise-contracted to the monolithic
+  // reference.
   parallel_for(std::size_t{0}, num, kGrainComponents,
                [&](std::size_t lo, std::size_t hi) {
                  for (std::size_t c = lo; c < hi; ++c) {
                    solvers[c] = std::make_unique<MmsimSolver>(
                        components[c].qp, mmsim_options,
                        &components[c].schur_coupling_breaks);
-                   states[c] = solvers[c]->make_state();
+                   solvers[c]->reset_state(workspace.slot(c).state);
                  }
                });
 
@@ -116,7 +127,7 @@ SolveOutcome solve_lockstep(const LegalizationModel& model,
     parallel_for(std::size_t{0}, num, kGrainComponents,
                  [&](std::size_t lo, std::size_t hi) {
                    for (std::size_t c = lo; c < hi; ++c)
-                     deltas[c] = solvers[c]->step(states[c]);
+                     deltas[c] = solvers[c]->step(workspace.slot(c).state);
                  });
     double delta = 0.0;
     for (const double d : deltas) delta = std::max(delta, d);
@@ -128,7 +139,7 @@ SolveOutcome solve_lockstep(const LegalizationModel& model,
                      [&](std::size_t lo, std::size_t hi) {
                        for (std::size_t c = lo; c < hi; ++c)
                          partials[c] = solvers[c]->residual_partials(
-                             states[c].z);
+                             workspace.slot(c).state.z);
                      });
         MmsimResidualPartials merged;
         for (const MmsimResidualPartials& p : partials) merged.merge_max(p);
@@ -147,13 +158,15 @@ SolveOutcome solve_lockstep(const LegalizationModel& model,
                    << " components";
   }
 
-  std::vector<Vector> local_x(num);
-  for (std::size_t c = 0; c < num; ++c) {
-    states[c].z.resize(components[c].variables.size());
-    local_x[c] = std::move(states[c].z);
-  }
+  // Scatter the primal prefix of each component's iterate straight from the
+  // workspace (the slot keeps its buffers for the next call).
   outcome.x.assign(model.num_variables(), 0.0);
-  scatter_primal(components, local_x, outcome.x);
+  for (std::size_t c = 0; c < num; ++c) {
+    const Vector& z = workspace.slot(c).state.z;
+    for (std::size_t v = 0; v < components[c].variables.size(); ++v)
+      outcome.x[components[c].variables[v]] = z[v];
+    stats.phase.accumulate(workspace.slot(c).state.phase);
+  }
 
   stats.components_mmsim = num;
   stats.component_iterations = outcome.iterations * num;
@@ -179,8 +192,10 @@ SolveOutcome solve_tiered(const LegalizationModel& model,
                           const std::vector<ComponentProblem>& components,
                           const lcp::MmsimOptions& mmsim_options,
                           const SolverPolicy& policy,
+                          lcp::SolverWorkspace& workspace,
                           MmsimLegalizerStats& stats) {
   const std::size_t num = components.size();
+  workspace.prepare(num);
   std::vector<lcp::LcpSolverKind> kinds(num);
   std::vector<lcp::LcpSolveResult> results(num);
   parallel_for(
@@ -194,9 +209,16 @@ SolveOutcome solve_tiered(const LegalizationModel& model,
           // Match the MMSIM stopping quality so the tiers agree on accuracy.
           config.psor.tolerance = mmsim_options.tolerance;
           config.psor.max_iterations = mmsim_options.max_iterations;
+          // Workspace-backed, warm-started solve: slot c keeps the previous
+          // pass's iterate for this component slot, and the solver starts
+          // from it when the shape still matches. Tiered mode terminates
+          // per component on tolerance anyway, so a warm start only trims
+          // iterations — kOff/kMatch stay cold to keep their bitwise
+          // contracts. Slots are distinct per component, so the parallel
+          // solves never share one.
           results[c] =
               lcp::make_lcp_solver(kinds[c], components[c].qp, config)
-                  ->solve();
+                  ->solve(&workspace.slot(c), /*warm_start=*/true);
         }
       });
 
@@ -216,6 +238,7 @@ SolveOutcome solve_tiered(const LegalizationModel& model,
         break;
     }
     stats.component_iterations += results[c].iterations;
+    stats.phase.accumulate(results[c].phase);
     outcome.iterations = std::max(outcome.iterations, results[c].iterations);
     if (!results[c].converged) {
       outcome.converged = false;
@@ -276,9 +299,19 @@ MmsimLegalizerStats mmsim_legalize_continuous(
     mmsim_options.theta = probe.suggest_theta();
   }
 
+  // The workspace arena the solve drivers iterate in. The thread-local
+  // default gives buffer reuse across outer calls with zero caller changes;
+  // it is per-thread, so concurrent legalizer calls never share slots (a
+  // nested parallel_for inside a pool task runs serial inline, so the
+  // drivers' own parallelism stays within this thread's arena — each slot
+  // is only ever touched under its component index).
+  static thread_local lcp::SolverWorkspace default_workspace;
+  lcp::SolverWorkspace& workspace =
+      options.workspace != nullptr ? *options.workspace : default_workspace;
+
   SolveOutcome outcome;
   if (mode == PartitionMode::kOff) {
-    outcome = solve_monolithic(model, mmsim_options);
+    outcome = solve_monolithic(model, mmsim_options, workspace, stats);
   } else {
     const ConstraintPartition partition = partition_model(model);
     stats.num_components = partition.num_components();
@@ -287,9 +320,10 @@ MmsimLegalizerStats mmsim_legalize_continuous(
     const std::vector<ComponentProblem> components =
         extract_components(model, partition);
     outcome = mode == PartitionMode::kMatch
-                  ? solve_lockstep(model, components, mmsim_options, stats)
+                  ? solve_lockstep(model, components, mmsim_options,
+                                   workspace, stats)
                   : solve_tiered(model, components, mmsim_options,
-                                 options.policy, stats);
+                                 options.policy, workspace, stats);
   }
   stats.solve_seconds = solve_timer.seconds();
 

@@ -30,6 +30,7 @@
 
 #include "db/design.h"
 #include "lcp/mmsim.h"
+#include "lcp/workspace.h"
 #include "legal/model.h"
 #include "legal/row_assign.h"
 
@@ -68,6 +69,15 @@ struct MmsimLegalizerOptions {
   bool auto_theta = false;
   PartitionMode partition = PartitionMode::kAuto;
   SolverPolicy policy;       ///< used by PartitionMode::kTiered
+  /// Solver scratch arena reused across components and across calls (see
+  /// lcp/workspace.h). Not owned; must outlive the call. When null the
+  /// legalizer uses a thread-local default arena, so repeated calls from
+  /// the same thread still reuse buffers. Pass an explicit arena to share
+  /// warm starts across call sites or to control its lifetime. Only the
+  /// tiered mode warm-starts from the arena's previous solutions; kOff and
+  /// kMatch use it for buffer reuse only, preserving their bitwise
+  /// cold-start contracts.
+  lcp::SolverWorkspace* workspace = nullptr;
 };
 
 struct MmsimLegalizerStats {
@@ -96,6 +106,10 @@ struct MmsimLegalizerStats {
   /// kTiered this is the decomposition's headline saving: components stop
   /// independently instead of all running to the slowest one's count.
   std::size_t component_iterations = 0;
+  /// Per-phase MMSIM solve time summed over components in component order
+  /// (deterministic). Only systems of ≥ 256 LCP variables contribute — see
+  /// lcp::MmsimPhaseTimes — so the sum can be well below solve_seconds.
+  lcp::MmsimPhaseTimes phase;
 };
 
 /// Solves the relaxed problem for the given row assignment and writes the

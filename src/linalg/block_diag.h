@@ -68,6 +68,20 @@ class BlockDiagMatrix {
   void solve_shifted(double alpha, double beta, const Vector& x,
                      Vector& y) const;
 
+  /// Flat per-variable view of the dominant 1×1 blocks: K(i,i) where
+  /// variable i is a scalar block, 0.0 at positions owned by larger blocks.
+  /// This is the exact array multiply_add sweeps, exposed so fused iteration
+  /// kernels (lcp/mmsim.cpp) can replicate its arithmetic in place.
+  const std::vector<double>& scalar_values() const { return scalar_values_; }
+  /// Flat per-variable view of 1/K(i,i), zeros at non-scalar positions.
+  const std::vector<double>& scalar_inverses() const {
+    return scalar_inverses_;
+  }
+  /// Block indices of the non-1×1 blocks, in ascending offset order.
+  const std::vector<std::size_t>& general_block_indices() const {
+    return general_blocks_;
+  }
+
  private:
   std::size_t size_ = 0;
   std::vector<std::size_t> offsets_;

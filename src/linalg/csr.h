@@ -1,0 +1,105 @@
+// Immutable compressed-sparse-row matrix — the sparse engine behind the
+// constraint matrix B of the legalization QP.
+//
+// Storage is the classic three-array CSR layout (row_ptr / col_idx /
+// values). Transpose products gather through a lazily built and cached CSR
+// view of Aᵀ instead of scattering into y: each output element is then
+// owned by exactly one loop iteration, which lets the runtime parallelize
+// transpose products row-wise with results independent of the thread count.
+// transpose_view() exposes that cached view so fused iteration kernels
+// (lcp/mmsim.cpp) can traverse Aᵀ rows directly without re-entering the
+// build lock per product.
+//
+// The two-vector forms multiply_add2 / multiply_transpose_add2 traverse the
+// matrix once for two accumulations and are bitwise identical to the two
+// corresponding single-vector calls issued back to back — each output
+// element folds its terms in the same order either way.
+//
+// Matrices are assembled through the COO triplet builder in sparse.h, which
+// remains the conversion source (from_coo).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "linalg/vector_ops.h"
+
+namespace mch::linalg {
+
+class CooMatrix;
+
+class CsrMatrix {
+ public:
+  /// Empty rows x cols matrix with no entries.
+  CsrMatrix(std::size_t rows = 0, std::size_t cols = 0);
+
+  CsrMatrix(const CsrMatrix& other);
+  CsrMatrix& operator=(const CsrMatrix& other);
+  CsrMatrix(CsrMatrix&& other) noexcept;
+  CsrMatrix& operator=(CsrMatrix&& other) noexcept;
+
+  /// Builds from a COO accumulator; duplicate entries are summed, explicit
+  /// zeros (after summing) are kept out of the structure.
+  static CsrMatrix from_coo(const CooMatrix& coo);
+
+  /// Identity matrix of size n.
+  static CsrMatrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return values_.size(); }
+
+  /// y = A x. Requires x.size() == cols(); resizes y to rows().
+  void multiply(const Vector& x, Vector& y) const;
+
+  /// y += alpha * A x.
+  void multiply_add(double alpha, const Vector& x, Vector& y) const;
+
+  /// y += a1 * A x1 + a2 * A x2 in one traversal of A. Bitwise identical
+  /// to multiply_add(a1, x1, y) followed by multiply_add(a2, x2, y).
+  void multiply_add2(double a1, const Vector& x1, double a2, const Vector& x2,
+                     Vector& y) const;
+
+  /// y = Aᵀ x. Requires x.size() == rows(); resizes y to cols().
+  void multiply_transpose(const Vector& x, Vector& y) const;
+
+  /// y += alpha * Aᵀ x.
+  void multiply_transpose_add(double alpha, const Vector& x, Vector& y) const;
+
+  /// y += a1 * Aᵀ x1 + a2 * Aᵀ x2 in one traversal of the cached Aᵀ.
+  /// Bitwise identical to the two multiply_transpose_add calls in sequence.
+  void multiply_transpose_add2(double a1, const Vector& x1, double a2,
+                               const Vector& x2, Vector& y) const;
+
+  /// The cached Aᵀ (row r of the view = column r of A), built on first use.
+  /// The build is thread-safe; the returned reference stays valid for this
+  /// matrix's lifetime (copies share the already-built view).
+  const CsrMatrix& transpose_view() const;
+
+  /// Returns Aᵀ as an independent CSR matrix.
+  CsrMatrix transpose() const;
+
+  /// Element access by binary search within the row; O(log nnz(row)).
+  double at(std::size_t row, std::size_t col) const;
+
+  /// CSR internals (for solvers that need direct traversal).
+  const std::vector<std::size_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<std::size_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+
+  // Lazily built Aᵀ (see class comment). shared_ptr so copies share the
+  // already-built view; the mutex only guards the one-time build.
+  mutable std::shared_ptr<const CsrMatrix> transpose_cache_;
+  mutable std::mutex transpose_mutex_;
+};
+
+}  // namespace mch::linalg

@@ -1,71 +1,8 @@
 #include "linalg/sparse.h"
 
-#include <algorithm>
-#include <numeric>
-#include <utility>
-
-#include "runtime/parallel.h"
 #include "util/check.h"
 
 namespace mch::linalg {
-
-namespace {
-using runtime::kGrainRows;
-using runtime::parallel_for;
-}  // namespace
-
-CsrMatrix::CsrMatrix(const CsrMatrix& other)
-    : rows_(other.rows_),
-      cols_(other.cols_),
-      row_ptr_(other.row_ptr_),
-      col_idx_(other.col_idx_),
-      values_(other.values_) {
-  std::lock_guard<std::mutex> lock(other.transpose_mutex_);
-  transpose_cache_ = other.transpose_cache_;
-}
-
-CsrMatrix& CsrMatrix::operator=(const CsrMatrix& other) {
-  if (this == &other) return *this;
-  rows_ = other.rows_;
-  cols_ = other.cols_;
-  row_ptr_ = other.row_ptr_;
-  col_idx_ = other.col_idx_;
-  values_ = other.values_;
-  std::shared_ptr<const CsrMatrix> cache;
-  {
-    std::lock_guard<std::mutex> lock(other.transpose_mutex_);
-    cache = other.transpose_cache_;
-  }
-  std::lock_guard<std::mutex> lock(transpose_mutex_);
-  transpose_cache_ = std::move(cache);
-  return *this;
-}
-
-CsrMatrix::CsrMatrix(CsrMatrix&& other) noexcept
-    : rows_(other.rows_),
-      cols_(other.cols_),
-      row_ptr_(std::move(other.row_ptr_)),
-      col_idx_(std::move(other.col_idx_)),
-      values_(std::move(other.values_)),
-      transpose_cache_(std::move(other.transpose_cache_)) {
-  other.rows_ = 0;
-  other.cols_ = 0;
-  other.row_ptr_.assign(1, 0);
-}
-
-CsrMatrix& CsrMatrix::operator=(CsrMatrix&& other) noexcept {
-  if (this == &other) return *this;
-  rows_ = other.rows_;
-  cols_ = other.cols_;
-  row_ptr_ = std::move(other.row_ptr_);
-  col_idx_ = std::move(other.col_idx_);
-  values_ = std::move(other.values_);
-  transpose_cache_ = std::move(other.transpose_cache_);
-  other.rows_ = 0;
-  other.cols_ = 0;
-  other.row_ptr_.assign(1, 0);
-  return *this;
-}
 
 void CooMatrix::add(std::size_t row, std::size_t col, double value) {
   MCH_CHECK_MSG(row < rows_ && col < cols_,
@@ -74,143 +11,6 @@ void CooMatrix::add(std::size_t row, std::size_t col, double value) {
   row_idx_.push_back(row);
   col_idx_.push_back(col);
   values_.push_back(value);
-}
-
-CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols)
-    : rows_(rows), cols_(cols), row_ptr_(rows + 1, 0) {}
-
-CsrMatrix CsrMatrix::from_coo(const CooMatrix& coo) {
-  CsrMatrix csr(coo.rows(), coo.cols());
-  const std::size_t n = coo.entries();
-
-  // Counting sort by row.
-  std::vector<std::size_t> counts(coo.rows() + 1, 0);
-  for (std::size_t k = 0; k < n; ++k) ++counts[coo.row_indices()[k] + 1];
-  std::partial_sum(counts.begin(), counts.end(), counts.begin());
-
-  std::vector<std::size_t> cols(n);
-  std::vector<double> vals(n);
-  {
-    std::vector<std::size_t> cursor(counts.begin(), counts.end() - 1);
-    for (std::size_t k = 0; k < n; ++k) {
-      const std::size_t slot = cursor[coo.row_indices()[k]]++;
-      cols[slot] = coo.col_indices()[k];
-      vals[slot] = coo.values()[k];
-    }
-  }
-
-  // Sort within each row by column and merge duplicates.
-  csr.row_ptr_.assign(coo.rows() + 1, 0);
-  csr.col_idx_.reserve(n);
-  csr.values_.reserve(n);
-  std::vector<std::size_t> order;
-  for (std::size_t r = 0; r < coo.rows(); ++r) {
-    const std::size_t begin = counts[r];
-    const std::size_t end = counts[r + 1];
-    order.resize(end - begin);
-    std::iota(order.begin(), order.end(), begin);
-    std::sort(order.begin(), order.end(),
-              [&](std::size_t a, std::size_t b) { return cols[a] < cols[b]; });
-    std::size_t i = 0;
-    while (i < order.size()) {
-      const std::size_t col = cols[order[i]];
-      double sum = 0.0;
-      while (i < order.size() && cols[order[i]] == col) sum += vals[order[i++]];
-      if (sum != 0.0) {
-        csr.col_idx_.push_back(col);
-        csr.values_.push_back(sum);
-      }
-    }
-    csr.row_ptr_[r + 1] = csr.col_idx_.size();
-  }
-  return csr;
-}
-
-CsrMatrix CsrMatrix::identity(std::size_t n) {
-  CsrMatrix eye(n, n);
-  eye.col_idx_.resize(n);
-  eye.values_.assign(n, 1.0);
-  std::iota(eye.col_idx_.begin(), eye.col_idx_.end(), std::size_t{0});
-  std::iota(eye.row_ptr_.begin(), eye.row_ptr_.end(), std::size_t{0});
-  return eye;
-}
-
-void CsrMatrix::multiply(const Vector& x, Vector& y) const {
-  MCH_CHECK(x.size() == cols_);
-  y.assign(rows_, 0.0);
-  multiply_add(1.0, x, y);
-}
-
-void CsrMatrix::multiply_add(double alpha, const Vector& x, Vector& y) const {
-  MCH_CHECK(x.size() == cols_ && y.size() == rows_);
-  // Row-parallel: each output row is owned by exactly one iteration.
-  parallel_for(std::size_t{0}, rows_, kGrainRows,
-               [&](std::size_t lo, std::size_t hi) {
-                 for (std::size_t r = lo; r < hi; ++r) {
-                   double sum = 0.0;
-                   for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
-                     sum += values_[k] * x[col_idx_[k]];
-                   y[r] += alpha * sum;
-                 }
-               });
-}
-
-const CsrMatrix& CsrMatrix::gather_view() const {
-  {
-    std::lock_guard<std::mutex> lock(transpose_mutex_);
-    if (transpose_cache_) return *transpose_cache_;
-  }
-  // Build outside the lock (from_coo is the expensive part), then publish.
-  // Two threads racing here build identical views; the first store wins.
-  auto built = std::make_shared<const CsrMatrix>(transpose());
-  std::lock_guard<std::mutex> lock(transpose_mutex_);
-  if (!transpose_cache_) transpose_cache_ = std::move(built);
-  return *transpose_cache_;
-}
-
-void CsrMatrix::multiply_transpose(const Vector& x, Vector& y) const {
-  MCH_CHECK(x.size() == rows_);
-  y.assign(cols_, 0.0);
-  multiply_transpose_add(1.0, x, y);
-}
-
-void CsrMatrix::multiply_transpose_add(double alpha, const Vector& x,
-                                       Vector& y) const {
-  MCH_CHECK(x.size() == rows_ && y.size() == cols_);
-  // Gather through the cached Aᵀ view rather than scattering into y: row c
-  // of Aᵀ lists exactly the entries of column c of A, so each output
-  // element is owned by one iteration and rows parallelize safely. The
-  // entries arrive in the same ascending-row order the serial scatter
-  // visited them, and the result does not depend on the thread count.
-  const CsrMatrix& at = gather_view();
-  parallel_for(std::size_t{0}, cols_, kGrainRows,
-               [&](std::size_t lo, std::size_t hi) {
-                 for (std::size_t c = lo; c < hi; ++c) {
-                   double sum = 0.0;
-                   for (std::size_t k = at.row_ptr_[c]; k < at.row_ptr_[c + 1];
-                        ++k)
-                     sum += at.values_[k] * x[at.col_idx_[k]];
-                   y[c] += alpha * sum;
-                 }
-               });
-}
-
-CsrMatrix CsrMatrix::transpose() const {
-  CooMatrix coo(cols_, rows_);
-  coo.reserve(nnz());
-  for (std::size_t r = 0; r < rows_; ++r)
-    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
-      coo.add(col_idx_[k], r, values_[k]);
-  return from_coo(coo);
-}
-
-double CsrMatrix::at(std::size_t row, std::size_t col) const {
-  MCH_CHECK(row < rows_ && col < cols_);
-  const auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[row]);
-  const auto end = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[row + 1]);
-  const auto it = std::lower_bound(begin, end, col);
-  if (it == end || *it != col) return 0.0;
-  return values_[static_cast<std::size_t>(it - col_idx_.begin())];
 }
 
 }  // namespace mch::linalg

@@ -1,17 +1,17 @@
-// Sparse matrices: COO builder and immutable CSR.
+// Sparse-matrix assembly: the COO triplet builder.
 //
 // The constraint matrix B of the legalization QP has at most two nonzeros
-// per row, so CSR with 32-bit column indices would suffice; we keep
-// std::size_t indices for simplicity and because index width is not the
-// bottleneck. Duplicate COO entries are summed on conversion, matching the
-// usual triplet-assembly convention.
+// per row; it is assembled here in coordinate format and converted to the
+// immutable CSR engine in csr.h (CsrMatrix::from_coo — the COO builder is
+// the conversion source). Duplicate entries are summed on conversion,
+// matching the usual triplet-assembly convention. We keep std::size_t
+// indices for simplicity and because index width is not the bottleneck.
 #pragma once
 
 #include <cstddef>
-#include <memory>
-#include <mutex>
 #include <vector>
 
+#include "linalg/csr.h"
 #include "linalg/vector_ops.h"
 
 namespace mch::linalg {
@@ -45,74 +45,6 @@ class CooMatrix {
   std::vector<std::size_t> row_idx_;
   std::vector<std::size_t> col_idx_;
   std::vector<double> values_;
-};
-
-/// Immutable compressed-sparse-row matrix.
-///
-/// The transpose products gather through a lazily built and cached CSR view
-/// of Aᵀ instead of scattering into y: each output element is then owned by
-/// exactly one loop iteration, which lets the runtime parallelize transpose
-/// products row-wise with results independent of the thread count (the
-/// cache also makes repeated transpose products cheaper in any case). The
-/// cache is immutable once built and shared between copies.
-class CsrMatrix {
- public:
-  /// Empty rows x cols matrix with no entries.
-  CsrMatrix(std::size_t rows = 0, std::size_t cols = 0);
-
-  CsrMatrix(const CsrMatrix& other);
-  CsrMatrix& operator=(const CsrMatrix& other);
-  CsrMatrix(CsrMatrix&& other) noexcept;
-  CsrMatrix& operator=(CsrMatrix&& other) noexcept;
-
-  /// Builds from a COO accumulator; duplicate entries are summed, explicit
-  /// zeros (after summing) are kept out of the structure.
-  static CsrMatrix from_coo(const CooMatrix& coo);
-
-  /// Identity matrix of size n.
-  static CsrMatrix identity(std::size_t n);
-
-  std::size_t rows() const { return rows_; }
-  std::size_t cols() const { return cols_; }
-  std::size_t nnz() const { return values_.size(); }
-
-  /// y = A x. Requires x.size() == cols(); resizes y to rows().
-  void multiply(const Vector& x, Vector& y) const;
-
-  /// y += alpha * A x.
-  void multiply_add(double alpha, const Vector& x, Vector& y) const;
-
-  /// y = Aᵀ x. Requires x.size() == rows(); resizes y to cols().
-  void multiply_transpose(const Vector& x, Vector& y) const;
-
-  /// y += alpha * Aᵀ x.
-  void multiply_transpose_add(double alpha, const Vector& x, Vector& y) const;
-
-  /// Returns Aᵀ as an explicit CSR matrix.
-  CsrMatrix transpose() const;
-
-  /// Element access by binary search within the row; O(log nnz(row)).
-  double at(std::size_t row, std::size_t col) const;
-
-  /// CSR internals (for solvers that need direct traversal).
-  const std::vector<std::size_t>& row_ptr() const { return row_ptr_; }
-  const std::vector<std::size_t>& col_idx() const { return col_idx_; }
-  const std::vector<double>& values() const { return values_; }
-
- private:
-  /// The cached Aᵀ, built on first use by a transpose product.
-  const CsrMatrix& gather_view() const;
-
-  std::size_t rows_;
-  std::size_t cols_;
-  std::vector<std::size_t> row_ptr_;
-  std::vector<std::size_t> col_idx_;
-  std::vector<double> values_;
-
-  // Lazily built Aᵀ (see class comment). shared_ptr so copies share the
-  // already-built view; the mutex only guards the one-time build.
-  mutable std::shared_ptr<const CsrMatrix> transpose_cache_;
-  mutable std::mutex transpose_mutex_;
 };
 
 }  // namespace mch::linalg

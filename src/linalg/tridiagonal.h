@@ -45,10 +45,54 @@ class Tridiagonal {
   /// Returns false if a pivot underflows.
   bool solve(const Vector& rhs, Vector& x) const;
 
+  /// solve() with caller-provided forward-sweep scratch (modified super-
+  /// diagonal and rhs), so iterative callers pay no per-solve allocation
+  /// once the buffers have grown to size. Arithmetic — and therefore the
+  /// result — is bitwise identical to solve().
+  bool solve_with(const Vector& rhs, Vector& x, Vector& scratch_c,
+                  Vector& scratch_d) const;
+
  private:
   Vector diag_;
   Vector lower_;
   Vector upper_;
+};
+
+/// Precomputed Thomas factorization for solving against one tridiagonal
+/// matrix many times (MMSIM solves (D/θ* + I) x = rhs every iteration with
+/// a constant matrix). factor() runs the pivot recurrence once; solve()
+/// then runs the forward sweep as
+///
+///     d'[i] = rhs[i]·(1/pivot[i]) − (lower[i−1]/pivot[i])·d'[i−1]
+///
+/// with both coefficients precomputed, so the serial dependency chain per
+/// row is one multiply-subtract instead of a multiply-subtract-divide —
+/// the division latency leaves the critical path. This is an algebraic
+/// rearrangement of the classic recurrence: same factorization, different
+/// rounding, so results differ from Tridiagonal::solve() in the last ulps
+/// (callers that advertise bitwise contracts must use one or the other
+/// consistently; MMSIM uses the factorization in both its reference and
+/// fused paths).
+class TridiagonalFactorization {
+ public:
+  TridiagonalFactorization() = default;
+
+  /// Factors `t`. Returns false (leaving the factorization invalid) if a
+  /// pivot underflows; `t` itself is not retained.
+  bool factor(const Tridiagonal& t);
+
+  bool valid() const { return valid_; }
+  std::size_t size() const { return inv_pivot_.size(); }
+
+  /// Solves T x = rhs using the precomputed coefficients. `scratch` holds
+  /// the forward-sweep values; no allocation once it has grown to size.
+  void solve(const Vector& rhs, Vector& x, Vector& scratch) const;
+
+ private:
+  Vector c_prime_;    ///< upper[i]/pivot[i], size n−1
+  Vector inv_pivot_;  ///< 1/pivot[i], size n
+  Vector g_;          ///< lower[i−1]/pivot[i] (g_[0] = 0), size n
+  bool valid_ = false;
 };
 
 }  // namespace mch::linalg

@@ -1,0 +1,17 @@
+#include "runtime/scratch.h"
+
+#include <array>
+
+#include "util/check.h"
+
+namespace mch::runtime {
+
+std::vector<double>& thread_scratch(std::size_t slot, std::size_t min_size) {
+  thread_local std::array<std::vector<double>, kScratchSlots> buffers;
+  MCH_DCHECK(slot < kScratchSlots);
+  std::vector<double>& buffer = buffers[slot];
+  if (buffer.size() < min_size) buffer.resize(min_size);
+  return buffer;
+}
+
+}  // namespace mch::runtime

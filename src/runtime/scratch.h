@@ -1,0 +1,31 @@
+// Per-thread scratch buffers for kernel bodies.
+//
+// A chunk body sometimes needs a small temporary — the fused MMSIM kernels
+// need one rhs slot per dense K-block row, for example. Allocating inside
+// the loop would put the allocator on the hot path and sharing one buffer
+// across threads would race, so thread_scratch() hands every thread its own
+// lazily grown buffer (never shrunk, so steady-state use allocates
+// nothing).
+//
+// Contents are undefined between calls: a body must fully write what it
+// reads and must never carry results across chunks through scratch. Under
+// that discipline the determinism contract of parallel.h is unaffected —
+// scratch only changes where temporaries live, never the values written to
+// outputs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mch::runtime {
+
+/// Number of independent scratch buffers per thread; a kernel may hold up
+/// to this many live temporaries at once (slot argument below).
+inline constexpr std::size_t kScratchSlots = 4;
+
+/// Returns this thread's scratch buffer #slot, grown to at least min_size
+/// elements. The reference is valid until the next thread_scratch() call
+/// for the same slot on the same thread.
+std::vector<double>& thread_scratch(std::size_t slot, std::size_t min_size);
+
+}  // namespace mch::runtime

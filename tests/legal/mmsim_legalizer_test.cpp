@@ -109,6 +109,44 @@ TEST(MmsimLegalizerTest, StatsPopulated) {
   EXPECT_LT(stats.objective, 0.0);  // ½‖x‖²−xᵀx' < 0 near the targets
 }
 
+// Warm starting (tiered mode re-entering with a SolverWorkspace) is an
+// iteration-count optimization, never a result-quality change: the warm
+// solve must converge, to the same solution up to the solver tolerance.
+TEST(MmsimLegalizerTest, TieredWarmStartConvergesToColdSolution) {
+  db::Design cold_design = small_design(400, 60, 0.7, 19);
+  const RowAssignment rows = assign_rows(cold_design);
+  db::Design warm_design = cold_design;
+
+  MmsimLegalizerOptions options;
+  options.partition = PartitionMode::kTiered;
+  options.mmsim.tolerance = 1e-7;
+  options.mmsim.max_iterations = 150000;
+
+  const MmsimLegalizerStats cold =
+      mmsim_legalize_continuous(cold_design, rows, options);
+  ASSERT_TRUE(cold.converged);
+
+  // Re-entering through one workspace: the first call populates the warm
+  // vectors, the second starts every component from its previous s.
+  lcp::SolverWorkspace workspace;
+  options.workspace = &workspace;
+  db::Design scratch_design = warm_design;
+  ASSERT_TRUE(
+      mmsim_legalize_continuous(scratch_design, rows, options).converged);
+  const MmsimLegalizerStats warm =
+      mmsim_legalize_continuous(warm_design, rows, options);
+  ASSERT_TRUE(warm.converged);
+
+  // Same tolerance, same fixed point: positions agree to solver tolerance.
+  for (std::size_t i = 0; i < cold_design.num_cells(); ++i) {
+    EXPECT_NEAR(warm_design.cells()[i].x, cold_design.cells()[i].x, 1e-4)
+        << "cell " << i;
+  }
+  // Warm starting from the converged s of an identical solve should not
+  // take more iterations than the cold critical path.
+  EXPECT_LE(warm.iterations, cold.iterations);
+}
+
 TEST(MmsimLegalizerTest, PreservesCellOrderingWithinRows) {
   // The key property motivating the whole approach (paper Fig. 5(b)).
   db::Design design = small_design(500, 80, 0.8, 13);

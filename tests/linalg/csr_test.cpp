@@ -1,0 +1,125 @@
+// CSR sparse engine tests: structure from COO, products against dense
+// reference sums, and the bitwise contract of the fused two-vector forms
+// (multiply_add2 / multiply_transpose_add2) against the sequential pairs
+// they replace. Runs again as ".mt4" with MCH_THREADS=4, so the bitwise
+// assertions also cover the parallel row sweeps.
+#include "linalg/csr.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+
+#include "linalg/sparse.h"
+
+namespace mch::linalg {
+namespace {
+
+bool bitwise_equal(const Vector& a, const Vector& b) {
+  if (a.size() != b.size()) return false;
+  return a.empty() ||
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+/// A random sparse matrix with the spacing-constraint shape: ~2 entries
+/// per row, values of both signs, plus a few duplicate adds so from_coo's
+/// summing is exercised.
+CsrMatrix random_matrix(std::size_t rows, std::size_t cols,
+                        std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::size_t> col(0, cols - 1);
+  std::uniform_real_distribution<double> val(-2.0, 2.0);
+  CooMatrix coo(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    coo.add(r, col(rng), val(rng));
+    coo.add(r, col(rng), val(rng));
+    if (r % 7 == 0) coo.add(r, col(rng), val(rng));  // duplicate-prone
+  }
+  return CsrMatrix::from_coo(coo);
+}
+
+Vector random_vector(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> val(-1.0, 1.0);
+  Vector v(n);
+  for (double& x : v) x = val(rng);
+  return v;
+}
+
+TEST(CsrTest, MultiplyMatchesExplicitSum) {
+  const CsrMatrix a = random_matrix(40, 30, 11);
+  const Vector x = random_vector(30, 12);
+  Vector y;
+  a.multiply(x, y);
+  ASSERT_EQ(y.size(), 40u);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    double sum = 0.0;
+    for (std::size_t k = a.row_ptr()[r]; k < a.row_ptr()[r + 1]; ++k)
+      sum += a.values()[k] * x[a.col_idx()[k]];
+    EXPECT_DOUBLE_EQ(y[r], sum) << "row " << r;
+  }
+}
+
+TEST(CsrTest, TransposeViewMatchesTranspose) {
+  const CsrMatrix a = random_matrix(25, 35, 21);
+  const CsrMatrix& view = a.transpose_view();
+  const CsrMatrix t = a.transpose();
+  ASSERT_EQ(view.rows(), 35u);
+  ASSERT_EQ(view.cols(), 25u);
+  ASSERT_EQ(view.nnz(), a.nnz());
+  for (std::size_t r = 0; r < t.rows(); ++r)
+    for (std::size_t k = t.row_ptr()[r]; k < t.row_ptr()[r + 1]; ++k)
+      EXPECT_EQ(view.at(r, t.col_idx()[k]), t.values()[k]);
+}
+
+// The fused two-vector traversal must produce the exact bits of the two
+// sequential products it replaces — the MMSIM rhs accumulation relies on
+// this for its bitwise-determinism contract.
+TEST(CsrTest, MultiplyAdd2BitwiseEqualsSequentialPair) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const CsrMatrix a = random_matrix(600, 500, seed);
+    const Vector x1 = random_vector(500, seed + 10);
+    const Vector x2 = random_vector(500, seed + 20);
+    Vector fused = random_vector(600, seed + 30);
+    Vector sequential = fused;
+    ASSERT_TRUE(bitwise_equal(fused, sequential));
+
+    a.multiply_add2(0.5, x1, -1.0, x2, fused);
+    a.multiply_add(0.5, x1, sequential);
+    a.multiply_add(-1.0, x2, sequential);
+    EXPECT_TRUE(bitwise_equal(fused, sequential)) << "seed " << seed;
+  }
+}
+
+TEST(CsrTest, MultiplyTransposeAdd2BitwiseEqualsSequentialPair) {
+  for (std::uint64_t seed : {4u, 5u, 6u}) {
+    const CsrMatrix a = random_matrix(550, 650, seed);
+    const Vector x1 = random_vector(550, seed + 10);
+    const Vector x2 = random_vector(550, seed + 20);
+    Vector fused = random_vector(650, seed + 30);
+    Vector sequential = fused;
+
+    a.multiply_transpose_add2(1.0, x1, 1.0, x2, fused);
+    a.multiply_transpose_add(1.0, x1, sequential);
+    a.multiply_transpose_add(1.0, x2, sequential);
+    EXPECT_TRUE(bitwise_equal(fused, sequential)) << "seed " << seed;
+  }
+}
+
+TEST(CsrTest, EmptyRowsAndIdentity) {
+  CooMatrix coo(4, 3);
+  coo.add(1, 2, 5.0);  // rows 0, 2, 3 empty
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  Vector y;
+  a.multiply(Vector{1.0, 1.0, 1.0}, y);
+  EXPECT_EQ(y, (Vector{0.0, 5.0, 0.0, 0.0}));
+
+  const CsrMatrix eye = CsrMatrix::identity(3);
+  Vector x{1.5, -2.0, 0.25};
+  Vector ix;
+  eye.multiply(x, ix);
+  EXPECT_TRUE(bitwise_equal(ix, x));
+}
+
+}  // namespace
+}  // namespace mch::linalg

@@ -127,5 +127,63 @@ TEST_P(TridiagonalSolveSweep, RandomDiagonallyDominant) {
 INSTANTIATE_TEST_SUITE_P(Sizes, TridiagonalSolveSweep,
                          ::testing::Values(1, 2, 3, 5, 8, 16, 64, 256, 1000));
 
+// The prefactored Thomas solve is an algebraic rearrangement of solve():
+// same factorization, different rounding, so results agree to roundoff
+// (not bitwise — which is exactly why MMSIM must use it in BOTH step
+// paths; see TridiagonalFactorization in the header).
+TEST(TridiagonalFactorizationTest, SolveMatchesClassicThomasToRoundoff) {
+  for (const std::size_t n : {1u, 2u, 7u, 64u, 513u}) {
+    Rng rng(2000 + n);
+    Tridiagonal t(n);
+    for (std::size_t i = 0; i < n; ++i) t.diag(i) = rng.uniform(3.0, 6.0);
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      t.lower(i) = rng.uniform(-1.0, 1.0);
+      t.upper(i) = rng.uniform(-1.0, 1.0);
+    }
+    Vector rhs(n);
+    for (double& v : rhs) v = rng.uniform(-5, 5);
+
+    TridiagonalFactorization lu;
+    ASSERT_TRUE(lu.factor(t));
+    ASSERT_TRUE(lu.valid());
+    ASSERT_EQ(lu.size(), n);
+
+    Vector classic, fast, scratch;
+    ASSERT_TRUE(t.solve(rhs, classic));
+    lu.solve(rhs, fast, scratch);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(fast[i], classic[i], 1e-10 * (1.0 + std::abs(classic[i])))
+          << "n " << n << " i " << i;
+  }
+}
+
+TEST(TridiagonalFactorizationTest, RepeatedSolvesReuseFactorization) {
+  Tridiagonal t(5);
+  for (std::size_t i = 0; i < 5; ++i) t.diag(i) = 4.0;
+  for (std::size_t i = 0; i + 1 < 5; ++i) {
+    t.lower(i) = -1.0;
+    t.upper(i) = -1.0;
+  }
+  TridiagonalFactorization lu;
+  ASSERT_TRUE(lu.factor(t));
+  Vector x1, x2, scratch, back;
+  lu.solve(Vector{1, 0, 0, 0, 1}, x1, scratch);
+  lu.solve(Vector{0, 2, 0, 2, 0}, x2, scratch);
+  t.multiply(x1, back);
+  EXPECT_NEAR(back[0], 1.0, 1e-12);
+  EXPECT_NEAR(back[2], 0.0, 1e-12);
+  t.multiply(x2, back);
+  EXPECT_NEAR(back[1], 2.0, 1e-12);
+}
+
+TEST(TridiagonalFactorizationTest, SingularPivotInvalidates) {
+  Tridiagonal t(2);
+  t.diag(0) = 0.0;  // zero leading pivot
+  t.diag(1) = 1.0;
+  TridiagonalFactorization lu;
+  EXPECT_FALSE(lu.factor(t));
+  EXPECT_FALSE(lu.valid());
+}
+
 }  // namespace
 }  // namespace mch::linalg

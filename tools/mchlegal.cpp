@@ -168,6 +168,14 @@ int main(int argc, char** argv) {
                     "%zu component iterations\n",
                     result.solver_components, result.solver_max_component,
                     result.solver_component_iterations);
+      if (result.solver_phase.total() > 0.0)
+        std::printf("solver phases:       kernel %.2f ms, spmv %.2f ms, "
+                    "thomas %.2f ms, reduction %.2f ms (solve %.2f ms)\n",
+                    result.solver_phase.kernel_seconds * 1e3,
+                    result.solver_phase.spmv_seconds * 1e3,
+                    result.solver_phase.thomas_seconds * 1e3,
+                    result.solver_phase.reduction_seconds * 1e3,
+                    result.solver_solve_seconds * 1e3);
     }
     if (run_dp)
       std::printf("detailed placement:  HPWL %.0f -> %.0f (%.3f%%), "

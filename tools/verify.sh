@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Repo verification driver: tier-1 build + ctest, plus an AddressSanitizer
+# job over the solver/legalizer suites (the workspace arena hands slot
+# references to parallel workers — ASan is what would catch a stale one).
+#
+#   tools/verify.sh            # full: Release build + ctest + ASan job
+#   tools/verify.sh --fast     # skip the ASan job
+#
+# Build trees: ./build (default config) and ./build-asan (MCH_ENABLE_ASAN,
+# RelWithDebInfo). Both are incremental across runs.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FAST=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) FAST=1 ;;
+    *) echo "usage: tools/verify.sh [--fast]" >&2; exit 2 ;;
+  esac
+done
+
+echo "== tier-1: configure + build (Release default) =="
+cmake -B build -S . >/dev/null
+cmake --build build -j4
+
+echo "== tier-1: ctest =="
+(cd build && ctest -j2 --output-on-failure)
+
+if [[ "$FAST" == 0 ]]; then
+  echo "== asan: build solver/legalizer suites =="
+  cmake -B build-asan -S . -DMCH_ENABLE_ASAN=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  ASAN_TARGETS=(
+    lcp_mmsim_test lcp_mmsim_fused_test lcp_solver_test lcp_psor_test
+    legal_mmsim_legalizer_test legal_partition_test linalg_csr_test
+  )
+  for t in "${ASAN_TARGETS[@]}"; do
+    cmake --build build-asan -j4 --target "$t"
+  done
+
+  echo "== asan: run (serial and 4-thread pool) =="
+  for t in "${ASAN_TARGETS[@]}"; do
+    bin="$(find build-asan/tests -name "$t" -type f | head -1)"
+    "$bin" --gtest_brief=1
+    MCH_THREADS=4 "$bin" --gtest_brief=1
+  done
+fi
+
+echo "verify: OK"
