@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <sstream>
+#include <unordered_set>
 
 namespace mch::db {
 
@@ -44,6 +46,21 @@ void record(LegalityReport& report, const LegalityOptions& options,
     report.violations.push_back(std::move(violation));
 }
 
+/// Row index range [first, end) touched by a vertical outline [y, y + h),
+/// clamped to the chip. Used for cells that are not row-aligned (fixed
+/// macros and off-row violators), which must still occupy every row their
+/// outline intersects so the overlap sweep sees them.
+std::pair<std::size_t, std::size_t> touched_rows(const Chip& chip, double y,
+                                                 double height, double eps) {
+  const auto first = static_cast<std::size_t>(std::clamp(
+      std::floor(y / chip.row_height + eps), 0.0,
+      static_cast<double>(chip.num_rows)));
+  const auto end = static_cast<std::size_t>(std::clamp(
+      std::ceil((y + height) / chip.row_height - eps), 0.0,
+      static_cast<double>(chip.num_rows)));
+  return {first, end};
+}
+
 }  // namespace
 
 LegalityReport check_legality(const Design& design,
@@ -72,29 +89,33 @@ LegalityReport check_legality(const Design& design,
     // they are immutable input. They still participate in the overlap
     // sweep, occupying every row their outline touches.
     if (cell.fixed) {
-      const auto first_row = static_cast<std::size_t>(std::clamp(
-          std::floor(cell.y / chip.row_height + eps), 0.0,
-          static_cast<double>(chip.num_rows)));
-      const auto end_row = static_cast<std::size_t>(std::clamp(
-          std::ceil((cell.y + height) / chip.row_height - eps), 0.0,
-          static_cast<double>(chip.num_rows)));
+      const auto [first_row, end_row] = touched_rows(chip, cell.y, height, eps);
       for (std::size_t r = first_row; r < end_row; ++r)
         row_cells[r].push_back(cell.id);
       continue;
     }
 
-    // (2a) On a row boundary.
+    // (2a) On a row boundary. The vertical-fit comparison must happen in
+    // the double domain: num_rows and height_rows are unsigned, and their
+    // difference wraps for a cell taller than the chip.
     const double row_float = cell.y / chip.row_height;
     const double row_round = std::round(row_float);
     const bool on_row =
         std::abs(cell.y - row_round * chip.row_height) <= eps &&
         row_round >= 0.0 &&
-        row_round <= static_cast<double>(chip.num_rows - cell.height_rows);
+        row_round <= static_cast<double>(chip.num_rows) -
+                         static_cast<double>(cell.height_rows);
     if (!on_row) {
       ++report.off_row;
       std::ostringstream os;
       os << "cell " << cell.id << " y=" << cell.y << " not on a row";
       record(report, options, {ViolationKind::kOffRow, cell.id, 0, os.str()});
+      // An off-row cell still physically occupies every row its outline
+      // touches; register it there so the overlap sweep can see collisions
+      // with row-aligned cells instead of silently skipping it.
+      const auto [first_row, end_row] = touched_rows(chip, cell.y, height, eps);
+      for (std::size_t r = first_row; r < end_row; ++r)
+        row_cells[r].push_back(cell.id);
     }
 
     // (2b) On a site boundary.
@@ -129,8 +150,11 @@ LegalityReport check_legality(const Design& design,
 
   // (3) Overlaps: per-row sweep over cells sorted by x. A multi-row cell
   // appears in every row it occupies; a pair sharing two rows would be
-  // reported twice, so overlapping pairs are deduplicated by ordering.
-  std::vector<std::pair<std::size_t, std::size_t>> seen_pairs;
+  // reported twice, so overlapping pairs are deduplicated through a hash
+  // set keyed on the ordered id pair — violation-heavy designs produce
+  // O(cells²) pairs, and a linear scan over a growing pair list would make
+  // the checker quadratic in the *violation* count on top of that.
+  std::unordered_set<std::uint64_t> seen_pairs;
   for (std::size_t r = 0; r < chip.num_rows; ++r) {
     auto& ids = row_cells[r];
     std::sort(ids.begin(), ids.end(), [&](std::size_t a, std::size_t b) {
@@ -143,14 +167,16 @@ LegalityReport check_legality(const Design& design,
       // A cell can overlap several successors, not just the next one.
       for (std::size_t j = i + 1; j < ids.size(); ++j) {
         const Cell& right = design.cells()[ids[j]];
-        const double depth = left.x + left.width - right.x;
-        if (depth <= eps) break;  // sorted by x: no further overlaps with i
-        const std::pair<std::size_t, std::size_t> pair{
-            std::min(left.id, right.id), std::max(left.id, right.id)};
-        if (std::find(seen_pairs.begin(), seen_pairs.end(), pair) !=
-            seen_pairs.end())
-          continue;
-        seen_pairs.push_back(pair);
+        const double spill = left.x + left.width - right.x;
+        if (spill <= eps) break;  // sorted by x: no further overlaps with i
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(std::min(left.id, right.id)) << 32) |
+            static_cast<std::uint64_t>(std::max(left.id, right.id));
+        if (!seen_pairs.insert(key).second) continue;
+        // The overlapped extent cannot exceed the right cell's own width (a
+        // narrow cell contained inside a wide one overlaps by its width,
+        // not by the distance to the wide cell's far edge).
+        const double depth = std::min(spill, right.width);
         ++report.overlaps;
         report.max_overlap_depth = std::max(report.max_overlap_depth, depth);
         std::ostringstream os;

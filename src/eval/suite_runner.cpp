@@ -56,6 +56,7 @@ RunResult run_legalizer(db::Design& design, Legalizer which,
       result.solver_max_component = flow.solver.max_component_size;
       result.solver_mean_component = flow.solver.mean_component_size;
       result.solver_component_iterations = flow.solver.component_iterations;
+      result.solver_recovery = flow.solver.recovery;
       break;
     }
     case Legalizer::kTetris:

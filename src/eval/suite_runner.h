@@ -69,6 +69,11 @@ struct RunResult {
   std::size_t solver_max_component = 0;        ///< largest component n + m
   double solver_mean_component = 0.0;          ///< mean component n + m
   std::size_t solver_component_iterations = 0; ///< summed over components
+
+  /// Escalation-ladder activity (legal::RecoveryStats): all-zero on the
+  /// happy path; failures carries the structured SolveFailure records when
+  /// the ladder was exhausted and cells were clamped to snap positions.
+  legal::RecoveryStats solver_recovery;
 };
 
 /// Resets the design to its GP positions, runs the legalizer, validates the

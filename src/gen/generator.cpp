@@ -393,4 +393,111 @@ db::Design generate_design(const BenchmarkSpec& spec,
   return design;
 }
 
+const char* to_string(DegenerateMode mode) {
+  switch (mode) {
+    case DegenerateMode::kNearSingularCoupling:
+      return "near-singular-coupling";
+    case DegenerateMode::kInfeasibleRowCapacity:
+      return "infeasible-row-capacity";
+    case DegenerateMode::kObstacleSaturatedRows:
+      return "obstacle-saturated-rows";
+  }
+  return "unknown";
+}
+
+db::Design generate_degenerate_design(DegenerateMode mode,
+                                      std::size_t num_cells,
+                                      std::uint64_t seed) {
+  MCH_CHECK(num_cells > 0);
+  Rng rng(seed);
+
+  Chip chip;
+  chip.site_width = 1.0;
+  chip.row_height = 12.0;
+  chip.bottom_rail = RailType::kVss;
+  chip.num_rows = 8;
+
+  const auto add_movable = [&](Design& design, double width,
+                               std::size_t height_rows, double x, double y) {
+    Cell cell;
+    cell.width = width;
+    cell.height_rows = height_rows;
+    cell.x = x;
+    cell.y = y;
+    design.add_cell(cell);
+  };
+
+  switch (mode) {
+    case DegenerateMode::kNearSingularCoupling: {
+      // Triple-height cells (odd height: no rail constraint) in one column
+      // across two row bands. All of them land at nearly the same x, so the
+      // optimum activates the full spacing chain of every coupled row.
+      const double width = 6.0;
+      chip.num_sites = static_cast<std::size_t>(
+          width * static_cast<double>(num_cells));  // plenty of room in x
+      Design design(chip);
+      const double center = 0.5 * chip.width();
+      for (std::size_t i = 0; i < num_cells; ++i) {
+        const std::size_t base = (i % 2) * 3;  // rows 0–2 or 3–5
+        add_movable(design, width, 3, center + rng.normal(0.0, 0.5),
+                    chip.row_y(base) + rng.normal(0.0, 1.0));
+      }
+      design.commit_positions_as_gp();
+      return design;
+    }
+    case DegenerateMode::kInfeasibleRowCapacity: {
+      // More movable width than the whole chip holds: capacity ratio ≈ 1.7.
+      const double width = 8.0;
+      chip.num_sites = std::max<std::size_t>(
+          8, static_cast<std::size_t>(
+                 width * static_cast<double>(num_cells) /
+                 (1.7 * static_cast<double>(chip.num_rows))));
+      Design design(chip);
+      for (std::size_t i = 0; i < num_cells; ++i) {
+        const double x =
+            rng.uniform(0.3 * chip.width(),
+                        std::max(0.3 * chip.width() + 1.0,
+                                 0.7 * chip.width() - width));
+        const std::size_t row = i % chip.num_rows;
+        add_movable(design, width, 1, x,
+                    chip.row_y(row) + rng.normal(0.0, 1.0));
+      }
+      design.commit_positions_as_gp();
+      return design;
+    }
+    case DegenerateMode::kObstacleSaturatedRows: {
+      // Macro walls over every row leave a corridor of ~10% of the chip,
+      // into which far more movable width is crowded than fits.
+      const double width = 4.0;
+      chip.num_sites = std::max<std::size_t>(
+          64, static_cast<std::size_t>(width * static_cast<double>(num_cells)));
+      Design design(chip);
+      const double corridor_lo = 0.45 * chip.width();
+      const double corridor_hi = 0.55 * chip.width();
+      const auto add_wall = [&](double x, double wall_width) {
+        Cell wall;
+        wall.width = wall_width;
+        wall.height_rows = chip.num_rows;
+        wall.fixed = true;
+        wall.x = x;
+        wall.y = 0.0;
+        design.add_cell(wall);
+      };
+      add_wall(0.0, corridor_lo);
+      add_wall(corridor_hi, chip.width() - corridor_hi);
+      for (std::size_t i = 0; i < num_cells; ++i) {
+        const double x = rng.uniform(
+            corridor_lo, std::max(corridor_lo + 1.0, corridor_hi - width));
+        const std::size_t row = i % chip.num_rows;
+        add_movable(design, width, 1, x,
+                    chip.row_y(row) + rng.normal(0.0, 1.0));
+      }
+      design.commit_positions_as_gp();
+      return design;
+    }
+  }
+  MCH_CHECK_MSG(false, "unknown DegenerateMode");
+  return Design{};
+}
+
 }  // namespace mch::gen

@@ -92,4 +92,30 @@ db::Design generate_random_design(std::size_t num_single,
                                   std::size_t num_double, double density,
                                   const GeneratorOptions& options = {});
 
+/// Pathological inputs for the solver-recovery fault-injection tests —
+/// conditions generate_random_design deliberately avoids (its GP synthesis
+/// stays near-legal), handcrafted so every rung of the escalation ladder
+/// can be exercised on something other than a healthy design.
+enum class DegenerateMode {
+  /// Triple-height cells stacked into one dense column: every spacing
+  /// constraint in every coupled row is active at the optimum and the rows
+  /// all share cells, so the KKT system is one big stiff component.
+  kNearSingularCoupling,
+  /// Total movable width ≈ 1.7× the whole chip's site capacity: no legal
+  /// placement exists, and the spacing LCP is pushed against an infeasible
+  /// constraint set.
+  kInfeasibleRowCapacity,
+  /// Two fixed macro walls leave a mid-chip corridor far narrower than the
+  /// movable cells crowded into it.
+  kObstacleSaturatedRows,
+};
+
+const char* to_string(DegenerateMode mode);
+
+/// Builds the requested pathological design. Positions are committed as the
+/// GP input (gp == current), fully deterministic for a given (mode, seed).
+db::Design generate_degenerate_design(DegenerateMode mode,
+                                      std::size_t num_cells,
+                                      std::uint64_t seed = 1);
+
 }  // namespace mch::gen

@@ -1,5 +1,6 @@
 #include "lcp/solver.h"
 
+#include <cstdlib>
 #include <utility>
 
 #include "util/check.h"
@@ -178,6 +179,127 @@ std::unique_ptr<LcpSolver> make_lcp_solver(LcpSolverKind kind,
   }
   MCH_CHECK_MSG(false, "unknown LcpSolverKind");
   return nullptr;
+}
+
+const char* to_string(RecoveryRung rung) {
+  switch (rung) {
+    case RecoveryRung::kPrimary:
+      return "primary";
+    case RecoveryRung::kEscalated:
+      return "escalated";
+    case RecoveryRung::kReference:
+      return "reference";
+    case RecoveryRung::kPsor:
+      return "psor";
+    case RecoveryRung::kLemke:
+      return "lemke";
+    case RecoveryRung::kExhausted:
+      return "exhausted";
+  }
+  return "unknown";
+}
+
+RecoveryOptions resolve_recovery_options(RecoveryOptions base) {
+  if (base.forced_failures == 0) {
+    if (const char* env = std::getenv("MCH_FORCE_SOLVER_FAILURE")) {
+      char* end = nullptr;
+      const unsigned long long value = std::strtoull(env, &end, 10);
+      if (end != env)
+        base.forced_failures = static_cast<std::size_t>(value);
+    }
+  }
+  return base;
+}
+
+namespace {
+
+/// The rung-kEscalated parameter set: θ* re-probed for this system (the
+/// probe is capped at the configured θ*, so it can only help), γ relaxed,
+/// and every iteration/pivot budget multiplied.
+LcpSolverConfig escalate_config(const StructuredQp& qp,
+                                const LcpSolverConfig& config,
+                                const RecoveryOptions& recovery) {
+  LcpSolverConfig escalated = config;
+  const std::size_t mult = std::max<std::size_t>(1, recovery.budget_multiplier);
+  if (recovery.reprobe_theta && qp.num_constraints() > 0) {
+    const MmsimSolver probe(qp, config.mmsim, config.schur_coupling_breaks);
+    escalated.mmsim.theta = probe.suggest_theta();
+  }
+  if (recovery.relaxed_gamma > 0.0)
+    escalated.mmsim.gamma = recovery.relaxed_gamma;
+  escalated.mmsim.max_iterations = config.mmsim.max_iterations * mult;
+  escalated.psor.max_iterations = config.psor.max_iterations * mult;
+  escalated.lemke_max_pivots = config.lemke_max_pivots * mult;
+  return escalated;
+}
+
+}  // namespace
+
+RecoveredSolve solve_with_recovery(LcpSolverKind primary,
+                                   const StructuredQp& qp,
+                                   const LcpSolverConfig& config,
+                                   const RecoveryOptions& recovery,
+                                   SolverWorkspace::Slot* slot,
+                                   bool warm_start) {
+  RecoveredSolve out;
+  const auto attempt = [&](LcpSolverKind kind, const LcpSolverConfig& cfg,
+                           RecoveryRung rung, bool warm) {
+    LcpSolveResult result = make_lcp_solver(kind, qp, cfg)->solve(slot, warm);
+    ++out.attempts;
+    const bool forced_fail = out.attempts <= recovery.forced_failures;
+    if (result.converged && !forced_fail) {
+      out.result = std::move(result);
+      out.rung = rung;
+      return true;
+    }
+    out.wasted_iterations += result.iterations;
+    return false;
+  };
+
+  if (attempt(primary, config, RecoveryRung::kPrimary, warm_start)) return out;
+  if (!recovery.enabled) {
+    out.rung = RecoveryRung::kExhausted;
+    return out;
+  }
+
+  // Rung 1: the primary solver again with escalated parameters. An MMSIM
+  // retry warm-starts from the failed iterate (kept in the slot), so a pure
+  // budget exhaustion resumes where it stopped.
+  const LcpSolverConfig escalated = escalate_config(qp, config, recovery);
+  if (attempt(primary, escalated, RecoveryRung::kEscalated,
+              /*warm=*/slot != nullptr))
+    return out;
+
+  // Rung 2: the retained stage-by-stage MMSIM reference path, cold-started.
+  // The fused kernels are bitwise-contracted to it, so this rung is
+  // insurance against the contract being violated, not expected to differ.
+  if (primary != LcpSolverKind::kMmsim || escalated.mmsim.fused) {
+    LcpSolverConfig reference = escalated;
+    reference.mmsim.fused = false;
+    if (attempt(LcpSolverKind::kMmsim, reference, RecoveryRung::kReference,
+                /*warm=*/false))
+      return out;
+  }
+
+  // Rung 3: PSOR, applicable to bound-constrained QPs the adapter can
+  // afford to densify.
+  if (primary != LcpSolverKind::kPsor && qp.num_constraints() == 0 &&
+      qp.num_variables() <= recovery.psor_fallback_max_variables) {
+    if (attempt(LcpSolverKind::kPsor, escalated, RecoveryRung::kPsor,
+                /*warm=*/false))
+      return out;
+  }
+
+  // Rung 4: exact Lemke pivoting for systems small enough to densify.
+  if (primary != LcpSolverKind::kLemke &&
+      qp.lcp_size() <= recovery.lemke_fallback_max_size) {
+    if (attempt(LcpSolverKind::kLemke, escalated, RecoveryRung::kLemke,
+                /*warm=*/false))
+      return out;
+  }
+
+  out.rung = RecoveryRung::kExhausted;
+  return out;
 }
 
 }  // namespace mch::lcp

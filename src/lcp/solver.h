@@ -81,4 +81,82 @@ std::unique_ptr<LcpSolver> make_lcp_solver(LcpSolverKind kind,
                                            const StructuredQp& qp,
                                            const LcpSolverConfig& config = {});
 
+// ---------------------------------------------------------------------------
+// Non-convergence escalation ladder.
+//
+// A failed solve must never be shipped silently: solve_with_recovery walks
+// a fixed ladder of retries until one converges or the ladder is exhausted,
+// in which case the caller degrades explicitly (the legalizer clamps the
+// component to its row-assigned snap positions and records a SolveFailure).
+// The ladder only runs after a failure, so converged solves are untouched —
+// their results stay bitwise identical to a recovery-free build.
+
+/// Which ladder rung produced the accepted result.
+enum class RecoveryRung {
+  kPrimary,    ///< the requested solver converged on the first attempt
+  kEscalated,  ///< retry with escalated parameters (θ re-probe, relaxed γ,
+               ///< multiplied iteration budget)
+  kReference,  ///< the retained stage-by-stage (unfused) MMSIM path
+  kPsor,       ///< PSOR fallback (bound-constrained components only)
+  kLemke,      ///< exact Lemke pivoting (small systems only)
+  kExhausted,  ///< no rung converged — the caller must degrade explicitly
+};
+
+const char* to_string(RecoveryRung rung);
+
+struct RecoveryOptions {
+  /// Master switch. When false a failed primary solve is returned as
+  /// kExhausted immediately (the pre-recovery surface-the-failure path).
+  bool enabled = true;
+  /// Rung kEscalated: re-derive θ* from the Theorem-2 bound for this
+  /// specific system via MmsimSolver::suggest_theta (the probe can only
+  /// shrink θ*, never enlarge it — see lcp/mmsim.h).
+  bool reprobe_theta = true;
+  /// Rung kEscalated: γ for the retries; ≤ 0 keeps the configured γ. The
+  /// modulus fixed point is γ-invariant, so relaxing γ to the classic
+  /// modulus choice 1.0 changes the iteration trajectory, not the solution.
+  double relaxed_gamma = 1.0;
+  /// Rung kEscalated: iteration/pivot budget multiplier for every retry.
+  std::size_t budget_multiplier = 4;
+  /// Rung kPsor applies only to bound-constrained QPs (m = 0) of at most
+  /// this many variables — the PSOR adapter materializes K densely.
+  std::size_t psor_fallback_max_variables = 1024;
+  /// Rung kLemke applies only to systems whose KKT dimension n + m is at
+  /// most this — Lemke is exact but dense and cubic.
+  std::size_t lemke_fallback_max_size = 256;
+  /// Fault injection: treat the first `forced_failures` attempts as failed
+  /// even when they converge, forcing the ladder onto later rungs. Set by
+  /// tests and by the MCH_FORCE_SOLVER_FAILURE environment variable (see
+  /// resolve_recovery_options); 0 in production.
+  std::size_t forced_failures = 0;
+};
+
+/// Overlays the MCH_FORCE_SOLVER_FAILURE environment variable (a forced-
+/// failure count for fault-injection test runs) onto `base`. The env var
+/// applies only when base.forced_failures is 0, so explicit test settings
+/// win over the ambient ctest variant.
+RecoveryOptions resolve_recovery_options(RecoveryOptions base = {});
+
+struct RecoveredSolve {
+  /// The accepted result; only meaningful when rung != kExhausted.
+  LcpSolveResult result;
+  RecoveryRung rung = RecoveryRung::kPrimary;
+  std::size_t attempts = 0;           ///< solve attempts, failed + accepted
+  std::size_t wasted_iterations = 0;  ///< iterations burned by failed attempts
+};
+
+/// Solves the QP with the requested solver and, on failure, walks the
+/// escalation ladder: escalated-parameter retry of the primary solver, the
+/// unfused MMSIM reference path, then PSOR (m = 0) and Lemke (small
+/// systems) where applicable. The slot (optional) is used for buffer reuse
+/// and warm starts exactly as LcpSolver::solve; escalated MMSIM retries
+/// warm-start from the failed iterate when a slot is present, so a budget
+/// exhaustion resumes instead of restarting.
+RecoveredSolve solve_with_recovery(LcpSolverKind primary,
+                                   const StructuredQp& qp,
+                                   const LcpSolverConfig& config,
+                                   const RecoveryOptions& recovery,
+                                   SolverWorkspace::Slot* slot = nullptr,
+                                   bool warm_start = false);
+
 }  // namespace mch::lcp

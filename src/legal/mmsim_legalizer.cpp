@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cstdlib>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "db/legality.h"
 #include "lcp/solver.h"
 #include "legal/partition.h"
 #include "runtime/parallel.h"
@@ -46,6 +48,10 @@ struct SolveOutcome {
   Vector x;  ///< global primal solution
   std::size_t iterations = 0;
   bool converged = false;
+  /// Cells whose component exhausted the recovery ladder: their slots in x
+  /// hold row-assigned snap positions, and the write-back clamps them into
+  /// the chip instead of trusting an unconverged iterate.
+  std::vector<std::size_t> clamped_cells;
 };
 
 /// Extracts every component sub-problem. Element slots are pre-sized so the
@@ -196,6 +202,10 @@ SolveOutcome solve_tiered(const LegalizationModel& model,
                           MmsimLegalizerStats& stats) {
   const std::size_t num = components.size();
   workspace.prepare(num);
+  // Zeroed on entry so an escalated-retry pass overwrites the counters of
+  // the failed pass instead of double-counting.
+  stats.components_mmsim = stats.components_psor = stats.components_lemke = 0;
+  stats.component_iterations = 0;
   std::vector<lcp::LcpSolverKind> kinds(num);
   std::vector<lcp::LcpSolveResult> results(num);
   parallel_for(
@@ -256,7 +266,102 @@ SolveOutcome solve_tiered(const LegalizationModel& model,
   return outcome;
 }
 
+/// Rungs 2+ of the escalation ladder: every component is routed through the
+/// per-component solver ladder (lcp::solve_with_recovery), so components
+/// that already converge pass straight through their primary solver while
+/// the failing ones walk escalated MMSIM → reference MMSIM → PSOR → Lemke.
+/// Components whose ladder is exhausted degrade explicitly — their cells
+/// are set to row-assigned snap positions (gp_x clamped into the chip) and
+/// recorded as structured SolveFailures — never shipped as an unconverged
+/// iterate.
+SolveOutcome recover_components(const db::Design& design,
+                                const LegalizationModel& model,
+                                const std::vector<ComponentProblem>& components,
+                                const lcp::MmsimOptions& mmsim_options,
+                                const SolverPolicy& policy,
+                                const lcp::RecoveryOptions& recovery,
+                                lcp::SolverWorkspace& workspace,
+                                MmsimLegalizerStats& stats) {
+  const std::size_t num = components.size();
+  workspace.prepare(num);
+  std::vector<lcp::RecoveredSolve> recovered(num);
+  parallel_for(
+      std::size_t{0}, num, kGrainComponents,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t c = lo; c < hi; ++c) {
+          lcp::LcpSolverConfig config;
+          config.mmsim = mmsim_options;
+          config.schur_coupling_breaks = &components[c].schur_coupling_breaks;
+          config.psor.tolerance = mmsim_options.tolerance;
+          config.psor.max_iterations = mmsim_options.max_iterations;
+          recovered[c] = lcp::solve_with_recovery(
+              pick_solver(components[c], policy), components[c].qp, config,
+              recovery, &workspace.slot(c), /*warm_start=*/true);
+        }
+      });
+
+  SolveOutcome outcome;
+  outcome.converged = true;
+  outcome.x.assign(model.num_variables(), 0.0);
+  stats.recovery.component_ladders += num;
+  const double chip_width = design.chip().width();
+  for (std::size_t c = 0; c < num; ++c) {
+    const lcp::RecoveredSolve& rec = recovered[c];
+    stats.recovery.ladder_attempts += rec.attempts;
+    stats.recovery.extra_iterations += rec.wasted_iterations;
+    if (rec.rung == lcp::RecoveryRung::kExhausted) {
+      outcome.converged = false;
+      SolveFailure failure;
+      failure.component = c;
+      failure.num_variables = components[c].variables.size();
+      failure.num_constraints = components[c].constraints.size();
+      failure.attempts = rec.attempts;
+      failure.iterations = rec.wasted_iterations;
+      for (std::size_t v = 0; v < components[c].variables.size(); ++v) {
+        const std::size_t g = components[c].variables[v];
+        const std::size_t cell = model.variables[g].cell;
+        const db::Cell& info = design.cells()[cell];
+        outcome.x[g] = std::clamp(info.gp_x, 0.0,
+                                  std::max(0.0, chip_width - info.width));
+        // Variable order groups a cell's subcells contiguously, so a
+        // back()-check is a full dedup.
+        if (failure.cells.empty() || failure.cells.back() != cell)
+          failure.cells.push_back(cell);
+      }
+      outcome.clamped_cells.insert(outcome.clamped_cells.end(),
+                                   failure.cells.begin(),
+                                   failure.cells.end());
+      stats.recovery.clamped_cells += failure.cells.size();
+      ++stats.recovery.clamped_components;
+      MCH_LOG(kWarn) << "solver recovery: " << failure.summary();
+      stats.recovery.failures.push_back(std::move(failure));
+    } else {
+      if (rec.rung != lcp::RecoveryRung::kPrimary)
+        ++stats.recovery.recovered_components;
+      for (std::size_t v = 0; v < components[c].variables.size(); ++v)
+        outcome.x[components[c].variables[v]] = rec.result.x[v];
+      outcome.iterations =
+          std::max(outcome.iterations, rec.result.iterations);
+      stats.phase.accumulate(rec.result.phase);
+    }
+  }
+  return outcome;
+}
+
 }  // namespace
+
+std::string SolveFailure::summary() const {
+  std::ostringstream os;
+  if (component == kMonolithic)
+    os << "monolithic system";
+  else
+    os << "component " << component;
+  os << " (" << num_variables << " variables, " << num_constraints
+     << " constraints) exhausted the escalation ladder after " << attempts
+     << " attempts / " << iterations << " iterations; " << cells.size()
+     << " cell(s) clamped to snap positions";
+  return os.str();
+}
 
 const char* to_string(PartitionMode mode) {
   switch (mode) {
@@ -309,34 +414,119 @@ MmsimLegalizerStats mmsim_legalize_continuous(
   lcp::SolverWorkspace& workspace =
       options.workspace != nullptr ? *options.workspace : default_workspace;
 
-  SolveOutcome outcome;
-  if (mode == PartitionMode::kOff) {
-    outcome = solve_monolithic(model, mmsim_options, workspace, stats);
-  } else {
+  // Partition lazily: the partitioned modes need it up front, the
+  // monolithic mode only on the recovery path.
+  std::vector<ComponentProblem> components;
+  bool partitioned = false;
+  const auto ensure_partitioned = [&] {
+    if (partitioned) return;
     const ConstraintPartition partition = partition_model(model);
     stats.num_components = partition.num_components();
     stats.max_component_size = partition.max_component_size();
     stats.mean_component_size = partition.mean_component_size();
-    const std::vector<ComponentProblem> components =
-        extract_components(model, partition);
-    outcome = mode == PartitionMode::kMatch
-                  ? solve_lockstep(model, components, mmsim_options,
-                                   workspace, stats)
-                  : solve_tiered(model, components, mmsim_options,
-                                 options.policy, workspace, stats);
+    components = extract_components(model, partition);
+    partitioned = true;
+  };
+
+  const lcp::RecoveryOptions recovery =
+      lcp::resolve_recovery_options(options.recovery);
+  std::size_t attempts = 0;
+  const auto run_mode = [&](const lcp::MmsimOptions& mo) {
+    SolveOutcome o;
+    if (mode == PartitionMode::kOff) {
+      o = solve_monolithic(model, mo, workspace, stats);
+    } else {
+      ensure_partitioned();
+      o = mode == PartitionMode::kMatch
+              ? solve_lockstep(model, components, mo, workspace, stats)
+              : solve_tiered(model, components, mo, options.policy,
+                             workspace, stats);
+    }
+    ++attempts;
+    // Fault injection: the mode-level solve and its escalated retry consume
+    // the first forced failures; the remainder is passed down to the
+    // per-component ladders.
+    if (recovery.enabled && attempts <= recovery.forced_failures)
+      o.converged = false;
+    return o;
+  };
+
+  SolveOutcome outcome = run_mode(mmsim_options);
+  double theta_used = mmsim_options.theta;
+
+  if (!outcome.converged && recovery.enabled) {
+    // Rung 1 (whole solve): escalated parameters. θ* is re-probed on the
+    // monolithic system so kOff and kMatch retries stay bitwise identical
+    // to each other, preserving the lockstep contract under recovery.
+    ++stats.recovery.escalations;
+    stats.recovery.extra_iterations += outcome.iterations;
+    lcp::MmsimOptions escalated = mmsim_options;
+    if (recovery.reprobe_theta && model.qp.num_constraints() > 0) {
+      const MmsimSolver probe(model.qp, mmsim_options);
+      escalated.theta = probe.suggest_theta();
+    }
+    if (recovery.relaxed_gamma > 0.0) escalated.gamma = recovery.relaxed_gamma;
+    escalated.max_iterations =
+        mmsim_options.max_iterations *
+        std::max<std::size_t>(1, recovery.budget_multiplier);
+    SolveOutcome retry = run_mode(escalated);
+    if (retry.converged) {
+      outcome = std::move(retry);
+      theta_used = escalated.theta;
+    } else {
+      // Rungs 2+: decompose (if not already) and walk the per-component
+      // solver ladder, degrading exhausted components to snap clamps.
+      stats.recovery.extra_iterations += retry.iterations;
+      ensure_partitioned();
+      lcp::RecoveryOptions ladder = recovery;
+      ladder.forced_failures = recovery.forced_failures > attempts
+                                   ? recovery.forced_failures - attempts
+                                   : 0;
+      outcome = recover_components(design, model, components, mmsim_options,
+                                   options.policy, ladder, workspace, stats);
+      theta_used = escalated.theta;
+    }
   }
   stats.solve_seconds = solve_timer.seconds();
 
-  stats.theta_used = mmsim_options.theta;
+  stats.theta_used = theta_used;
   stats.iterations = outcome.iterations;
   stats.converged = outcome.converged;
   stats.max_mismatch = model.max_mismatch(outcome.x);
   stats.objective = model.qp.objective(outcome.x);
 
+  std::vector<char> clamped;
+  if (!outcome.clamped_cells.empty()) {
+    clamped.assign(design.num_cells(), 0);
+    for (const std::size_t c : outcome.clamped_cells) clamped[c] = 1;
+  }
   for (std::size_t c = 0; c < design.num_cells(); ++c) {
     if (design.cells()[c].fixed) continue;
-    design.cells()[c].x = model.cell_x(outcome.x, c);
+    double x = model.cell_x(outcome.x, c);
+    if (!clamped.empty() && clamped[c]) {
+      x = std::clamp(
+          x, 0.0,
+          std::max(0.0, design.chip().width() - design.cells()[c].width));
+    }
+    design.cells()[c].x = x;
     design.cells()[c].y = design.chip().row_y(base_rows[c]);
+  }
+
+  // Gate: whenever recovery engaged or the solve stayed unconverged, audit
+  // the written-back result so no failure leaves the legalizer unverified.
+  // The result is continuous (pre-snap), so sites are not required yet.
+  if (stats.recovery.attempted() || !stats.converged) {
+    db::LegalityOptions audit;
+    audit.require_site_alignment = false;
+    audit.tolerance = options.audit_tolerance;
+    const db::LegalityReport report = db::check_legality(design, audit);
+    stats.recovery.audit_ran = true;
+    stats.recovery.audit_legal = report.legal();
+    stats.recovery.audit_summary = report.summary();
+    if (!report.legal()) {
+      MCH_LOG(kWarn) << "post-recovery legality audit failed: "
+                     << report.summary();
+    }
   }
   return stats;
 }

@@ -27,9 +27,12 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
+#include <vector>
 
 #include "db/design.h"
 #include "lcp/mmsim.h"
+#include "lcp/solver.h"
 #include "lcp/workspace.h"
 #include "legal/model.h"
 #include "legal/row_assign.h"
@@ -59,6 +62,54 @@ struct SolverPolicy {
   bool psor_for_unconstrained = true;
 };
 
+/// Machine-readable record of one component (or the monolithic system) that
+/// exhausted every rung of the escalation ladder. The affected cells were
+/// clamped to their row-assigned snap positions instead of receiving an
+/// unconverged iterate; downstream consumers decide whether to re-run,
+/// reject, or ship with the documented degradation.
+struct SolveFailure {
+  /// Component index within the partition that was recovered; kMonolithic
+  /// when the failure covers the whole undecomposed system.
+  static constexpr std::size_t kMonolithic = static_cast<std::size_t>(-1);
+  std::size_t component = kMonolithic;
+  std::size_t num_variables = 0;
+  std::size_t num_constraints = 0;
+  std::size_t attempts = 0;    ///< ladder attempts before giving up
+  std::size_t iterations = 0;  ///< iterations burned across those attempts
+  std::vector<std::size_t> cells;  ///< cells clamped to snap positions
+
+  /// One-line human-readable form (cells listed by count, not id).
+  std::string summary() const;
+};
+
+/// What the escalation ladder did during one legalization solve. All-zero
+/// (attempted() == false) on the happy path: recovery only engages after a
+/// failure, so converged runs stay bitwise identical to a recovery-free
+/// build.
+struct RecoveryStats {
+  std::size_t escalations = 0;        ///< whole-solve escalated retries
+  std::size_t component_ladders = 0;  ///< components routed through the
+                                      ///< per-component solver ladder
+  std::size_t ladder_attempts = 0;    ///< total attempts across those ladders
+  std::size_t recovered_components = 0;  ///< ladder successes past the
+                                         ///< primary rung
+  std::size_t clamped_components = 0;    ///< ladders exhausted → snap-clamped
+  std::size_t clamped_cells = 0;
+  std::size_t extra_iterations = 0;  ///< iterations burned by failed attempts
+  /// Post-write-back legality audit (pre-snap tolerances: sites not yet
+  /// required). Runs whenever recovery engaged or the solve stayed
+  /// unconverged, so no failure leaves the legalizer unverified.
+  bool audit_ran = false;
+  bool audit_legal = false;
+  std::string audit_summary;
+  /// Structured record per clamped component.
+  std::vector<SolveFailure> failures;
+
+  bool attempted() const {
+    return escalations > 0 || component_ladders > 0;
+  }
+};
+
 struct MmsimLegalizerOptions {
   ModelOptions model;        ///< λ penalty (paper: 1000)
   lcp::MmsimOptions mmsim;   ///< β*, θ*, γ, tolerance (paper: 0.5/0.5)
@@ -78,6 +129,16 @@ struct MmsimLegalizerOptions {
   /// kMatch use it for buffer reuse only, preserving their bitwise
   /// cold-start contracts.
   lcp::SolverWorkspace* workspace = nullptr;
+  /// Non-convergence escalation ladder (see lcp/solver.h). forced_failures
+  /// is additionally resolved from MCH_FORCE_SOLVER_FAILURE for the
+  /// fault-injection ctest variant. Disable to restore the legacy behavior
+  /// of surfacing converged == false without retrying (the unconverged
+  /// iterate is still written back then — tests of the surfacing path only).
+  lcp::RecoveryOptions recovery;
+  /// Absolute tolerance of the post-recovery legality audit. The audited
+  /// result is continuous (pre-snap), so the tolerance must absorb solver
+  /// tolerance and residual λ-mismatch; 1e-2 is far below a site width.
+  double audit_tolerance = 1e-2;
 };
 
 struct MmsimLegalizerStats {
@@ -110,6 +171,12 @@ struct MmsimLegalizerStats {
   /// (deterministic). Only systems of ≥ 256 LCP variables contribute — see
   /// lcp::MmsimPhaseTimes — so the sum can be well below solve_seconds.
   lcp::MmsimPhaseTimes phase;
+
+  /// Escalation-ladder activity. attempted() == false on the happy path;
+  /// clamped_components > 0 (with per-failure records in failures) when the
+  /// ladder was exhausted somewhere — in that case converged is false and
+  /// the affected cells hold snap positions, never an unconverged iterate.
+  RecoveryStats recovery;
 };
 
 /// Solves the relaxed problem for the given row assignment and writes the

@@ -184,5 +184,90 @@ TEST(LegalityTest, ToleranceForgivesRounding) {
   EXPECT_TRUE(check_legality(design).legal());
 }
 
+// Regression: num_rows − height_rows is an unsigned difference that wraps
+// for a cell taller than the chip, which made on_row spuriously true and
+// hid the off-row violation. (add_cell rejects such cells at insert time,
+// but designs mutated after loading can still carry them.)
+TEST(LegalityTest, CellTallerThanChipIsOffRow) {
+  Design design(test_chip());
+  Cell a;
+  a.width = 5;
+  a.height_rows = 1;
+  a.x = 0;
+  a.y = 0;  // row-aligned, so only the vertical fit can reject it
+  design.add_cell(a);
+  design.cells()[0].height_rows = 7;  // chip has 6 rows
+  const LegalityReport report = check_legality(design);
+  EXPECT_FALSE(report.legal());
+  EXPECT_GE(report.off_row, 1u);
+  EXPECT_GE(report.outside_chip, 1u);
+}
+
+// Regression: off-row cells were never inserted into the row occupancy
+// lists, so an off-row cell sitting on top of legal cells reported zero
+// overlaps.
+TEST(LegalityTest, OffRowCellStillReportsOverlaps) {
+  Design design = legal_design();
+  Cell c;
+  c.width = 5;
+  c.height_rows = 1;
+  c.x = 0;  // directly on top of cell 0 ([0,5) in row 0)
+  c.y = 3;  // off-row: outline touches rows 0 and 1
+  design.add_cell(c);
+  const LegalityReport report = check_legality(design);
+  EXPECT_EQ(report.off_row, 1u);
+  EXPECT_EQ(report.overlaps, 1u) << report.summary();
+}
+
+TEST(LegalityTest, OffRowOverlapPairCountedOnce) {
+  Design design = legal_design();
+  Cell c;
+  c.width = 4;
+  c.height_rows = 1;
+  c.x = 10;  // over the double-height cell 1 ([10,14) in rows 0–1)
+  c.y = 5;   // off-row: touches rows 0 and 1 — still one pair
+  design.add_cell(c);
+  const LegalityReport report = check_legality(design);
+  EXPECT_EQ(report.overlaps, 1u) << report.summary();
+}
+
+// Regression: overlap depth was measured to the left cell's far edge, so a
+// narrow cell contained inside a wide one over-reported the overlap.
+TEST(LegalityTest, ContainedCellDepthClampedToItsWidth) {
+  Design design(test_chip());
+  Cell wide;
+  wide.width = 10;
+  wide.x = 0;
+  wide.y = 0;
+  design.add_cell(wide);
+  Cell narrow;
+  narrow.width = 2;
+  narrow.x = 4;  // fully inside [0,10)
+  narrow.y = 0;
+  design.add_cell(narrow);
+  const LegalityReport report = check_legality(design);
+  EXPECT_EQ(report.overlaps, 1u);
+  EXPECT_NEAR(report.max_overlap_depth, 2.0, 1e-12);
+}
+
+// Regression: pair dedup was a linear scan over a growing vector —
+// quadratic in the violation count. A fully stacked row produces C(n,2)
+// pairs and must still complete promptly.
+TEST(LegalityTest, ViolationHeavyDesignCompletes) {
+  Chip chip = test_chip();
+  chip.num_sites = 1000;
+  Design design(chip);
+  const std::size_t n = 400;
+  for (std::size_t i = 0; i < n; ++i) {
+    Cell c;
+    c.width = 5;
+    c.x = 0;
+    c.y = 0;
+    design.add_cell(c);
+  }
+  const LegalityReport report = check_legality(design);
+  EXPECT_EQ(report.overlaps, n * (n - 1) / 2);
+}
+
 }  // namespace
 }  // namespace mch::db

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <cstdlib>
+#include <string>
 
 #include "util/check.h"
 
@@ -148,6 +150,146 @@ TEST(LcpSolverTest, MmsimAdapterHonorsCouplingBreaks) {
   ASSERT_TRUE(result.converged);
   for (std::size_t i = 0; i < result.x.size(); ++i)
     EXPECT_NEAR(result.x[i], reference.x[i], 1e-3) << "x[" << i << "]";
+}
+
+// --- escalation ladder -----------------------------------------------------
+
+/// Ladder-shape tests pin fused kernels ON so the kReference (unfused) rung
+/// exists regardless of the ambient MCH_FUSED_KERNELS (.fused-off variant):
+/// with an already-unfused primary the ladder rightly skips that rung, which
+/// would shift every attempt count below.
+LcpSolverConfig fused_config() {
+  LcpSolverConfig config;
+  config.mmsim.fused = true;
+  return config;
+}
+
+TEST(RecoveryLadderTest, ConvergedPrimaryIsUntouched) {
+  const StructuredQp qp = chain_qp();
+  const RecoveredSolve recovered = solve_with_recovery(
+      LcpSolverKind::kMmsim, qp, LcpSolverConfig{}, RecoveryOptions{});
+  const LcpSolveResult direct =
+      make_lcp_solver(LcpSolverKind::kMmsim, qp)->solve();
+  EXPECT_EQ(recovered.rung, RecoveryRung::kPrimary);
+  EXPECT_EQ(recovered.attempts, 1u);
+  EXPECT_EQ(recovered.wasted_iterations, 0u);
+  ASSERT_TRUE(recovered.result.converged);
+  // Recovery must not perturb the success path: bitwise-equal result.
+  ASSERT_EQ(recovered.result.x.size(), direct.x.size());
+  for (std::size_t i = 0; i < direct.x.size(); ++i)
+    EXPECT_EQ(recovered.result.x[i], direct.x[i]) << "x[" << i << "]";
+}
+
+TEST(RecoveryLadderTest, ForcedFailureRecoversAtEscalatedRung) {
+  const StructuredQp qp = chain_qp();
+  RecoveryOptions recovery;
+  recovery.forced_failures = 1;
+  const RecoveredSolve recovered = solve_with_recovery(
+      LcpSolverKind::kMmsim, qp, LcpSolverConfig{}, recovery);
+  EXPECT_EQ(recovered.rung, RecoveryRung::kEscalated);
+  EXPECT_EQ(recovered.attempts, 2u);
+  EXPECT_GT(recovered.wasted_iterations, 0u);
+  ASSERT_TRUE(recovered.result.converged);
+  const LcpSolveResult reference =
+      make_lcp_solver(LcpSolverKind::kLemke, qp)->solve();
+  for (std::size_t i = 0; i < reference.x.size(); ++i)
+    EXPECT_NEAR(recovered.result.x[i], reference.x[i], 1e-3);
+}
+
+TEST(RecoveryLadderTest, LadderFallsBackToReferenceThenLemke) {
+  const StructuredQp qp = chain_qp();
+  RecoveryOptions recovery;
+  recovery.forced_failures = 2;  // primary + escalated forced down
+  RecoveredSolve recovered = solve_with_recovery(
+      LcpSolverKind::kMmsim, qp, fused_config(), recovery);
+  EXPECT_EQ(recovered.rung, RecoveryRung::kReference);
+  EXPECT_EQ(recovered.attempts, 3u);
+
+  recovery.forced_failures = 3;  // ... + reference: m > 0, so PSOR is
+                                 // skipped and Lemke is the last resort
+  recovered = solve_with_recovery(LcpSolverKind::kMmsim, qp,
+                                  fused_config(), recovery);
+  EXPECT_EQ(recovered.rung, RecoveryRung::kLemke);
+  EXPECT_EQ(recovered.attempts, 4u);
+  ASSERT_TRUE(recovered.result.converged);
+}
+
+TEST(RecoveryLadderTest, PsorRungServesBoundConstrainedQps) {
+  const StructuredQp qp = unconstrained_qp();
+  RecoveryOptions recovery;
+  recovery.forced_failures = 3;  // primary, escalated, reference forced down
+  const RecoveredSolve recovered = solve_with_recovery(
+      LcpSolverKind::kMmsim, qp, fused_config(), recovery);
+  EXPECT_EQ(recovered.rung, RecoveryRung::kPsor);
+  ASSERT_TRUE(recovered.result.converged);
+  EXPECT_NEAR(recovered.result.x[0], 3.0, 1e-6);
+  EXPECT_NEAR(recovered.result.x[1], 0.0, 1e-6);
+}
+
+TEST(RecoveryLadderTest, ExhaustedLadderReportsEveryAttempt) {
+  const StructuredQp qp = chain_qp();
+  RecoveryOptions recovery;
+  recovery.forced_failures = 100;
+  const RecoveredSolve recovered = solve_with_recovery(
+      LcpSolverKind::kMmsim, qp, fused_config(), recovery);
+  EXPECT_EQ(recovered.rung, RecoveryRung::kExhausted);
+  // primary, escalated, reference, Lemke (PSOR skipped: m > 0).
+  EXPECT_EQ(recovered.attempts, 4u);
+  EXPECT_GT(recovered.wasted_iterations, 0u);
+}
+
+TEST(RecoveryLadderTest, DisabledRecoverySurfacesTheFailure) {
+  const StructuredQp qp = chain_qp();
+  RecoveryOptions recovery;
+  recovery.enabled = false;
+  recovery.forced_failures = 1;
+  const RecoveredSolve recovered = solve_with_recovery(
+      LcpSolverKind::kMmsim, qp, LcpSolverConfig{}, recovery);
+  EXPECT_EQ(recovered.rung, RecoveryRung::kExhausted);
+  EXPECT_EQ(recovered.attempts, 1u);
+}
+
+TEST(RecoveryLadderTest, ZeroIterationBudgetRecoversByEscalation) {
+  const StructuredQp qp = chain_qp();
+  LcpSolverConfig config;
+  config.mmsim.max_iterations = 1;  // genuine failure, not injected
+  RecoveryOptions recovery;
+  recovery.budget_multiplier = 20000;
+  const RecoveredSolve recovered = solve_with_recovery(
+      LcpSolverKind::kMmsim, qp, config, recovery);
+  EXPECT_EQ(recovered.rung, RecoveryRung::kEscalated);
+  ASSERT_TRUE(recovered.result.converged);
+  EXPECT_EQ(recovered.wasted_iterations, 1u);
+}
+
+TEST(RecoveryLadderTest, LadderRespectsSizeGates) {
+  const StructuredQp qp = chain_qp();
+  RecoveryOptions recovery;
+  recovery.forced_failures = 100;
+  recovery.lemke_fallback_max_size = 2;  // below n + m = 5: Lemke gated off
+  const RecoveredSolve recovered = solve_with_recovery(
+      LcpSolverKind::kMmsim, qp, fused_config(), recovery);
+  EXPECT_EQ(recovered.rung, RecoveryRung::kExhausted);
+  EXPECT_EQ(recovered.attempts, 3u);  // primary, escalated, reference only
+}
+
+TEST(RecoveryLadderTest, EnvironmentResolvesForcedFailures) {
+  const char* saved = std::getenv("MCH_FORCE_SOLVER_FAILURE");
+  const std::string saved_value = saved ? saved : "";
+
+  ::setenv("MCH_FORCE_SOLVER_FAILURE", "3", 1);
+  EXPECT_EQ(resolve_recovery_options().forced_failures, 3u);
+  // Explicit settings win over the ambient fault-injection variant.
+  RecoveryOptions explicit_options;
+  explicit_options.forced_failures = 7;
+  EXPECT_EQ(resolve_recovery_options(explicit_options).forced_failures, 7u);
+  ::unsetenv("MCH_FORCE_SOLVER_FAILURE");
+  EXPECT_EQ(resolve_recovery_options().forced_failures, 0u);
+
+  if (saved)
+    ::setenv("MCH_FORCE_SOLVER_FAILURE", saved_value.c_str(), 1);
+  else
+    ::unsetenv("MCH_FORCE_SOLVER_FAILURE");
 }
 
 }  // namespace

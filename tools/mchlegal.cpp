@@ -168,6 +168,20 @@ int main(int argc, char** argv) {
                     "%zu component iterations\n",
                     result.solver_components, result.solver_max_component,
                     result.solver_component_iterations);
+      if (result.solver_recovery.attempted() || !result.solver_converged) {
+        const legal::RecoveryStats& rec = result.solver_recovery;
+        std::printf("recovery:            %zu escalation(s), %zu component "
+                    "ladder(s) (%zu attempts), %zu recovered, %zu clamped "
+                    "component(s) / %zu cell(s); audit %s\n",
+                    rec.escalations, rec.component_ladders,
+                    rec.ladder_attempts, rec.recovered_components,
+                    rec.clamped_components, rec.clamped_cells,
+                    !rec.audit_ran       ? "not run"
+                    : rec.audit_legal    ? "legal"
+                                         : rec.audit_summary.c_str());
+        for (const legal::SolveFailure& failure : rec.failures)
+          std::printf("recovery failure:    %s\n", failure.summary().c_str());
+      }
       if (result.solver_phase.total() > 0.0)
         std::printf("solver phases:       kernel %.2f ms, spmv %.2f ms, "
                     "thomas %.2f ms, reduction %.2f ms (solve %.2f ms)\n",

@@ -27,6 +27,14 @@ cmake --build build -j4
 echo "== tier-1: ctest =="
 (cd build && ctest -j2 --output-on-failure)
 
+echo "== recovery: fault-injected legal/lcp suites =="
+# The .recovery ctest variant runs with MCH_FORCE_SOLVER_FAILURE=1, so
+# every legalization solve exercises the escalation ladder and must still
+# meet its contracts; the plain legality/recovery regression suites ride
+# along for the checker fixes.
+(cd build && ctest -j2 --output-on-failure \
+  -R '\.recovery$|RecoveryLadderTest|DegenerateDesignTest|LegalityTest')
+
 if [[ "$FAST" == 0 ]]; then
   echo "== asan: build solver/legalizer suites =="
   cmake -B build-asan -S . -DMCH_ENABLE_ASAN=ON \
