@@ -1,0 +1,192 @@
+// Resident-session ECO throughput (ROADMAP "legalization server").
+//
+// Loads one design into a service::LegalizationSession, then serves a
+// randomized ECO trace (mostly small move batches, a few inserts/erases)
+// and reports request latency percentiles and requests/sec. Every few
+// requests the same design state is also legalized from scratch with the
+// one-shot legal::legalize so the incremental path's speedup is measured
+// against the exact work it avoids.
+//
+//   ./service_throughput [num-requests] [ops-per-request]
+//
+// The default design is 50k cells (45k single + 5k double, density 0.7) at
+// MCH_BENCH_SCALE=0.05-equivalent sizing; the counts scale linearly with
+// MCH_BENCH_SCALE like the table benches.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_common.h"
+#include "gen/generator.h"
+#include "io/table.h"
+#include "legal/flow.h"
+#include "service/session.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = p * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mch;
+  bench::bench_threads(argc, argv);
+  bench::print_bench_banner("service_throughput");
+
+  const std::size_t num_requests =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 128;
+  const std::size_t ops_per_request =
+      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 8;
+
+  // 50k cells at the default scale (0.05), growing linearly like the table
+  // benches.
+  const double sizing = bench::bench_scale() / 0.05;
+  const auto num_single = static_cast<std::size_t>(45000 * sizing);
+  const auto num_double = static_cast<std::size_t>(5000 * sizing);
+  gen::GeneratorOptions gen_options;
+  gen_options.seed = bench::bench_seed();
+  db::Design design =
+      gen::generate_random_design(num_single, num_double, 0.7, gen_options);
+  std::printf("design: %zu cells (%zu single, %zu double), density 0.70\n",
+              design.num_cells(), num_single, num_double);
+
+  service::SessionOptions session_options;
+  service::LegalizationSession session(std::move(design), session_options);
+
+  // Establish the resident state: legalize, adopt the legal placement as
+  // the GP (the ECO baseline), and solve once more so the session's model/
+  // partition/solution describe the committed state.
+  service::SessionResult full = session.full_legalize();
+  std::printf("initial full legalize: %s, %.3fs, %zu components\n",
+              full.legal ? "legal" : "ILLEGAL", full.seconds,
+              full.session.components_total);
+  session.commit_legal_as_gp();
+  full = session.full_legalize();
+  std::printf("resident solve on committed GP: %s, %.3fs\n",
+              full.legal ? "legal" : "ILLEGAL", full.seconds);
+
+  const db::Chip& chip = session.design().chip();
+  Rng rng(bench::bench_seed() + 1234);
+  const auto pick_live_movable = [&]() -> std::size_t {
+    for (;;) {
+      const auto id = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(session.design().num_cells()) - 1));
+      const db::Cell& cell = session.design().cells()[id];
+      if (!cell.fixed && !cell.erased) return id;
+    }
+  };
+
+  std::vector<double> latencies;  // seconds per ECO request
+  latencies.reserve(num_requests);
+  std::vector<double> scratch_seconds;
+  double eco_at_scratch_samples = 0.0;  // ECO latency on the sampled requests
+  std::size_t illegal = 0;
+  std::size_t fallbacks = 0;
+  std::size_t warm_hits = 0;
+  double dirty_sum = 0.0;
+  double reused_sum = 0.0;
+  double touched_sum = 0.0;
+
+  const std::size_t scratch_every = std::max<std::size_t>(1, num_requests / 8);
+
+  for (std::size_t req = 0; req < num_requests; ++req) {
+    service::EcoRequest request;
+    for (std::size_t k = 0; k < ops_per_request; ++k) {
+      const double roll = rng.uniform();
+      if (roll < 0.90) {
+        const std::size_t id = pick_live_movable();
+        const db::Cell& cell = session.design().cells()[id];
+        request.ops.push_back(service::EcoOp::move(
+            id, cell.gp_x + rng.normal(0.0, 6.0 * chip.site_width),
+            cell.gp_y + rng.normal(0.0, 0.8 * chip.row_height)));
+      } else if (roll < 0.95) {
+        db::Cell payload = session.design().cells()[pick_live_movable()];
+        payload.gp_x = rng.uniform(0.0, chip.width() - payload.width);
+        payload.gp_y = rng.uniform(0.0, chip.height());
+        request.ops.push_back(service::EcoOp::insert(payload));
+      } else {
+        request.ops.push_back(service::EcoOp::erase(pick_live_movable()));
+      }
+    }
+
+    const service::SessionResult result = session.eco(request);
+    latencies.push_back(result.seconds);
+    if (!result.legal) ++illegal;
+    fallbacks += result.session.full_solve_fallbacks;
+    warm_hits += result.session.warm_start_hits;
+    dirty_sum += static_cast<double>(result.session.components_dirty);
+    reused_sum += static_cast<double>(result.session.components_reused);
+    touched_sum += static_cast<double>(result.session.touched_cells);
+
+    // Sampled from-scratch comparison: legalize a copy of the exact same
+    // design state with the one-shot flow.
+    if (req % scratch_every == 0) {
+      db::Design copy = session.design();
+      Timer timer;
+      const legal::FlowResult scratch =
+          legal::legalize(copy, session_options.flow);
+      scratch_seconds.push_back(timer.seconds());
+      eco_at_scratch_samples += result.seconds;
+      if (!scratch.legal) ++illegal;
+    }
+  }
+
+  const double n = static_cast<double>(num_requests);
+  double total = 0.0;
+  for (const double s : latencies) total += s;
+
+  io::Table table({"requests", "ops/req", "p50 ms", "p99 ms", "mean ms",
+                   "req/s", "dirty", "reused", "warm rate", "fallbacks"});
+  table.row()
+      .cell(num_requests)
+      .cell(ops_per_request)
+      .cell(percentile(latencies, 0.50) * 1e3)
+      .cell(percentile(latencies, 0.99) * 1e3)
+      .cell(total / n * 1e3)
+      .cell(n / total)
+      .cell(dirty_sum / n)
+      .cell(reused_sum / n)
+      .cell(dirty_sum > 0.0 ? static_cast<double>(warm_hits) / dirty_sum : 0.0)
+      .cell(fallbacks);
+  std::printf("\n%s\n", table.to_text().c_str());
+  std::printf("mean touched cells per request: %.1f\n", touched_sum / n);
+
+  double scratch_total = 0.0;
+  for (const double s : scratch_seconds) scratch_total += s;
+  const double scratch_mean =
+      scratch_seconds.empty()
+          ? 0.0
+          : scratch_total / static_cast<double>(scratch_seconds.size());
+  const double eco_mean_at_samples =
+      scratch_seconds.empty()
+          ? 0.0
+          : eco_at_scratch_samples /
+                static_cast<double>(scratch_seconds.size());
+  const double speedup =
+      eco_mean_at_samples > 0.0 ? scratch_mean / eco_mean_at_samples : 0.0;
+  std::printf(
+      "from-scratch legalize (sampled %zux): mean %.3fs; incremental ECO on "
+      "the same states: mean %.4fs — speedup %.1fx\n",
+      scratch_seconds.size(), scratch_mean, eco_mean_at_samples, speedup);
+  std::printf("illegal results: %zu\n", illegal);
+
+  if (illegal > 0) return 1;
+  // The acceptance bar of the resident-session work: incremental ECO must
+  // be at least 5x faster than re-legalizing from scratch.
+  if (speedup < 5.0) {
+    std::printf("FAIL: speedup %.1fx below the 5x bar\n", speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -93,8 +93,14 @@ int main(int argc, char** argv) {
   // sub-problems the solver fanned out, and the iteration total across them
   // (under tiered partitioning this is what independent termination saves
   // versus running every component to the slowest one's count).
+  // The incremental columns (dirty/reused/warm rate) report the resident
+  // session's bookkeeping when the run was served through one (MCH_SESSION=1
+  // routes eval::run_legalizer that way); a full solve re-solves every
+  // component, so they only become non-zero for incremental ECO serving —
+  // see bench/service_throughput.cpp for the request-stream numbers.
   io::Table decomposition({"Benchmark", "Components", "Largest", "Mean size",
-                           "Iters (max)", "Iters (sum)"});
+                           "Iters (max)", "Iters (sum)", "Dirty", "Reused",
+                           "Warm rate"});
   for (std::size_t s = 0; s < suite.size(); ++s) {
     const eval::RunResult& ours =
         all_results[s * methods.size() + methods.size() - 1];
@@ -105,7 +111,10 @@ int main(int argc, char** argv) {
         .cell(static_cast<double>(ours.solver_max_component), 0)
         .cell(ours.solver_mean_component, 2)
         .cell(static_cast<double>(ours.solver_iterations), 0)
-        .cell(static_cast<double>(ours.solver_component_iterations), 0);
+        .cell(static_cast<double>(ours.solver_component_iterations), 0)
+        .cell(static_cast<double>(ours.session_dirty_components), 0)
+        .cell(static_cast<double>(ours.session_reused_components), 0)
+        .cell(ours.session_warm_rate, 2);
   }
   std::cout << "Solver decomposition (Ours):\n"
             << decomposition.to_text() << "\n";

@@ -27,11 +27,61 @@ std::size_t Design::add_net(Net net) {
   return nets_.size() - 1;
 }
 
+void Design::move_cell(std::size_t id, double gp_x, double gp_y) {
+  MCH_CHECK_MSG(id < cells_.size(), "move_cell: unknown cell " << id);
+  Cell& cell = cells_[id];
+  MCH_CHECK_MSG(!cell.fixed, "move_cell: cell " << id << " is fixed");
+  MCH_CHECK_MSG(!cell.erased, "move_cell: cell " << id << " is erased");
+  const double height =
+      static_cast<double>(cell.height_rows) * chip_.row_height;
+  cell.gp_x = std::clamp(gp_x, 0.0, std::max(0.0, chip_.width() - cell.width));
+  cell.gp_y = std::clamp(gp_y, 0.0, std::max(0.0, chip_.height() - height));
+}
+
+std::size_t Design::insert_cell(Cell cell) {
+  cell.erased = false;
+  const std::size_t id = add_cell(cell);
+  Cell& placed = cells_[id];
+  const double height =
+      static_cast<double>(placed.height_rows) * chip_.row_height;
+  placed.gp_x = std::clamp(placed.gp_x, 0.0,
+                           std::max(0.0, chip_.width() - placed.width));
+  placed.gp_y =
+      std::clamp(placed.gp_y, 0.0, std::max(0.0, chip_.height() - height));
+  // Fixed inserts are new obstacles: their GP position IS the placement,
+  // so the outline must arrive row/site aligned; movable inserts get their
+  // position from the next legalization anyway.
+  placed.x = placed.gp_x;
+  placed.y = placed.gp_y;
+  return id;
+}
+
+void Design::erase_cell(std::size_t id) {
+  MCH_CHECK_MSG(id < cells_.size(), "erase_cell: unknown cell " << id);
+  MCH_CHECK_MSG(!cells_[id].erased,
+                "erase_cell: cell " << id << " already erased");
+  cells_[id].erased = true;
+  for (Net& net : nets_) {
+    net.pins.erase(std::remove_if(net.pins.begin(), net.pins.end(),
+                                  [&](const Pin& pin) {
+                                    return pin.cell == id;
+                                  }),
+                   net.pins.end());
+  }
+}
+
+std::size_t Design::num_erased_cells() const {
+  return static_cast<std::size_t>(std::count_if(
+      cells_.begin(), cells_.end(), [](const Cell& c) { return c.erased; }));
+}
+
 double Design::total_cell_area() const {
   double area = 0.0;
-  for (const Cell& cell : cells_)
+  for (const Cell& cell : cells_) {
+    if (cell.erased) continue;
     area += cell.width * static_cast<double>(cell.height_rows) *
             chip_.row_height;
+  }
   return area;
 }
 
@@ -89,17 +139,19 @@ double Design::snap_x_to_site(double x, double width) const {
 std::size_t Design::count_cells_with_height(std::size_t height_rows) const {
   return static_cast<std::size_t>(
       std::count_if(cells_.begin(), cells_.end(), [&](const Cell& c) {
-        return !c.fixed && c.height_rows == height_rows;
+        return !c.fixed && !c.erased && c.height_rows == height_rows;
       }));
 }
 
 std::size_t Design::num_fixed_cells() const {
-  return static_cast<std::size_t>(std::count_if(
-      cells_.begin(), cells_.end(), [](const Cell& c) { return c.fixed; }));
+  return static_cast<std::size_t>(
+      std::count_if(cells_.begin(), cells_.end(),
+                    [](const Cell& c) { return c.fixed && !c.erased; }));
 }
 
 void Design::commit_positions_as_gp() {
   for (Cell& cell : cells_) {
+    if (cell.erased) continue;
     cell.gp_x = cell.x;
     cell.gp_y = cell.y;
   }
@@ -107,6 +159,7 @@ void Design::commit_positions_as_gp() {
 
 void Design::reset_positions_to_gp() {
   for (Cell& cell : cells_) {
+    if (cell.erased) continue;
     cell.x = cell.gp_x;
     cell.y = cell.gp_y;
   }

@@ -76,6 +76,11 @@ struct Cell {
   /// row/site aligned and legal on entry; the rail rule does not apply to
   /// them (macros bring their own power structure).
   bool fixed = false;
+  /// Tombstone set by Design::erase_cell. Erased cells keep their slot in
+  /// Design::cells() — so every other cell id stays stable across ECO
+  /// streams — but the legalizers, the legality checker, and the metrics
+  /// all skip them as if they were deleted.
+  bool erased = false;
 
   double gp_x = 0.0;  ///< global-placement x (bottom-left)
   double gp_y = 0.0;  ///< global-placement y (bottom-left)
@@ -129,6 +134,30 @@ class Design {
 
   /// Appends a net. Pin cell indices must be valid.
   std::size_t add_net(Net net);
+
+  // ECO mutation helpers. An engineering change order arrives as a batch
+  // of cell moves, inserts, and deletes against an already-placed design;
+  // these keep every existing cell id stable so resident state keyed by id
+  // (models, partitions, solver workspaces) survives the batch.
+
+  /// Retargets a movable cell's global placement. The target is clamped so
+  /// the cell's outline stays inside the chip on both axes — ECO tools
+  /// routinely nudge cells past the die edge, and the legalizer's model
+  /// only guards the left/bottom boundary.
+  void move_cell(std::size_t id, double gp_x, double gp_y);
+
+  /// Appends a new cell (id = index, like add_cell) with its current
+  /// position initialized to its (clamped) GP position. Fixed cells are
+  /// allowed — an inserted macro becomes a new obstacle. Returns the id.
+  std::size_t insert_cell(Cell cell);
+
+  /// Tombstones a cell: marks it erased and strips its pins from every
+  /// net. The slot stays in cells() so other ids do not shift; all
+  /// consumers skip erased cells.
+  void erase_cell(std::size_t id);
+
+  /// Number of erased (tombstoned) cells.
+  std::size_t num_erased_cells() const;
 
   /// Sum of cell areas (width × height_rows × row_height).
   double total_cell_area() const;

@@ -72,6 +72,9 @@ LegalityReport check_legality(const Design& design,
   // Per-cell checks, and row occupancy lists for the overlap sweep.
   std::vector<std::vector<std::size_t>> row_cells(chip.num_rows);
   for (const Cell& cell : design.cells()) {
+    // Tombstoned cells occupy nothing and obey no rules.
+    if (cell.erased) continue;
+
     // (1) Inside the chip region.
     const double height =
         static_cast<double>(cell.height_rows) * chip.row_height;

@@ -9,7 +9,10 @@ namespace mch::eval {
 DisplacementStats displacement(const db::Design& design) {
   DisplacementStats stats;
   const double site = design.chip().site_width;
+  std::size_t live_cells = 0;
   for (const db::Cell& cell : design.cells()) {
+    if (cell.erased) continue;
+    ++live_cells;
     const double dx = std::abs(cell.x - cell.gp_x);
     const double dy = std::abs(cell.y - cell.gp_y);
     const double manhattan_sites = (dx + dy) / site;
@@ -20,9 +23,8 @@ DisplacementStats displacement(const db::Design& design) {
     stats.quadratic += dx * dx + dy * dy;
     if (manhattan_sites > 1e-9) ++stats.moved_cells;
   }
-  if (!design.cells().empty())
-    stats.mean_sites =
-        stats.total_sites / static_cast<double>(design.num_cells());
+  if (live_cells > 0)
+    stats.mean_sites = stats.total_sites / static_cast<double>(live_cells);
   return stats;
 }
 

@@ -1,5 +1,7 @@
 #include "eval/suite_runner.h"
 
+#include <cstdlib>
+#include <cstring>
 #include <ostream>
 
 #include "baselines/local.h"
@@ -8,9 +10,22 @@
 #include "db/legality.h"
 #include "legal/tetris_alloc.h"
 #include "runtime/parallel.h"
+#include "service/session.h"
 #include "util/timer.h"
 
 namespace mch::eval {
+
+namespace {
+
+/// MCH_SESSION=1 routes every MMSIM run through a resident
+/// service::LegalizationSession (the ctest `.session` variants set it).
+bool run_via_session() {
+  const char* env = std::getenv("MCH_SESSION");
+  return env != nullptr && std::strcmp(env, "0") != 0 &&
+         std::strcmp(env, "") != 0;
+}
+
+}  // namespace
 
 const char* to_string(Legalizer legalizer) {
   switch (legalizer) {
@@ -44,6 +59,37 @@ RunResult run_legalizer(db::Design& design, Legalizer which,
   Timer timer;
   switch (which) {
     case Legalizer::kMmsim: {
+      if (run_via_session()) {
+        // MCH_SESSION=1: serve the run through a resident
+        // service::LegalizationSession instead of the one-shot flow, so the
+        // whole eval/integration suite exercises the session path. A full
+        // legalize through the session is the same pipeline (it reuses
+        // legal::legalize with a prebuilt model), so all metrics below are
+        // comparable.
+        service::SessionOptions session_options;
+        session_options.flow = mmsim_options;
+        session_options.verify = false;  // verified uniformly below
+        service::LegalizationSession session(design, session_options);
+        const service::SessionResult served = session.full_legalize();
+        design.cells() = session.design().cells();
+        result.via_session = true;
+        result.illegal_after_solver = served.allocation.illegal_cells;
+        result.solver_iterations = served.solver.iterations;
+        result.solver_converged = served.solver.converged;
+        result.solver_solve_seconds = served.solver.solve_seconds;
+        result.solver_phase = served.solver.phase;
+        result.solver_components = served.solver.num_components;
+        result.solver_max_component = served.solver.max_component_size;
+        result.solver_mean_component = served.solver.mean_component_size;
+        result.solver_component_iterations =
+            served.solver.component_iterations;
+        result.solver_recovery = served.solver.recovery;
+        result.session_dirty_components = served.session.components_dirty;
+        result.session_reused_components = served.session.components_reused;
+        result.session_warm_hits = served.session.warm_start_hits;
+        result.session_warm_rate = served.session.warm_start_rate;
+        break;
+      }
       legal::FlowOptions options = mmsim_options;
       options.verify = false;  // verified uniformly below
       const legal::FlowResult flow = legal::legalize(design, options);

@@ -74,6 +74,16 @@ struct RunResult {
   /// happy path; failures carries the structured SolveFailure records when
   /// the ladder was exhausted and cells were clamped to snap positions.
   legal::RecoveryStats solver_recovery;
+
+  // Session/incremental diagnostics, filled when the MMSIM run was served
+  // by a service::LegalizationSession (MCH_SESSION=1 routes the suite
+  // through the resident-session path; incremental requests also report
+  // these). Zero for one-shot runs.
+  bool via_session = false;
+  std::size_t session_dirty_components = 0;
+  std::size_t session_reused_components = 0;
+  std::size_t session_warm_hits = 0;
+  double session_warm_rate = 0.0;  ///< warm hits / dirty components
 };
 
 /// Resets the design to its GP positions, runs the legalizer, validates the

@@ -30,11 +30,14 @@ class MmsimLcpSolver final : public LcpSolver {
         slot->warm_s.size() == num_variables_ + num_constraints_) {
       s0 = &slot->warm_s;
     }
+    const bool warm = s0 != nullptr;
     MmsimResult mmsim = solver_.solve_in(slot->state, s0);
     slot->warm_s = std::move(mmsim.s);
     slot->warm_variables = num_variables_;
     slot->warm_constraints = num_constraints_;
-    return pack(std::move(mmsim));
+    LcpSolveResult result = pack(std::move(mmsim));
+    result.warm_started = warm;
+    return result;
   }
 
  private:
@@ -102,6 +105,7 @@ class PsorLcpSolver final : public LcpSolver {
     result.x = slot->psor_z;  // buffer stays in the slot for the next solve
     result.iterations = stats.iterations;
     result.converged = stats.converged;
+    result.warm_started = warm;
     result.setup_seconds = setup_seconds_;
     result.solve_seconds = timer.seconds();
     return result;

@@ -36,6 +36,10 @@ struct LcpSolveResult {
   /// MMSIM/PSOR iterations, or Lemke pivots.
   std::size_t iterations = 0;
   bool converged = false;
+  /// True when the solve started from a matching warm-start payload in its
+  /// workspace slot (MMSIM's s, PSOR's z). Always false for cold solves and
+  /// for Lemke; session/ECO callers aggregate this into a hit rate.
+  bool warm_started = false;
   double setup_seconds = 0.0;
   double solve_seconds = 0.0;
   /// MMSIM per-phase timing (zero for PSOR/Lemke and for tiny systems —

@@ -41,6 +41,13 @@ class SolverWorkspace {
     /// warm-starts when its own (n, m) matches.
     std::size_t warm_variables = 0;
     std::size_t warm_constraints = 0;
+
+    /// True when the slot holds a warm-start payload usable by a solve of
+    /// shape (n, m) — i.e. a warm-started solve would actually start warm.
+    bool has_warm(std::size_t n, std::size_t m) const {
+      return warm_variables == n && warm_constraints == m &&
+             (warm_s.size() == n + m || (m == 0 && psor_z.size() == n));
+    }
   };
 
   /// Grows the table to at least `count` slots. Existing slots (and their

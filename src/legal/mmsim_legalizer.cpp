@@ -273,7 +273,7 @@ SolveOutcome solve_tiered(const LegalizationModel& model,
 /// Components whose ladder is exhausted degrade explicitly — their cells
 /// are set to row-assigned snap positions (gp_x clamped into the chip) and
 /// recorded as structured SolveFailures — never shipped as an unconverged
-/// iterate.
+/// iterate. Thin wrapper over solve_components with one job per component.
 SolveOutcome recover_components(const db::Design& design,
                                 const LegalizationModel& model,
                                 const std::vector<ComponentProblem>& components,
@@ -284,71 +284,125 @@ SolveOutcome recover_components(const db::Design& design,
                                 MmsimLegalizerStats& stats) {
   const std::size_t num = components.size();
   workspace.prepare(num);
+  std::vector<ComponentSolveJob> jobs(num);
+  for (std::size_t c = 0; c < num; ++c)
+    jobs[c] = {&components[c], &workspace.slot(c), c};
+
+  MmsimLegalizerOptions solve_options;
+  solve_options.mmsim = mmsim_options;
+  solve_options.policy = policy;
+
+  SolveOutcome outcome;
+  outcome.x.assign(model.num_variables(), 0.0);
+  ComponentSolveReport report = solve_components(
+      design, model, jobs, solve_options, recovery, outcome.x);
+  outcome.converged = report.converged;
+  outcome.iterations = report.iterations;
+  outcome.clamped_cells = std::move(report.clamped_cells);
+
+  stats.phase.accumulate(report.phase);
+  // Historical semantics: every component counts as routed through the
+  // ladder here (the report itself only counts beyond-primary ladders).
+  stats.recovery.component_ladders += num;
+  stats.recovery.ladder_attempts += report.recovery.ladder_attempts;
+  stats.recovery.extra_iterations += report.recovery.extra_iterations;
+  stats.recovery.recovered_components += report.recovery.recovered_components;
+  stats.recovery.clamped_components += report.recovery.clamped_components;
+  stats.recovery.clamped_cells += report.recovery.clamped_cells;
+  for (SolveFailure& failure : report.recovery.failures)
+    stats.recovery.failures.push_back(std::move(failure));
+  return outcome;
+}
+
+}  // namespace
+
+ComponentSolveReport solve_components(const db::Design& design,
+                                      const LegalizationModel& model,
+                                      const std::vector<ComponentSolveJob>& jobs,
+                                      const MmsimLegalizerOptions& options,
+                                      const lcp::RecoveryOptions& recovery,
+                                      Vector& x) {
+  const std::size_t num = jobs.size();
+  std::vector<lcp::LcpSolverKind> kinds(num);
   std::vector<lcp::RecoveredSolve> recovered(num);
   parallel_for(
       std::size_t{0}, num, kGrainComponents,
       [&](std::size_t lo, std::size_t hi) {
         for (std::size_t c = lo; c < hi; ++c) {
+          const ComponentProblem& component = *jobs[c].component;
+          kinds[c] = pick_solver(component, options.policy);
           lcp::LcpSolverConfig config;
-          config.mmsim = mmsim_options;
-          config.schur_coupling_breaks = &components[c].schur_coupling_breaks;
-          config.psor.tolerance = mmsim_options.tolerance;
-          config.psor.max_iterations = mmsim_options.max_iterations;
+          config.mmsim = options.mmsim;
+          config.schur_coupling_breaks = &component.schur_coupling_breaks;
+          config.psor.tolerance = options.mmsim.tolerance;
+          config.psor.max_iterations = options.mmsim.max_iterations;
+          // Distinct jobs must hold distinct slots (the caller's contract),
+          // so the parallel solves never share one.
           recovered[c] = lcp::solve_with_recovery(
-              pick_solver(components[c], policy), components[c].qp, config,
-              recovery, &workspace.slot(c), /*warm_start=*/true);
+              kinds[c], component.qp, config, recovery, jobs[c].slot,
+              /*warm_start=*/true);
         }
       });
 
-  SolveOutcome outcome;
-  outcome.converged = true;
-  outcome.x.assign(model.num_variables(), 0.0);
-  stats.recovery.component_ladders += num;
+  ComponentSolveReport report;
   const double chip_width = design.chip().width();
   for (std::size_t c = 0; c < num; ++c) {
+    const ComponentProblem& component = *jobs[c].component;
     const lcp::RecoveredSolve& rec = recovered[c];
-    stats.recovery.ladder_attempts += rec.attempts;
-    stats.recovery.extra_iterations += rec.wasted_iterations;
+    switch (kinds[c]) {
+      case lcp::LcpSolverKind::kMmsim:
+        ++report.components_mmsim;
+        break;
+      case lcp::LcpSolverKind::kPsor:
+        ++report.components_psor;
+        break;
+      case lcp::LcpSolverKind::kLemke:
+        ++report.components_lemke;
+        break;
+    }
+    report.recovery.ladder_attempts += rec.attempts;
+    report.recovery.extra_iterations += rec.wasted_iterations;
+    if (rec.attempts > 1 || rec.rung != lcp::RecoveryRung::kPrimary)
+      ++report.recovery.component_ladders;
     if (rec.rung == lcp::RecoveryRung::kExhausted) {
-      outcome.converged = false;
+      report.converged = false;
       SolveFailure failure;
-      failure.component = c;
-      failure.num_variables = components[c].variables.size();
-      failure.num_constraints = components[c].constraints.size();
+      failure.component = jobs[c].component_id;
+      failure.num_variables = component.variables.size();
+      failure.num_constraints = component.constraints.size();
       failure.attempts = rec.attempts;
       failure.iterations = rec.wasted_iterations;
-      for (std::size_t v = 0; v < components[c].variables.size(); ++v) {
-        const std::size_t g = components[c].variables[v];
+      for (std::size_t v = 0; v < component.variables.size(); ++v) {
+        const std::size_t g = component.variables[v];
         const std::size_t cell = model.variables[g].cell;
         const db::Cell& info = design.cells()[cell];
-        outcome.x[g] = std::clamp(info.gp_x, 0.0,
-                                  std::max(0.0, chip_width - info.width));
+        x[g] = std::clamp(info.gp_x, 0.0,
+                          std::max(0.0, chip_width - info.width));
         // Variable order groups a cell's subcells contiguously, so a
         // back()-check is a full dedup.
         if (failure.cells.empty() || failure.cells.back() != cell)
           failure.cells.push_back(cell);
       }
-      outcome.clamped_cells.insert(outcome.clamped_cells.end(),
-                                   failure.cells.begin(),
-                                   failure.cells.end());
-      stats.recovery.clamped_cells += failure.cells.size();
-      ++stats.recovery.clamped_components;
+      report.clamped_cells.insert(report.clamped_cells.end(),
+                                  failure.cells.begin(),
+                                  failure.cells.end());
+      report.recovery.clamped_cells += failure.cells.size();
+      ++report.recovery.clamped_components;
       MCH_LOG(kWarn) << "solver recovery: " << failure.summary();
-      stats.recovery.failures.push_back(std::move(failure));
+      report.recovery.failures.push_back(std::move(failure));
     } else {
       if (rec.rung != lcp::RecoveryRung::kPrimary)
-        ++stats.recovery.recovered_components;
-      for (std::size_t v = 0; v < components[c].variables.size(); ++v)
-        outcome.x[components[c].variables[v]] = rec.result.x[v];
-      outcome.iterations =
-          std::max(outcome.iterations, rec.result.iterations);
-      stats.phase.accumulate(rec.result.phase);
+        ++report.recovery.recovered_components;
+      if (rec.result.warm_started) ++report.warm_started;
+      for (std::size_t v = 0; v < component.variables.size(); ++v)
+        x[component.variables[v]] = rec.result.x[v];
+      report.iterations = std::max(report.iterations, rec.result.iterations);
+      report.component_iterations += rec.result.iterations;
+      report.phase.accumulate(rec.result.phase);
     }
   }
-  return outcome;
+  return report;
 }
-
-}  // namespace
 
 std::string SolveFailure::summary() const {
   std::ostringstream os;
@@ -383,8 +437,19 @@ MmsimLegalizerStats mmsim_legalize_continuous(
   MmsimLegalizerStats stats;
 
   Timer model_timer;
-  const LegalizationModel model =
-      build_model(design, base_rows, options.model);
+  LegalizationModel built_model;
+  if (options.prebuilt_model == nullptr)
+    built_model = build_model(design, base_rows, options.model);
+  const LegalizationModel& model =
+      options.prebuilt_model != nullptr ? *options.prebuilt_model
+                                        : built_model;
+  if (options.prebuilt_model != nullptr) {
+    // The prebuilt model must describe exactly this design state; the row
+    // assignment is the cheapest complete witness of that.
+    MCH_CHECK_MSG(model.base_rows == base_rows,
+                  "prebuilt model was built for a different row assignment");
+    MCH_CHECK(model.cell_first_var.size() == design.num_cells());
+  }
   stats.model_seconds = model_timer.seconds();
   stats.num_variables = model.num_variables();
   stats.num_constraints = model.qp.num_constraints();
@@ -417,10 +482,11 @@ MmsimLegalizerStats mmsim_legalize_continuous(
   // Partition lazily: the partitioned modes need it up front, the
   // monolithic mode only on the recovery path.
   std::vector<ComponentProblem> components;
+  ConstraintPartition partition;
   bool partitioned = false;
   const auto ensure_partitioned = [&] {
     if (partitioned) return;
-    const ConstraintPartition partition = partition_model(model);
+    partition = partition_model(model);
     stats.num_components = partition.num_components();
     stats.max_component_size = partition.max_component_size();
     stats.mean_component_size = partition.mean_component_size();
@@ -501,7 +567,7 @@ MmsimLegalizerStats mmsim_legalize_continuous(
     for (const std::size_t c : outcome.clamped_cells) clamped[c] = 1;
   }
   for (std::size_t c = 0; c < design.num_cells(); ++c) {
-    if (design.cells()[c].fixed) continue;
+    if (design.cells()[c].fixed || design.cells()[c].erased) continue;
     double x = model.cell_x(outcome.x, c);
     if (!clamped.empty() && clamped[c]) {
       x = std::clamp(
@@ -528,6 +594,14 @@ MmsimLegalizerStats mmsim_legalize_continuous(
                      << report.summary();
     }
   }
+
+  // Session hooks: hand the resident caller the raw solution and the
+  // partition (empty when the monolithic path never needed one).
+  if (options.solution_out != nullptr)
+    *options.solution_out = std::move(outcome.x);
+  if (options.partition_out != nullptr)
+    *options.partition_out =
+        partitioned ? std::move(partition) : ConstraintPartition{};
   return stats;
 }
 

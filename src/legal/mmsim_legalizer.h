@@ -35,6 +35,7 @@
 #include "lcp/solver.h"
 #include "lcp/workspace.h"
 #include "legal/model.h"
+#include "legal/partition.h"
 #include "legal/row_assign.h"
 
 namespace mch::legal {
@@ -139,6 +140,21 @@ struct MmsimLegalizerOptions {
   /// result is continuous (pre-snap), so the tolerance must absorb solver
   /// tolerance and residual λ-mismatch; 1e-2 is far below a site width.
   double audit_tolerance = 1e-2;
+
+  // Session hooks (src/service/): a resident session builds the model once
+  // per request itself and keeps the solution/partition across requests.
+
+  /// When set, the legalizer uses this model instead of building its own.
+  /// Must have been built from the same design and the same base_rows
+  /// (checked); not owned, must outlive the call.
+  const LegalizationModel* prebuilt_model = nullptr;
+  /// When set, receives the continuous per-variable solution (the global x
+  /// the restored cell positions are means of).
+  lcp::Vector* solution_out = nullptr;
+  /// When set, receives the constraint partition if the solve computed one
+  /// (always under kMatch/kTiered; under kOff only when recovery had to
+  /// decompose). Left empty otherwise.
+  ConstraintPartition* partition_out = nullptr;
 };
 
 struct MmsimLegalizerStats {
@@ -184,5 +200,50 @@ struct MmsimLegalizerStats {
 MmsimLegalizerStats mmsim_legalize_continuous(
     db::Design& design, const RowAssignment& base_rows,
     const MmsimLegalizerOptions& options = {});
+
+/// One component-solve job for solve_components: the extracted problem,
+/// the workspace slot that backs (and may warm-start) it, and the
+/// component's id in its partition for failure records.
+struct ComponentSolveJob {
+  const ComponentProblem* component = nullptr;
+  lcp::SolverWorkspace::Slot* slot = nullptr;
+  std::size_t component_id = 0;
+};
+
+/// What solve_components did, in the same vocabulary as
+/// MmsimLegalizerStats: per-solver component counts, iteration max/sum,
+/// ladder activity, and the cells that had to be snap-clamped.
+struct ComponentSolveReport {
+  std::size_t iterations = 0;            ///< max over jobs (critical path)
+  std::size_t component_iterations = 0;  ///< summed over jobs
+  std::size_t components_mmsim = 0;
+  std::size_t components_psor = 0;
+  std::size_t components_lemke = 0;
+  /// Jobs whose accepted solve actually started from a matching warm-start
+  /// payload in its slot.
+  std::size_t warm_started = 0;
+  bool converged = true;  ///< false iff some ladder was exhausted
+  lcp::MmsimPhaseTimes phase;
+  RecoveryStats recovery;  ///< ladder attempts, clamps, failure records
+  /// Cells of exhausted components; their entries in x hold snap positions
+  /// (gp_x clamped into the chip) and the caller must clamp the restored
+  /// position the same way the legalizer does.
+  std::vector<std::size_t> clamped_cells;
+};
+
+/// Solves an explicit set of components of `model` — each through the
+/// tiered solver policy and the per-component escalation ladder — and
+/// scatters every primal solution into the global vector `x` (entries of
+/// other components are left untouched). Jobs run in parallel; each slot
+/// warm-starts its solve when it holds a matching-shape payload, and
+/// exhausted ladders degrade to snap clamps exactly like the full
+/// legalizer. This is the session/ECO building block: the caller decides
+/// which components are dirty and which slot backs each one.
+ComponentSolveReport solve_components(const db::Design& design,
+                                      const LegalizationModel& model,
+                                      const std::vector<ComponentSolveJob>& jobs,
+                                      const MmsimLegalizerOptions& options,
+                                      const lcp::RecoveryOptions& recovery,
+                                      lcp::Vector& x);
 
 }  // namespace mch::legal

@@ -113,7 +113,7 @@ LegalizationModel build_model(const db::Design& design,
   model.cell_var_count.assign(num_cells, 0);
   for (std::size_t c = 0; c < num_cells; ++c) {
     const db::Cell& cell = design.cells()[c];
-    if (cell.fixed) continue;
+    if (cell.fixed || cell.erased) continue;
     model.cell_first_var[c] = model.variables.size();
     const std::size_t d = cell.height_rows;
     model.cell_var_count[c] = d;
@@ -154,7 +154,7 @@ LegalizationModel build_model(const db::Design& design,
   };
   std::vector<std::vector<FixedInterval>> row_obstacles(chip.num_rows);
   for (const db::Cell& cell : design.cells()) {
-    if (!cell.fixed) continue;
+    if (!cell.fixed || cell.erased) continue;
     const double height =
         static_cast<double>(cell.height_rows) * chip.row_height;
     const auto first_row = static_cast<std::size_t>(std::clamp(
@@ -180,7 +180,8 @@ LegalizationModel build_model(const db::Design& design,
   struct PendingConstraint {
     std::size_t left = LegalizationModel::kNoVariable;  ///< chain partner
     std::size_t right = 0;
-    double bound = 0.0;  ///< used when left == kNoVariable
+    double bound = 0.0;       ///< used when left == kNoVariable
+    std::size_t chip_row = 0; ///< row the constraint was emitted in
   };
   std::vector<PendingConstraint> pending;
   for (std::size_t r = 0; r < chip.num_rows; ++r) {
@@ -209,9 +210,9 @@ LegalizationModel build_model(const db::Design& design,
         ++next_obstacle;
       }
       if (prev_var != LegalizationModel::kNoVariable) {
-        pending.push_back({prev_var, v, 0.0});
+        pending.push_back({prev_var, v, 0.0, r});
       } else if (bound > 0.0) {
-        pending.push_back({LegalizationModel::kNoVariable, v, bound});
+        pending.push_back({LegalizationModel::kNoVariable, v, bound, r});
       }
       prev_var = v;
     }
@@ -221,8 +222,10 @@ LegalizationModel build_model(const db::Design& design,
   CooMatrix coo(m, n);
   coo.reserve(2 * m);
   model.qp.b.resize(m);
+  model.constraint_row.resize(m);
   for (std::size_t r = 0; r < m; ++r) {
     const PendingConstraint& pc = pending[r];
+    model.constraint_row[r] = pc.chip_row;
     if (pc.left != LegalizationModel::kNoVariable) {
       coo.add(r, pc.left, -1.0);
       coo.add(r, pc.right, 1.0);

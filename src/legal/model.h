@@ -70,6 +70,10 @@ struct LegalizationModel {
   RowAssignment base_rows;                    ///< cell -> assigned base row
   /// Variables of each chip row in left-to-right constraint order.
   std::vector<std::vector<std::size_t>> row_variables;
+  /// Chip row each spacing constraint (B row) was emitted in. Constraints
+  /// are emitted row by row, so this is ascending; the incremental
+  /// repartition uses it to walk only the constraints of affected rows.
+  std::vector<std::size_t> constraint_row;
 
   std::size_t num_variables() const { return variables.size(); }
 

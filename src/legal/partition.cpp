@@ -38,6 +38,45 @@ class UnionFind {
   std::vector<std::size_t> size_;
 };
 
+/// Turns a fully-united union-find into the canonical partition: component
+/// ids ascend by smallest variable index, all index lists sorted. Shared by
+/// the from-scratch and the incremental paths so both produce bit-identical
+/// partitions from the same edge set.
+ConstraintPartition finalize_partition(UnionFind& uf,
+                                       const LegalizationModel& model) {
+  const std::size_t n = model.num_variables();
+  const std::size_t m = model.qp.num_constraints();
+  const auto& B = model.qp.B;
+
+  ConstraintPartition partition;
+  partition.variable_component.assign(n, 0);
+
+  // Canonical component ids: ascending smallest variable index. Scanning
+  // the variables in order and numbering unseen roots achieves exactly
+  // that, and fills component_variables sorted as a side effect.
+  std::vector<std::size_t> root_component(n, static_cast<std::size_t>(-1));
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t root = uf.find(v);
+    if (root_component[root] == static_cast<std::size_t>(-1)) {
+      root_component[root] = partition.component_variables.size();
+      partition.component_variables.emplace_back();
+    }
+    const std::size_t c = root_component[root];
+    partition.variable_component[v] = c;
+    partition.component_variables[c].push_back(v);
+  }
+
+  partition.constraint_component.assign(m, 0);
+  partition.component_constraints.resize(partition.num_components());
+  for (std::size_t r = 0; r < m; ++r) {
+    const std::size_t c =
+        partition.variable_component[B.col_idx()[B.row_ptr()[r]]];
+    partition.constraint_component[r] = c;
+    partition.component_constraints[c].push_back(r);
+  }
+  return partition;
+}
+
 }  // namespace
 
 std::size_t ConstraintPartition::max_component_size() const {
@@ -78,33 +117,87 @@ ConstraintPartition partition_model(const LegalizationModel& model) {
       uf.unite(B.col_idx()[begin], B.col_idx()[e]);
   }
 
-  ConstraintPartition partition;
-  partition.variable_component.assign(n, 0);
+  return finalize_partition(uf, model);
+}
 
-  // Canonical component ids: ascending smallest variable index. Scanning
-  // the variables in order and numbering unseen roots achieves exactly
-  // that, and fills component_variables sorted as a side effect.
-  std::vector<std::size_t> root_component(n, static_cast<std::size_t>(-1));
-  for (std::size_t v = 0; v < n; ++v) {
-    const std::size_t root = uf.find(v);
-    if (root_component[root] == static_cast<std::size_t>(-1)) {
-      root_component[root] = partition.component_variables.size();
-      partition.component_variables.emplace_back();
-    }
-    const std::size_t c = root_component[root];
-    partition.variable_component[v] = c;
-    partition.component_variables[c].push_back(v);
+ConstraintPartition repartition_model(const LegalizationModel& model,
+                                      const LegalizationModel& prev_model,
+                                      const ConstraintPartition& previous,
+                                      const PartitionDelta& delta) {
+  const std::size_t n = model.num_variables();
+  const std::size_t m = model.qp.num_constraints();
+  MCH_CHECK(delta.touched_cells.size() == model.cell_first_var.size());
+  UnionFind uf(n);
+
+  // A previous component is dirty when any of its variables belongs to a
+  // touched cell or sits in an affected row; only dirty components can
+  // have gained or lost edges, so clean ones survive verbatim.
+  const auto affected = [&](std::size_t row) {
+    return row < delta.affected_rows.size() &&
+           delta.affected_rows[row] != 0;
+  };
+  std::vector<char> prev_dirty(previous.num_components(), 0);
+  for (std::size_t v = 0; v < prev_model.num_variables(); ++v) {
+    const VariableInfo& info = prev_model.variables[v];
+    if (delta.touched_cells[info.cell] != 0 ||
+        affected(prev_model.base_rows[info.cell] + info.subrow))
+      prev_dirty[previous.variable_component[v]] = 1;
   }
 
-  partition.constraint_component.assign(m, 0);
-  partition.component_constraints.resize(partition.num_components());
+  // Variables are matched across the two models by (cell, subrow): ids are
+  // stable and an untouched cell keeps its variable count.
+  const auto to_new_var = [&](std::size_t prev_var) {
+    const VariableInfo& info = prev_model.variables[prev_var];
+    const std::size_t first = model.cell_first_var[info.cell];
+    MCH_CHECK_MSG(first != LegalizationModel::kNoVariable,
+                  "clean component references erased cell " << info.cell);
+    return first + info.subrow;
+  };
+
+  // Clean previous components are swallowed with one wholesale union each:
+  // their internal edge structure cannot have changed (cells untouched,
+  // rows unaffected), so walking their chains again is pure waste.
+  for (std::size_t c = 0; c < previous.num_components(); ++c) {
+    if (prev_dirty[c]) continue;
+    const std::vector<std::size_t>& vars = previous.component_variables[c];
+    const std::size_t anchor = to_new_var(vars[0]);
+    for (std::size_t i = 1; i < vars.size(); ++i)
+      uf.unite(anchor, to_new_var(vars[i]));
+  }
+
+  // Subcell ties are per-cell and cheap; walk them all (this also wires up
+  // inserted multi-row cells, which have no previous component).
+  const auto& k = model.qp.K;
+  for (std::size_t b = 0; b < k.block_count(); ++b) {
+    const std::size_t off = k.block_offset(b);
+    for (std::size_t i = 1; i < k.block_size(b); ++i)
+      uf.unite(off, off + i);
+  }
+
+  // Spacing chains: walk a new B row only when its chip row is affected or
+  // its variables came from a dirty previous component. Rows failing both
+  // tests belong to a clean component and were covered by the wholesale
+  // union above — skipping their find()-heavy unions is where the
+  // incremental repartition earns its keep.
+  const auto& B = model.qp.B;
   for (std::size_t r = 0; r < m; ++r) {
-    const std::size_t c =
-        partition.variable_component[B.col_idx()[B.row_ptr()[r]]];
-    partition.constraint_component[r] = c;
-    partition.component_constraints[c].push_back(r);
+    const std::size_t begin = B.row_ptr()[r];
+    const std::size_t end = B.row_ptr()[r + 1];
+    MCH_CHECK_MSG(end > begin, "constraint " << r << " has no variables");
+    if (!affected(model.constraint_row[r])) {
+      // Unaffected row ⇒ every member cell is untouched (a touched cell's
+      // old and new spans are all affected rows), so the previous variable
+      // exists and its component's dirtiness decides.
+      const VariableInfo& info = model.variables[B.col_idx()[begin]];
+      const std::size_t prev_var =
+          prev_model.cell_first_var[info.cell] + info.subrow;
+      if (!prev_dirty[previous.variable_component[prev_var]]) continue;
+    }
+    for (std::size_t e = begin + 1; e < end; ++e)
+      uf.unite(B.col_idx()[begin], B.col_idx()[e]);
   }
-  return partition;
+
+  return finalize_partition(uf, model);
 }
 
 }  // namespace mch::legal

@@ -50,4 +50,28 @@ struct ConstraintPartition {
 /// the variables sharing a spacing row of B.
 ConstraintPartition partition_model(const LegalizationModel& model);
 
+/// What an ECO batch touched, for the incremental repartition. Both masks
+/// are dense: touched_cells is indexed by cell id of the *new* design (a
+/// cell counts as touched when it was moved, inserted, or erased by the
+/// batch), affected_rows by chip row (the union of every touched cell's
+/// old and new row spans).
+struct PartitionDelta {
+  std::vector<char> touched_cells;
+  std::vector<char> affected_rows;
+};
+
+/// Incremental re-union after an ECO batch: produces exactly
+/// partition_model(model), but instead of walking every spacing row of B it
+/// only walks the rows of affected chip rows and of previously-dirty
+/// components, swallowing each clean previous component with one wholesale
+/// union (its internal edges cannot have changed: its cells are untouched
+/// and its rows unaffected, so the same chains exist in the new model).
+/// `prev_model`/`previous` are the model and partition of the state the
+/// delta was applied to; variables are matched across the two models by
+/// (cell, subrow), which is stable because ECO ids are stable.
+ConstraintPartition repartition_model(const LegalizationModel& model,
+                                      const LegalizationModel& prev_model,
+                                      const ConstraintPartition& previous,
+                                      const PartitionDelta& delta);
+
 }  // namespace mch::legal

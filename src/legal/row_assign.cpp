@@ -10,6 +10,12 @@ RowAssignment compute_row_assignment(const db::Design& design) {
   RowAssignment rows;
   rows.reserve(design.num_cells());
   for (const db::Cell& cell : design.cells()) {
+    if (cell.erased) {
+      // Tombstone: keep the slot so the assignment stays indexed by cell
+      // id; nothing downstream reads it.
+      rows.push_back(0);
+      continue;
+    }
     if (cell.fixed) {
       // Obstacles stay where they are; record the row containing their
       // bottom edge for bookkeeping only.
@@ -24,7 +30,7 @@ RowAssignment compute_row_assignment(const db::Design& design) {
 RowAssignment assign_rows(db::Design& design) {
   RowAssignment rows = compute_row_assignment(design);
   for (std::size_t i = 0; i < design.num_cells(); ++i) {
-    if (design.cells()[i].fixed) continue;
+    if (design.cells()[i].fixed || design.cells()[i].erased) continue;
     design.cells()[i].y = design.chip().row_y(rows[i]);
   }
   return rows;
@@ -34,7 +40,7 @@ std::size_t assign_orientations(db::Design& design) {
   const db::Chip& chip = design.chip();
   std::size_t flipped = 0;
   for (db::Cell& cell : design.cells()) {
-    if (cell.fixed) continue;
+    if (cell.fixed || cell.erased) continue;
     const auto row = static_cast<std::size_t>(
         std::llround(cell.y / chip.row_height));
     MCH_CHECK_MSG(row + cell.height_rows <= chip.num_rows,

@@ -24,13 +24,14 @@ TetrisStats tetris_allocate(db::Design& design) {
   };
   // Obstacles are registered first; they are never snapped or relocated.
   for (std::size_t c = 0; c < design.num_cells(); ++c)
-    if (design.cells()[c].fixed) occupancy.place_fixed(design, c);
+    if (design.cells()[c].fixed && !design.cells()[c].erased)
+      occupancy.place_fixed(design, c);
 
   std::vector<Snapped> order;
   order.reserve(design.num_cells());
   for (std::size_t c = 0; c < design.num_cells(); ++c) {
     db::Cell& cell = design.cells()[c];
-    if (cell.fixed) continue;
+    if (cell.fixed || cell.erased) continue;
     const auto site = static_cast<SiteIndex>(
         std::llround(cell.x / chip.site_width));
     const auto base_row = static_cast<std::size_t>(

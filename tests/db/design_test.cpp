@@ -204,5 +204,85 @@ TEST(DesignTest, PositionResetAndCommit) {
   EXPECT_DOUBLE_EQ(design.cells()[0].gp_x, 9);
 }
 
+TEST(DesignEcoTest, MoveCellClampsIntoDieOnAllBoundaries) {
+  Design design(test_chip());
+  Cell cell;
+  cell.width = 5;
+  design.add_cell(cell);
+
+  // Past the right and top edges: flush against them, not outside (the
+  // historical bug was clamping only at 0).
+  design.move_cell(0, 200.0, 500.0);
+  EXPECT_DOUBLE_EQ(design.cells()[0].gp_x, 95.0);   // 100 - width
+  EXPECT_DOUBLE_EQ(design.cells()[0].gp_y, 70.0);   // 80 - row height
+
+  design.move_cell(0, -50.0, -50.0);
+  EXPECT_DOUBLE_EQ(design.cells()[0].gp_x, 0.0);
+  EXPECT_DOUBLE_EQ(design.cells()[0].gp_y, 0.0);
+
+  design.move_cell(0, 40.0, 25.0);
+  EXPECT_DOUBLE_EQ(design.cells()[0].gp_x, 40.0);
+  EXPECT_DOUBLE_EQ(design.cells()[0].gp_y, 25.0);
+}
+
+TEST(DesignEcoTest, MoveCellRejectsFixedAndErased) {
+  Design design(test_chip());
+  Cell cell;
+  cell.width = 5;
+  design.add_cell(cell);
+  cell.fixed = true;
+  cell.x = 10;
+  cell.y = 0;
+  design.add_cell(cell);
+
+  EXPECT_THROW(design.move_cell(1, 20.0, 0.0), CheckError);
+  design.erase_cell(0);
+  EXPECT_THROW(design.move_cell(0, 20.0, 0.0), CheckError);
+  EXPECT_THROW(design.erase_cell(0), CheckError);  // already erased
+}
+
+TEST(DesignEcoTest, InsertCellKeepsIdsStable) {
+  Design design(test_chip());
+  Cell cell;
+  cell.width = 5;
+  cell.gp_x = 3;
+  design.add_cell(cell);
+  cell.gp_x = 11;
+  design.add_cell(cell);
+
+  Cell extra;
+  extra.width = 4;
+  extra.gp_x = 250.0;  // clamped like move_cell
+  extra.gp_y = 500.0;
+  const std::size_t id = design.insert_cell(extra);
+  EXPECT_EQ(id, 2u);
+  EXPECT_EQ(design.num_cells(), 3u);
+  EXPECT_DOUBLE_EQ(design.cells()[0].gp_x, 3.0);  // untouched
+  EXPECT_DOUBLE_EQ(design.cells()[1].gp_x, 11.0);
+  EXPECT_DOUBLE_EQ(design.cells()[id].gp_x, 96.0);
+  EXPECT_DOUBLE_EQ(design.cells()[id].gp_y, 70.0);
+}
+
+TEST(DesignEcoTest, EraseCellTombstonesAndStripsPins) {
+  Design design(test_chip());
+  Cell cell;
+  cell.width = 5;
+  design.add_cell(cell);
+  design.add_cell(cell);
+  Net net;
+  net.pins.push_back({0, 1.0, 1.0});
+  net.pins.push_back({1, 1.0, 1.0});
+  design.add_net(net);
+
+  design.erase_cell(0);
+  EXPECT_TRUE(design.cells()[0].erased);
+  EXPECT_EQ(design.num_cells(), 2u);  // the slot stays
+  EXPECT_EQ(design.num_erased_cells(), 1u);
+  ASSERT_EQ(design.nets()[0].pins.size(), 1u);
+  EXPECT_EQ(design.nets()[0].pins[0].cell, 1u);
+  // Erased cells drop out of the aggregate accounting.
+  EXPECT_EQ(design.count_cells_with_height(1), 1u);
+}
+
 }  // namespace
 }  // namespace mch::db

@@ -15,6 +15,7 @@
 #include "legal/mmsim_legalizer.h"
 #include "legal/model.h"
 #include "legal/row_assign.h"
+#include "util/rng.h"
 
 namespace mch::legal {
 namespace {
@@ -239,6 +240,89 @@ TEST(PartitionTest, EnvResolvesAutoMode) {
     ::setenv("MCH_PARTITION", saved_value.c_str(), 1);
   else
     ::unsetenv("MCH_PARTITION");
+}
+
+void expect_same_partition(const ConstraintPartition& a,
+                           const ConstraintPartition& b) {
+  EXPECT_EQ(a.variable_component, b.variable_component);
+  EXPECT_EQ(a.constraint_component, b.constraint_component);
+  EXPECT_EQ(a.component_variables, b.component_variables);
+  EXPECT_EQ(a.component_constraints, b.component_constraints);
+}
+
+/// Applies an ECO batch the way the service layer does — db helpers plus
+/// delta tracking — and returns the delta. `rows` is updated in place.
+PartitionDelta apply_eco(db::Design& design, RowAssignment& rows,
+                         const std::vector<std::size_t>& moves,
+                         const std::vector<double>& gp_x,
+                         const std::vector<double>& gp_y) {
+  PartitionDelta delta;
+  delta.affected_rows.assign(design.chip().num_rows, 0);
+  const auto mark = [&](std::size_t first, std::size_t count) {
+    for (std::size_t r = first;
+         r < std::min(first + count, design.chip().num_rows); ++r)
+      delta.affected_rows[r] = 1;
+  };
+  for (std::size_t i = 0; i < moves.size(); ++i) {
+    const std::size_t id = moves[i];
+    mark(rows[id], design.cells()[id].height_rows);
+    design.move_cell(id, gp_x[i], gp_y[i]);
+    rows[id] = design.nearest_legal_row(design.cells()[id]);
+    mark(rows[id], design.cells()[id].height_rows);
+  }
+  delta.touched_cells.assign(design.num_cells(), 0);
+  for (const std::size_t id : moves) delta.touched_cells[id] = 1;
+  return delta;
+}
+
+TEST(PartitionTest, RepartitionMatchesScratchOnHandBuiltMove) {
+  db::Design design = split_row_design();
+  RowAssignment rows = assign_rows(design);
+  const LegalizationModel before = build_model(design, rows);
+  const ConstraintPartition part_before = partition_model(before);
+  ASSERT_EQ(part_before.num_components(), 3u);
+
+  // Move c from right of the obstacle into row 1: components merge.
+  const PartitionDelta delta =
+      apply_eco(design, rows, {2}, {8.0}, {10.0});
+  const LegalizationModel after = build_model(design, rows);
+  expect_same_partition(
+      repartition_model(after, before, part_before, delta),
+      partition_model(after));
+}
+
+TEST(PartitionTest, RepartitionMatchesScratchOnRandomEcoStream) {
+  gen::GeneratorOptions options;
+  options.seed = 31;
+  db::Design design = gen::generate_random_design(1800, 200, 0.7, options);
+  RowAssignment rows = assign_rows(design);
+  LegalizationModel model = build_model(design, rows);
+  ConstraintPartition partition = partition_model(model);
+  ASSERT_GT(partition.num_components(), 1u);
+
+  Rng rng(57);
+  for (int batch = 0; batch < 4; ++batch) {
+    std::vector<std::size_t> moves;
+    std::vector<double> gp_x;
+    std::vector<double> gp_y;
+    while (moves.size() < 7) {
+      const auto id = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(design.num_cells()) - 1));
+      if (design.cells()[id].fixed) continue;
+      moves.push_back(id);
+      gp_x.push_back(design.cells()[id].gp_x +
+                     rng.normal(0.0, 8.0 * design.chip().site_width));
+      gp_y.push_back(design.cells()[id].gp_y +
+                     rng.normal(0.0, 1.5 * design.chip().row_height));
+    }
+    const PartitionDelta delta = apply_eco(design, rows, moves, gp_x, gp_y);
+    LegalizationModel after = build_model(design, rows);
+    const ConstraintPartition scratch = partition_model(after);
+    expect_same_partition(
+        repartition_model(after, model, partition, delta), scratch);
+    model = std::move(after);
+    partition = scratch;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,235 @@
+// LegalizationSession tests: the resident service must serve full solves
+// bitwise identical to the one-shot flow, match-mode ECO requests bitwise
+// identical to a from-scratch legalization of the same design state, and
+// incremental ECO requests that stay legal while re-solving only the dirty
+// components. Registered with the MT4/PART/RECOVERY variants so the same
+// contracts hold with a 4-thread pool, under the tiered partition mode, and
+// with the fault-injected recovery ladder engaged.
+#include "service/session.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "gen/generator.h"
+#include "legal/flow.h"
+#include "util/rng.h"
+
+namespace mch::service {
+namespace {
+
+db::Design random_design(std::size_t cells, std::uint64_t seed,
+                         double density = 0.7) {
+  gen::GeneratorOptions options;
+  options.seed = seed;
+  return gen::generate_random_design(cells - cells / 10, cells / 10, density,
+                                     options);
+}
+
+std::vector<EcoOp> jitter_moves(const db::Design& design, std::size_t count,
+                                std::uint64_t seed) {
+  const db::Chip& chip = design.chip();
+  Rng rng(seed);
+  std::vector<EcoOp> ops;
+  while (ops.size() < count) {
+    const auto id = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(design.num_cells()) - 1));
+    const db::Cell& cell = design.cells()[id];
+    if (cell.fixed || cell.erased) continue;
+    ops.push_back(EcoOp::move(
+        id, cell.gp_x + rng.normal(0.0, 4.0 * chip.site_width),
+        cell.gp_y + rng.normal(0.0, 0.6 * chip.row_height)));
+  }
+  return ops;
+}
+
+void expect_same_positions(const db::Design& a, const db::Design& b) {
+  ASSERT_EQ(a.num_cells(), b.num_cells());
+  for (std::size_t c = 0; c < a.num_cells(); ++c) {
+    ASSERT_EQ(a.cells()[c].erased, b.cells()[c].erased) << "cell " << c;
+    if (a.cells()[c].erased) continue;
+    EXPECT_EQ(a.cells()[c].x, b.cells()[c].x) << "cell " << c;
+    EXPECT_EQ(a.cells()[c].y, b.cells()[c].y) << "cell " << c;
+    EXPECT_EQ(a.cells()[c].flipped, b.cells()[c].flipped) << "cell " << c;
+  }
+}
+
+TEST(SessionTest, FullLegalizeMatchesOneShotBitwise) {
+  db::Design design = random_design(2000, 21);
+  db::Design reference = design;
+
+  LegalizationSession session(design);
+  const SessionResult served = session.full_legalize(SolveMode::kMatch);
+  EXPECT_TRUE(served.legal) << served.legality_summary;
+  EXPECT_EQ(served.kind, RequestKind::kFullLegalize);
+
+  legal::FlowOptions options;
+  options.solver.partition = legal::PartitionMode::kMatch;
+  const legal::FlowResult one_shot = legal::legalize(reference, options);
+  ASSERT_TRUE(one_shot.legal);
+
+  expect_same_positions(session.design(), reference);
+}
+
+TEST(SessionTest, MatchModeEcoBitwiseIdenticalToScratch) {
+  db::Design design = random_design(2000, 22);
+  LegalizationSession session(std::move(design));
+  ASSERT_TRUE(session.full_legalize(SolveMode::kMatch).legal);
+
+  EcoRequest request;
+  request.ops = jitter_moves(session.design(), 12, 77);
+  request.mode = SolveMode::kMatch;
+  const SessionResult served = session.eco(request);
+  EXPECT_TRUE(served.legal) << served.legality_summary;
+  EXPECT_EQ(served.mode, SolveMode::kMatch);
+  EXPECT_FALSE(served.session.incremental);
+
+  // The session already applied the ops, so its design *is* the post-ECO
+  // state; a from-scratch lockstep legalization of a copy must reproduce
+  // the served positions bit for bit.
+  db::Design scratch = session.design();
+  legal::FlowOptions options;
+  options.solver.partition = legal::PartitionMode::kMatch;
+  const legal::FlowResult reference = legal::legalize(scratch, options);
+  ASSERT_TRUE(reference.legal);
+
+  expect_same_positions(session.design(), scratch);
+}
+
+TEST(SessionTest, IncrementalEcoLegalAndSkipsCleanComponents) {
+  db::Design design = random_design(5000, 23);
+  LegalizationSession session(std::move(design));
+  ASSERT_TRUE(session.full_legalize().legal);
+  session.commit_legal_as_gp();
+  ASSERT_TRUE(session.full_legalize().legal);
+
+  const SessionResult served =
+      session.eco(jitter_moves(session.design(), 6, 78));
+  EXPECT_TRUE(served.legal) << served.legality_summary;
+  EXPECT_EQ(served.kind, RequestKind::kEco);
+  EXPECT_EQ(served.session.touched_cells, 6u);
+  EXPECT_GT(served.session.affected_rows, 0u);
+  if (served.session.full_solve_fallbacks == 0) {
+    EXPECT_TRUE(served.session.incremental);
+    EXPECT_GT(served.session.components_dirty, 0u);
+    EXPECT_LT(served.session.components_dirty,
+              served.session.components_total);
+    EXPECT_GT(served.session.components_reused, 0u);
+    EXPECT_EQ(served.session.components_dirty +
+                  served.session.components_reused,
+              served.session.components_total);
+  }
+}
+
+TEST(SessionTest, IncrementalInsertAndEraseStayLegal) {
+  db::Design design = random_design(3000, 24);
+  LegalizationSession session(std::move(design));
+  ASSERT_TRUE(session.full_legalize().legal);
+  session.commit_legal_as_gp();
+  ASSERT_TRUE(session.full_legalize().legal);
+
+  // Insert a clone of a movable cell near mid-chip, erase another cell.
+  const db::Chip& chip = session.design().chip();
+  db::Cell payload;
+  std::size_t victim = 0;
+  for (std::size_t c = 0; c < session.design().num_cells(); ++c) {
+    if (session.design().cells()[c].fixed) continue;
+    payload = session.design().cells()[c];
+    victim = c + 1;
+    break;
+  }
+  while (session.design().cells()[victim].fixed) ++victim;
+  payload.gp_x = chip.width() / 2.0;
+  payload.gp_y = chip.height() / 2.0;
+
+  std::vector<EcoOp> ops;
+  ops.push_back(EcoOp::insert(payload));
+  ops.push_back(EcoOp::erase(victim));
+  const SessionResult served = session.eco(std::move(ops));
+  EXPECT_TRUE(served.legal) << served.legality_summary;
+  EXPECT_EQ(session.design().num_erased_cells(), 1u);
+  EXPECT_TRUE(session.design().cells()[victim].erased);
+  // The inserted cell landed inside the die (the legality check already
+  // covers overlaps and alignment for it).
+  const db::Cell& inserted = session.design().cells().back();
+  EXPECT_FALSE(inserted.erased);
+  EXPECT_GE(inserted.x, 0.0);
+  EXPECT_LE(inserted.x + inserted.width, chip.width());
+}
+
+TEST(SessionTest, DeterministicReplay) {
+  // Two sessions replaying the same script must produce bit-identical
+  // placements and identical per-request bookkeeping (runs again under
+  // MCH_THREADS=4 via the .mt4 variant).
+  std::vector<SessionResult> results[2];
+  db::Design designs[2] = {random_design(3000, 25), random_design(3000, 25)};
+  for (int run = 0; run < 2; ++run) {
+    LegalizationSession session(std::move(designs[run]));
+    results[run].push_back(session.full_legalize());
+    session.commit_legal_as_gp();
+    results[run].push_back(session.full_legalize());
+    for (std::uint64_t r = 0; r < 3; ++r)
+      results[run].push_back(
+          session.eco(jitter_moves(session.design(), 5, 100 + r)));
+    designs[run] = session.design();
+  }
+  ASSERT_EQ(results[0].size(), results[1].size());
+  for (std::size_t i = 0; i < results[0].size(); ++i) {
+    EXPECT_EQ(results[0][i].legal, results[1][i].legal) << "request " << i;
+    EXPECT_EQ(results[0][i].session.components_dirty,
+              results[1][i].session.components_dirty)
+        << "request " << i;
+    EXPECT_EQ(results[0][i].session.components_reused,
+              results[1][i].session.components_reused)
+        << "request " << i;
+    EXPECT_EQ(results[0][i].solver.iterations, results[1][i].solver.iterations)
+        << "request " << i;
+  }
+  expect_same_positions(designs[0], designs[1]);
+}
+
+TEST(SessionTest, WarmStartHitsOnRepeatedRegion) {
+  if (std::getenv("MCH_FORCE_SOLVER_FAILURE") != nullptr)
+    GTEST_SKIP() << "fault injection discards the primary (warm) attempt";
+
+  db::Design design = random_design(4000, 26);
+  LegalizationSession session(std::move(design));
+  ASSERT_TRUE(session.full_legalize().legal);
+  session.commit_legal_as_gp();
+  ASSERT_TRUE(session.full_legalize().legal);
+
+  // Nudge one cell horizontally twice: the second request re-dirties the
+  // same component (same anchor, same shape), whose workspace slot now
+  // holds that component's previous solution — a warm-start hit.
+  std::size_t id = 0;
+  while (session.design().cells()[id].fixed) ++id;
+  const double x0 = session.design().cells()[id].gp_x;
+  const double y0 = session.design().cells()[id].gp_y;
+  const double site = session.design().chip().site_width;
+
+  const SessionResult first =
+      session.eco({EcoOp::move(id, x0 + 3.0 * site, y0)});
+  ASSERT_TRUE(first.legal) << first.legality_summary;
+  const SessionResult second =
+      session.eco({EcoOp::move(id, x0 + 5.0 * site, y0)});
+  ASSERT_TRUE(second.legal) << second.legality_summary;
+  if (second.session.incremental && second.session.components_dirty == 1) {
+    EXPECT_GE(second.session.warm_start_hits, 1u);
+    EXPECT_GT(second.session.warm_start_rate, 0.0);
+  }
+}
+
+TEST(SessionTest, EcoBeforeFirstSolveFallsBackToFull) {
+  db::Design design = random_design(1500, 27);
+  LegalizationSession session(std::move(design));
+  const SessionResult served =
+      session.eco(jitter_moves(session.design(), 3, 79));
+  EXPECT_TRUE(served.legal) << served.legality_summary;
+  // No resident solve existed, so the request ran the full pipeline.
+  EXPECT_FALSE(served.session.incremental);
+  EXPECT_GT(served.session.components_total, 0u);
+}
+
+}  // namespace
+}  // namespace mch::service

@@ -35,6 +35,14 @@ echo "== recovery: fault-injected legal/lcp suites =="
 (cd build && ctest -j2 --output-on-failure \
   -R '\.recovery$|RecoveryLadderTest|DegenerateDesignTest|LegalityTest')
 
+echo "== session: resident-service suites =="
+# The .session ctest variant runs the eval/integration suites with
+# MCH_SESSION=1, serving every MMSIM legalization through a resident
+# service::LegalizationSession; the SessionTest suite covers the
+# incremental ECO path and the match-mode bitwise contract directly.
+(cd build && ctest -j2 --output-on-failure \
+  -R '\.session$|SessionTest')
+
 if [[ "$FAST" == 0 ]]; then
   echo "== asan: build solver/legalizer suites =="
   cmake -B build-asan -S . -DMCH_ENABLE_ASAN=ON \
