@@ -42,5 +42,6 @@ int main() {
   std::cout << "Shape: illegal ratio ~0 through moderate densities and "
                "rising sharply past ~0.8, mirroring Table 1's des_perf_1 "
                "and fft_1 outliers.\n";
+  mch::bench::print_peak_rss();
   return 0;
 }

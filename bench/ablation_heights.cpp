@@ -63,5 +63,6 @@ int main() {
                "blocks) handles heights beyond 2 without modification; odd "
                "heights are free of the rail constraint, so triples are "
                "easier to seat than doubles.\n";
+  mch::bench::print_peak_rss();
   return 0;
 }

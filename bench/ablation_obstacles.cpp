@@ -58,5 +58,6 @@ int main() {
   std::cout << "Macros fragment the rows, so displacement grows for every "
                "method; the MMSIM keeps its lead because the obstacle "
                "bounds enter the QP exactly.\n";
+  mch::bench::print_peak_rss();
   return 0;
 }

@@ -193,5 +193,6 @@ int main() {
                 "lemke %.4fs (dense pivoting)\n",
                 t_mmsim, t_lemke);
   }
+  mch::bench::print_peak_rss();
   return 0;
 }

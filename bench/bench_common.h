@@ -24,6 +24,7 @@
 
 #include "gen/generator.h"
 #include "runtime/options.h"
+#include "util/rss.h"
 
 namespace mch::bench {
 
@@ -57,6 +58,13 @@ inline unsigned bench_threads(int argc, char* const* argv) {
   const unsigned threads = runtime::configure_threads_from_cli(argc, argv);
   std::printf("# build: %s, threads: %u\n", bench_build_type(), threads);
   return threads;
+}
+
+/// Prints the process peak-RSS line every bench emits last (and thus into
+/// the tail of its results/*.txt snapshot). getrusage's high-water mark is
+/// process-monotone, so this covers the biggest design the bench touched.
+inline void print_peak_rss() {
+  std::printf("# peak RSS: %.1f MB\n", util::peak_rss_mb());
 }
 
 inline double bench_scale() {

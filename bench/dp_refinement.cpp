@@ -73,5 +73,6 @@ int main() {
         .cell(stats.reorder_moves + stats.swap_moves + stats.shift_moves);
   }
   std::cout << ablation.to_text();
+  mch::bench::print_peak_rss();
   return 0;
 }

@@ -82,5 +82,6 @@ int main() {
   std::cout << "\nPaper shape: the MMSIM honors the GP ordering within "
                "rows, so inversions can come only from the Tetris-like "
                "relocation of the few illegal cells — expect ~0%.\n";
+  mch::bench::print_peak_rss();
   return 0;
 }

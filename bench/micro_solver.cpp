@@ -309,11 +309,13 @@ int main(int argc, char** argv) {
   }
   if (scaling) {
     run_scaling_sweep();
+    mch::bench::print_peak_rss();
     return 0;
   }
   int filtered_argc = static_cast<int>(filtered.size());
   benchmark::Initialize(&filtered_argc, filtered.data());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  mch::bench::print_peak_rss();
   return 0;
 }

@@ -1,0 +1,194 @@
+// Production-scale memory/time sweep (ROADMAP open item 3).
+//
+// Records cells vs. build/partition/solve time vs. peak RSS for the
+// 1M–10M-cell scale families of gen::generate_scale_design, comparing the
+// streamed memory spine (streaming CSR assembly with the union-find folded
+// in, component-at-a-time tiered scheduling) against the pre-refactor
+// baseline layout (monolithic COO staging, separate partition walk, all
+// component problems materialized up front).
+//
+// Peak RSS (getrusage ru_maxrss) is monotone over a process's lifetime, so
+// one process can measure at most one data point: the driver re-execs
+// itself once per point (`--point <variant> <cells> <engine>`) and each
+// child prints a single table row. The child mode doubles as the
+// `ulimit -v` bigmem smoke in tools/verify.sh.
+//
+// Knobs: MCH_SCALE_POINTS=small|full (default full) picks the sweep size;
+// MCH_BENCH_SEED as everywhere else.
+#include <array>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench_common.h"
+#include "db/legality.h"
+#include "gen/generator.h"
+#include "legal/mmsim_legalizer.h"
+#include "legal/model.h"
+#include "legal/partition.h"
+#include "legal/row_assign.h"
+#include "legal/tetris_alloc.h"
+#include "util/rss.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace mch;
+
+gen::ScaleVariant parse_variant(const std::string& name) {
+  if (name == "baseline") return gen::ScaleVariant::kBaseline;
+  if (name == "obstacle-heavy") return gen::ScaleVariant::kObstacleHeavy;
+  if (name == "high-utilization") return gen::ScaleVariant::kHighUtilization;
+  std::fprintf(stderr, "unknown scale variant '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+/// One measured point, executed in a child process so ru_maxrss reflects
+/// this point alone. Prints exactly one row to stdout.
+int run_point(const std::string& variant_name, std::size_t cells,
+              const std::string& engine) {
+  const bool streamed = engine == "streamed";
+  if (!streamed && engine != "legacy") {
+    std::fprintf(stderr, "unknown engine '%s' (streamed|legacy)\n",
+                 engine.c_str());
+    return 2;
+  }
+  const gen::ScaleVariant variant = parse_variant(variant_name);
+  db::Design design =
+      gen::generate_scale_design(variant, cells, bench::bench_seed());
+  const legal::RowAssignment base_rows = legal::assign_rows(design);
+
+  // Model build + partition. The streamed engine assembles B directly into
+  // CSR with the union-find riding on the constraint stream, so its
+  // partition cost is folded into the build; the legacy engine stages the
+  // whole design through COO and then walks the finished model again.
+  Timer build_timer;
+  legal::LegalizationModel model;
+  legal::ConstraintPartition partition;
+  double build_seconds = 0.0;
+  double partition_seconds = 0.0;
+  if (streamed) {
+    model = legal::build_model(design, base_rows, {}, &partition);
+    build_seconds = build_timer.seconds();
+  } else {
+    model = legal::build_model_monolithic(design, base_rows);
+    build_seconds = build_timer.seconds();
+    Timer partition_timer;
+    partition = legal::partition_model(model);
+    partition_seconds = partition_timer.seconds();
+  }
+
+  // Tiered per-component solve: component-at-a-time for the streamed
+  // engine, the legacy extract-everything layout otherwise.
+  legal::MmsimLegalizerOptions options;
+  options.partition = legal::PartitionMode::kTiered;
+  options.component_at_a_time = streamed;
+  options.prebuilt_model = &model;
+  options.prebuilt_partition = &partition;
+  Timer solve_timer;
+  const legal::MmsimLegalizerStats stats =
+      legal::mmsim_legalize_continuous(design, base_rows, options);
+  const double solve_seconds = solve_timer.seconds();
+
+  Timer allocate_timer;
+  const legal::TetrisStats allocation = legal::tetris_allocate(design);
+  legal::assign_orientations(design);
+  const double allocate_seconds = allocate_timer.seconds();
+
+  const db::LegalityReport report = db::check_legality(design);
+  const bool legal = report.legal() && allocation.unplaced_cells == 0;
+
+  std::printf("%-16s %9zu %-8s %9.2f %9.2f %9.2f %9.2f %9zu %5s %11.1f\n",
+              variant_name.c_str(), design.num_cells(), engine.c_str(),
+              build_seconds, partition_seconds, solve_seconds,
+              allocate_seconds, stats.num_components, legal ? "yes" : "NO",
+              util::peak_rss_mb());
+  std::fflush(stdout);
+  return legal && stats.converged ? 0 : 1;
+}
+
+struct Point {
+  const char* variant;
+  std::size_t cells;
+  const char* engine;
+};
+
+int run_driver(const char* self) {
+  bench::print_bench_banner("scaling_memory");
+  std::printf(
+      "# One child process per row (peak RSS is per-process-monotone):\n"
+      "#   %s --point <variant> <cells> <engine>\n"
+      "# build   = model assembly (streamed: CSR + union-find in one pass)\n"
+      "# part    = separate partition walk (legacy engine only)\n"
+      "# legacy  = pre-refactor layout: COO staging + extract-all solve\n"
+      "%-16s %9s %-8s %9s %9s %9s %9s %9s %5s %11s\n",
+      self, "variant", "cells", "engine", "build_s", "part_s", "solve_s",
+      "alloc_s", "comps", "legal", "peak_rss_mb");
+  // Children inherit this process's stdout and flush their own rows; when
+  // stdout is a file (the snapshot) the banner would otherwise sit in the
+  // parent's full buffer until exit and land *after* every row.
+  std::fflush(stdout);
+
+  const bool small = [] {
+    const char* env = std::getenv("MCH_SCALE_POINTS");
+    return env != nullptr && std::strcmp(env, "small") == 0;
+  }();
+
+  // The legacy engine is measured only up to 1M cells — it is the baseline
+  // the acceptance bar compares against; running its COO staging at 10M is
+  // exactly the peak-RSS wall this refactor removes.
+  const std::array<Point, 9> full_points = {{
+      {"baseline", 1000000, "legacy"},
+      {"baseline", 1000000, "streamed"},
+      {"baseline", 2000000, "streamed"},
+      {"baseline", 5000000, "streamed"},
+      {"baseline", 10000000, "streamed"},
+      {"obstacle-heavy", 1000000, "legacy"},
+      {"obstacle-heavy", 1000000, "streamed"},
+      {"high-utilization", 1000000, "legacy"},
+      {"high-utilization", 1000000, "streamed"},
+  }};
+  const std::array<Point, 4> small_points = {{
+      {"baseline", 100000, "legacy"},
+      {"baseline", 100000, "streamed"},
+      {"obstacle-heavy", 100000, "streamed"},
+      {"high-utilization", 100000, "streamed"},
+  }};
+
+  const Point* points = small ? small_points.data() : full_points.data();
+  const std::size_t count = small ? small_points.size() : full_points.size();
+
+  int worst = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string command = std::string(self) + " --point " + points[i].variant +
+                          " " + std::to_string(points[i].cells) + " " +
+                          points[i].engine;
+    const int rc = std::system(command.c_str());
+    if (rc != 0) {
+      std::printf("# point failed (rc %d): %s\n", rc, command.c_str());
+      std::fflush(stdout);
+      worst = 1;
+    }
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--point") == 0) {
+    if (argc != 5) {
+      std::fprintf(stderr,
+                   "usage: %s --point <variant> <cells> <engine>\n", argv[0]);
+      return 2;
+    }
+    return run_point(argv[2],
+                     static_cast<std::size_t>(std::strtoull(argv[3], nullptr,
+                                                            10)),
+                     argv[4]);
+  }
+  mch::bench::bench_threads(argc, argv);
+  return run_driver(argv[0]);
+}

@@ -180,6 +180,7 @@ int main(int argc, char** argv) {
       "the same states: mean %.4fs — speedup %.1fx\n",
       scratch_seconds.size(), scratch_mean, eco_mean_at_samples, speedup);
   std::printf("illegal results: %zu\n", illegal);
+  mch::bench::print_peak_rss();
 
   if (illegal > 0) return 1;
   // The acceptance bar of the resident-session work: incremental ECO must

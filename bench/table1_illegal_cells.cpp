@@ -67,5 +67,6 @@ int main(int argc, char** argv) {
   std::cout << "Paper reference (full scale): average illegal ratio 0.03%; "
                "max 0.80% (des_perf_1), 0.57% (fft_1); zero on "
                "pci_bridge32_a/b.\n";
+  mch::bench::print_peak_rss();
   return 0;
 }

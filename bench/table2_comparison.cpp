@@ -125,5 +125,6 @@ int main(int argc, char** argv) {
   std::cout << "Paper reference (full scale): N.Average disp 1.16 / 1.10 / "
                "1.06 / 1.00; dHPWL 1.72 / 1.41 / 1.22 / 1.00; time 1.02 / "
                "0.97 / 1.96 / 1.00.\n";
+  mch::bench::print_peak_rss();
   return all_legal ? 0 : 1;
 }

@@ -152,5 +152,6 @@ int main(int argc, char** argv) {
               "Abacus-style per-insertion usage (last column), whose cost "
               "grows quadratically with row length.\n");
   (void)benchmark_do_not_optimize;
+  mch::bench::print_peak_rss();
   return all_equal ? 0 : 1;
 }

@@ -1,0 +1,30 @@
+#include "db/columns.h"
+
+namespace mch::db {
+
+CellColumns CellColumns::from(const Design& design) {
+  const std::vector<Cell>& cells = design.cells();
+  CellColumns cols;
+  const std::size_t n = cells.size();
+  cols.gp_x.resize(n);
+  cols.gp_y.resize(n);
+  cols.width.resize(n);
+  cols.x.resize(n);
+  cols.y.resize(n);
+  cols.height_rows.resize(n);
+  cols.flags.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Cell& c = cells[i];
+    cols.gp_x[i] = c.gp_x;
+    cols.gp_y[i] = c.gp_y;
+    cols.width[i] = c.width;
+    cols.x[i] = c.x;
+    cols.y[i] = c.y;
+    cols.height_rows[i] = c.height_rows;
+    cols.flags[i] = static_cast<std::uint8_t>((c.fixed ? kFixed : 0) |
+                                              (c.erased ? kErased : 0));
+  }
+  return cols;
+}
+
+}  // namespace mch::db

@@ -1,0 +1,44 @@
+// Structure-of-arrays view of a design's cells for gather-heavy kernels.
+//
+// Model assembly and row bucketing read four or five fields of every cell
+// while sweeping millions of them; striding 56-byte Cell records wastes most
+// of each cache line on fields those kernels never touch (current positions,
+// orientation, rail type). CellColumns gathers the hot fields once into flat
+// columns — coordinates as doubles, height as u16, the two skip flags packed
+// into one byte — so the sweeps stream dense arrays instead.
+//
+// The view is a snapshot: build it, run the kernel batch, drop it. It does
+// not track later Design mutations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "db/design.h"
+
+namespace mch::db {
+
+struct CellColumns {
+  static constexpr std::uint8_t kFixed = 1;
+  static constexpr std::uint8_t kErased = 2;
+
+  std::vector<double> gp_x;
+  std::vector<double> gp_y;
+  std::vector<double> width;
+  std::vector<double> x;  ///< current x (obstacle intervals read it)
+  std::vector<double> y;  ///< current y (obstacle rows read it)
+  std::vector<std::uint16_t> height_rows;
+  std::vector<std::uint8_t> flags;  ///< kFixed / kErased bits
+
+  std::size_t size() const { return gp_x.size(); }
+  bool fixed(std::size_t i) const { return (flags[i] & kFixed) != 0; }
+  bool erased(std::size_t i) const { return (flags[i] & kErased) != 0; }
+  /// True when the cell participates in legalization (movable, live).
+  bool movable(std::size_t i) const { return flags[i] == 0; }
+
+  /// Gathers the hot columns of every cell (erased slots included, flagged).
+  static CellColumns from(const Design& design);
+};
+
+}  // namespace mch::db

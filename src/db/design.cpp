@@ -11,7 +11,7 @@ const char* to_string(RailType t) {
 }
 
 std::size_t Design::add_cell(Cell cell) {
-  cell.id = cells_.size();
+  cell.id = to_index(cells_.size());
   MCH_CHECK_MSG(cell.width > 0.0, "cell width must be positive");
   MCH_CHECK_MSG(cell.height_rows >= 1, "cell height must be >= 1 row");
   MCH_CHECK_MSG(cell.height_rows <= chip_.num_rows,
@@ -23,8 +23,11 @@ std::size_t Design::add_cell(Cell cell) {
 std::size_t Design::add_net(Net net) {
   for (const Pin& pin : net.pins)
     MCH_CHECK_MSG(pin.cell < cells_.size(), "pin references unknown cell");
-  nets_.push_back(std::move(net));
-  return nets_.size() - 1;
+  if (net_first_.empty()) net_first_.push_back(0);
+  check_index_range(net_pins_.size() + net.pins.size(), "netlist pins");
+  net_pins_.insert(net_pins_.end(), net.pins.begin(), net.pins.end());
+  net_first_.push_back(to_index(net_pins_.size()));
+  return net_first_.size() - 2;
 }
 
 void Design::move_cell(std::size_t id, double gp_x, double gp_y) {
@@ -61,13 +64,19 @@ void Design::erase_cell(std::size_t id) {
   MCH_CHECK_MSG(!cells_[id].erased,
                 "erase_cell: cell " << id << " already erased");
   cells_[id].erased = true;
-  for (Net& net : nets_) {
-    net.pins.erase(std::remove_if(net.pins.begin(), net.pins.end(),
-                                  [&](const Pin& pin) {
-                                    return pin.cell == id;
-                                  }),
-                   net.pins.end());
+  // Compact the pin pool in place, dropping the erased cell's pins and
+  // rewriting each net's offset to the surviving prefix.
+  if (net_first_.empty()) return;
+  std::size_t write = 0;
+  std::size_t read = 0;
+  for (std::size_t n = 0; n + 1 < net_first_.size(); ++n) {
+    const std::size_t end = net_first_[n + 1];
+    net_first_[n] = to_index(write);
+    for (; read < end; ++read)
+      if (net_pins_[read].cell != id) net_pins_[write++] = net_pins_[read];
   }
+  net_first_.back() = to_index(write);
+  net_pins_.resize(write);
 }
 
 std::size_t Design::num_erased_cells() const {

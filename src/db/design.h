@@ -19,10 +19,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "util/check.h"
+#include "util/index.h"
 
 namespace mch::db {
 
@@ -58,11 +60,34 @@ struct Chip {
   }
 };
 
+/// Largest representable Cell::height_rows (chips top out around 10⁴ rows,
+/// so 16 bits leaves an order-of-magnitude margin).
+inline constexpr std::size_t kMaxHeightRows =
+    std::numeric_limits<std::uint16_t>::max();
+
+/// Checked narrowing for Cell::height_rows.
+inline std::uint16_t to_height_rows(std::size_t rows) {
+  MCH_CHECK_MSG(rows <= kMaxHeightRows,
+                "cell height " << rows << " rows exceeds the 16-bit limit");
+  return static_cast<std::uint16_t>(rows);
+}
+
 /// A standard cell. Width in distance units; height in integer row counts.
+///
+/// The record is packed to 56 bytes (from the naive 64): the five doubles
+/// lead so the model/row-assignment kernels stream aligned coordinates, the
+/// id narrows to mch::index_t, and height_rows to 16 bits (see
+/// kMaxHeightRows). At 10M cells the cell array alone saves 80 MB, and the
+/// hot fields of one cell fit a single cache line.
 struct Cell {
-  std::size_t id = 0;
   double width = 0.0;
-  std::size_t height_rows = 1;  ///< 1 = single, 2 = double, ...
+  double gp_x = 0.0;  ///< global-placement x (bottom-left)
+  double gp_y = 0.0;  ///< global-placement y (bottom-left)
+  double x = 0.0;     ///< current (legalized) x
+  double y = 0.0;     ///< current (legalized) y
+
+  index_t id = 0;
+  std::uint16_t height_rows = 1;  ///< 1 = single, 2 = double, ...
   /// Designed bottom-rail type; only constrains placement when height_rows
   /// is even (odd-height cells can flip to match any row).
   RailType bottom_rail = RailType::kVss;
@@ -82,11 +107,6 @@ struct Cell {
   /// all skip them as if they were deleted.
   bool erased = false;
 
-  double gp_x = 0.0;  ///< global-placement x (bottom-left)
-  double gp_y = 0.0;  ///< global-placement y (bottom-left)
-  double x = 0.0;     ///< current (legalized) x
-  double y = 0.0;     ///< current (legalized) y
-
   bool is_multi_row() const { return height_rows > 1; }
   bool is_even_height() const { return height_rows % 2 == 0; }
 
@@ -98,16 +118,85 @@ struct Cell {
   }
 };
 
-/// A pin: an offset into a cell.
+static_assert(sizeof(Cell) <= 56, "Cell record grew past its 56-byte budget");
+
+/// A pin: an offset into a cell. Packed to 12 bytes (index_t cell id,
+/// float offsets): the netlist is among the largest arrays of a
+/// multi-million-cell design yet is dead weight during legalization, and
+/// pin offsets are sub-micron quantities a float carries exactly as far as
+/// HPWL needs.
 struct Pin {
-  std::size_t cell = 0;  ///< cell index in Design::cells
-  double dx = 0.0;       ///< offset from the cell's bottom-left corner
-  double dy = 0.0;
+  index_t cell = 0;  ///< cell index in Design::cells
+  float dx = 0.0f;   ///< offset from the cell's bottom-left corner
+  float dy = 0.0f;
 };
 
-/// A net is a set of pins; wirelength is half-perimeter (HPWL).
+static_assert(sizeof(Pin) <= 12, "Pin record grew past its 12-byte budget");
+
+/// A net is a set of pins; wirelength is half-perimeter (HPWL). This is
+/// the *builder* type handed to Design::add_net (and produced by the
+/// loaders); Design stores nets pooled in two flat arrays, not as a
+/// vector of these.
 struct Net {
   std::vector<Pin> pins;
+};
+
+/// Non-owning view of one net's pins inside the pooled store.
+class PinSpan {
+ public:
+  PinSpan() = default;
+  PinSpan(const Pin* data, std::size_t size) : data_(data), size_(size) {}
+  const Pin* begin() const { return data_; }
+  const Pin* end() const { return data_ + size_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const Pin& operator[](std::size_t i) const { return data_[i]; }
+
+ private:
+  const Pin* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// One net as viewed through the pool. Mirrors the builder Net's `.pins`
+/// member so `for (const auto& net : design.nets()) ... net.pins[i]` reads
+/// identically against either representation.
+struct NetView {
+  PinSpan pins;
+};
+
+/// Iterable, indexable view over the pooled netlist. Values are NetView
+/// temporaries — bind them by value or `const auto&`, never `const Net&`.
+class NetRange {
+ public:
+  NetRange(const std::vector<index_t>& first, const std::vector<Pin>& pins)
+      : first_(&first), pins_(&pins) {}
+
+  std::size_t size() const {
+    return first_->empty() ? 0 : first_->size() - 1;
+  }
+  NetView operator[](std::size_t n) const {
+    const std::size_t begin = (*first_)[n];
+    const std::size_t end = (*first_)[n + 1];
+    return NetView{PinSpan(pins_->data() + begin, end - begin)};
+  }
+
+  class iterator {
+   public:
+    iterator(const NetRange* range, std::size_t n) : range_(range), n_(n) {}
+    NetView operator*() const { return (*range_)[n_]; }
+    iterator& operator++() { ++n_; return *this; }
+    bool operator!=(const iterator& other) const { return n_ != other.n_; }
+
+   private:
+    const NetRange* range_;
+    std::size_t n_;
+  };
+  iterator begin() const { return iterator(this, 0); }
+  iterator end() const { return iterator(this, size()); }
+
+ private:
+  const std::vector<index_t>* first_;
+  const std::vector<Pin>* pins_;
 };
 
 /// A complete design: chip, cells, and netlist.
@@ -123,11 +212,14 @@ class Design {
 
   const std::vector<Cell>& cells() const { return cells_; }
   std::vector<Cell>& cells() { return cells_; }
-  const std::vector<Net>& nets() const { return nets_; }
-  std::vector<Net>& nets() { return nets_; }
+  /// View over the pooled netlist (flat pin array + per-net offsets).
+  NetRange nets() const { return NetRange(net_first_, net_pins_); }
 
   std::size_t num_cells() const { return cells_.size(); }
-  std::size_t num_nets() const { return nets_.size(); }
+  std::size_t num_nets() const {
+    return net_first_.empty() ? 0 : net_first_.size() - 1;
+  }
+  std::size_t num_pins() const { return net_pins_.size(); }
 
   /// Appends a cell, assigning its id. Returns the index.
   std::size_t add_cell(Cell cell);
@@ -195,7 +287,12 @@ class Design {
  private:
   Chip chip_;
   std::vector<Cell> cells_;
-  std::vector<Net> nets_;
+  // Pooled netlist: net n's pins are net_pins_[net_first_[n] ..
+  // net_first_[n+1]). Empty vectors when no net was added; net_first_
+  // holds nets+1 offsets otherwise. At 1M cells the pool is ~3x smaller
+  // than a vector<Net> of per-net heap vectors.
+  std::vector<index_t> net_first_;
+  std::vector<Pin> net_pins_;
 };
 
 }  // namespace mch::db

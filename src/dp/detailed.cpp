@@ -38,7 +38,7 @@ class NetIndex {
 
   /// HPWL of one net at current positions.
   double net_hpwl(std::size_t net_id) const {
-    const db::Net& net = design_.nets()[net_id];
+    const db::NetView net = design_.nets()[net_id];
     if (net.pins.size() < 2) return 0.0;
     double min_x = std::numeric_limits<double>::infinity();
     double max_x = -min_x, min_y = min_x, max_y = -min_x;
@@ -231,7 +231,7 @@ std::size_t shift_pass(db::Design& design, const NetIndex& nets) {
 
     endpoints.clear();
     for (const std::size_t n : nets.nets_of(c)) {
-      const db::Net& net = design.nets()[n];
+      const db::NetView net = design.nets()[n];
       if (net.pins.size() < 2) continue;
       // Bounding interval of the net's *other* pins, and this cell's pin
       // offsets on the net.
@@ -241,8 +241,8 @@ std::size_t shift_pass(db::Design& design, const NetIndex& nets) {
       double own_max_dx = -own_min_dx;
       for (const db::Pin& pin : net.pins) {
         if (pin.cell == c) {
-          own_min_dx = std::min(own_min_dx, pin.dx);
-          own_max_dx = std::max(own_max_dx, pin.dx);
+          own_min_dx = std::min(own_min_dx, static_cast<double>(pin.dx));
+          own_max_dx = std::max(own_max_dx, static_cast<double>(pin.dx));
         } else {
           const db::Cell& other = design.cells()[pin.cell];
           other_min = std::min(other_min, other.x + pin.dx);

@@ -33,7 +33,7 @@ namespace {
 template <typename GetX, typename GetY>
 double hpwl_impl(const db::Design& design, GetX get_x, GetY get_y) {
   double total = 0.0;
-  for (const db::Net& net : design.nets()) {
+  for (const db::NetView& net : design.nets()) {
     if (net.pins.size() < 2) continue;
     double min_x = std::numeric_limits<double>::infinity();
     double max_x = -min_x;

@@ -11,6 +11,7 @@
 #include "legal/tetris_alloc.h"
 #include "runtime/parallel.h"
 #include "service/session.h"
+#include "util/rss.h"
 #include "util/timer.h"
 
 namespace mch::eval {
@@ -132,6 +133,7 @@ RunResult run_legalizer(db::Design& design, Legalizer which,
   result.delta_hpwl =
       result.gp_hpwl > 0.0 ? (result.hpwl - result.gp_hpwl) / result.gp_hpwl
                            : 0.0;
+  result.peak_rss_mb = util::peak_rss_mb();
   return result;
 }
 

@@ -84,6 +84,12 @@ struct RunResult {
   std::size_t session_reused_components = 0;
   std::size_t session_warm_hits = 0;
   double session_warm_rate = 0.0;  ///< warm hits / dirty components
+
+  /// Process-wide peak RSS (getrusage high-water mark) sampled when this
+  /// run finished. Monotone across a suite: later runs inherit earlier
+  /// peaks, so per-design attribution needs one process per design (see
+  /// bench/scaling_memory.cpp).
+  double peak_rss_mb = 0.0;
 };
 
 /// Resets the design to its GP positions, runs the legalizer, validates the

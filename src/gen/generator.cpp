@@ -42,7 +42,7 @@ std::vector<Cell> make_cells(std::size_t num_single, std::size_t num_double,
         rng.uniform_int(opts.min_width_sites, opts.max_width_sites));
   };
 
-  const auto push = [&](std::size_t height_rows, double width_sites) {
+  const auto push = [&](std::uint16_t height_rows, double width_sites) {
     Cell cell;
     cell.width = width_sites * opts.site_width;
     cell.height_rows = height_rows;
@@ -77,7 +77,7 @@ Chip size_chip(const std::vector<Cell>& cells, double density,
   for (const Cell& cell : cells) {
     total_area +=
         cell.width * static_cast<double>(cell.height_rows) * opts.row_height;
-    max_height = std::max(max_height, cell.height_rows);
+    max_height = std::max<std::size_t>(max_height, cell.height_rows);
   }
   const double macro_area = static_cast<double>(opts.fixed_macros) *
                             opts.macro_width_sites * opts.site_width *
@@ -135,7 +135,7 @@ std::vector<std::vector<std::pair<double, double>>> place_macros(
       if (overlaps(x, base)) continue;
       Cell macro;
       macro.width = mw;
-      macro.height_rows = mh;
+      macro.height_rows = db::to_height_rows(mh);
       macro.fixed = true;
       macro.x = macro.gp_x = x;
       macro.y = macro.gp_y = chip.row_y(base);
@@ -393,6 +393,45 @@ db::Design generate_design(const BenchmarkSpec& spec,
   return design;
 }
 
+const char* to_string(ScaleVariant variant) {
+  switch (variant) {
+    case ScaleVariant::kBaseline:
+      return "baseline";
+    case ScaleVariant::kObstacleHeavy:
+      return "obstacle-heavy";
+    case ScaleVariant::kHighUtilization:
+      return "high-utilization";
+  }
+  return "unknown";
+}
+
+db::Design generate_scale_design(ScaleVariant variant, std::size_t num_cells,
+                                 std::uint64_t seed) {
+  MCH_CHECK(num_cells > 0);
+  // The paper's benchmark mix: ~10% of cells double-height.
+  const std::size_t num_double = num_cells / 10;
+  const std::size_t num_single = num_cells - num_double;
+
+  GeneratorOptions options;
+  options.seed = seed;
+  double density = 0.8;
+  switch (variant) {
+    case ScaleVariant::kBaseline:
+      break;
+    case ScaleVariant::kObstacleHeavy:
+      options.fixed_macros = std::max<std::size_t>(4, num_cells / 2000);
+      break;
+    case ScaleVariant::kHighUtilization:
+      density = 0.92;
+      break;
+  }
+
+  db::Design design =
+      generate_random_design(num_single, num_double, density, options);
+  design.name = std::string("scale-") + to_string(variant);
+  return design;
+}
+
 const char* to_string(DegenerateMode mode) {
   switch (mode) {
     case DegenerateMode::kNearSingularCoupling:
@@ -418,7 +457,7 @@ db::Design generate_degenerate_design(DegenerateMode mode,
   chip.num_rows = 8;
 
   const auto add_movable = [&](Design& design, double width,
-                               std::size_t height_rows, double x, double y) {
+                               std::uint16_t height_rows, double x, double y) {
     Cell cell;
     cell.width = width;
     cell.height_rows = height_rows;
@@ -477,7 +516,7 @@ db::Design generate_degenerate_design(DegenerateMode mode,
       const auto add_wall = [&](double x, double wall_width) {
         Cell wall;
         wall.width = wall_width;
-        wall.height_rows = chip.num_rows;
+        wall.height_rows = db::to_height_rows(chip.num_rows);
         wall.fixed = true;
         wall.x = x;
         wall.y = 0.0;

@@ -118,4 +118,26 @@ db::Design generate_degenerate_design(DegenerateMode mode,
                                       std::size_t num_cells,
                                       std::uint64_t seed = 1);
 
+/// Families of the production-scale sweep (bench/scaling_memory): the same
+/// construction as generate_random_design, differing in what stresses the
+/// model's memory spine hardest at 1M–10M cells.
+enum class ScaleVariant {
+  /// The paper's benchmark mix: 10% double-height, density 0.8, no macros.
+  kBaseline,
+  /// One fixed macro per ~2000 cells. Obstacles split row chains, so the
+  /// component count explodes while each row's obstacle bookkeeping grows.
+  kObstacleHeavy,
+  /// Density 0.92: rows near capacity, long spacing chains, many active
+  /// constraints — the largest constraint systems per cell.
+  kHighUtilization,
+};
+
+const char* to_string(ScaleVariant variant);
+
+/// Generates a design of ~num_cells cells from the given family. Thin
+/// deterministic wrapper over generate_random_design — same (variant,
+/// num_cells, seed) always yields the same design.
+db::Design generate_scale_design(ScaleVariant variant, std::size_t num_cells,
+                                 std::uint64_t seed = 1);
+
 }  // namespace mch::gen

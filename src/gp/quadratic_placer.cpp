@@ -76,7 +76,7 @@ QuadraticSystem build_system(const db::Design& design,
     }
   };
 
-  for (const db::Net& net : design.nets()) {
+  for (const db::NetView& net : design.nets()) {
     const std::size_t p = net.pins.size();
     if (p < 2) continue;
     if (p <= options.max_clique_pins) {

@@ -279,15 +279,15 @@ db::Design load_bookshelf(const std::string& aux_path) {
     const double rows_exact = node.height / chip.row_height;
     if (node.terminal || node.fixed) {
       cell.fixed = true;
-      cell.height_rows = std::max<std::size_t>(
-          1, static_cast<std::size_t>(std::ceil(rows_exact - 1e-9)));
+      cell.height_rows = db::to_height_rows(std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::ceil(rows_exact - 1e-9))));
     } else {
       const double rounded = std::round(rows_exact);
       MCH_CHECK_MSG(std::abs(rows_exact - rounded) < 1e-6 && rounded >= 1.0,
                     nodes_path << ": movable node " << node.name
                                << " height " << node.height
                                << " is not a row multiple");
-      cell.height_rows = static_cast<std::size_t>(rounded);
+      cell.height_rows = db::to_height_rows(static_cast<std::size_t>(rounded));
     }
     cell.gp_x = cell.x = node.x - min_x;
     cell.gp_y = cell.y = node.y - min_y;
@@ -376,11 +376,11 @@ void save_bookshelf(const std::string& directory, const std::string& name,
     nets << std::setprecision(17);
     nets << "UCLA nets 1.0\n\n";
     std::size_t num_pins = 0;
-    for (const db::Net& net : design.nets()) num_pins += net.pins.size();
+    for (const db::NetView& net : design.nets()) num_pins += net.pins.size();
     nets << "NumNets : " << design.num_nets() << '\n';
     nets << "NumPins : " << num_pins << '\n';
     for (std::size_t n = 0; n < design.num_nets(); ++n) {
-      const db::Net& net = design.nets()[n];
+      const db::NetView net = design.nets()[n];
       nets << "NetDegree : " << net.pins.size() << "\tn" << n << '\n';
       for (const db::Pin& pin : net.pins) {
         const db::Cell& cell = design.cells()[pin.cell];

@@ -41,7 +41,7 @@ void write_design(std::ostream& os, const Design& design) {
        << ' ' << cell.gp_x << ' ' << cell.gp_y << ' ' << cell.x << ' '
        << cell.y << '\n';
   os << "nets " << design.num_nets() << '\n';
-  for (const Net& net : design.nets()) {
+  for (const db::NetView& net : design.nets()) {
     os << net.pins.size();
     for (const Pin& pin : net.pins)
       os << ' ' << pin.cell << ' ' << pin.dx << ' ' << pin.dy;

@@ -104,13 +104,21 @@ MmsimSolver::MmsimSolver(const StructuredQp& qp, const MmsimOptions& options,
 
   Timer timer;
   // (1,1) block of M + I: K/β* + I, block diagonal; store with inverses.
+  // Scalar blocks shift in place through the flat array — same arithmetic
+  // (v/β + 1, inverted as exactly its reciprocal) without a DenseMatrix.
   for (std::size_t blk = 0; blk < qp_.K.block_count(); ++blk) {
-    DenseMatrix shifted = qp_.K.block(blk);
-    const std::size_t n = shifted.rows();
+    if (qp_.K.is_scalar_block(blk)) {
+      const std::size_t off = qp_.K.block_offset(blk);
+      shifted_k_.add_scalar_block(qp_.K.scalar_values()[off] / opts_.beta +
+                                  1.0);
+      continue;
+    }
+    const DenseMatrix& kb = qp_.K.block(blk);
+    const std::size_t n = kb.rows();
+    DenseMatrix shifted(n, n);
     for (std::size_t r = 0; r < n; ++r)
       for (std::size_t c = 0; c < n; ++c)
-        shifted(r, c) =
-            qp_.K.block(blk)(r, c) / opts_.beta + (r == c ? 1.0 : 0.0);
+        shifted(r, c) = kb(r, c) / opts_.beta + (r == c ? 1.0 : 0.0);
     shifted_k_.add_block(shifted);
   }
 
@@ -172,7 +180,7 @@ MmsimSolver::MmsimSolver(const StructuredQp& qp, const MmsimOptions& options,
     // Flattened general-block tables (see the header): K block + inverse
     // per block, contiguous, so the block sweep streams one array instead
     // of chasing two small heap objects per block.
-    const std::vector<std::size_t>& gb = qp_.K.general_block_indices();
+    const auto& gb = qp_.K.general_block_indices();
     gb_off_.resize(gb.size());
     gb_dim_.resize(gb.size());
     gb_data_.resize(gb.size());
@@ -477,7 +485,7 @@ double MmsimSolver::step_fused_impl(State& state) const {
   const std::vector<double>& kv = qp_.K.scalar_values();
   const std::vector<double>& siv = shifted_k_.scalar_inverses();
   const std::vector<std::size_t>& bt_rp = bt_->row_ptr();
-  const std::vector<std::size_t>& bt_ci = bt_->col_idx();
+  const auto& bt_ci = bt_->col_idx();
   const std::vector<double>& bt_v = bt_->values();
   const double* const bt_gv = bt_gval_.data();
   const std::uint32_t* const bt_gc = bt_gcol_.data();
@@ -618,7 +626,7 @@ double MmsimSolver::step_fused_impl(State& state) const {
       const Vector& s1_used =
           opts_.splitting == MmsimSplitting::kGaussSeidel ? new_s1 : s1;
       const std::vector<std::size_t>& b_rp = qp_.B.row_ptr();
-      const std::vector<std::size_t>& b_ci = qp_.B.col_idx();
+      const auto& b_ci = qp_.B.col_idx();
       const std::vector<double>& b_v = qp_.B.values();
       const double* const b_gv = b_gval_.data();
       const std::uint32_t* const b_gc = b_gcol_.data();

@@ -179,15 +179,21 @@ SolveOutcome solve_lockstep(const LegalizationModel& model,
   return outcome;
 }
 
-lcp::LcpSolverKind pick_solver(const ComponentProblem& component,
+lcp::LcpSolverKind pick_solver(std::size_t num_variables,
+                               std::size_t num_constraints,
                                const SolverPolicy& policy) {
-  const std::size_t size =
-      component.variables.size() + component.constraints.size();
-  if (policy.psor_for_unconstrained && component.constraints.empty())
+  const std::size_t size = num_variables + num_constraints;
+  if (policy.psor_for_unconstrained && num_constraints == 0)
     return lcp::LcpSolverKind::kPsor;
   if (policy.lemke_max_size > 0 && size <= policy.lemke_max_size)
     return lcp::LcpSolverKind::kLemke;
   return lcp::LcpSolverKind::kMmsim;
+}
+
+lcp::LcpSolverKind pick_solver(const ComponentProblem& component,
+                               const SolverPolicy& policy) {
+  return pick_solver(component.variables.size(), component.constraints.size(),
+                     policy);
 }
 
 /// Tiered driver (PartitionMode::kTiered): each component gets the solver
@@ -266,6 +272,94 @@ SolveOutcome solve_tiered(const LegalizationModel& model,
   return outcome;
 }
 
+/// Component-at-a-time tiered driver: each worker extracts one component
+/// sub-problem, solves it, scatters its primal part into the global x, and
+/// releases it before taking the next. Components are visited largest-first
+/// so the big extractions never pile up concurrently behind the tail — the
+/// solve's high-water mark holds at most one sub-problem per pool thread
+/// instead of every component at once. Per-component results are identical
+/// to solve_tiered's: each depends only on the component's QP and its
+/// workspace slot (still keyed by component id), and the stats fold in
+/// component-id order regardless of schedule.
+SolveOutcome solve_tiered_streamed(const LegalizationModel& model,
+                                   const ConstraintPartition& partition,
+                                   const lcp::MmsimOptions& mmsim_options,
+                                   const SolverPolicy& policy,
+                                   lcp::SolverWorkspace& workspace,
+                                   MmsimLegalizerStats& stats) {
+  const std::size_t num = partition.num_components();
+  workspace.prepare(num);
+  stats.components_mmsim = stats.components_psor = stats.components_lemke = 0;
+  stats.component_iterations = 0;
+
+  std::vector<std::size_t> order(num);
+  for (std::size_t c = 0; c < num; ++c) order[c] = c;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const std::size_t sa = partition.component_size(a);
+    const std::size_t sb = partition.component_size(b);
+    if (sa != sb) return sa > sb;
+    return a < b;
+  });
+
+  SolveOutcome outcome;
+  outcome.converged = true;
+  outcome.x.assign(model.num_variables(), 0.0);
+  std::vector<lcp::LcpSolverKind> kinds(num);
+  std::vector<lcp::LcpSolveResult> results(num);
+  parallel_for(
+      std::size_t{0}, num, kGrainComponents,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const std::size_t c = order[i];
+          const auto& vars = partition.component_variables[c];
+          const auto& rows = partition.component_constraints[c];
+          const ComponentProblem component = model.component_problem(vars, rows);
+          kinds[c] = pick_solver(vars.size(), rows.size(), policy);
+          lcp::LcpSolverConfig config;
+          config.mmsim = mmsim_options;
+          config.schur_coupling_breaks = &component.schur_coupling_breaks;
+          config.psor.tolerance = mmsim_options.tolerance;
+          config.psor.max_iterations = mmsim_options.max_iterations;
+          results[c] = lcp::make_lcp_solver(kinds[c], component.qp, config)
+                           ->solve(&workspace.slot(c), /*warm_start=*/true);
+          // Scatter and drop the local solution before the next extraction.
+          // Variable sets are disjoint across components, so the shared
+          // writes are race-free.
+          for (std::size_t v = 0; v < vars.size(); ++v)
+            outcome.x[vars[v]] = results[c].x[v];
+          results[c].x = Vector();
+          results[c].dual = Vector();
+        }
+      });
+
+  for (std::size_t c = 0; c < num; ++c) {
+    switch (kinds[c]) {
+      case lcp::LcpSolverKind::kMmsim:
+        ++stats.components_mmsim;
+        break;
+      case lcp::LcpSolverKind::kPsor:
+        ++stats.components_psor;
+        break;
+      case lcp::LcpSolverKind::kLemke:
+        ++stats.components_lemke;
+        break;
+    }
+    stats.component_iterations += results[c].iterations;
+    stats.phase.accumulate(results[c].phase);
+    outcome.iterations = std::max(outcome.iterations, results[c].iterations);
+    if (!results[c].converged) {
+      outcome.converged = false;
+      MCH_LOG(kWarn) << "component " << c << " (" << lcp::to_string(kinds[c])
+                     << ", size "
+                     << partition.component_variables[c].size() +
+                            partition.component_constraints[c].size()
+                     << ") did not converge in " << results[c].iterations
+                     << " iterations";
+    }
+  }
+  return outcome;
+}
+
 /// Rungs 2+ of the escalation ladder: every component is routed through the
 /// per-component solver ladder (lcp::solve_with_recovery), so components
 /// that already converge pass straight through their primary solver while
@@ -273,20 +367,22 @@ SolveOutcome solve_tiered(const LegalizationModel& model,
 /// Components whose ladder is exhausted degrade explicitly — their cells
 /// are set to row-assigned snap positions (gp_x clamped into the chip) and
 /// recorded as structured SolveFailures — never shipped as an unconverged
-/// iterate. Thin wrapper over solve_components with one job per component.
+/// iterate. Thin wrapper over solve_components with one job per component;
+/// sub-problems are extracted one worker at a time inside the solve.
 SolveOutcome recover_components(const db::Design& design,
                                 const LegalizationModel& model,
-                                const std::vector<ComponentProblem>& components,
+                                const ConstraintPartition& partition,
                                 const lcp::MmsimOptions& mmsim_options,
                                 const SolverPolicy& policy,
                                 const lcp::RecoveryOptions& recovery,
                                 lcp::SolverWorkspace& workspace,
                                 MmsimLegalizerStats& stats) {
-  const std::size_t num = components.size();
+  const std::size_t num = partition.num_components();
   workspace.prepare(num);
   std::vector<ComponentSolveJob> jobs(num);
   for (std::size_t c = 0; c < num; ++c)
-    jobs[c] = {&components[c], &workspace.slot(c), c};
+    jobs[c] = {&partition.component_variables[c],
+               &partition.component_constraints[c], &workspace.slot(c), c};
 
   MmsimLegalizerOptions solve_options;
   solve_options.mmsim = mmsim_options;
@@ -329,8 +425,14 @@ ComponentSolveReport solve_components(const db::Design& design,
       std::size_t{0}, num, kGrainComponents,
       [&](std::size_t lo, std::size_t hi) {
         for (std::size_t c = lo; c < hi; ++c) {
-          const ComponentProblem& component = *jobs[c].component;
-          kinds[c] = pick_solver(component, options.policy);
+          const auto& vars = *jobs[c].variables;
+          // Extract, solve, scatter, release: only one sub-problem per
+          // worker is ever live, whatever the job count.
+          const ComponentProblem component =
+              model.component_problem(vars, *jobs[c].constraints);
+          kinds[c] =
+              pick_solver(vars.size(), jobs[c].constraints->size(),
+                          options.policy);
           lcp::LcpSolverConfig config;
           config.mmsim = options.mmsim;
           config.schur_coupling_breaks = &component.schur_coupling_breaks;
@@ -341,13 +443,21 @@ ComponentSolveReport solve_components(const db::Design& design,
           recovered[c] = lcp::solve_with_recovery(
               kinds[c], component.qp, config, recovery, jobs[c].slot,
               /*warm_start=*/true);
+          if (recovered[c].rung != lcp::RecoveryRung::kExhausted) {
+            // Variable sets are disjoint across jobs (caller's contract),
+            // so the shared writes are race-free.
+            for (std::size_t v = 0; v < vars.size(); ++v)
+              x[vars[v]] = recovered[c].result.x[v];
+            recovered[c].result.x = Vector();
+            recovered[c].result.dual = Vector();
+          }
         }
       });
 
   ComponentSolveReport report;
   const double chip_width = design.chip().width();
   for (std::size_t c = 0; c < num; ++c) {
-    const ComponentProblem& component = *jobs[c].component;
+    const std::vector<index_t>& vars = *jobs[c].variables;
     const lcp::RecoveredSolve& rec = recovered[c];
     switch (kinds[c]) {
       case lcp::LcpSolverKind::kMmsim:
@@ -368,12 +478,12 @@ ComponentSolveReport solve_components(const db::Design& design,
       report.converged = false;
       SolveFailure failure;
       failure.component = jobs[c].component_id;
-      failure.num_variables = component.variables.size();
-      failure.num_constraints = component.constraints.size();
+      failure.num_variables = vars.size();
+      failure.num_constraints = jobs[c].constraints->size();
       failure.attempts = rec.attempts;
       failure.iterations = rec.wasted_iterations;
-      for (std::size_t v = 0; v < component.variables.size(); ++v) {
-        const std::size_t g = component.variables[v];
+      for (std::size_t v = 0; v < vars.size(); ++v) {
+        const std::size_t g = vars[v];
         const std::size_t cell = model.variables[g].cell;
         const db::Cell& info = design.cells()[cell];
         x[g] = std::clamp(info.gp_x, 0.0,
@@ -394,8 +504,8 @@ ComponentSolveReport solve_components(const db::Design& design,
       if (rec.rung != lcp::RecoveryRung::kPrimary)
         ++report.recovery.recovered_components;
       if (rec.result.warm_started) ++report.warm_started;
-      for (std::size_t v = 0; v < component.variables.size(); ++v)
-        x[component.variables[v]] = rec.result.x[v];
+      // x was scattered inside the worker, before the sub-problem was
+      // released.
       report.iterations = std::max(report.iterations, rec.result.iterations);
       report.component_iterations += rec.result.iterations;
       report.phase.accumulate(rec.result.phase);
@@ -436,10 +546,24 @@ MmsimLegalizerStats mmsim_legalize_continuous(
     const MmsimLegalizerOptions& options) {
   MmsimLegalizerStats stats;
 
+  const PartitionMode mode = resolve_partition_mode(options.partition);
+
+  // Partition state, declared before the model so the streamed build can
+  // deposit the partition as a by-product of constraint emission.
+  ConstraintPartition partition;
+  bool have_partition = false;
+
   Timer model_timer;
   LegalizationModel built_model;
-  if (options.prebuilt_model == nullptr)
-    built_model = build_model(design, base_rows, options.model);
+  if (options.prebuilt_model == nullptr) {
+    // Partitioned modes fold the union-find into the streaming build: the
+    // edges are united as each constraint row is emitted, so the separate
+    // whole-model partition walk disappears.
+    const bool want_partition = mode != PartitionMode::kOff;
+    built_model = build_model(design, base_rows, options.model,
+                              want_partition ? &partition : nullptr);
+    have_partition = want_partition;
+  }
   const LegalizationModel& model =
       options.prebuilt_model != nullptr ? *options.prebuilt_model
                                         : built_model;
@@ -454,7 +578,6 @@ MmsimLegalizerStats mmsim_legalize_continuous(
   stats.num_variables = model.num_variables();
   stats.num_constraints = model.qp.num_constraints();
 
-  const PartitionMode mode = resolve_partition_mode(options.partition);
   lcp::MmsimOptions mmsim_options = options.mmsim;
 
   // Wall clock over the entire solve section — auto-θ probe, partitioning,
@@ -479,18 +602,29 @@ MmsimLegalizerStats mmsim_legalize_continuous(
   lcp::SolverWorkspace& workspace =
       options.workspace != nullptr ? *options.workspace : default_workspace;
 
-  // Partition lazily: the partitioned modes need it up front, the
-  // monolithic mode only on the recovery path.
+  // Partition lazily: the partitioned modes need it up front (streamed out
+  // of the model build above, or handed in by the session), the monolithic
+  // mode only on the recovery path.
   std::vector<ComponentProblem> components;
-  ConstraintPartition partition;
   bool partitioned = false;
   const auto ensure_partitioned = [&] {
     if (partitioned) return;
-    partition = partition_model(model);
+    if (!have_partition) {
+      if (options.prebuilt_partition != nullptr)
+        partition = *options.prebuilt_partition;
+      else
+        partition = partition_model(model);
+      have_partition = true;
+    }
     stats.num_components = partition.num_components();
     stats.max_component_size = partition.max_component_size();
     stats.mean_component_size = partition.mean_component_size();
-    components = extract_components(model, partition);
+    // Lockstep needs every per-component solver alive at once, so kMatch
+    // always extracts everything up front; the streamed tiered/recovery
+    // drivers extract one component per worker instead, unless the legacy
+    // extract-all layout was requested.
+    if (mode == PartitionMode::kMatch || !options.component_at_a_time)
+      components = extract_components(model, partition);
     partitioned = true;
   };
 
@@ -503,10 +637,15 @@ MmsimLegalizerStats mmsim_legalize_continuous(
       o = solve_monolithic(model, mo, workspace, stats);
     } else {
       ensure_partitioned();
-      o = mode == PartitionMode::kMatch
-              ? solve_lockstep(model, components, mo, workspace, stats)
-              : solve_tiered(model, components, mo, options.policy,
-                             workspace, stats);
+      if (mode == PartitionMode::kMatch) {
+        o = solve_lockstep(model, components, mo, workspace, stats);
+      } else if (options.component_at_a_time) {
+        o = solve_tiered_streamed(model, partition, mo, options.policy,
+                                  workspace, stats);
+      } else {
+        o = solve_tiered(model, components, mo, options.policy, workspace,
+                         stats);
+      }
     }
     ++attempts;
     // Fault injection: the mode-level solve and its escalated retry consume
@@ -548,7 +687,7 @@ MmsimLegalizerStats mmsim_legalize_continuous(
       ladder.forced_failures = recovery.forced_failures > attempts
                                    ? recovery.forced_failures - attempts
                                    : 0;
-      outcome = recover_components(design, model, components, mmsim_options,
+      outcome = recover_components(design, model, partition, mmsim_options,
                                    options.policy, ladder, workspace, stats);
       theta_used = escalated.theta;
     }

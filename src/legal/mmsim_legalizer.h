@@ -140,6 +140,16 @@ struct MmsimLegalizerOptions {
   /// result is continuous (pre-snap), so the tolerance must absorb solver
   /// tolerance and residual λ-mismatch; 1e-2 is far below a site width.
   double audit_tolerance = 1e-2;
+  /// Component-at-a-time scheduling for kTiered and the recovery rungs:
+  /// each worker extracts one component sub-problem, solves it, scatters
+  /// the solution, and releases it before taking the next, visiting
+  /// components largest-first. The solve's high-water mark then holds at
+  /// most one extracted sub-problem per pool thread instead of every
+  /// component at once. Per-component results are unchanged (each depends
+  /// only on its own QP and workspace slot); false restores the legacy
+  /// extract-everything-up-front layout. kMatch always extracts all — its
+  /// lockstep driver needs every per-component solver alive at once.
+  bool component_at_a_time = true;
 
   // Session hooks (src/service/): a resident session builds the model once
   // per request itself and keeps the solution/partition across requests.
@@ -148,6 +158,10 @@ struct MmsimLegalizerOptions {
   /// Must have been built from the same design and the same base_rows
   /// (checked); not owned, must outlive the call.
   const LegalizationModel* prebuilt_model = nullptr;
+  /// Optional partition of prebuilt_model (e.g. streamed out of
+  /// build_model's partition_out). Lets the legalizer skip its own
+  /// union-find pass; must match prebuilt_model. Not owned.
+  const ConstraintPartition* prebuilt_partition = nullptr;
   /// When set, receives the continuous per-variable solution (the global x
   /// the restored cell positions are means of).
   lcp::Vector* solution_out = nullptr;
@@ -201,11 +215,15 @@ MmsimLegalizerStats mmsim_legalize_continuous(
     db::Design& design, const RowAssignment& base_rows,
     const MmsimLegalizerOptions& options = {});
 
-/// One component-solve job for solve_components: the extracted problem,
-/// the workspace slot that backs (and may warm-start) it, and the
-/// component's id in its partition for failure records.
+/// One component-solve job for solve_components: the component's sorted
+/// variable and constraint index lists (typically pointers straight into a
+/// ConstraintPartition — the sub-problem itself is extracted inside the
+/// solve, one live extraction per worker), the workspace slot that backs
+/// (and may warm-start) it, and the component's id in its partition for
+/// failure records.
 struct ComponentSolveJob {
-  const ComponentProblem* component = nullptr;
+  const std::vector<index_t>* variables = nullptr;
+  const std::vector<index_t>* constraints = nullptr;
   lcp::SolverWorkspace::Slot* slot = nullptr;
   std::size_t component_id = 0;
 };
@@ -234,9 +252,11 @@ struct ComponentSolveReport {
 /// Solves an explicit set of components of `model` — each through the
 /// tiered solver policy and the per-component escalation ladder — and
 /// scatters every primal solution into the global vector `x` (entries of
-/// other components are left untouched). Jobs run in parallel; each slot
-/// warm-starts its solve when it holds a matching-shape payload, and
-/// exhausted ladders degrade to snap clamps exactly like the full
+/// other components are left untouched). Each job's sub-problem is
+/// extracted, solved, scattered, and released inside its worker, so at most
+/// one extraction per pool thread is live at a time. Jobs run in parallel;
+/// each slot warm-starts its solve when it holds a matching-shape payload,
+/// and exhausted ladders degrade to snap clamps exactly like the full
 /// legalizer. This is the session/ECO building block: the caller decides
 /// which components are dirty and which slot backs each one.
 ComponentSolveReport solve_components(const db::Design& design,

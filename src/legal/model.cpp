@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
+#include "db/columns.h"
+#include "legal/partition.h"
+#include "legal/union_find.h"
 #include "util/check.h"
 
 namespace mch::legal {
@@ -43,8 +47,8 @@ double LegalizationModel::max_mismatch(const Vector& x) const {
 }
 
 ComponentProblem LegalizationModel::component_problem(
-    const std::vector<std::size_t>& vars,
-    const std::vector<std::size_t>& rows) const {
+    const std::vector<index_t>& vars,
+    const std::vector<index_t>& rows) const {
   ComponentProblem component;
   component.variables = vars;
   component.constraints = rows;
@@ -92,36 +96,45 @@ ComponentProblem LegalizationModel::component_problem(
   return component;
 }
 
-LegalizationModel build_model(const db::Design& design,
-                              const RowAssignment& base_rows,
-                              const ModelOptions& options) {
-  MCH_CHECK(base_rows.size() == design.num_cells());
-  MCH_CHECK(options.lambda > 0.0);
+namespace {
 
-  LegalizationModel model;
-  model.lambda = options.lambda;
-  model.base_rows = base_rows;
+struct FixedInterval {
+  double start = 0.0;
+  double end = 0.0;
+};
 
-  const db::Chip& chip = design.chip();
-  const std::size_t num_cells = design.num_cells();
+/// Steps 1–3 of assembly, shared verbatim by both builders: variables and
+/// Hessian blocks, linear term, per-row variable lists, per-row obstacle
+/// intervals. Returns the obstacle lists.
+std::vector<std::vector<FixedInterval>> build_prefix(
+    const db::CellColumns& cols, const db::Chip& chip,
+    const RowAssignment& base_rows, const ModelOptions& options,
+    LegalizationModel& model) {
+  const std::size_t num_cells = cols.size();
 
   // 1. Variables: one per occupied row of each movable cell, in cell
   //    order. The per-cell Hessian block is I_d + λ·(EᵢᵀEᵢ) with Eᵢ the
   //    chain difference matrix over the cell's d subcells (chain graph
-  //    Laplacian). Fixed cells get no variables.
+  //    Laplacian). Fixed cells get no variables. Single-height cells —
+  //    the dominant case — append their 1×1 identity block through the
+  //    scalar fast path, no DenseMatrix staging.
   model.cell_first_var.assign(num_cells, LegalizationModel::kNoVariable);
   model.cell_var_count.assign(num_cells, 0);
   for (std::size_t c = 0; c < num_cells; ++c) {
-    const db::Cell& cell = design.cells()[c];
-    if (cell.fixed || cell.erased) continue;
-    model.cell_first_var[c] = model.variables.size();
-    const std::size_t d = cell.height_rows;
-    model.cell_var_count[c] = d;
+    if (!cols.movable(c)) continue;
+    model.cell_first_var[c] = to_index(model.variables.size());
+    const std::size_t d = cols.height_rows[c];
+    model.cell_var_count[c] = static_cast<index_t>(d);
     MCH_CHECK_MSG(base_rows[c] + d <= chip.num_rows,
                   "cell " << c << " does not fit vertically");
     for (std::size_t k = 0; k < d; ++k)
-      model.variables.push_back({c, k});
+      model.variables.push_back(
+          {static_cast<index_t>(c), static_cast<index_t>(k)});
 
+    if (d == 1) {
+      model.qp.K.add_scalar_block(1.0);
+      continue;
+    }
     DenseMatrix block(d, d);
     for (std::size_t r = 0; r < d; ++r) block(r, r) = 1.0;
     for (std::size_t r = 0; r + 1 < d; ++r) {
@@ -138,84 +151,204 @@ LegalizationModel build_model(const db::Design& design,
   // 2. Linear term: p_v = −x'_cell for every variable of the cell.
   model.qp.p.resize(n);
   for (std::size_t v = 0; v < n; ++v)
-    model.qp.p[v] = -design.cells()[model.variables[v].cell].gp_x;
+    model.qp.p[v] = -cols.gp_x[model.variables[v].cell];
 
   // 3. Row membership: variable k of movable cell c occupies chip row
   //    base+k; fixed cells occupy every row their outline touches.
   model.row_variables.assign(chip.num_rows, {});
   for (std::size_t v = 0; v < n; ++v) {
     const VariableInfo& info = model.variables[v];
-    model.row_variables[base_rows[info.cell] + info.subrow].push_back(v);
+    model.row_variables[base_rows[info.cell] + info.subrow].push_back(
+        static_cast<index_t>(v));
   }
 
-  struct FixedInterval {
-    double start = 0.0;
-    double end = 0.0;
-  };
   std::vector<std::vector<FixedInterval>> row_obstacles(chip.num_rows);
-  for (const db::Cell& cell : design.cells()) {
-    if (!cell.fixed || cell.erased) continue;
+  for (std::size_t c = 0; c < num_cells; ++c) {
+    if (!cols.fixed(c) || cols.erased(c)) continue;
     const double height =
-        static_cast<double>(cell.height_rows) * chip.row_height;
+        static_cast<double>(cols.height_rows[c]) * chip.row_height;
     const auto first_row = static_cast<std::size_t>(std::clamp(
-        std::floor(cell.y / chip.row_height + 1e-9), 0.0,
+        std::floor(cols.y[c] / chip.row_height + 1e-9), 0.0,
         static_cast<double>(chip.num_rows)));
     const auto end_row = static_cast<std::size_t>(std::clamp(
-        std::ceil((cell.y + height) / chip.row_height - 1e-9), 0.0,
+        std::ceil((cols.y[c] + height) / chip.row_height - 1e-9), 0.0,
         static_cast<double>(chip.num_rows)));
     for (std::size_t r = first_row; r < end_row; ++r)
-      row_obstacles[r].push_back({cell.x, cell.x + cell.width});
+      row_obstacles[r].push_back({cols.x[c], cols.x[c] + cols.width[c]});
   }
   for (auto& obstacles : row_obstacles)
     std::sort(obstacles.begin(), obstacles.end(),
               [](const FixedInterval& a, const FixedInterval& b) {
                 return a.start < b.start;
               });
+  return row_obstacles;
+}
 
-  // 4. Order each chip row by GP x (ties by cell id) and emit the spacing
-  //    constraints: chains between adjacent movables, and a one-sided
-  //    lower bound for the first movable to the right of each obstacle
-  //    (a movable "is right of" an obstacle when its GP x passes the
-  //    obstacle's center).
+/// Sorts one chip row's variables into constraint order (ascending GP x,
+/// ties by cell id) and walks it, invoking `emit` once per spacing
+/// constraint:
+///   emit(left, right, bound)
+/// with left == kNoVariable for an obstacle lower bound (x_right ≥ bound)
+/// and a chain row  x_right − x_left ≥ w_left  otherwise. Emission order is
+/// the constraint order of the model.
+template <typename Emit>
+void walk_row(const db::CellColumns& cols, LegalizationModel& model,
+              const std::vector<FixedInterval>& obstacles,
+              std::vector<index_t>& row_vars, Emit&& emit) {
+  std::sort(row_vars.begin(), row_vars.end(),
+            [&](std::size_t a, std::size_t b) {
+              const double xa = cols.gp_x[model.variables[a].cell];
+              const double xb = cols.gp_x[model.variables[b].cell];
+              if (xa != xb) return xa < xb;
+              return model.variables[a].cell < model.variables[b].cell;
+            });
+
+  constexpr std::size_t kNone = LegalizationModel::kNoVariable;
+  std::size_t next_obstacle = 0;
+  std::size_t prev_var = kNone;
+  double bound = -std::numeric_limits<double>::infinity();
+  for (const std::size_t v : row_vars) {
+    const double key = cols.gp_x[model.variables[v].cell];
+    while (next_obstacle < obstacles.size() &&
+           (obstacles[next_obstacle].start + obstacles[next_obstacle].end) /
+                   2.0 <=
+               key) {
+      bound = std::max(bound, obstacles[next_obstacle].end);
+      prev_var = kNone;  // chain broken
+      ++next_obstacle;
+    }
+    if (prev_var != kNone) {
+      emit(prev_var, v, 0.0);
+    } else if (bound > 0.0) {
+      emit(kNone, v, bound);
+    }
+    prev_var = v;
+  }
+}
+
+/// Shared validation + prefix for both builders.
+std::vector<std::vector<FixedInterval>> begin_build(
+    const db::Design& design, const db::CellColumns& cols,
+    const RowAssignment& base_rows, const ModelOptions& options,
+    LegalizationModel& model) {
+  MCH_CHECK(base_rows.size() == design.num_cells());
+  MCH_CHECK(options.lambda > 0.0);
+  check_index_range(design.num_cells(), "design cells");
+  model.lambda = options.lambda;
+  model.base_rows = base_rows;
+  return build_prefix(cols, design.chip(), base_rows, options, model);
+}
+
+}  // namespace
+
+LegalizationModel build_model(const db::Design& design,
+                              const RowAssignment& base_rows,
+                              const ModelOptions& options,
+                              ConstraintPartition* partition_out) {
+  LegalizationModel model;
+  const db::CellColumns cols = db::CellColumns::from(design);
+  std::vector<std::vector<FixedInterval>> row_obstacles =
+      begin_build(design, cols, base_rows, options, model);
+  const db::Chip& chip = design.chip();
+  const std::size_t n = model.variables.size();
+  check_index_range(n, "QP variables");
+
+  // Partition union-find rides the stream: cell ties now, chain ties as
+  // each constraint row is emitted below. finalize_partition canonicalizes
+  // independently of union order, so the result is bit-identical to
+  // partition_model on the finished model.
+  UnionFind uf(partition_out != nullptr ? n : 0);
+  if (partition_out != nullptr) {
+    for (std::size_t c = 0; c < model.cell_first_var.size(); ++c) {
+      const std::size_t first = model.cell_first_var[c];
+      if (first == LegalizationModel::kNoVariable) continue;
+      for (std::size_t k = 1; k < model.cell_var_count[c]; ++k)
+        uf.unite(first, first + k);
+    }
+  }
+
+  // 4. Stream the spacing constraints chip-row by chip-row straight into
+  //    the final CSR arrays. Every row of B has one or two entries; a chain
+  //    row's columns are pushed in ascending order with the matching ±1
+  //    values, which is exactly the (row, col)-sorted form from_coo would
+  //    produce — no COO staging, no pending-constraint list. Each movable
+  //    variable emits at most one constraint, so m ≤ n and the reserves
+  //    below make emission allocation-free.
+  std::vector<std::size_t> row_ptr;
+  std::vector<index_t> col_idx;
+  std::vector<double> values;
+  row_ptr.reserve(n + 1);
+  row_ptr.push_back(0);
+  col_idx.reserve(2 * n);
+  values.reserve(2 * n);
+  model.qp.b.reserve(n);
+  model.constraint_row.reserve(n);
+
+  for (std::size_t r = 0; r < chip.num_rows; ++r) {
+    walk_row(cols, model, row_obstacles[r], model.row_variables[r],
+             [&](std::size_t left, std::size_t right, double bound) {
+               model.constraint_row.push_back(static_cast<index_t>(r));
+               if (left != LegalizationModel::kNoVariable) {
+                 if (left < right) {
+                   col_idx.push_back(static_cast<index_t>(left));
+                   col_idx.push_back(static_cast<index_t>(right));
+                   values.push_back(-1.0);
+                   values.push_back(1.0);
+                 } else {
+                   col_idx.push_back(static_cast<index_t>(right));
+                   col_idx.push_back(static_cast<index_t>(left));
+                   values.push_back(1.0);
+                   values.push_back(-1.0);
+                 }
+                 model.qp.b.push_back(
+                     cols.width[model.variables[left].cell]);
+                 if (partition_out != nullptr) uf.unite(left, right);
+               } else {
+                 // Obstacle lower bound: x_right >= obstacle end.
+                 col_idx.push_back(static_cast<index_t>(right));
+                 values.push_back(1.0);
+                 model.qp.b.push_back(bound);
+               }
+               row_ptr.push_back(col_idx.size());
+             });
+    // The row's obstacle intervals are dead once the row is walked.
+    row_obstacles[r].clear();
+    row_obstacles[r].shrink_to_fit();
+  }
+
+  const std::size_t m = row_ptr.size() - 1;
+  model.qp.B = CsrMatrix::from_parts(m, n, std::move(row_ptr),
+                                     std::move(col_idx), std::move(values));
+  if (partition_out != nullptr)
+    *partition_out = finalize_partition(uf, model);
+  return model;
+}
+
+LegalizationModel build_model_monolithic(const db::Design& design,
+                                         const RowAssignment& base_rows,
+                                         const ModelOptions& options) {
+  LegalizationModel model;
+  const db::CellColumns cols = db::CellColumns::from(design);
+  std::vector<std::vector<FixedInterval>> row_obstacles =
+      begin_build(design, cols, base_rows, options, model);
+  const db::Chip& chip = design.chip();
+  const std::size_t n = model.variables.size();
+  check_index_range(n, "QP variables");
+
+  // 4. Reference path: collect every constraint in a pending list, stage
+  //    the whole design in a COO accumulator, convert at the end.
   struct PendingConstraint {
     std::size_t left = LegalizationModel::kNoVariable;  ///< chain partner
     std::size_t right = 0;
-    double bound = 0.0;       ///< used when left == kNoVariable
-    std::size_t chip_row = 0; ///< row the constraint was emitted in
+    double bound = 0.0;        ///< used when left == kNoVariable
+    std::size_t chip_row = 0;  ///< row the constraint was emitted in
   };
   std::vector<PendingConstraint> pending;
   for (std::size_t r = 0; r < chip.num_rows; ++r) {
-    auto& row_vars = model.row_variables[r];
-    std::sort(row_vars.begin(), row_vars.end(),
-              [&](std::size_t a, std::size_t b) {
-                const double xa = design.cells()[model.variables[a].cell].gp_x;
-                const double xb = design.cells()[model.variables[b].cell].gp_x;
-                if (xa != xb) return xa < xb;
-                return model.variables[a].cell < model.variables[b].cell;
-              });
-
-    const auto& obstacles = row_obstacles[r];
-    std::size_t next_obstacle = 0;
-    std::size_t prev_var = LegalizationModel::kNoVariable;
-    double bound = -std::numeric_limits<double>::infinity();
-    for (const std::size_t v : row_vars) {
-      const double key = design.cells()[model.variables[v].cell].gp_x;
-      while (next_obstacle < obstacles.size() &&
-             (obstacles[next_obstacle].start +
-              obstacles[next_obstacle].end) /
-                     2.0 <=
-                 key) {
-        bound = std::max(bound, obstacles[next_obstacle].end);
-        prev_var = LegalizationModel::kNoVariable;  // chain broken
-        ++next_obstacle;
-      }
-      if (prev_var != LegalizationModel::kNoVariable) {
-        pending.push_back({prev_var, v, 0.0, r});
-      } else if (bound > 0.0) {
-        pending.push_back({LegalizationModel::kNoVariable, v, bound, r});
-      }
-      prev_var = v;
-    }
+    walk_row(cols, model, row_obstacles[r], model.row_variables[r],
+             [&](std::size_t left, std::size_t right, double bound) {
+               pending.push_back({left, right, bound, r});
+             });
   }
 
   const std::size_t m = pending.size();
@@ -225,12 +358,11 @@ LegalizationModel build_model(const db::Design& design,
   model.constraint_row.resize(m);
   for (std::size_t r = 0; r < m; ++r) {
     const PendingConstraint& pc = pending[r];
-    model.constraint_row[r] = pc.chip_row;
+    model.constraint_row[r] = static_cast<index_t>(pc.chip_row);
     if (pc.left != LegalizationModel::kNoVariable) {
       coo.add(r, pc.left, -1.0);
       coo.add(r, pc.right, 1.0);
-      model.qp.b[r] =
-          design.cells()[model.variables[pc.left].cell].width;
+      model.qp.b[r] = cols.width[model.variables[pc.left].cell];
     } else {
       // Obstacle lower bound: x_right >= obstacle end.
       coo.add(r, pc.right, 1.0);

@@ -31,13 +31,18 @@
 #include "db/design.h"
 #include "lcp/qp.h"
 #include "legal/row_assign.h"
+#include "util/index.h"
 
 namespace mch::legal {
 
-/// Which cell and which of its subcells a QP variable represents.
+struct ConstraintPartition;  // partition.h
+
+/// Which cell and which of its subcells a QP variable represents. Packed to
+/// 8 bytes (two 32-bit indices): the array has one entry per QP variable
+/// and rides along with every model snapshot.
 struct VariableInfo {
-  std::size_t cell = 0;
-  std::size_t subrow = 0;  ///< 0-based row offset within the cell
+  index_t cell = 0;
+  index_t subrow = 0;  ///< 0-based row offset within the cell
 };
 
 /// One connected component of the legalization QP, extracted as a
@@ -48,8 +53,8 @@ struct VariableInfo {
 /// same indices.
 struct ComponentProblem {
   lcp::StructuredQp qp;
-  std::vector<std::size_t> variables;    ///< local var -> global var
-  std::vector<std::size_t> constraints;  ///< local row -> global B row
+  std::vector<index_t> variables;    ///< local var -> global var
+  std::vector<index_t> constraints;  ///< local row -> global B row
   /// Local rows whose predecessor was not globally adjacent: their
   /// tridiagonal Schur coupling must be dropped to match the monolithic
   /// approximation (see lcp::schur_tridiagonal).
@@ -57,23 +62,29 @@ struct ComponentProblem {
 };
 
 /// The assembled QP plus the bookkeeping to map solutions back to cells.
+///
+/// Every index array below stores mch::index_t: at multi-million-cell scale
+/// these arrays (variables, per-cell maps, per-row lists, constraint rows)
+/// are the model's memory spine, and halving them is a direct peak-RSS win.
 struct LegalizationModel {
   /// cell_first_var value for fixed cells (they have no variables).
-  static constexpr std::size_t kNoVariable =
-      static_cast<std::size_t>(-1);
+  /// index_t-typed so comparisons against the stored arrays never mix
+  /// widths; widening it into a std::size_t local and comparing later
+  /// still works (both sides widen to the same value).
+  static constexpr index_t kNoVariable = kInvalidIndex;
 
   lcp::StructuredQp qp;
   double lambda = 0.0;
-  std::vector<VariableInfo> variables;        ///< per QP variable
-  std::vector<std::size_t> cell_first_var;    ///< cell -> first variable
-  std::vector<std::size_t> cell_var_count;    ///< cell -> #variables (0=fixed)
-  RowAssignment base_rows;                    ///< cell -> assigned base row
+  std::vector<VariableInfo> variables;     ///< per QP variable
+  std::vector<index_t> cell_first_var;     ///< cell -> first variable
+  std::vector<index_t> cell_var_count;     ///< cell -> #variables (0=fixed)
+  RowAssignment base_rows;                 ///< cell -> assigned base row
   /// Variables of each chip row in left-to-right constraint order.
-  std::vector<std::vector<std::size_t>> row_variables;
+  std::vector<std::vector<index_t>> row_variables;
   /// Chip row each spacing constraint (B row) was emitted in. Constraints
   /// are emitted row by row, so this is ascending; the incremental
   /// repartition uses it to walk only the constraints of affected rows.
-  std::vector<std::size_t> constraint_row;
+  std::vector<index_t> constraint_row;
 
   std::size_t num_variables() const { return variables.size(); }
 
@@ -93,9 +104,8 @@ struct LegalizationModel {
   /// computed by legal::partition_model. The variable set must cover whole
   /// Hessian blocks and the constraints must only reference those
   /// variables; both hold for genuine components.
-  ComponentProblem component_problem(
-      const std::vector<std::size_t>& vars,
-      const std::vector<std::size_t>& rows) const;
+  ComponentProblem component_problem(const std::vector<index_t>& vars,
+                                     const std::vector<index_t>& rows) const;
 };
 
 struct ModelOptions {
@@ -103,8 +113,29 @@ struct ModelOptions {
 };
 
 /// Builds the model for the given assignment (does not mutate the design).
+///
+/// Assembly is streamed: constraint rows are emitted chip-row by chip-row
+/// directly into the final CSR arrays — no whole-design COO staging, no
+/// pending-constraint list — so the build's transient memory is bounded by
+/// one chip row's worth of work, not the constraint count. When
+/// `partition_out` is non-null it additionally receives the constraint
+/// partition, computed by a union-find running over the same stream (block
+/// ties during the variable pass, chain ties at row emission); the result
+/// is bit-identical to partition_model(model) at a fraction of the cost of
+/// a separate sweep over the finished B.
 LegalizationModel build_model(const db::Design& design,
                               const RowAssignment& base_rows,
-                              const ModelOptions& options = {});
+                              const ModelOptions& options = {},
+                              ConstraintPartition* partition_out = nullptr);
+
+/// Reference assembler: stages every constraint in a COO triplet list and
+/// converts at the end. Produces a bit-identical model to build_model —
+/// ctest enforces this across the generator's spec families — and survives
+/// as the oracle for that equivalence plus a baseline for the memory
+/// scaling bench (bench/scaling_memory.cpp). Not for production use: its
+/// staging roughly doubles the build's peak memory.
+LegalizationModel build_model_monolithic(const db::Design& design,
+                                         const RowAssignment& base_rows,
+                                         const ModelOptions& options = {});
 
 }  // namespace mch::legal

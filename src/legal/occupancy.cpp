@@ -220,7 +220,7 @@ PlacementCandidate OccupancyGrid::find_nearest(
   if (height > chip_.num_rows) return best;
   const std::size_t max_base = chip_.num_rows - height;
   const auto anchor = static_cast<std::ptrdiff_t>(std::clamp<double>(
-      std::llround(target_y / chip_.row_height), 0.0,
+      static_cast<double>(std::llround(target_y / chip_.row_height)), 0.0,
       static_cast<double>(max_base)));
   const SiteIndex w = width_sites(cell);
 

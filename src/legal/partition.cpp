@@ -1,52 +1,18 @@
 #include "legal/partition.h"
 
 #include <algorithm>
-#include <numeric>
 
 #include "util/check.h"
 
 namespace mch::legal {
 
-namespace {
-
-/// Plain union-find with path halving and union by size.
-class UnionFind {
- public:
-  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
-    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
-  }
-
-  std::size_t find(std::size_t v) {
-    while (parent_[v] != v) {
-      parent_[v] = parent_[parent_[v]];
-      v = parent_[v];
-    }
-    return v;
-  }
-
-  void unite(std::size_t a, std::size_t b) {
-    a = find(a);
-    b = find(b);
-    if (a == b) return;
-    if (size_[a] < size_[b]) std::swap(a, b);
-    parent_[b] = a;
-    size_[a] += size_[b];
-  }
-
- private:
-  std::vector<std::size_t> parent_;
-  std::vector<std::size_t> size_;
-};
-
-/// Turns a fully-united union-find into the canonical partition: component
-/// ids ascend by smallest variable index, all index lists sorted. Shared by
-/// the from-scratch and the incremental paths so both produce bit-identical
-/// partitions from the same edge set.
 ConstraintPartition finalize_partition(UnionFind& uf,
                                        const LegalizationModel& model) {
   const std::size_t n = model.num_variables();
   const std::size_t m = model.qp.num_constraints();
   const auto& B = model.qp.B;
+  check_index_range(n, "partition variables");
+  check_index_range(m, "partition constraints");
 
   ConstraintPartition partition;
   partition.variable_component.assign(n, 0);
@@ -62,8 +28,8 @@ ConstraintPartition finalize_partition(UnionFind& uf,
       partition.component_variables.emplace_back();
     }
     const std::size_t c = root_component[root];
-    partition.variable_component[v] = c;
-    partition.component_variables[c].push_back(v);
+    partition.variable_component[v] = static_cast<index_t>(c);
+    partition.component_variables[c].push_back(static_cast<index_t>(v));
   }
 
   partition.constraint_component.assign(m, 0);
@@ -71,13 +37,11 @@ ConstraintPartition finalize_partition(UnionFind& uf,
   for (std::size_t r = 0; r < m; ++r) {
     const std::size_t c =
         partition.variable_component[B.col_idx()[B.row_ptr()[r]]];
-    partition.constraint_component[r] = c;
-    partition.component_constraints[c].push_back(r);
+    partition.constraint_component[r] = static_cast<index_t>(c);
+    partition.component_constraints[c].push_back(static_cast<index_t>(r));
   }
   return partition;
 }
-
-}  // namespace
 
 std::size_t ConstraintPartition::max_component_size() const {
   std::size_t worst = 0;
@@ -159,7 +123,7 @@ ConstraintPartition repartition_model(const LegalizationModel& model,
   // rows unaffected), so walking their chains again is pure waste.
   for (std::size_t c = 0; c < previous.num_components(); ++c) {
     if (prev_dirty[c]) continue;
-    const std::vector<std::size_t>& vars = previous.component_variables[c];
+    const std::vector<index_t>& vars = previous.component_variables[c];
     const std::size_t anchor = to_new_var(vars[0]);
     for (std::size_t i = 1; i < vars.size(); ++i)
       uf.unite(anchor, to_new_var(vars[i]));

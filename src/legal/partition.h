@@ -21,18 +21,22 @@
 #include <vector>
 
 #include "legal/model.h"
+#include "legal/union_find.h"
+#include "util/index.h"
 
 namespace mch::legal {
 
 /// The connected components of a model's constraint graph, in canonical
 /// order (ascending smallest global variable index). All index lists are
 /// sorted ascending, so extracted sub-problems preserve the global relative
-/// ordering of variables and constraint rows.
+/// ordering of variables and constraint rows. Stored as index_t: the four
+/// arrays together hold ~2(n+m) indices and are resident for a session's
+/// lifetime.
 struct ConstraintPartition {
-  std::vector<std::size_t> variable_component;    ///< variable -> component
-  std::vector<std::size_t> constraint_component;  ///< B row -> component
-  std::vector<std::vector<std::size_t>> component_variables;
-  std::vector<std::vector<std::size_t>> component_constraints;
+  std::vector<index_t> variable_component;    ///< variable -> component
+  std::vector<index_t> constraint_component;  ///< B row -> component
+  std::vector<std::vector<index_t>> component_variables;
+  std::vector<std::vector<index_t>> component_constraints;
 
   std::size_t num_components() const { return component_variables.size(); }
 
@@ -49,6 +53,15 @@ struct ConstraintPartition {
 /// variables of each Hessian block (one multi-row cell) are united, as are
 /// the variables sharing a spacing row of B.
 ConstraintPartition partition_model(const LegalizationModel& model);
+
+/// Turns a fully-united union-find over the model's variables into the
+/// canonical partition: component ids ascend by smallest variable index,
+/// all index lists sorted. Shared by partition_model, repartition_model,
+/// and the streamed build (build_model's partition_out), so every path
+/// produces bit-identical partitions from the same edge set regardless of
+/// union order. Requires model.qp.B to be fully assembled.
+ConstraintPartition finalize_partition(UnionFind& uf,
+                                       const LegalizationModel& model);
 
 /// What an ECO batch touched, for the incremental repartition. Both masks
 /// are dense: touched_cells is indexed by cell id of the *new* design (a

@@ -7,6 +7,7 @@
 namespace mch::legal {
 
 RowAssignment compute_row_assignment(const db::Design& design) {
+  check_index_range(design.chip().num_rows, "RowAssignment rows");
   RowAssignment rows;
   rows.reserve(design.num_cells());
   for (const db::Cell& cell : design.cells()) {
@@ -19,10 +20,10 @@ RowAssignment compute_row_assignment(const db::Design& design) {
     if (cell.fixed) {
       // Obstacles stay where they are; record the row containing their
       // bottom edge for bookkeeping only.
-      rows.push_back(design.nearest_row(cell.y, 1));
+      rows.push_back(static_cast<index_t>(design.nearest_row(cell.y, 1)));
       continue;
     }
-    rows.push_back(design.nearest_legal_row(cell));
+    rows.push_back(static_cast<index_t>(design.nearest_legal_row(cell)));
   }
   return rows;
 }

@@ -11,11 +11,14 @@
 #include <vector>
 
 #include "db/design.h"
+#include "util/index.h"
 
 namespace mch::legal {
 
-/// Base row (bottom occupied row index) chosen for each cell.
-using RowAssignment = std::vector<std::size_t>;
+/// Base row (bottom occupied row index) chosen for each cell. Stored as
+/// index_t: the array is indexed by cell id and rides along with every
+/// model/session snapshot, so its footprint tracks the design size.
+using RowAssignment = std::vector<index_t>;
 
 /// Computes the nearest correct row for every cell and writes the resulting
 /// y coordinate into the design (x is left untouched).

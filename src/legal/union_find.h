@@ -1,0 +1,46 @@
+// Union-find over QP variables — shared by the constraint-graph partition
+// (partition.cpp) and the streamed model assembly (model.cpp), which unions
+// each spacing chain the moment the constraint row is emitted.
+//
+// The canonical partition produced by finalize_partition() is independent
+// of union order (components are renumbered by smallest member variable and
+// the lists re-sorted), so the streamed incremental unions and the
+// after-the-fact sweep over a finished B produce bit-identical partitions.
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace mch::legal {
+
+/// Plain union-find with path halving and union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t find(std::size_t v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];
+      v = parent_[v];
+    }
+    return v;
+  }
+
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+};
+
+}  // namespace mch::legal

@@ -1,6 +1,7 @@
 #include "linalg/block_diag.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "runtime/parallel.h"
 #include "util/check.h"
@@ -16,24 +17,31 @@ using runtime::parallel_for;
 constexpr std::size_t kGrainBlocks = 256;
 }  // namespace
 
+std::size_t BlockDiagMatrix::add_scalar_block(double value) {
+  // Same criterion as DenseMatrix::solve's pivot check, so a singular 1×1
+  // block fails identically through either entry point.
+  MCH_CHECK_MSG(std::abs(value) >= 1e-300, "block is singular");
+  offsets_.push_back(to_index(size_));
+  scalar_mask_.push_back(true);
+  scalar_values_.push_back(value);
+  scalar_inverses_.push_back(1.0 / value);
+  size_ += 1;
+  return offsets_.size() - 1;
+}
+
 std::size_t BlockDiagMatrix::add_block(const DenseMatrix& block) {
   MCH_CHECK(block.rows() == block.cols() && block.rows() > 0);
+  if (block.rows() == 1) return add_scalar_block(block(0, 0));
+
   DenseMatrix inv;
   MCH_CHECK_MSG(block.inverse(inv), "block is singular");
-  offsets_.push_back(size_);
-  blocks_.push_back(block);
-  inverses_.push_back(std::move(inv));
-
-  const bool scalar = block.rows() == 1;
-  scalar_mask_.push_back(scalar);
+  offsets_.push_back(to_index(size_));
+  scalar_mask_.push_back(false);
   scalar_values_.resize(size_ + block.rows(), 0.0);
   scalar_inverses_.resize(size_ + block.rows(), 0.0);
-  if (scalar) {
-    scalar_values_[size_] = block(0, 0);
-    scalar_inverses_[size_] = inverses_.back()(0, 0);
-  } else {
-    general_blocks_.push_back(offsets_.size() - 1);
-  }
+  general_blocks_.push_back(to_index(offsets_.size() - 1));
+  general_dense_.push_back(block);
+  general_inverses_.push_back(std::move(inv));
 
   size_ += block.rows();
   return offsets_.size() - 1;
@@ -41,25 +49,40 @@ std::size_t BlockDiagMatrix::add_block(const DenseMatrix& block) {
 
 std::size_t BlockDiagMatrix::append_block_to(BlockDiagMatrix& dst,
                                              std::size_t b) const {
-  MCH_CHECK(b < blocks_.size());
-  const DenseMatrix& block = blocks_[b];
-  dst.offsets_.push_back(dst.size_);
-  dst.blocks_.push_back(block);
-  dst.inverses_.push_back(inverses_[b]);
+  MCH_CHECK(b < offsets_.size());
+  if (scalar_mask_[b]) {
+    // Copy the stored value/inverse pair verbatim (no re-inversion).
+    const std::size_t off = offsets_[b];
+    dst.offsets_.push_back(to_index(dst.size_));
+    dst.scalar_mask_.push_back(true);
+    dst.scalar_values_.push_back(scalar_values_[off]);
+    dst.scalar_inverses_.push_back(scalar_inverses_[off]);
+    dst.size_ += 1;
+    return dst.offsets_.size() - 1;
+  }
 
-  const bool scalar = block.rows() == 1;
-  dst.scalar_mask_.push_back(scalar);
+  const std::size_t slot = general_slot(b);
+  const DenseMatrix& block = general_dense_[slot];
+  dst.offsets_.push_back(to_index(dst.size_));
+  dst.scalar_mask_.push_back(false);
   dst.scalar_values_.resize(dst.size_ + block.rows(), 0.0);
   dst.scalar_inverses_.resize(dst.size_ + block.rows(), 0.0);
-  if (scalar) {
-    dst.scalar_values_[dst.size_] = block(0, 0);
-    dst.scalar_inverses_[dst.size_] = inverses_[b](0, 0);
-  } else {
-    dst.general_blocks_.push_back(dst.offsets_.size() - 1);
-  }
+  dst.general_blocks_.push_back(to_index(dst.offsets_.size() - 1));
+  dst.general_dense_.push_back(block);
+  dst.general_inverses_.push_back(general_inverses_[slot]);
 
   dst.size_ += block.rows();
   return dst.offsets_.size() - 1;
+}
+
+std::size_t BlockDiagMatrix::general_slot(std::size_t b) const {
+  const auto it = std::lower_bound(general_blocks_.begin(),
+                                   general_blocks_.end(), b);
+  MCH_CHECK_MSG(it != general_blocks_.end() && *it == b,
+                "block " << b
+                         << " is a scalar block with no dense view; read it "
+                            "through scalar_values()/entry()");
+  return static_cast<std::size_t>(it - general_blocks_.begin());
 }
 
 std::size_t BlockDiagMatrix::block_of(std::size_t i) const {
@@ -71,13 +94,15 @@ std::size_t BlockDiagMatrix::block_of(std::size_t i) const {
 double BlockDiagMatrix::entry(std::size_t i, std::size_t j) const {
   const std::size_t b = block_of(i);
   if (block_of(j) != b) return 0.0;
-  return blocks_[b](i - offsets_[b], j - offsets_[b]);
+  if (scalar_mask_[b]) return scalar_values_[i];
+  return block(b)(i - offsets_[b], j - offsets_[b]);
 }
 
 double BlockDiagMatrix::inverse_entry(std::size_t i, std::size_t j) const {
   const std::size_t b = block_of(i);
   if (block_of(j) != b) return 0.0;
-  return inverses_[b](i - offsets_[b], j - offsets_[b]);
+  if (scalar_mask_[b]) return scalar_inverses_[i];
+  return block_inverse(b)(i - offsets_[b], j - offsets_[b]);
 }
 
 void BlockDiagMatrix::multiply(const Vector& x, Vector& y) const {
@@ -100,13 +125,13 @@ void BlockDiagMatrix::multiply_add(double alpha, const Vector& x,
   parallel_for(std::size_t{0}, general_blocks_.size(), kGrainBlocks,
                [&](std::size_t lo, std::size_t hi) {
                  for (std::size_t g = lo; g < hi; ++g) {
-                   const std::size_t b = general_blocks_[g];
-                   const std::size_t off = offsets_[b];
-                   const std::size_t n = blocks_[b].rows();
+                   const DenseMatrix& blk = general_dense_[g];
+                   const std::size_t off = offsets_[general_blocks_[g]];
+                   const std::size_t n = blk.rows();
                    for (std::size_t r = 0; r < n; ++r) {
                      double sum = 0.0;
                      for (std::size_t c = 0; c < n; ++c)
-                       sum += blocks_[b](r, c) * x[off + c];
+                       sum += blk(r, c) * x[off + c];
                      y[off + r] += alpha * sum;
                    }
                  }
@@ -124,13 +149,13 @@ void BlockDiagMatrix::solve(const Vector& x, Vector& y) const {
   parallel_for(std::size_t{0}, general_blocks_.size(), kGrainBlocks,
                [&](std::size_t lo, std::size_t hi) {
                  for (std::size_t g = lo; g < hi; ++g) {
-                   const std::size_t b = general_blocks_[g];
-                   const std::size_t off = offsets_[b];
-                   const std::size_t n = blocks_[b].rows();
+                   const DenseMatrix& inv = general_inverses_[g];
+                   const std::size_t off = offsets_[general_blocks_[g]];
+                   const std::size_t n = inv.rows();
                    for (std::size_t r = 0; r < n; ++r) {
                      double sum = 0.0;
                      for (std::size_t c = 0; c < n; ++c)
-                       sum += inverses_[b](r, c) * x[off + c];
+                       sum += inv(r, c) * x[off + c];
                      y[off + r] = sum;
                    }
                  }
@@ -142,18 +167,22 @@ void BlockDiagMatrix::solve_shifted(double alpha, double beta, const Vector& x,
   MCH_CHECK(x.size() == size_);
   y.assign(size_, 0.0);
   Vector rhs, sol;
-  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+  // Blocks ascend by offset and general_blocks_ lists the non-1×1 blocks in
+  // that same order, so a single cursor g tracks the dense slot.
+  std::size_t g = 0;
+  for (std::size_t b = 0; b < offsets_.size(); ++b) {
     const std::size_t off = offsets_[b];
-    const std::size_t n = blocks_[b].rows();
-    if (n == 1) {
+    if (scalar_mask_[b]) {
       // Dominant fast path: single-height cells.
-      y[off] = x[off] / (alpha * blocks_[b](0, 0) + beta);
+      y[off] = x[off] / (alpha * scalar_values_[off] + beta);
       continue;
     }
-    DenseMatrix shifted = blocks_[b];
+    const DenseMatrix& blk = general_dense_[g++];
+    const std::size_t n = blk.rows();
+    DenseMatrix shifted = blk;
     for (std::size_t r = 0; r < n; ++r)
       for (std::size_t c = 0; c < n; ++c)
-        shifted(r, c) = alpha * blocks_[b](r, c) + (r == c ? beta : 0.0);
+        shifted(r, c) = alpha * blk(r, c) + (r == c ? beta : 0.0);
     rhs.assign(x.begin() + static_cast<std::ptrdiff_t>(off),
                x.begin() + static_cast<std::ptrdiff_t>(off + n));
     MCH_CHECK_MSG(shifted.solve(rhs, sol), "shifted block singular");

@@ -6,6 +6,17 @@
 // blocks and their explicit inverses, giving O(n) apply/solve and O(1)
 // access to individual entries of K⁻¹ — the access pattern needed to form
 // the tridiagonal Schur-complement approximation D.
+//
+// Storage is split by block size. Single-row-height cells dominate a design
+// (typically ≥ 90% of blocks), and a DenseMatrix carries two heap
+// allocations plus size bookkeeping — ~160 bytes for a 1×1 value. Scalar
+// blocks therefore live *only* in the flat scalar_values_/scalar_inverses_
+// arrays (8 bytes each per variable, which the iteration kernels sweep
+// anyway); DenseMatrix storage exists just for the general (non-1×1)
+// blocks. At 10M cells this removes ~1.5 GB of per-block overhead without
+// changing a single arithmetic result: a 1×1 inverse is computed as exactly
+// 1.0/v by DenseMatrix::solve's back-substitution, which add_scalar_block
+// reproduces verbatim.
 #pragma once
 
 #include <cstddef>
@@ -13,6 +24,7 @@
 
 #include "linalg/dense_matrix.h"
 #include "linalg/vector_ops.h"
+#include "util/index.h"
 
 namespace mch::linalg {
 
@@ -21,8 +33,15 @@ class BlockDiagMatrix {
   BlockDiagMatrix() = default;
 
   /// Appends an SPD block at the next free offset. Throws CheckError if the
-  /// block is not invertible. Returns the block index.
+  /// block is not invertible. 1×1 blocks are routed to add_scalar_block.
+  /// Returns the block index.
   std::size_t add_block(const DenseMatrix& block);
+
+  /// Appends a 1×1 block holding `value` without materializing a
+  /// DenseMatrix. Bitwise identical to add_block on the equivalent 1×1
+  /// matrix: the stored inverse is exactly 1.0/value, and the singularity
+  /// threshold (|value| < 1e-300) matches DenseMatrix::solve's pivot check.
+  std::size_t add_scalar_block(double value);
 
   /// Appends a copy of this matrix's block b — block and stored inverse —
   /// to dst, skipping the re-inversion add_block would do. Used when
@@ -36,12 +55,24 @@ class BlockDiagMatrix {
 
   /// Starting variable index of a block.
   std::size_t block_offset(std::size_t b) const { return offsets_[b]; }
-  /// Dimension of a block.
-  std::size_t block_size(std::size_t b) const { return blocks_[b].rows(); }
+  /// Dimension of a block (O(1): derived from the offset deltas).
+  std::size_t block_size(std::size_t b) const {
+    const std::size_t next =
+        b + 1 < offsets_.size() ? offsets_[b + 1] : size_;
+    return next - offsets_[b];
+  }
 
-  const DenseMatrix& block(std::size_t b) const { return blocks_[b]; }
+  /// True when block b is a 1×1 block (stored only in the flat arrays).
+  bool is_scalar_block(std::size_t b) const { return scalar_mask_[b]; }
+
+  /// Dense view of a *general* (non-1×1) block. Scalar blocks have no
+  /// DenseMatrix representation — read them through scalar_values() /
+  /// entry(); calling block() on one throws CheckError.
+  const DenseMatrix& block(std::size_t b) const {
+    return general_dense_[general_slot(b)];
+  }
   const DenseMatrix& block_inverse(std::size_t b) const {
-    return inverses_[b];
+    return general_inverses_[general_slot(b)];
   }
 
   /// Block index owning variable i (O(log #blocks)).
@@ -78,25 +109,35 @@ class BlockDiagMatrix {
     return scalar_inverses_;
   }
   /// Block indices of the non-1×1 blocks, in ascending offset order.
-  const std::vector<std::size_t>& general_block_indices() const {
+  /// Position g in this list is also the storage slot behind block() for
+  /// that block, so loops over general blocks pay no lookup.
+  const std::vector<index_t>& general_block_indices() const {
     return general_blocks_;
   }
 
  private:
+  /// Storage slot of a general block; throws if b is scalar.
+  std::size_t general_slot(std::size_t b) const;
+
   std::size_t size_ = 0;
-  std::vector<std::size_t> offsets_;
-  std::vector<DenseMatrix> blocks_;
-  std::vector<DenseMatrix> inverses_;
+  std::vector<index_t> offsets_;
 
   // Fast path for the dominant 1×1 blocks (single-row-height cells are
   // ~90% of a design): their values and inverses live in flat arrays so
-  // multiply/solve touch them in one vectorizable sweep. `scalar_mask_[b]`
-  // marks 1×1 blocks; scalar_* are indexed by variable, with zeros at
-  // positions owned by larger blocks.
+  // multiply/solve touch them in one vectorizable sweep — and, since the
+  // compaction, these arrays are the *only* storage scalar blocks have.
+  // `scalar_mask_[b]` marks 1×1 blocks; scalar_* are indexed by variable,
+  // with zeros at positions owned by larger blocks.
   std::vector<bool> scalar_mask_;
   std::vector<double> scalar_values_;    ///< K(i,i) for scalar blocks, else 0
   std::vector<double> scalar_inverses_;  ///< 1/K(i,i) for scalar blocks, else 0
-  std::vector<std::size_t> general_blocks_;  ///< indices of non-1×1 blocks
+
+  // Dense storage exists only for the non-1×1 blocks. general_blocks_ maps
+  // storage slot → block index (ascending); general_slot() inverts it by
+  // binary search for the by-block-index accessors.
+  std::vector<index_t> general_blocks_;      ///< slot → block index
+  std::vector<DenseMatrix> general_dense_;   ///< slot → block
+  std::vector<DenseMatrix> general_inverses_;  ///< slot → inverse
 };
 
 }  // namespace mch::linalg

@@ -72,6 +72,7 @@ CsrMatrix& CsrMatrix::operator=(CsrMatrix&& other) noexcept {
 }
 
 CsrMatrix CsrMatrix::from_coo(const CooMatrix& coo) {
+  check_index_range(coo.cols(), "CsrMatrix columns");
   CsrMatrix csr(coo.rows(), coo.cols());
   const std::size_t n = coo.entries();
 
@@ -109,7 +110,7 @@ CsrMatrix CsrMatrix::from_coo(const CooMatrix& coo) {
       double sum = 0.0;
       while (i < order.size() && cols[order[i]] == col) sum += vals[order[i++]];
       if (sum != 0.0) {
-        csr.col_idx_.push_back(col);
+        csr.col_idx_.push_back(static_cast<index_t>(col));
         csr.values_.push_back(sum);
       }
     }
@@ -119,12 +120,29 @@ CsrMatrix CsrMatrix::from_coo(const CooMatrix& coo) {
 }
 
 CsrMatrix CsrMatrix::identity(std::size_t n) {
+  check_index_range(n, "CsrMatrix identity");
   CsrMatrix eye(n, n);
   eye.col_idx_.resize(n);
   eye.values_.assign(n, 1.0);
-  std::iota(eye.col_idx_.begin(), eye.col_idx_.end(), std::size_t{0});
+  std::iota(eye.col_idx_.begin(), eye.col_idx_.end(), index_t{0});
   std::iota(eye.row_ptr_.begin(), eye.row_ptr_.end(), std::size_t{0});
   return eye;
+}
+
+CsrMatrix CsrMatrix::from_parts(std::size_t rows, std::size_t cols,
+                                std::vector<std::size_t> row_ptr,
+                                std::vector<index_t> col_idx,
+                                std::vector<double> values) {
+  check_index_range(cols, "CsrMatrix columns");
+  MCH_CHECK_MSG(row_ptr.size() == rows + 1 && row_ptr.front() == 0 &&
+                    row_ptr.back() == col_idx.size() &&
+                    col_idx.size() == values.size(),
+                "inconsistent CSR arrays");
+  CsrMatrix csr(rows, cols);
+  csr.row_ptr_ = std::move(row_ptr);
+  csr.col_idx_ = std::move(col_idx);
+  csr.values_ = std::move(values);
+  return csr;
 }
 
 void CsrMatrix::multiply(const Vector& x, Vector& y) const {

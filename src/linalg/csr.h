@@ -15,8 +15,12 @@
 // corresponding single-vector calls issued back to back — each output
 // element folds its terms in the same order either way.
 //
-// Matrices are assembled through the COO triplet builder in sparse.h, which
-// remains the conversion source (from_coo).
+// Matrices are assembled either through the COO triplet builder in sparse.h
+// (from_coo) or adopted pre-built from a streaming assembler (from_parts).
+// Column indices are stored as mch::index_t (32-bit by default): at
+// multi-million-constraint scale col_idx_ is one of the largest arrays in
+// the process, and halving it is a straight RSS win with no arithmetic
+// consequence.
 #pragma once
 
 #include <cstddef>
@@ -25,6 +29,7 @@
 #include <vector>
 
 #include "linalg/vector_ops.h"
+#include "util/index.h"
 
 namespace mch::linalg {
 
@@ -43,6 +48,17 @@ class CsrMatrix {
   /// Builds from a COO accumulator; duplicate entries are summed, explicit
   /// zeros (after summing) are kept out of the structure.
   static CsrMatrix from_coo(const CooMatrix& coo);
+
+  /// Adopts pre-built CSR arrays without staging a COO copy — the zero-copy
+  /// entry point for streamed assembly (legal/model.cpp emits constraint
+  /// rows in ascending order directly into these arrays). Requires
+  /// row_ptr.size() == rows + 1 with row_ptr.front() == 0 and
+  /// row_ptr.back() == col_idx.size() == values.size(); per-row columns
+  /// must be strictly ascending (the from_coo invariant).
+  static CsrMatrix from_parts(std::size_t rows, std::size_t cols,
+                              std::vector<std::size_t> row_ptr,
+                              std::vector<index_t> col_idx,
+                              std::vector<double> values);
 
   /// Identity matrix of size n.
   static CsrMatrix identity(std::size_t n);
@@ -84,16 +100,18 @@ class CsrMatrix {
   /// Element access by binary search within the row; O(log nnz(row)).
   double at(std::size_t row, std::size_t col) const;
 
-  /// CSR internals (for solvers that need direct traversal).
+  /// CSR internals (for solvers that need direct traversal). Column
+  /// indices are index_t; reading one into a std::size_t is a free
+  /// widening, so traversal loops are unchanged.
   const std::vector<std::size_t>& row_ptr() const { return row_ptr_; }
-  const std::vector<std::size_t>& col_idx() const { return col_idx_; }
+  const std::vector<index_t>& col_idx() const { return col_idx_; }
   const std::vector<double>& values() const { return values_; }
 
  private:
   std::size_t rows_;
   std::size_t cols_;
   std::vector<std::size_t> row_ptr_;
-  std::vector<std::size_t> col_idx_;
+  std::vector<index_t> col_idx_;
   std::vector<double> values_;
 
   // Lazily built Aᵀ (see class comment). shared_ptr so copies share the

@@ -139,15 +139,20 @@ void LegalizationSession::run_full(bool force_match, SessionResult& result) {
   base_rows_ = legal::assign_rows(design_);
   result.phase.rows += rows_timer.seconds();
 
+  // The partition streams out of the model build (united edge by edge as
+  // constraints are emitted), so the resident session never walks the
+  // finished model a second time.
   Timer model_timer;
-  model_ = legal::build_model(design_, base_rows_, options_.flow.solver.model);
+  partition_ = {};
+  model_ = legal::build_model(design_, base_rows_, options_.flow.solver.model,
+                              &partition_);
   result.phase.model += model_timer.seconds();
 
   legal::FlowOptions flow = options_.flow;
   flow.verify = options_.verify;
   flow.solver.prebuilt_model = &model_;
+  flow.solver.prebuilt_partition = &partition_;
   flow.solver.solution_out = &solution_;
-  flow.solver.partition_out = &partition_;
   flow.solver.workspace = &workspace_full_;
   // Forcing kMatch here (not via MCH_PARTITION) is what makes match-mode
   // requests bitwise reproducible regardless of the environment.
@@ -166,14 +171,6 @@ void LegalizationSession::run_full(bool force_match, SessionResult& result) {
   result.phase.allocate +=
       std::max(0.0, flow_seconds - flow_result.solver.solve_seconds -
                         flow_result.solver.model_seconds);
-
-  // The monolithic mode may never partition; the next incremental request
-  // needs a partition of the resident model either way.
-  if (partition_.num_components() == 0 && model_.num_variables() > 0) {
-    Timer partition_timer;
-    partition_ = legal::partition_model(model_);
-    result.phase.partition += partition_timer.seconds();
-  }
 
   result.session.components_total = partition_.num_components();
   // A full solve re-solves everything: every component is dirty, none
@@ -218,20 +215,11 @@ void LegalizationSession::run_incremental(const legal::PartitionDelta& delta,
   for (std::size_t c = 0; c < dirty.size(); ++c)
     if (dirty[c] != 0) dirty_ids.push_back(c);
 
-  // Extract only the dirty components. Slots are pre-sized so the parallel
-  // writes are disjoint.
-  std::vector<legal::ComponentProblem> components(dirty_ids.size());
-  runtime::parallel_for(
-      std::size_t{0}, dirty_ids.size(), std::size_t{1},
-      [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t i = lo; i < hi; ++i) {
-          const std::size_t c = dirty_ids[i];
-          components[i] = model_.component_problem(
-              partition_.component_variables[c],
-              partition_.component_constraints[c]);
-        }
-      });
-
+  // Jobs reference the partition's index lists directly; solve_components
+  // extracts, solves, scatters, and releases each dirty sub-problem inside
+  // its worker, so the request's high-water mark holds one extraction per
+  // pool thread instead of every dirty component at once.
+  //
   // Workspace slots are keyed by the component's anchor cell, so a region
   // re-touched by a later request lands in the same slot and warm-starts
   // from its own previous solve. Slot assignment happens in ascending
@@ -248,8 +236,12 @@ void LegalizationSession::run_incremental(const legal::PartitionDelta& delta,
     slots[i] = it->second;
   }
   workspace_eco_.prepare(eco_slot_of_anchor_.size());
-  for (std::size_t i = 0; i < dirty_ids.size(); ++i)
-    jobs[i] = {&components[i], &workspace_eco_.slot(slots[i]), dirty_ids[i]};
+  for (std::size_t i = 0; i < dirty_ids.size(); ++i) {
+    const std::size_t c = dirty_ids[i];
+    jobs[i] = {&partition_.component_variables[c],
+               &partition_.component_constraints[c],
+               &workspace_eco_.slot(slots[i]), c};
+  }
   result.phase.extract += extract_timer.seconds();
 
   Timer solve_timer;

@@ -1,0 +1,67 @@
+// Configurable index width for the placement database and the legalization
+// model — the memory spine of the flow.
+//
+// Multi-million-cell designs spend their peak RSS on index arrays: variable
+// maps, per-row variable lists, CSR column indices, partition component
+// lists. All of these count entities of one design (cells, QP variables,
+// constraint rows), none of which approach 2^32 even at 10M cells, so the
+// repo-wide default is a 32-bit index — half the footprint of the
+// std::size_t these containers used to hold. Configuring with
+// -DMCH_INDEX64=ON widens mch::index_t back to 64 bits for hypothetical
+// beyond-4G-entity workloads; everything is written against index_t, so the
+// switch is a recompile, not a port.
+//
+// Convention: public API boundaries (function parameters, loop counters,
+// return values) stay std::size_t — widening a 32-bit index to size_t is
+// free and keeps call sites unchanged. Only the *stored* arrays narrow.
+// Every bulk fill of an index container is guarded by check_index_range()
+// so a too-large design fails loudly instead of wrapping.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+#include "util/check.h"
+
+namespace mch {
+
+#ifdef MCH_INDEX64
+using index_t = std::uint64_t;
+#else
+using index_t = std::uint32_t;
+#endif
+
+static_assert(std::is_unsigned_v<index_t>, "index_t must be unsigned");
+
+/// Sentinel for "no index" (mirrors the old static_cast<std::size_t>(-1)
+/// convention; compares equal to it after widening only when index_t is
+/// 64-bit, so compare against kInvalidIndex, never against size_t's -1).
+inline constexpr index_t kInvalidIndex = std::numeric_limits<index_t>::max();
+
+/// Largest entity count representable (kInvalidIndex stays a sentinel).
+inline constexpr std::size_t kMaxIndexCount =
+    static_cast<std::size_t>(kInvalidIndex);
+
+/// True when `count` entities can be indexed by index_t.
+constexpr bool index_fits(std::size_t count) { return count < kMaxIndexCount; }
+
+/// Checked narrowing cast for one value.
+inline index_t to_index(std::size_t value) {
+  MCH_CHECK_MSG(index_fits(value),
+                "index " << value << " exceeds the " << sizeof(index_t) * 8
+                         << "-bit mch::index_t; rebuild with -DMCH_INDEX64=ON");
+  return static_cast<index_t>(value);
+}
+
+/// Guards a bulk fill: call once with the container's final size, then cast
+/// freely inside the loop.
+inline void check_index_range(std::size_t count, const char* what) {
+  MCH_CHECK_MSG(index_fits(count),
+                what << ": " << count << " entities exceed the "
+                     << sizeof(index_t) * 8
+                     << "-bit mch::index_t; rebuild with -DMCH_INDEX64=ON");
+}
+
+}  // namespace mch

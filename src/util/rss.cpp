@@ -1,0 +1,49 @@
+#include "util/rss.h"
+
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
+namespace mch::util {
+
+std::size_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  // macOS reports ru_maxrss in bytes.
+  return static_cast<std::size_t>(usage.ru_maxrss);
+#else
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;
+#endif
+#else
+  return 0;
+#endif
+}
+
+std::size_t current_rss_bytes() {
+#if defined(__linux__)
+  long rss_pages = 0;
+  if (std::FILE* f = std::fopen("/proc/self/statm", "r")) {
+    long vm_pages = 0;
+    if (std::fscanf(f, "%ld %ld", &vm_pages, &rss_pages) != 2) rss_pages = 0;
+    std::fclose(f);
+  }
+  if (rss_pages <= 0) return 0;
+  const long page = sysconf(_SC_PAGESIZE);
+  return static_cast<std::size_t>(rss_pages) *
+         static_cast<std::size_t>(page > 0 ? page : 4096);
+#else
+  return 0;
+#endif
+}
+
+double peak_rss_mb() {
+  return static_cast<double>(peak_rss_bytes()) / (1024.0 * 1024.0);
+}
+
+}  // namespace mch::util

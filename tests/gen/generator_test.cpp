@@ -101,7 +101,7 @@ TEST(GeneratorTest, NetlistSizeTracksOption) {
   opts.nets_per_cell = 2.0;
   const db::Design d = generate_random_design(100, 10, 0.5, opts);
   EXPECT_EQ(d.num_nets(), 220u);
-  for (const db::Net& net : d.nets()) {
+  for (const db::NetView& net : d.nets()) {
     EXPECT_GE(net.pins.size(), static_cast<std::size_t>(opts.min_pins));
     EXPECT_LE(net.pins.size(), static_cast<std::size_t>(opts.max_pins));
   }

@@ -95,7 +95,7 @@ TEST(BookshelfTest, LoadsSampleBundle) {
 TEST(BookshelfTest, PinOffsetsConvertedFromCenter) {
   const db::Design design = load_bookshelf(write_sample_bundle());
   ASSERT_EQ(design.num_nets(), 1u);
-  const db::Net& net = design.nets()[0];
+  const db::NetView net = design.nets()[0];
   ASSERT_EQ(net.pins.size(), 2u);
   // a1 is 4x9; Bookshelf offset (1, -2.5) from center → (3, 2) from corner.
   EXPECT_EQ(net.pins[0].cell, 0u);

@@ -46,8 +46,8 @@ TEST(DesignIoTest, RoundTripPreservesEverything) {
 
   ASSERT_EQ(loaded.num_nets(), original.num_nets());
   for (std::size_t i = 0; i < loaded.num_nets(); ++i) {
-    const db::Net& a = loaded.nets()[i];
-    const db::Net& b = original.nets()[i];
+    const db::NetView a = loaded.nets()[i];
+    const db::NetView b = original.nets()[i];
     ASSERT_EQ(a.pins.size(), b.pins.size());
     for (std::size_t p = 0; p < a.pins.size(); ++p) {
       EXPECT_EQ(a.pins[p].cell, b.pins[p].cell);

@@ -49,7 +49,7 @@ TEST(ModelTest, Figure2ConstraintMatrix) {
   ASSERT_EQ(model.qp.num_constraints(), 3u);
   for (std::size_t b = 0; b < 5; ++b) {
     ASSERT_EQ(model.qp.K.block_size(b), 1u);
-    EXPECT_DOUBLE_EQ(model.qp.K.block(b)(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(model.qp.K.entry(b, b), 1.0);
   }
 
   // B exactly as in the paper (row 0 of the chip first):
@@ -103,7 +103,7 @@ TEST(ModelTest, Figure3SubcellSplitting) {
 
   // Variables: c1 → {0,1}, c2 → {2}, c3 → {3,4}.
   ASSERT_EQ(model.num_variables(), 5u);
-  EXPECT_EQ(model.cell_first_var, (std::vector<std::size_t>{0, 2, 3}));
+  EXPECT_EQ(model.cell_first_var, (std::vector<mch::index_t>{0, 2, 3}));
   EXPECT_EQ(model.variables[1].cell, 0u);
   EXPECT_EQ(model.variables[1].subrow, 1u);
 

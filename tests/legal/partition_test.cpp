@@ -72,17 +72,17 @@ TEST(PartitionTest, ObstacleSplitsRowIntoComponents) {
   const ConstraintPartition partition = partition_model(model);
   ASSERT_EQ(partition.num_components(), 3u);
   EXPECT_EQ(partition.variable_component,
-            (std::vector<std::size_t>{0, 0, 1, 1, 2, 2}));
+            (std::vector<mch::index_t>{0, 0, 1, 1, 2, 2}));
   EXPECT_EQ(partition.component_variables[0],
-            (std::vector<std::size_t>{0, 1}));
+            (std::vector<mch::index_t>{0, 1}));
   EXPECT_EQ(partition.component_variables[1],
-            (std::vector<std::size_t>{2, 3}));
+            (std::vector<mch::index_t>{2, 3}));
   EXPECT_EQ(partition.component_variables[2],
-            (std::vector<std::size_t>{4, 5}));
+            (std::vector<mch::index_t>{4, 5}));
   EXPECT_EQ(partition.constraint_component,
-            (std::vector<std::size_t>{0, 1, 1, 2}));
+            (std::vector<mch::index_t>{0, 1, 1, 2}));
   EXPECT_EQ(partition.component_constraints[1],
-            (std::vector<std::size_t>{1, 2}));
+            (std::vector<mch::index_t>{1, 2}));
 
   EXPECT_EQ(partition.component_size(0), 3u);  // 2 vars + 1 constraint
   EXPECT_EQ(partition.component_size(1), 4u);
@@ -109,7 +109,7 @@ TEST(PartitionTest, TallCellBridgesRows) {
   // {tall, a, b, e, f} together; {c, d} still isolated by the obstacle.
   const std::size_t cd_component = partition.variable_component[2];
   EXPECT_EQ(partition.component_variables[cd_component],
-            (std::vector<std::size_t>{2, 3}));
+            (std::vector<mch::index_t>{2, 3}));
   EXPECT_EQ(partition.variable_component[0],
             partition.variable_component[4]);
 }
@@ -123,8 +123,8 @@ TEST(PartitionTest, ComponentProblemExtraction) {
   // Component {c, d}: the obstacle bound on c plus the c-d chain.
   const ComponentProblem component = model.component_problem(
       partition.component_variables[1], partition.component_constraints[1]);
-  EXPECT_EQ(component.variables, (std::vector<std::size_t>{2, 3}));
-  EXPECT_EQ(component.constraints, (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(component.variables, (std::vector<mch::index_t>{2, 3}));
+  EXPECT_EQ(component.constraints, (std::vector<mch::index_t>{1, 2}));
   ASSERT_EQ(component.qp.num_variables(), 2u);
   ASSERT_EQ(component.qp.num_constraints(), 2u);
   EXPECT_EQ(component.qp.p, (lcp::Vector{-40.0, -48.0}));

@@ -141,5 +141,75 @@ TEST_P(BlockDiagRandomSweep, AgreesWithDenseAssembly) {
 
 INSTANTIATE_TEST_SUITE_P(Trials, BlockDiagRandomSweep, ::testing::Range(0, 10));
 
+// 1×1 blocks live only in the flat scalar arrays — no DenseMatrix, no
+// stored inverse matrix. The two entry points must behave identically.
+TEST(BlockDiagScalarTest, AddBlockRoutesOneByOneToScalarStorage) {
+  BlockDiagMatrix via_dense, via_scalar;
+  via_dense.add_block(cell_block(1, 0.0));  // 1×1 identity via DenseMatrix
+  DenseMatrix one_by_one(1, 1);
+  one_by_one(0, 0) = 3.5;
+  via_dense.add_block(one_by_one);
+  via_scalar.add_scalar_block(1.0);
+  via_scalar.add_scalar_block(3.5);
+
+  for (const BlockDiagMatrix* k : {&via_dense, &via_scalar}) {
+    EXPECT_TRUE(k->is_scalar_block(0));
+    EXPECT_TRUE(k->is_scalar_block(1));
+    EXPECT_EQ(k->scalar_values(), (std::vector<double>{1.0, 3.5}));
+    EXPECT_EQ(k->scalar_inverses(), (std::vector<double>{1.0, 1.0 / 3.5}));
+  }
+}
+
+TEST(BlockDiagScalarTest, BlockAccessorThrowsOnScalar) {
+  BlockDiagMatrix k;
+  k.add_scalar_block(2.0);
+  k.add_block(cell_block(2, 4.0));
+  EXPECT_THROW(k.block(0), CheckError);
+  EXPECT_NO_THROW(k.block(1));
+  EXPECT_DOUBLE_EQ(k.entry(0, 0), 2.0);  // read scalars through entry()
+  EXPECT_DOUBLE_EQ(k.inverse_entry(0, 0), 0.5);
+}
+
+TEST(BlockDiagScalarTest, ScalarArraysZeroedUnderGeneralBlocks) {
+  BlockDiagMatrix k;
+  k.add_scalar_block(5.0);
+  k.add_block(cell_block(2, 4.0));
+  k.add_scalar_block(0.25);
+  ASSERT_EQ(k.size(), 4u);
+  EXPECT_EQ(k.scalar_values(), (std::vector<double>{5.0, 0.0, 0.0, 0.25}));
+  EXPECT_EQ(k.scalar_inverses(), (std::vector<double>{0.2, 0.0, 0.0, 4.0}));
+}
+
+TEST(BlockDiagScalarTest, SingularScalarRejectedLikeDense) {
+  BlockDiagMatrix k;
+  EXPECT_THROW(k.add_scalar_block(0.0), CheckError);
+  DenseMatrix zero(1, 1);
+  EXPECT_THROW(k.add_block(zero), CheckError);
+}
+
+TEST(BlockDiagScalarTest, MixedScalarGeneralSolveMatchesDense) {
+  Rng rng(42);
+  BlockDiagMatrix k;
+  k.add_scalar_block(2.5);
+  k.add_block(cell_block(3, 6.0));
+  k.add_scalar_block(0.75);
+  const std::size_t n = k.size();
+  DenseMatrix dense(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) dense(r, c) = k.entry(r, c);
+
+  Vector rhs(n);
+  for (double& v : rhs) v = rng.uniform(-1, 1);
+  Vector solved, dense_solved, product, dense_product;
+  k.solve(rhs, solved);
+  ASSERT_TRUE(dense.solve(rhs, dense_solved));
+  k.multiply(rhs, product);
+  dense.multiply(rhs, dense_product);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(solved[i], dense_solved[i], 1e-10);
+    EXPECT_NEAR(product[i], dense_product[i], 1e-12);
+  }
+}
+
 }  // namespace
 }  // namespace mch::linalg

@@ -220,6 +220,42 @@ TEST(SessionTest, WarmStartHitsOnRepeatedRegion) {
   }
 }
 
+// The resident partition is now streamed out of build_model during
+// run_full (no separate partition_model pass). A burst of incremental ECO
+// requests right after that streamed build must find a usable partition:
+// every request stays legal, the dirty/reused split covers all components,
+// and repeated requests keep working as the partition is incrementally
+// repatched on top of the streamed original.
+TEST(SessionTest, EcoAfterStreamedBuildServesIncrementalRequests) {
+  db::Design design = random_design(3000, 31);
+  LegalizationSession session(std::move(design));
+  ASSERT_TRUE(session.full_legalize().legal);
+  session.commit_legal_as_gp();
+  const SessionResult resident = session.full_legalize();
+  ASSERT_TRUE(resident.legal);
+  ASSERT_GT(resident.session.components_total, 0u);
+
+  for (std::uint64_t batch = 0; batch < 3; ++batch) {
+    const SessionResult served =
+        session.eco(jitter_moves(session.design(), 5, 400 + batch));
+    ASSERT_TRUE(served.legal) << served.legality_summary;
+    EXPECT_EQ(served.session.touched_cells, 5u);
+    if (served.session.full_solve_fallbacks == 0) {
+      EXPECT_TRUE(served.session.incremental);
+      EXPECT_GT(served.session.components_dirty, 0u);
+      EXPECT_EQ(served.session.components_dirty +
+                    served.session.components_reused,
+                served.session.components_total);
+    }
+  }
+
+  // The served end state must itself legalize from scratch (the streamed
+  // partition fed the solver real components, not stale index lists).
+  db::Design scratch = session.design();
+  const legal::FlowResult reference = legal::legalize(scratch);
+  EXPECT_TRUE(reference.legal);
+}
+
 TEST(SessionTest, EcoBeforeFirstSolveFallsBackToFull) {
   db::Design design = random_design(1500, 27);
   LegalizationSession session(std::move(design));

@@ -1,0 +1,52 @@
+#include "util/index.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <limits>
+
+#include "util/check.h"
+
+namespace mch {
+namespace {
+
+TEST(IndexTest, SentinelIsMaxAndNeverAValidCount) {
+  EXPECT_EQ(kInvalidIndex, std::numeric_limits<index_t>::max());
+  EXPECT_FALSE(index_fits(kMaxIndexCount));
+  EXPECT_TRUE(index_fits(kMaxIndexCount - 1));
+  EXPECT_TRUE(index_fits(0));
+}
+
+TEST(IndexTest, ToIndexRoundTripsInRange) {
+  EXPECT_EQ(to_index(0), index_t{0});
+  EXPECT_EQ(to_index(12345), index_t{12345});
+  const std::size_t largest = kMaxIndexCount - 1;
+  EXPECT_EQ(static_cast<std::size_t>(to_index(largest)), largest);
+}
+
+TEST(IndexTest, ToIndexThrowsBeyondRange) {
+  EXPECT_THROW(to_index(kMaxIndexCount), CheckError);
+#ifndef MCH_INDEX64
+  // With the 32-bit default, a size_t beyond 2^32 must fail loudly instead
+  // of wrapping (the wrap is exactly the bug check_index_range guards).
+  EXPECT_THROW(to_index(std::size_t{1} << 33), CheckError);
+#endif
+}
+
+TEST(IndexTest, CheckIndexRangeGuardsBulkFills) {
+  EXPECT_NO_THROW(check_index_range(1000, "test entities"));
+  EXPECT_THROW(check_index_range(kMaxIndexCount, "test entities"),
+               CheckError);
+}
+
+TEST(IndexTest, SentinelComparesEqualAfterWidening) {
+  // The stored sentinel must survive a widening to size_t and still be
+  // recognizable by comparing against kInvalidIndex (the convention the
+  // model's kNoVariable relies on).
+  const index_t stored = kInvalidIndex;
+  const std::size_t widened = stored;
+  EXPECT_EQ(static_cast<index_t>(widened), kInvalidIndex);
+}
+
+}  // namespace
+}  // namespace mch

@@ -1,0 +1,42 @@
+#include "util/rss.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+namespace mch::util {
+namespace {
+
+TEST(RssTest, PeakIsPositiveOnLinux) {
+  // getrusage is POSIX; on the platforms this repo targets the high-water
+  // mark of a running test binary is well above a few MB.
+  EXPECT_GT(peak_rss_bytes(), std::size_t{1} << 20);
+  EXPECT_GT(peak_rss_mb(), 1.0);
+}
+
+TEST(RssTest, PeakDominatesCurrentAndIsMonotone) {
+  const std::size_t current = current_rss_bytes();
+  if (current > 0)  // 0 = /proc unavailable, not "no memory"
+    EXPECT_GE(peak_rss_bytes(), current);
+
+  // The high-water mark never decreases, and a large transient allocation
+  // must raise it even after the memory is freed again.
+  const std::size_t before = peak_rss_bytes();
+  {
+    std::vector<char> ballast(64 << 20, 1);  // 64 MB, touched
+    EXPECT_GE(peak_rss_bytes(), before);
+  }
+  const std::size_t after = peak_rss_bytes();
+  EXPECT_GE(after, before);
+  EXPECT_GE(after, before + (32 << 20));  // transient peak was recorded
+}
+
+TEST(RssTest, MbMatchesBytes) {
+  EXPECT_NEAR(peak_rss_mb(),
+              static_cast<double>(peak_rss_bytes()) / (1024.0 * 1024.0),
+              1e-9);
+}
+
+}  // namespace
+}  // namespace mch::util

@@ -157,6 +157,7 @@ int main(int argc, char** argv) {
                 result.disp.total_sites, result.disp.mean_sites);
     std::printf("delta HPWL:          %.4f%%\n", result.delta_hpwl * 100.0);
     std::printf("runtime:             %.3f s\n", result.seconds);
+    std::printf("peak RSS:            %.1f MB\n", result.peak_rss_mb);
     if (which == eval::Legalizer::kMmsim) {
       std::printf("solver:              %zu iterations%s, %zu illegal "
                   "cells fixed by allocation\n",

@@ -5,6 +5,7 @@
 #
 #   tools/verify.sh            # full: Release build + ctest + ASan job
 #   tools/verify.sh --fast     # skip the ASan job
+#   tools/verify.sh --bigmem   # additionally run the 1M-cell memory smoke
 #
 # Build trees: ./build (default config) and ./build-asan (MCH_ENABLE_ASAN,
 # RelWithDebInfo). Both are incremental across runs.
@@ -13,10 +14,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FAST=0
+BIGMEM=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
-    *) echo "usage: tools/verify.sh [--fast]" >&2; exit 2 ;;
+    --bigmem) BIGMEM=1 ;;
+    *) echo "usage: tools/verify.sh [--fast] [--bigmem]" >&2; exit 2 ;;
   esac
 done
 
@@ -61,6 +64,23 @@ if [[ "$FAST" == 0 ]]; then
     "$bin" --gtest_brief=1
     MCH_THREADS=4 "$bin" --gtest_brief=1
   done
+fi
+
+if [[ "$BIGMEM" == 1 ]]; then
+  echo "== bigmem: 1M-cell legalization under an address-space cap =="
+  # Opt-in (several minutes of solve time): legalize the 1M-cell baseline
+  # scale design end to end inside a ulimit -v cap. The streamed spine
+  # peaks near 0.5 GB at 1M cells and the pre-refactor layout needed ~1.1 GB
+  # (see results/scaling_memory.txt), so a 1 GiB address-space cap gives
+  # the current layout 2x headroom while a regression that reintroduces a
+  # staging copy or an extract-everything high-water mark aborts on
+  # allocation instead of silently fitting. Requires the Release bench
+  # build from the tier-1 step above.
+  cmake --build build -j4 --target scaling_memory
+  (
+    ulimit -v $((1024 * 1024))  # 1 GiB of address space
+    build/bench/scaling_memory --point baseline 1000000 streamed
+  )
 fi
 
 echo "verify: OK"
