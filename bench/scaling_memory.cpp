@@ -161,17 +161,26 @@ int run_driver(const char* self) {
   const std::size_t count = small ? small_points.size() : full_points.size();
 
   int worst = 0;
+  bench::JsonSnapshot json("scaling_memory");
   for (std::size_t i = 0; i < count; ++i) {
     std::string command = std::string(self) + " --point " + points[i].variant +
                           " " + std::to_string(points[i].cells) + " " +
                           points[i].engine;
+    Timer point_timer;
     const int rc = std::system(command.c_str());
+    // Whole-child wall clock (generate + build + solve + allocate +
+    // check); the per-phase seconds and the per-point peak RSS are in the
+    // child's text row — ru_maxrss is per-process, so the parent cannot
+    // report it here.
+    json.add(std::string(points[i].variant) + "/" + points[i].engine,
+             points[i].cells, point_timer.seconds());
     if (rc != 0) {
       std::printf("# point failed (rc %d): %s\n", rc, command.c_str());
       std::fflush(stdout);
       worst = 1;
     }
   }
+  json.write();
   return worst;
 }
 

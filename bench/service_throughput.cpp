@@ -182,6 +182,15 @@ int main(int argc, char** argv) {
   std::printf("illegal results: %zu\n", illegal);
   mch::bench::print_peak_rss();
 
+  const std::size_t cells = session.design().num_cells();
+  bench::JsonSnapshot json("service_throughput");
+  json.add("full_legalize", cells, full.seconds);
+  json.add("eco/p50", cells, percentile(latencies, 0.50));
+  json.add("eco/p99", cells, percentile(latencies, 0.99));
+  json.add("eco/mean", cells, total / n);
+  json.add("scratch/mean", cells, scratch_mean);
+  json.write();
+
   if (illegal > 0) return 1;
   // The acceptance bar of the resident-session work: incremental ECO must
   // be at least 5x faster than re-legalizing from scratch.

@@ -54,10 +54,14 @@ int main(int argc, char** argv) {
       eval::SuiteRunner(options).run_cross(suite, methods, {}, &std::cerr);
   std::cerr << "\n";
 
+  bench::JsonSnapshot json("table2_comparison");
   for (std::size_t s = 0; s < suite.size(); ++s) {
     const eval::RunResult* results = &all_results[s * methods.size()];
-    for (std::size_t m = 0; m < methods.size(); ++m)
+    for (std::size_t m = 0; m < methods.size(); ++m) {
       all_legal = all_legal && results[m].legal;
+      json.add(suite[s].name + "/" + labels[m], results[m].num_cells,
+               results[m].seconds);
+    }
     const eval::RunResult& ours = results[methods.size() - 1];
 
     table.row().cell(suite[s].name).cell(ours.gp_hpwl / 1e6, 3);
@@ -126,5 +130,6 @@ int main(int argc, char** argv) {
                "1.06 / 1.00; dHPWL 1.72 / 1.41 / 1.22 / 1.00; time 1.02 / "
                "0.97 / 1.96 / 1.00.\n";
   mch::bench::print_peak_rss();
+  json.write();
   return all_legal ? 0 : 1;
 }

@@ -19,7 +19,9 @@
 #include "eval/metrics.h"
 #include "gen/generator.h"
 #include "gen/spec.h"
+#include "lcp/mmsim.h"
 #include "legal/flow.h"
+#include "linalg/simd.h"
 
 namespace mch::eval {
 
@@ -69,6 +71,13 @@ struct RunResult {
   std::size_t solver_max_component = 0;        ///< largest component n + m
   double solver_mean_component = 0.0;          ///< mean component n + m
   std::size_t solver_component_iterations = 0; ///< summed over components
+
+  /// Mixed-precision attribution: iterations the float32 prelude
+  /// contributed, the iterate precision that actually ran (after the
+  /// legalizer's mode gate), and the active SIMD dispatch level.
+  std::size_t solver_mixed_iterations = 0;
+  lcp::MmsimPrecision solver_precision = lcp::MmsimPrecision::kDouble;
+  linalg::SimdLevel solver_simd = linalg::SimdLevel::kScalar;
 
   /// Escalation-ladder activity (legal::RecoveryStats): all-zero on the
   /// happy path; failures carries the structured SolveFailure records when

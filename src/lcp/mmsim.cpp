@@ -7,10 +7,13 @@
 #include <limits>
 #include <string>
 
+#include "lcp/mmsim_kernels.h"
 #include "linalg/power_iteration.h"
+#include "linalg/simd.h"
 #include "runtime/parallel.h"
 #include "runtime/scratch.h"
 #include "util/check.h"
+#include "util/log.h"
 #include "util/timer.h"
 
 namespace mch::lcp {
@@ -51,6 +54,7 @@ class PhaseTimer {
 };
 
 double fold_max(double a, double b) { return std::max(a, b); }
+float fold_max_f(float a, float b) { return std::max(a, b); }
 
 }  // namespace
 
@@ -65,6 +69,17 @@ bool fused_kernels_default() {
     if (value == "0" || value == "off" || value == "false") return false;
   }
   return true;
+}
+
+MmsimPrecision precision_default() {
+  if (const char* env = std::getenv("MCH_PRECISION")) {
+    const std::string value(env);
+    if (value == "mixed") return MmsimPrecision::kMixed;
+    if (!value.empty() && value != "double")
+      MCH_LOG(kWarn) << "unrecognized MCH_PRECISION value '" << value
+                     << "', using double";
+  }
+  return MmsimPrecision::kDouble;
 }
 
 Tridiagonal schur_tridiagonal(const BlockDiagMatrix& k, const CsrMatrix& b,
@@ -140,42 +155,21 @@ MmsimSolver::MmsimSolver(const StructuredQp& qp, const MmsimOptions& options,
     for (std::size_t i = 0; i < size; ++i) general_var_[off + i] = 1;
     max_general_rows_ = std::max(max_general_rows_, size);
   }
-  // Fixed-width-2 gather tables (see the header). Only the fused path reads
-  // them, so skip the build entirely for reference-path solvers.
+  // Fixed-width-2 gather tables: the SoA views cached on B/Bᵀ (csr.h),
+  // shared with the SIMD product kernels. Only the fused path reads them,
+  // so skip the build entirely for reference-path solvers.
   if (opts_.fused) {
-    const auto max_row_len = [](const linalg::CsrMatrix& mat) {
-      std::size_t longest = 0;
-      for (std::size_t r = 0; r < mat.rows(); ++r)
-        longest = std::max(longest,
-                           mat.row_ptr()[r + 1] - mat.row_ptr()[r]);
-      return longest;
-    };
-    const std::size_t limit = std::numeric_limits<std::uint32_t>::max();
     // num_constraints() > 0: the padding slots load (and discard) column 0
     // of the opposite s half, which must therefore exist. An empty B makes
     // every gather a no-op anyway, so the CSR loops lose nothing there.
-    if (qp_.num_constraints() > 0 && qp_.num_variables() > 0 &&
-        qp_.num_variables() < limit && qp_.num_constraints() < limit &&
-        max_row_len(qp_.B) <= 2 && max_row_len(*bt_) <= 2) {
-      const auto build = [](const linalg::CsrMatrix& mat, Vector& gval,
-                            std::vector<std::uint32_t>& gcol) {
-        gval.assign(2 * mat.rows(), 0.0);
-        gcol.assign(2 * mat.rows(), 0);
-        for (std::size_t r = 0; r < mat.rows(); ++r) {
-          std::size_t slot = 2 * r;
-          for (std::size_t k = mat.row_ptr()[r]; k < mat.row_ptr()[r + 1];
-               ++k, ++slot) {
-            gval[slot] = mat.values()[k];
-            gcol[slot] = static_cast<std::uint32_t>(mat.col_idx()[k]);
-          }
-          // Padding slots keep value 0.0; point them at the row's first
-          // real column (or 0) so the gather load stays in-bounds.
-          for (; slot < 2 * r + 2; ++slot) gcol[slot] = gcol[2 * r];
-        }
-      };
-      build(*bt_, bt_gval_, bt_gcol_);
-      build(qp_.B, b_gval_, b_gcol_);
-      gather2_ = true;
+    if (qp_.num_constraints() > 0 && qp_.num_variables() > 0) {
+      bt_g2_ = bt_->gather2_view();
+      b_g2_ = qp_.B.gather2_view();
+      gather2_ = bt_g2_ != nullptr && b_g2_ != nullptr;
+      if (!gather2_) {
+        bt_g2_ = nullptr;
+        b_g2_ = nullptr;
+      }
     }
     // Flattened general-block tables (see the header): K block + inverse
     // per block, contiguous, so the block sweep streams one array instead
@@ -203,6 +197,32 @@ MmsimSolver::MmsimSolver(const StructuredQp& qp, const MmsimOptions& options,
       for (std::size_t r = 0; r < bn; ++r)
         for (std::size_t c = 0; c < bn; ++c) *out++ = inv(r, c);
     }
+  }
+
+  // Mixed mode needs the gather2 fused machinery; anything else (reference
+  // path, wide rows, empty systems) silently stays full double.
+  mixed_active_ = opts_.precision == MmsimPrecision::kMixed && gather2_;
+  if (mixed_active_) {
+    const auto to_f = [](const auto& src, linalg::AlignedVector<float>& dst) {
+      dst.resize(src.size());
+      for (std::size_t i = 0; i < src.size(); ++i)
+        dst[i] = static_cast<float>(src[i]);
+    };
+    to_f(qp_.K.scalar_values(), kv_f_);
+    to_f(shifted_k_.scalar_inverses(), siv_f_);
+    to_f(qp_.p, p_f_);
+    to_f(qp_.b, b_f_);
+    to_f(bt_g2_->v0, bt_v0f_);
+    to_f(bt_g2_->v1, bt_v1f_);
+    to_f(b_g2_->v0, b_v0f_);
+    to_f(b_g2_->v1, b_v1f_);
+    to_f(gb_vals_, gb_vals_f_);
+    to_f(d_.diag_data(), diag_f_);
+    to_f(d_.lower_data(), lower_f_);
+    to_f(d_.upper_data(), upper_f_);
+    to_f(shifted_d_lu_.c_prime(), c_prime_f_);
+    to_f(shifted_d_lu_.inv_pivot(), inv_pivot_f_);
+    to_f(shifted_d_lu_.g(), g_f_);
   }
   profile_ = qp_.lcp_size() >= kPhaseProfileMinSize;
   setup_seconds_ = timer.seconds();
@@ -482,22 +502,39 @@ double MmsimSolver::step_fused_impl(State& state) const {
   const double gamma = opts_.gamma;
   const double inv_gamma = 1.0 / opts_.gamma;
 
-  const std::vector<double>& kv = qp_.K.scalar_values();
-  const std::vector<double>& siv = shifted_k_.scalar_inverses();
+  const auto& kv = qp_.K.scalar_values();
+  const auto& siv = shifted_k_.scalar_inverses();
   const std::vector<std::size_t>& bt_rp = bt_->row_ptr();
   const auto& bt_ci = bt_->col_idx();
-  const std::vector<double>& bt_v = bt_->values();
-  const double* const bt_gv = bt_gval_.data();
-  const std::uint32_t* const bt_gc = bt_gcol_.data();
+  const auto& bt_v = bt_->values();
+  const double* const bt_v0 = kGather2 ? bt_g2_->v0.data() : nullptr;
+  const double* const bt_v1 = kGather2 ? bt_g2_->v1.data() : nullptr;
+  const std::uint32_t* const bt_c0 = kGather2 ? bt_g2_->c0.data() : nullptr;
+  const std::uint32_t* const bt_c1 = kGather2 ? bt_g2_->c1.data() : nullptr;
+  // SIMD sweep kernels (bitwise identical to the scalar loops below); only
+  // the gather2 layout has the SoA shape they consume.
+  const kernels::MmsimSimdKernels* const sk =
+      kGather2 ? kernels::mmsim_simd_kernels(linalg::simd_level()) : nullptr;
 
   double delta = 0.0;
   {
     PhaseTimer timer(profile_, state.phase.kernel_seconds);
 
     // Primal half, 1×1-block rows (the ~90% fast path).
+    kernels::PrimalCtx pctx{};
+    if (sk != nullptr)
+      pctx = {s1.data(),   s2.data(),   kv.data(),
+              siv.data(),  qp_.p.data(), bt_v0,
+              bt_v1,       bt_c0,       bt_c1,
+              general_var_.data(),      new_s1.data(),
+              z.data(),    c1,          gamma,
+              inv_gamma};
     const double scalar_delta = parallel_reduce(
         std::size_t{0}, n, kGrainElementwise, 0.0,
         [&](std::size_t lo, std::size_t hi) {
+          if constexpr (kGather2) {
+            if (sk != nullptr) return sk->primal(pctx, lo, hi);
+          }
           double best = 0.0;
           for (std::size_t i = lo; i < hi; ++i) {
             if (general_var_[i]) continue;
@@ -509,9 +546,15 @@ double MmsimSolver::step_fused_impl(State& state) const {
             double g_s2 = 0.0;   // Bᵀ s2
             double g_abs = 0.0;  // Bᵀ |s2|
             if constexpr (kGather2) {
-              for (std::size_t k = 2 * i; k < 2 * i + 2; ++k) {
-                const double v = bt_gv[k];
-                const double x = s2[bt_gc[k]];
+              {
+                const double v = bt_v0[i];
+                const double x = s2[bt_c0[i]];
+                g_s2 += v * x;
+                g_abs += v * std::abs(x);
+              }
+              {
+                const double v = bt_v1[i];
+                const double x = s2[bt_c1[i]];
                 g_s2 += v * x;
                 g_abs += v * std::abs(x);
               }
@@ -560,9 +603,15 @@ double MmsimSolver::step_fused_impl(State& state) const {
         double g_s2 = 0.0;   // Bᵀ s2
         double g_abs = 0.0;  // Bᵀ |s2|, same single traversal
         if constexpr (kGather2) {
-          for (std::size_t k = 2 * i; k < 2 * i + 2; ++k) {
-            const double v = bt_gv[k];
-            const double x = s2[bt_gc[k]];
+          {
+            const double v = bt_v0[i];
+            const double x = s2[bt_c0[i]];
+            g_s2 += v * x;
+            g_abs += v * std::abs(x);
+          }
+          {
+            const double v = bt_v1[i];
+            const double x = s2[bt_c1[i]];
             g_s2 += v * x;
             g_abs += v * std::abs(x);
           }
@@ -627,12 +676,37 @@ double MmsimSolver::step_fused_impl(State& state) const {
           opts_.splitting == MmsimSplitting::kGaussSeidel ? new_s1 : s1;
       const std::vector<std::size_t>& b_rp = qp_.B.row_ptr();
       const auto& b_ci = qp_.B.col_idx();
-      const std::vector<double>& b_v = qp_.B.values();
-      const double* const b_gv = b_gval_.data();
-      const std::uint32_t* const b_gc = b_gcol_.data();
+      const auto& b_v = qp_.B.values();
+      const double* const b_v0 = kGather2 ? b_g2_->v0.data() : nullptr;
+      const double* const b_v1 = kGather2 ? b_g2_->v1.data() : nullptr;
+      const std::uint32_t* const b_c0 = kGather2 ? b_g2_->c0.data() : nullptr;
+      const std::uint32_t* const b_c1 = kGather2 ? b_g2_->c1.data() : nullptr;
+      kernels::DualRhsCtx dctx{};
+      if (sk != nullptr)
+        dctx = {s2.data(),
+                d_.diag_data().data(),
+                d_.lower_data().data(),
+                d_.upper_data().data(),
+                qp_.b.data(),
+                s1.data(),
+                s1_used.data(),
+                b_v0,
+                b_v1,
+                b_c0,
+                b_c1,
+                rhs2.data(),
+                inv_theta,
+                gamma,
+                m};
       parallel_for(
           std::size_t{0}, m, kGrainElementwise,
           [&](std::size_t lo, std::size_t hi) {
+            if constexpr (kGather2) {
+              if (sk != nullptr) {
+                sk->dual_rhs(dctx, lo, hi);
+                return;
+              }
+            }
             for (std::size_t i = lo; i < hi; ++i) {
               double sum = d_.diag(i) * s2[i];
               if (i > 0) sum += d_.lower(i - 1) * s2[i - 1];
@@ -642,9 +716,15 @@ double MmsimSolver::step_fused_impl(State& state) const {
               double g_abs = 0.0;   // B |s1|
               double g_used = 0.0;  // B s1_used, same single traversal
               if constexpr (kGather2) {
-                for (std::size_t k = 2 * i; k < 2 * i + 2; ++k) {
-                  const double v = b_gv[k];
-                  const std::size_t c = b_gc[k];
+                {
+                  const double v = b_v0[i];
+                  const std::size_t c = b_c0[i];
+                  g_abs += v * std::abs(s1[c]);
+                  g_used += v * s1_used[c];
+                }
+                {
+                  const double v = b_v1[i];
+                  const std::size_t c = b_c1[i];
                   g_abs += v * std::abs(s1[c]);
                   g_used += v * s1_used[c];
                 }
@@ -668,9 +748,14 @@ double MmsimSolver::step_fused_impl(State& state) const {
     }
     {
       PhaseTimer timer(profile_, state.phase.kernel_seconds);
+      kernels::DualZCtx zctx{};
+      if (sk != nullptr) zctx = {new_s2.data(), z.data() + n, inv_gamma};
       const double dual_delta = parallel_reduce(
           std::size_t{0}, m, kGrainElementwise, 0.0,
           [&](std::size_t lo, std::size_t hi) {
+            if constexpr (kGather2) {
+              if (sk != nullptr) return sk->dual_z(zctx, lo, hi);
+            }
             double best = 0.0;
             for (std::size_t i = lo; i < hi; ++i) {
               const double ns = new_s2[i];
@@ -693,6 +778,286 @@ double MmsimSolver::step_fused_impl(State& state) const {
   return delta;
 }
 
+// One float32 fused iteration — the same three sweeps as step_fused_impl
+// with every operand drawn from the float mirrors, plus a float Thomas
+// solve over the converted factor arrays. Only runs on gather2 solvers
+// (mixed_active_), so the kGather2 == false shapes never reach here.
+float MmsimSolver::step_mixed(State& state) const {
+  const std::size_t n = qp_.num_variables();
+  const std::size_t m = qp_.num_constraints();
+  PhaseTimer timer(profile_, state.phase.mixed_seconds);
+
+  auto& fs1 = state.fs1;
+  auto& fs2 = state.fs2;
+  auto& fnew_s1 = state.fnew_s1;
+  auto& fnew_s2 = state.fnew_s2;
+  auto& frhs2 = state.frhs2;
+  const float c1 = static_cast<float>(1.0 / opts_.beta - 1.0);
+  const float inv_theta = static_cast<float>(1.0 / opts_.theta);
+  const float gamma = static_cast<float>(opts_.gamma);
+  const float inv_gamma = static_cast<float>(1.0 / opts_.gamma);
+  float* const fz1 = state.fz.data();
+  float* const fz2 = state.fz.data() + n;
+  const kernels::MmsimSimdKernels* const sk =
+      kernels::mmsim_simd_kernels(linalg::simd_level());
+
+  // Primal half, 1×1-block rows.
+  const kernels::PrimalCtxF pctx{fs1.data(),
+                                 fs2.data(),
+                                 kv_f_.data(),
+                                 siv_f_.data(),
+                                 p_f_.data(),
+                                 bt_v0f_.data(),
+                                 bt_v1f_.data(),
+                                 bt_g2_->c0.data(),
+                                 bt_g2_->c1.data(),
+                                 general_var_.data(),
+                                 fnew_s1.data(),
+                                 fz1,
+                                 c1,
+                                 gamma,
+                                 inv_gamma};
+  float delta = parallel_reduce(
+      std::size_t{0}, n, kGrainElementwise, 0.0f,
+      [&](std::size_t lo, std::size_t hi) {
+        if (sk != nullptr) return sk->primal_f(pctx, lo, hi);
+        float best = 0.0f;
+        for (std::size_t i = lo; i < hi; ++i) {
+          if (general_var_[i]) continue;
+          const float s1i = fs1[i];
+          const float a1 = std::abs(s1i);
+          float g_s2 = 0.0f;
+          float g_abs = 0.0f;
+          g_s2 += bt_v0f_[i] * fs2[bt_g2_->c0[i]];
+          g_abs += bt_v0f_[i] * std::abs(fs2[bt_g2_->c0[i]]);
+          g_s2 += bt_v1f_[i] * fs2[bt_g2_->c1[i]];
+          g_abs += bt_v1f_[i] * std::abs(fs2[bt_g2_->c1[i]]);
+          float r = 0.0f;
+          r += c1 * kv_f_[i] * s1i;
+          r += g_s2;
+          r += a1;
+          r += -1.0f * kv_f_[i] * a1;
+          r += g_abs;
+          r -= gamma * p_f_[i];
+          const float ns = siv_f_[i] * r;
+          fnew_s1[i] = ns;
+          const float zi = (std::abs(ns) + ns) * inv_gamma;
+          best = std::max(best, std::abs(zi - fz1[i]));
+          fz1[i] = zi;
+        }
+        return best;
+      },
+      fold_max_f);
+
+  // Primal half, multi-row blocks (tall cells), float gb tables.
+  const float general_delta = parallel_reduce(
+      std::size_t{0}, gb_off_.size(), kGrainBlocks, 0.0f,
+      [&](std::size_t lo, std::size_t hi) {
+        float best = 0.0f;
+        std::vector<double>& rb =
+            runtime::thread_scratch(0, max_general_rows_);
+        for (std::size_t g = lo; g < hi; ++g) {
+          const std::size_t off = gb_off_[g];
+          const std::size_t bn = gb_dim_[g];
+          const float* const kd = gb_vals_f_.data() + gb_data_[g];
+          const float* const invd = kd + bn * bn;
+          for (std::size_t r = 0; r < bn; ++r) {
+            const std::size_t i = off + r;
+            const float s1i = fs1[i];
+            const float a1 = std::abs(s1i);
+            float g_s2 = 0.0f;
+            float g_abs = 0.0f;
+            g_s2 += bt_v0f_[i] * fs2[bt_g2_->c0[i]];
+            g_abs += bt_v0f_[i] * std::abs(fs2[bt_g2_->c0[i]]);
+            g_s2 += bt_v1f_[i] * fs2[bt_g2_->c1[i]];
+            g_abs += bt_v1f_[i] * std::abs(fs2[bt_g2_->c1[i]]);
+            float acc = 0.0f;
+            float sum = 0.0f;
+            for (std::size_t c = 0; c < bn; ++c)
+              sum += kd[r * bn + c] * fs1[off + c];
+            acc += c1 * sum;
+            acc += g_s2;
+            acc += a1;
+            sum = 0.0f;
+            for (std::size_t c = 0; c < bn; ++c)
+              sum += kd[r * bn + c] * std::abs(fs1[off + c]);
+            acc += -1.0f * sum;
+            acc += g_abs;
+            acc -= gamma * p_f_[i];
+            rb[r] = acc;
+          }
+          for (std::size_t r = 0; r < bn; ++r) {
+            float sum = 0.0f;
+            for (std::size_t c = 0; c < bn; ++c)
+              sum += invd[r * bn + c] * static_cast<float>(rb[c]);
+            fnew_s1[off + r] = sum;
+            const float zi = (std::abs(sum) + sum) * inv_gamma;
+            best = std::max(best, std::abs(zi - fz1[off + r]));
+            fz1[off + r] = zi;
+          }
+        }
+        return best;
+      },
+      fold_max_f);
+  delta = std::max(delta, general_delta);
+
+  if (m > 0) {
+    const float* const fs1_used =
+        opts_.splitting == MmsimSplitting::kGaussSeidel ? fnew_s1.data()
+                                                        : fs1.data();
+    const kernels::DualRhsCtxF dctx{fs2.data(),
+                                    diag_f_.data(),
+                                    lower_f_.data(),
+                                    upper_f_.data(),
+                                    b_f_.data(),
+                                    fs1.data(),
+                                    fs1_used,
+                                    b_v0f_.data(),
+                                    b_v1f_.data(),
+                                    b_g2_->c0.data(),
+                                    b_g2_->c1.data(),
+                                    frhs2.data(),
+                                    inv_theta,
+                                    gamma,
+                                    m};
+    parallel_for(std::size_t{0}, m, kGrainElementwise,
+                 [&](std::size_t lo, std::size_t hi) {
+                   if (sk != nullptr) {
+                     sk->dual_rhs_f(dctx, lo, hi);
+                     return;
+                   }
+                   for (std::size_t i = lo; i < hi; ++i) {
+                     float sum = diag_f_[i] * fs2[i];
+                     if (i > 0) sum += lower_f_[i - 1] * fs2[i - 1];
+                     if (i + 1 < m) sum += upper_f_[i] * fs2[i + 1];
+                     float t =
+                         inv_theta * sum + std::abs(fs2[i]) + gamma * b_f_[i];
+                     float g_abs = 0.0f;
+                     float g_used = 0.0f;
+                     g_abs += b_v0f_[i] * std::abs(fs1[b_g2_->c0[i]]);
+                     g_used += b_v0f_[i] * fs1_used[b_g2_->c0[i]];
+                     g_abs += b_v1f_[i] * std::abs(fs1[b_g2_->c1[i]]);
+                     g_used += b_v1f_[i] * fs1_used[b_g2_->c1[i]];
+                     t += -1.0f * g_abs;
+                     t += -1.0f * g_used;
+                     frhs2[i] = t;
+                   }
+                 });
+
+    // Float Thomas solve over the converted factor arrays — the same
+    // short recurrence as TridiagonalFactorization::solve.
+    float* const fd = state.fthomas_d.data();
+    fd[0] = frhs2[0] * inv_pivot_f_[0];
+    for (std::size_t i = 1; i < m; ++i)
+      fd[i] = frhs2[i] * inv_pivot_f_[i] - g_f_[i] * fd[i - 1];
+    fnew_s2[m - 1] = fd[m - 1];
+    for (std::size_t i = m - 1; i-- > 0;)
+      fnew_s2[i] = fd[i] - c_prime_f_[i] * fnew_s2[i + 1];
+
+    const kernels::DualZCtxF zctx{fnew_s2.data(), fz2, inv_gamma};
+    const float dual_delta = parallel_reduce(
+        std::size_t{0}, m, kGrainElementwise, 0.0f,
+        [&](std::size_t lo, std::size_t hi) {
+          if (sk != nullptr) return sk->dual_z_f(zctx, lo, hi);
+          float best = 0.0f;
+          for (std::size_t i = lo; i < hi; ++i) {
+            const float ns = fnew_s2[i];
+            const float zi = (std::abs(ns) + ns) * inv_gamma;
+            best = std::max(best, std::abs(zi - fz2[i]));
+            fz2[i] = zi;
+          }
+          return best;
+        },
+        fold_max_f);
+    delta = std::max(delta, dual_delta);
+  }
+
+  fs1.swap(fnew_s1);
+  fs2.swap(fnew_s2);
+  ++state.iterations;
+  return delta;
+}
+
+void MmsimSolver::promote_mixed(State& state) const {
+  const std::size_t n = qp_.num_variables();
+  const std::size_t m = qp_.num_constraints();
+  const double inv_gamma = 1.0 / opts_.gamma;
+  parallel_for(std::size_t{0}, n, kGrainElementwise,
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i) {
+                   const double s = static_cast<double>(state.fs1[i]);
+                   state.s1[i] = s;
+                   state.z[i] = (std::abs(s) + s) * inv_gamma;
+                 }
+               });
+  parallel_for(std::size_t{0}, m, kGrainElementwise,
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i) {
+                   const double s = static_cast<double>(state.fs2[i]);
+                   state.s2[i] = s;
+                   state.z[n + i] = (std::abs(s) + s) * inv_gamma;
+                 }
+               });
+}
+
+void MmsimSolver::run_mixed_prelude(State& state, MmsimResult& result) const {
+  const std::size_t n = qp_.num_variables();
+  const std::size_t m = qp_.num_constraints();
+
+  // Seed the float shadow from the (possibly warm-started) double state.
+  state.fs1.resize(n);
+  state.fnew_s1.resize(n);
+  state.fs2.resize(m);
+  state.fnew_s2.resize(m);
+  state.frhs2.resize(m);
+  state.fthomas_d.resize(m);
+  state.fz.resize(n + m);
+  for (std::size_t i = 0; i < n; ++i)
+    state.fs1[i] = static_cast<float>(state.s1[i]);
+  for (std::size_t i = 0; i < m; ++i)
+    state.fs2[i] = static_cast<float>(state.s2[i]);
+  for (std::size_t i = 0; i < n + m; ++i)
+    state.fz[i] = static_cast<float>(state.z[i]);
+
+  // Leave at least two iterations of budget for the double polish: the
+  // stopping rule needs consecutive full-precision deltas.
+  const std::size_t budget =
+      opts_.max_iterations > 2 ? opts_.max_iterations - 2 : 0;
+  const std::size_t interval = std::max<std::size_t>(
+      std::size_t{1}, opts_.mixed_check_interval);
+  // Below this the float32 iterate is dithering in its own rounding noise;
+  // hand off to the polish rather than keep spinning.
+  const float float_floor =
+      static_cast<float>(std::max(opts_.tolerance, 1e-5));
+  double best_measure = std::numeric_limits<double>::infinity();
+  std::size_t stalls = 0;
+
+  while (state.iterations < budget) {
+    float fdelta = 0.0f;
+    for (std::size_t j = 0; j < interval && state.iterations < budget; ++j)
+      fdelta = step_mixed(state);
+
+    // Full-precision checkpoint: promote the iterate and measure the true
+    // LCP residual in float64.
+    promote_mixed(state);
+    const MmsimResidualPartials parts = residual_partials(state.z);
+    if (residual_ok(parts, opts_.residual_tolerance)) break;
+    if (fdelta < float_floor) break;
+    // Residual stall: two consecutive checks without meaningful progress
+    // mean float32 resolution is exhausted — stop burning iterations and
+    // let the polish (and, failing that, the recovery ladder) take over.
+    const double measure =
+        parts.complementarity + parts.z_negativity + parts.w_negativity;
+    if (measure < 0.9 * best_measure) {
+      stalls = 0;
+    } else if (++stalls >= 2) {
+      break;
+    }
+    best_measure = std::min(best_measure, measure);
+  }
+  result.mixed_iterations = state.iterations;
+}
+
 MmsimResult MmsimSolver::run_loop(State& state) const {
   const std::size_t n = qp_.num_variables();
   const std::size_t m = qp_.num_constraints();
@@ -701,11 +1066,22 @@ MmsimResult MmsimSolver::run_loop(State& state) const {
   MmsimResult result;
   result.setup_seconds = setup_seconds_;
 
-  for (std::size_t k = 0; k < opts_.max_iterations; ++k) {
+  // Mixed mode front-loads float32 iterations, then falls through to the
+  // double loop below as its polish (warm-started from the promoted
+  // iterate, same stopping rule, remaining iteration budget). kDouble runs
+  // the loop alone — identical to the pre-mixed behavior.
+  if (mixed_active_ && qp_.lcp_size() > 0) run_mixed_prelude(state, result);
+
+  std::size_t k = 0;
+  while (state.iterations < opts_.max_iterations) {
     result.final_delta = step(state);
-    result.iterations = k + 1;
-    if (opts_.trace_stride > 0 && k % opts_.trace_stride == 0)
-      result.trace.emplace_back(k + 1, result.final_delta);
+    // Keyed on the global iteration counter (not the loop-local k) so the
+    // sample positions stay stride-aligned when the mixed prelude has
+    // already consumed part of the budget; identical to k in double mode,
+    // where the loop starts at iteration 0.
+    if (opts_.trace_stride > 0 &&
+        (state.iterations - 1) % opts_.trace_stride == 0)
+      result.trace.emplace_back(state.iterations, result.final_delta);
     if (k > 0 && result.final_delta < opts_.tolerance) {
       bool stop = true;
       if (opts_.residual_check) {
@@ -717,7 +1093,9 @@ MmsimResult MmsimSolver::run_loop(State& state) const {
         break;
       }
     }
+    ++k;
   }
+  result.iterations = state.iterations;
 
   // Copy (not move) out of the state: its buffers stay alive for the next
   // reset_state() to reuse.

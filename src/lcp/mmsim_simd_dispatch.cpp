@@ -1,0 +1,26 @@
+// Baseline-ISA dispatch for the MMSIM sweep kernel tables. The per-ISA
+// tables live in TUs compiled with their -m flags; this TU is compiled with
+// the project baseline so the selection itself never executes wide
+// instructions.
+#include "lcp/mmsim_kernels.h"
+
+namespace mch::lcp::kernels {
+
+const MmsimSimdKernels* mmsim_simd_kernels(linalg::SimdLevel level) {
+#if defined(MCH_SIMD_X86)
+  switch (level) {
+    case linalg::SimdLevel::kAvx512:
+      return &kMmsimSimdAvx512;
+    case linalg::SimdLevel::kAvx2:
+      return &kMmsimSimdAvx2;
+    case linalg::SimdLevel::kScalar:
+      return nullptr;
+  }
+  return nullptr;
+#else
+  (void)level;
+  return nullptr;
+#endif
+}
+
+}  // namespace mch::lcp::kernels

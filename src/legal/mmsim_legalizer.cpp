@@ -92,6 +92,7 @@ SolveOutcome solve_monolithic(const LegalizationModel& model,
                    << " iterations (delta " << result.final_delta << ")";
   }
   stats.phase.accumulate(result.phase);
+  stats.mixed_iterations += result.mixed_iterations;
   SolveOutcome outcome;
   outcome.x = std::move(result.x);
   outcome.iterations = result.iterations;
@@ -212,6 +213,7 @@ SolveOutcome solve_tiered(const LegalizationModel& model,
   // the failed pass instead of double-counting.
   stats.components_mmsim = stats.components_psor = stats.components_lemke = 0;
   stats.component_iterations = 0;
+  stats.mixed_iterations = 0;
   std::vector<lcp::LcpSolverKind> kinds(num);
   std::vector<lcp::LcpSolveResult> results(num);
   parallel_for(
@@ -254,6 +256,7 @@ SolveOutcome solve_tiered(const LegalizationModel& model,
         break;
     }
     stats.component_iterations += results[c].iterations;
+    stats.mixed_iterations += results[c].mixed_iterations;
     stats.phase.accumulate(results[c].phase);
     outcome.iterations = std::max(outcome.iterations, results[c].iterations);
     if (!results[c].converged) {
@@ -291,6 +294,7 @@ SolveOutcome solve_tiered_streamed(const LegalizationModel& model,
   workspace.prepare(num);
   stats.components_mmsim = stats.components_psor = stats.components_lemke = 0;
   stats.component_iterations = 0;
+  stats.mixed_iterations = 0;
 
   std::vector<std::size_t> order(num);
   for (std::size_t c = 0; c < num; ++c) order[c] = c;
@@ -345,6 +349,7 @@ SolveOutcome solve_tiered_streamed(const LegalizationModel& model,
         break;
     }
     stats.component_iterations += results[c].iterations;
+    stats.mixed_iterations += results[c].mixed_iterations;
     stats.phase.accumulate(results[c].phase);
     outcome.iterations = std::max(outcome.iterations, results[c].iterations);
     if (!results[c].converged) {
@@ -397,6 +402,7 @@ SolveOutcome recover_components(const db::Design& design,
   outcome.clamped_cells = std::move(report.clamped_cells);
 
   stats.phase.accumulate(report.phase);
+  stats.mixed_iterations += report.mixed_iterations;
   // Historical semantics: every component counts as routed through the
   // ladder here (the report itself only counts beyond-primary ladders).
   stats.recovery.component_ladders += num;
@@ -508,6 +514,7 @@ ComponentSolveReport solve_components(const db::Design& design,
       // released.
       report.iterations = std::max(report.iterations, rec.result.iterations);
       report.component_iterations += rec.result.iterations;
+      report.mixed_iterations += rec.result.mixed_iterations;
       report.phase.accumulate(rec.result.phase);
     }
   }
@@ -579,6 +586,15 @@ MmsimLegalizerStats mmsim_legalize_continuous(
   stats.num_constraints = model.qp.num_constraints();
 
   lcp::MmsimOptions mmsim_options = options.mmsim;
+
+  // Mixed precision engages only under kTiered, whose components already
+  // terminate independently. kOff and kMatch carry the off↔match bitwise
+  // contract, which only the full-double iterate honors — forcing kDouble
+  // here keeps that contract intact even under MCH_PRECISION=mixed.
+  if (mode != PartitionMode::kTiered)
+    mmsim_options.precision = lcp::MmsimPrecision::kDouble;
+  stats.precision_used = mmsim_options.precision;
+  stats.simd_level = linalg::simd_level();
 
   // Wall clock over the entire solve section — auto-θ probe, partitioning,
   // per-solver setup, and the iterations — so solve_seconds means the same
@@ -666,6 +682,10 @@ MmsimLegalizerStats mmsim_legalize_continuous(
     ++stats.recovery.escalations;
     stats.recovery.extra_iterations += outcome.iterations;
     lcp::MmsimOptions escalated = mmsim_options;
+    // Recovery always runs full double: a solve that failed (or stalled
+    // out of) the mixed iterate must not retry with the same reduced
+    // precision that may have caused the failure.
+    escalated.precision = lcp::MmsimPrecision::kDouble;
     if (recovery.reprobe_theta && model.qp.num_constraints() > 0) {
       const MmsimSolver probe(model.qp, mmsim_options);
       escalated.theta = probe.suggest_theta();
@@ -687,7 +707,10 @@ MmsimLegalizerStats mmsim_legalize_continuous(
       ladder.forced_failures = recovery.forced_failures > attempts
                                    ? recovery.forced_failures - attempts
                                    : 0;
-      outcome = recover_components(design, model, partition, mmsim_options,
+      // Same full-double rule for the per-component ladder (see above).
+      lcp::MmsimOptions ladder_mmsim = mmsim_options;
+      ladder_mmsim.precision = lcp::MmsimPrecision::kDouble;
+      outcome = recover_components(design, model, partition, ladder_mmsim,
                                    options.policy, ladder, workspace, stats);
       theta_used = escalated.theta;
     }

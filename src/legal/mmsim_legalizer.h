@@ -34,6 +34,7 @@
 #include "lcp/mmsim.h"
 #include "lcp/solver.h"
 #include "lcp/workspace.h"
+#include "linalg/simd.h"
 #include "legal/model.h"
 #include "legal/partition.h"
 #include "legal/row_assign.h"
@@ -197,6 +198,15 @@ struct MmsimLegalizerStats {
   /// kTiered this is the decomposition's headline saving: components stop
   /// independently instead of all running to the slowest one's count.
   std::size_t component_iterations = 0;
+  /// Iterations the float32 MMSIM prelude contributed, summed over
+  /// components (0 unless the mixed-precision iterate actually ran).
+  std::size_t mixed_iterations = 0;
+  /// The iterate precision that actually ran: the requested precision after
+  /// the mode gate (mixed is forced back to double outside kTiered and
+  /// inside the recovery ladder).
+  lcp::MmsimPrecision precision_used = lcp::MmsimPrecision::kDouble;
+  /// Active SIMD dispatch level during the solve.
+  linalg::SimdLevel simd_level = linalg::SimdLevel::kScalar;
   /// Per-phase MMSIM solve time summed over components in component order
   /// (deterministic). Only systems of ≥ 256 LCP variables contribute — see
   /// lcp::MmsimPhaseTimes — so the sum can be well below solve_seconds.
@@ -234,6 +244,7 @@ struct ComponentSolveJob {
 struct ComponentSolveReport {
   std::size_t iterations = 0;            ///< max over jobs (critical path)
   std::size_t component_iterations = 0;  ///< summed over jobs
+  std::size_t mixed_iterations = 0;      ///< float32-prelude share, summed
   std::size_t components_mmsim = 0;
   std::size_t components_psor = 0;
   std::size_t components_lemke = 0;

@@ -276,7 +276,7 @@ LegalizationModel build_model(const db::Design& design,
   //    below make emission allocation-free.
   std::vector<std::size_t> row_ptr;
   std::vector<index_t> col_idx;
-  std::vector<double> values;
+  Vector values;
   row_ptr.reserve(n + 1);
   row_ptr.push_back(0);
   col_idx.reserve(2 * n);

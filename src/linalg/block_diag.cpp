@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/simd_kernels.h"
 #include "runtime/parallel.h"
 #include "util/check.h"
 
@@ -117,8 +118,15 @@ void BlockDiagMatrix::multiply_add(double alpha, const Vector& x,
   // a second sweep handles the multi-row blocks. Both are parallel: every
   // y element is owned by one index of one sweep (general blocks overwrite
   // only their own offsets, and the sweeps are separated by a barrier).
+  const kernels::CsrSimdKernels* const sk =
+      kernels::csr_simd_kernels(simd_level());
   parallel_for(std::size_t{0}, size_, kGrainElementwise,
                [&](std::size_t lo, std::size_t hi) {
+                 if (sk != nullptr) {
+                   sk->ew_scale_add(alpha, scalar_values_.data(), x.data(),
+                                    y.data(), lo, hi);
+                   return;
+                 }
                  for (std::size_t i = lo; i < hi; ++i)
                    y[i] += alpha * scalar_values_[i] * x[i];
                });
@@ -141,8 +149,15 @@ void BlockDiagMatrix::multiply_add(double alpha, const Vector& x,
 void BlockDiagMatrix::solve(const Vector& x, Vector& y) const {
   MCH_CHECK(x.size() == size_);
   y.resize(size_);
+  const kernels::CsrSimdKernels* const sk =
+      kernels::csr_simd_kernels(simd_level());
   parallel_for(std::size_t{0}, size_, kGrainElementwise,
                [&](std::size_t lo, std::size_t hi) {
+                 if (sk != nullptr) {
+                   sk->ew_mul(scalar_inverses_.data(), x.data(), y.data(), lo,
+                              hi);
+                   return;
+                 }
                  for (std::size_t i = lo; i < hi; ++i)
                    y[i] = scalar_inverses_[i] * x[i];
                });

@@ -21,9 +21,19 @@
 // multi-million-constraint scale col_idx_ is one of the largest arrays in
 // the process, and halving it is a straight RSS win with no arithmetic
 // consequence.
+//
+// When every row has at most two entries (always true for the pairwise
+// spacing constraints B and its transpose), gather2_view() exposes a lazily
+// built structure-of-arrays slot table (per-row value/column pairs plus a
+// length byte) that the SIMD product kernels (linalg/simd_kernels.h) and
+// the fused MMSIM sweeps traverse instead of the row_ptr indirection. The
+// SIMD paths of the multiply entry points are bitwise identical to the
+// scalar CSR loops (masked loads, no padded arithmetic), so the active
+// SIMD level never changes a product's bits.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -34,6 +44,17 @@
 namespace mch::linalg {
 
 class CooMatrix;
+
+/// Width-2 SoA gather table of a CSR matrix: row r's entries live in slots
+/// (v0[r], c0[r]) and (v1[r], c1[r]), len[r] in 0..2 counts the real ones;
+/// padding slots hold value 0.0 and column 0. Built by
+/// CsrMatrix::gather2_view() when every row fits (and columns fit uint32).
+struct CsrGather2 {
+  AlignedVector<double> v0, v1;
+  AlignedVector<std::uint32_t> c0, c1;
+  AlignedVector<std::uint8_t> len;
+  bool eligible = false;
+};
 
 class CsrMatrix {
  public:
@@ -57,8 +78,7 @@ class CsrMatrix {
   /// must be strictly ascending (the from_coo invariant).
   static CsrMatrix from_parts(std::size_t rows, std::size_t cols,
                               std::vector<std::size_t> row_ptr,
-                              std::vector<index_t> col_idx,
-                              std::vector<double> values);
+                              std::vector<index_t> col_idx, Vector values);
 
   /// Identity matrix of size n.
   static CsrMatrix identity(std::size_t n);
@@ -94,6 +114,12 @@ class CsrMatrix {
   /// matrix's lifetime (copies share the already-built view).
   const CsrMatrix& transpose_view() const;
 
+  /// The cached width-2 SoA gather table, built on first use; nullptr when
+  /// the matrix does not qualify (a row with more than two entries, or
+  /// dimensions beyond uint32). Thread-safe like transpose_view(); the
+  /// returned pointer stays valid for this matrix's lifetime.
+  const CsrGather2* gather2_view() const;
+
   /// Returns Aᵀ as an independent CSR matrix.
   CsrMatrix transpose() const;
 
@@ -105,18 +131,21 @@ class CsrMatrix {
   /// widening, so traversal loops are unchanged.
   const std::vector<std::size_t>& row_ptr() const { return row_ptr_; }
   const std::vector<index_t>& col_idx() const { return col_idx_; }
-  const std::vector<double>& values() const { return values_; }
+  const Vector& values() const { return values_; }
 
  private:
   std::size_t rows_;
   std::size_t cols_;
   std::vector<std::size_t> row_ptr_;
   std::vector<index_t> col_idx_;
-  std::vector<double> values_;
+  Vector values_;  ///< 64-byte aligned (feeds SIMD loads)
 
-  // Lazily built Aᵀ (see class comment). shared_ptr so copies share the
-  // already-built view; the mutex only guards the one-time build.
+  // Lazily built Aᵀ and gather table (see class comment). shared_ptr so
+  // copies share the already-built caches; the mutex only guards each
+  // one-time build. An ineligible gather table is cached too (with
+  // eligible == false), so the qualification scan runs at most once.
   mutable std::shared_ptr<const CsrMatrix> transpose_cache_;
+  mutable std::shared_ptr<const CsrGather2> gather2_cache_;
   mutable std::mutex transpose_mutex_;
 };
 

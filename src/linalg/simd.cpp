@@ -1,0 +1,89 @@
+#include "linalg/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/log.h"
+
+namespace mch::linalg {
+
+namespace {
+
+#if defined(MCH_SIMD_X86)
+SimdLevel detect_supported() {
+  __builtin_cpu_init();
+  // The AVX-512 kernels use F/VL/DQ (masked double ops + 256-bit index
+  // loads); every AVX-512 server core that reports F reports VL/DQ too,
+  // but check anyway so we never dispatch into an illegal instruction.
+  if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512vl") &&
+      __builtin_cpu_supports("avx512dq")) {
+    return SimdLevel::kAvx512;
+  }
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+  return SimdLevel::kScalar;
+}
+#else
+SimdLevel detect_supported() { return SimdLevel::kScalar; }
+#endif
+
+SimdLevel resolve_env(SimdLevel supported) {
+  const char* env = std::getenv("MCH_SIMD");
+  if (env == nullptr || *env == '\0' || std::strcmp(env, "auto") == 0) {
+    return supported;
+  }
+  if (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+      std::strcmp(env, "scalar") == 0) {
+    return SimdLevel::kScalar;
+  }
+  SimdLevel requested = supported;
+  if (std::strcmp(env, "avx2") == 0) {
+    requested = SimdLevel::kAvx2;
+  } else if (std::strcmp(env, "avx512") == 0) {
+    requested = SimdLevel::kAvx512;
+  } else {
+    MCH_LOG(kWarn) << "MCH_SIMD=" << env << " not recognized; using "
+                   << simd_level_name(supported);
+    return supported;
+  }
+  if (requested > supported) {
+    MCH_LOG(kWarn) << "MCH_SIMD=" << env << " unsupported on this CPU; using "
+                   << simd_level_name(supported);
+    return supported;
+  }
+  return requested;
+}
+
+std::atomic<int>& active_level() {
+  static std::atomic<int> level{
+      static_cast<int>(resolve_env(detect_supported()))};
+  return level;
+}
+
+}  // namespace
+
+SimdLevel simd_level_supported() {
+  static const SimdLevel supported = detect_supported();
+  return supported;
+}
+
+SimdLevel simd_level() {
+  return static_cast<SimdLevel>(active_level().load(std::memory_order_relaxed));
+}
+
+SimdLevel set_simd_level(SimdLevel level) {
+  if (level > simd_level_supported()) level = simd_level_supported();
+  active_level().store(static_cast<int>(level), std::memory_order_relaxed);
+  return level;
+}
+
+const char* simd_level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAvx512: return "avx512";
+    case SimdLevel::kAvx2: return "avx2";
+    case SimdLevel::kScalar: break;
+  }
+  return "scalar";
+}
+
+}  // namespace mch::linalg

@@ -1,0 +1,123 @@
+// AVX2 variants of the linalg sweep kernels (4-wide double). Compiled with
+// -mavx2 and -ffp-contract=off; only reached through csr_simd_kernels()
+// after the runtime CPU check. Same bitwise contract as the AVX-512 file;
+// lane masks are sign-bit vectors (blendv / maskload semantics) instead of
+// mask registers.
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "linalg/simd_kernels.h"
+
+#if defined(MCH_SIMD_X86)
+
+namespace mch::linalg::kernels {
+namespace {
+
+inline __m128i load_idx4(const std::uint32_t* idx, std::size_t i) {
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + i));
+}
+
+/// Row-length masks for rows [i, i+4) as all-ones/all-zero 64-bit lanes.
+inline void len_masks4(const std::uint8_t* len, std::size_t i, __m256d& m1,
+                       __m256d& m2) {
+  std::uint32_t packed;
+  std::memcpy(&packed, len + i, 4);
+  const __m128i l = _mm_cvtepu8_epi32(_mm_cvtsi32_si128(
+      static_cast<int>(packed)));
+  const __m128i ge1 = _mm_cmpgt_epi32(l, _mm_setzero_si128());
+  const __m128i ge2 = _mm_cmpgt_epi32(l, _mm_set1_epi32(1));
+  m1 = _mm256_castsi256_pd(_mm256_cvtepi32_epi64(ge1));
+  m2 = _mm256_castsi256_pd(_mm256_cvtepi32_epi64(ge2));
+}
+
+inline __m256d row_sum4(const CsrGather2Ctx& g, std::size_t i, const double* x,
+                        __m256d m1, __m256d m2) {
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d x0 = _mm256_mask_i32gather_pd(zero, x, load_idx4(g.c0, i),
+                                              m1, 8);
+  const __m256d x1 = _mm256_mask_i32gather_pd(zero, x, load_idx4(g.c1, i),
+                                              m2, 8);
+  const __m256d v0 = _mm256_loadu_pd(g.v0 + i);
+  const __m256d v1 = _mm256_loadu_pd(g.v1 + i);
+  // sum = (0 + v0·x0) for len>=1 lanes, else 0; then += v1·x1 for len==2.
+  __m256d sum = _mm256_and_pd(
+      m1, _mm256_add_pd(zero, _mm256_mul_pd(v0, x0)));
+  sum = _mm256_blendv_pd(sum, _mm256_add_pd(sum, _mm256_mul_pd(v1, x1)), m2);
+  return sum;
+}
+
+inline double row_sum_tail(const CsrGather2Ctx& g, std::size_t i,
+                           const double* x) {
+  double sum = 0.0;
+  if (g.len[i] >= 1) sum += g.v0[i] * x[g.c0[i]];
+  if (g.len[i] >= 2) sum += g.v1[i] * x[g.c1[i]];
+  return sum;
+}
+
+void csr_add(const CsrGather2Ctx& g, double alpha, const double* x, double* y,
+             std::size_t lo, std::size_t hi) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  std::size_t i = lo;
+  for (; i + 4 <= hi; i += 4) {
+    __m256d m1, m2;
+    len_masks4(g.len, i, m1, m2);
+    const __m256d sum = row_sum4(g, i, x, m1, m2);
+    const __m256d yv = _mm256_loadu_pd(y + i);
+    _mm256_storeu_pd(y + i, _mm256_add_pd(yv, _mm256_mul_pd(va, sum)));
+  }
+  for (; i < hi; ++i) y[i] += alpha * row_sum_tail(g, i, x);
+}
+
+void csr_add2(const CsrGather2Ctx& g, double a1, const double* x1, double a2,
+              const double* x2, double* y, std::size_t lo, std::size_t hi) {
+  const __m256d va1 = _mm256_set1_pd(a1);
+  const __m256d va2 = _mm256_set1_pd(a2);
+  std::size_t i = lo;
+  for (; i + 4 <= hi; i += 4) {
+    __m256d m1, m2;
+    len_masks4(g.len, i, m1, m2);
+    const __m256d s1 = row_sum4(g, i, x1, m1, m2);
+    const __m256d s2 = row_sum4(g, i, x2, m1, m2);
+    __m256d yv = _mm256_loadu_pd(y + i);
+    yv = _mm256_add_pd(yv, _mm256_mul_pd(va1, s1));
+    yv = _mm256_add_pd(yv, _mm256_mul_pd(va2, s2));
+    _mm256_storeu_pd(y + i, yv);
+  }
+  for (; i < hi; ++i) {
+    y[i] += a1 * row_sum_tail(g, i, x1);
+    y[i] += a2 * row_sum_tail(g, i, x2);
+  }
+}
+
+void ew_scale_add(double alpha, const double* v, const double* x, double* y,
+                  std::size_t lo, std::size_t hi) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  std::size_t i = lo;
+  for (; i + 4 <= hi; i += 4) {
+    const __m256d t = _mm256_mul_pd(_mm256_mul_pd(va, _mm256_loadu_pd(v + i)),
+                                    _mm256_loadu_pd(x + i));
+    _mm256_storeu_pd(y + i, _mm256_add_pd(_mm256_loadu_pd(y + i), t));
+  }
+  for (; i < hi; ++i) y[i] += alpha * v[i] * x[i];
+}
+
+void ew_mul(const double* v, const double* x, double* y, std::size_t lo,
+            std::size_t hi) {
+  std::size_t i = lo;
+  for (; i + 4 <= hi; i += 4) {
+    _mm256_storeu_pd(
+        y + i, _mm256_mul_pd(_mm256_loadu_pd(v + i), _mm256_loadu_pd(x + i)));
+  }
+  for (; i < hi; ++i) y[i] = v[i] * x[i];
+}
+
+}  // namespace
+
+const CsrSimdKernels kCsrSimdAvx2 = {csr_add, csr_add2, ew_scale_add, ew_mul};
+
+}  // namespace mch::linalg::kernels
+
+#endif  // MCH_SIMD_X86

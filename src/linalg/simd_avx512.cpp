@@ -1,0 +1,126 @@
+// AVX-512 variants of the linalg sweep kernels (8-wide double). Compiled
+// with -mavx512f -mavx512vl -mavx512dq -mavx512bw and -ffp-contract=off;
+// only reached through csr_simd_kernels() after the runtime CPU check.
+//
+// Bitwise contract: every lane replicates the scalar reference chain of
+// csr.cpp / block_diag.cpp term for term (see simd_kernels.h). Short rows
+// are handled with mask registers — masked gathers never touch memory for
+// inactive lanes and masked adds keep the accumulator of a shorter row
+// exactly what the scalar loop produces.
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "linalg/simd_kernels.h"
+
+#if defined(MCH_SIMD_X86)
+
+namespace mch::linalg::kernels {
+namespace {
+
+inline __m256i load_idx8(const std::uint32_t* idx, std::size_t i) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + i));
+}
+
+/// Row-length masks for rows [i, i+8): m1 = len >= 1, m2 = len >= 2.
+inline void len_masks8(const std::uint8_t* len, std::size_t i, __mmask8& m1,
+                       __mmask8& m2) {
+  const __m128i l8 =
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(len + i));
+  const __m512i l = _mm512_cvtepu8_epi64(l8);
+  m1 = _mm512_cmp_epu64_mask(l, _mm512_set1_epi64(1), _MM_CMPINT_GE);
+  m2 = _mm512_cmp_epu64_mask(l, _mm512_set1_epi64(2), _MM_CMPINT_GE);
+}
+
+/// sum = (0 + v0·x[c0]) for len>=1 lanes (0.0 for empty rows), then
+/// += v1·x[c1] for len>=2 lanes — the scalar CSR row fold.
+inline __m512d row_sum8(const CsrGather2Ctx& g, std::size_t i, const double* x,
+                        __mmask8 m1, __mmask8 m2) {
+  const __m512d zero = _mm512_setzero_pd();
+  const __m512d x0 = _mm512_mask_i32gather_pd(zero, m1, load_idx8(g.c0, i),
+                                              x, 8);
+  const __m512d x1 = _mm512_mask_i32gather_pd(zero, m2, load_idx8(g.c1, i),
+                                              x, 8);
+  const __m512d v0 = _mm512_loadu_pd(g.v0 + i);
+  const __m512d v1 = _mm512_loadu_pd(g.v1 + i);
+  __m512d sum = _mm512_maskz_add_pd(m1, zero, _mm512_mul_pd(v0, x0));
+  sum = _mm512_mask_add_pd(sum, m2, sum, _mm512_mul_pd(v1, x1));
+  return sum;
+}
+
+inline double row_sum_tail(const CsrGather2Ctx& g, std::size_t i,
+                           const double* x) {
+  double sum = 0.0;
+  if (g.len[i] >= 1) sum += g.v0[i] * x[g.c0[i]];
+  if (g.len[i] >= 2) sum += g.v1[i] * x[g.c1[i]];
+  return sum;
+}
+
+void csr_add(const CsrGather2Ctx& g, double alpha, const double* x, double* y,
+             std::size_t lo, std::size_t hi) {
+  const __m512d va = _mm512_set1_pd(alpha);
+  std::size_t i = lo;
+  for (; i + 8 <= hi; i += 8) {
+    __mmask8 m1, m2;
+    len_masks8(g.len, i, m1, m2);
+    const __m512d sum = row_sum8(g, i, x, m1, m2);
+    const __m512d yv = _mm512_loadu_pd(y + i);
+    _mm512_storeu_pd(y + i, _mm512_add_pd(yv, _mm512_mul_pd(va, sum)));
+  }
+  for (; i < hi; ++i) y[i] += alpha * row_sum_tail(g, i, x);
+}
+
+void csr_add2(const CsrGather2Ctx& g, double a1, const double* x1, double a2,
+              const double* x2, double* y, std::size_t lo, std::size_t hi) {
+  const __m512d va1 = _mm512_set1_pd(a1);
+  const __m512d va2 = _mm512_set1_pd(a2);
+  std::size_t i = lo;
+  for (; i + 8 <= hi; i += 8) {
+    __mmask8 m1, m2;
+    len_masks8(g.len, i, m1, m2);
+    const __m512d s1 = row_sum8(g, i, x1, m1, m2);
+    const __m512d s2 = row_sum8(g, i, x2, m1, m2);
+    __m512d yv = _mm512_loadu_pd(y + i);
+    yv = _mm512_add_pd(yv, _mm512_mul_pd(va1, s1));
+    yv = _mm512_add_pd(yv, _mm512_mul_pd(va2, s2));
+    _mm512_storeu_pd(y + i, yv);
+  }
+  for (; i < hi; ++i) {
+    y[i] += a1 * row_sum_tail(g, i, x1);
+    y[i] += a2 * row_sum_tail(g, i, x2);
+  }
+}
+
+void ew_scale_add(double alpha, const double* v, const double* x, double* y,
+                  std::size_t lo, std::size_t hi) {
+  const __m512d va = _mm512_set1_pd(alpha);
+  std::size_t i = lo;
+  for (; i + 8 <= hi; i += 8) {
+    // y[i] += (alpha * v[i]) * x[i] — the scalar sweep's left-to-right
+    // association.
+    const __m512d t = _mm512_mul_pd(_mm512_mul_pd(va, _mm512_loadu_pd(v + i)),
+                                    _mm512_loadu_pd(x + i));
+    _mm512_storeu_pd(y + i, _mm512_add_pd(_mm512_loadu_pd(y + i), t));
+  }
+  for (; i < hi; ++i) y[i] += alpha * v[i] * x[i];
+}
+
+void ew_mul(const double* v, const double* x, double* y, std::size_t lo,
+            std::size_t hi) {
+  std::size_t i = lo;
+  for (; i + 8 <= hi; i += 8) {
+    _mm512_storeu_pd(
+        y + i, _mm512_mul_pd(_mm512_loadu_pd(v + i), _mm512_loadu_pd(x + i)));
+  }
+  for (; i < hi; ++i) y[i] = v[i] * x[i];
+}
+
+}  // namespace
+
+const CsrSimdKernels kCsrSimdAvx512 = {csr_add, csr_add2, ew_scale_add,
+                                       ew_mul};
+
+}  // namespace mch::linalg::kernels
+
+#endif  // MCH_SIMD_X86

@@ -1,0 +1,23 @@
+// Baseline-ISA dispatch for the linalg SIMD kernel tables. Lives in its own
+// TU (compiled without -m flags) so the function-pointer tables can be
+// handed out safely on any CPU: the per-ISA TUs are only ever *called*
+// through pointers obtained here, after simd.cpp's runtime CPU check
+// clamped the active level.
+#include "linalg/simd_kernels.h"
+
+namespace mch::linalg::kernels {
+
+const CsrSimdKernels* csr_simd_kernels(SimdLevel level) {
+#if defined(MCH_SIMD_X86)
+  switch (level) {
+    case SimdLevel::kAvx512: return &kCsrSimdAvx512;
+    case SimdLevel::kAvx2: return &kCsrSimdAvx2;
+    case SimdLevel::kScalar: break;
+  }
+#else
+  (void)level;
+#endif
+  return nullptr;
+}
+
+}  // namespace mch::linalg::kernels

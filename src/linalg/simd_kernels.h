@@ -1,0 +1,63 @@
+// SIMD kernel tables for the linalg sweeps: the width-2 CSR gathers of the
+// constraint matrix and the flat scalar-block sweeps of BlockDiagMatrix.
+//
+// Contexts are plain pointer bundles so the per-ISA translation units (built
+// with -mavx2 / -mavx512* and -ffp-contract=off) stay free of inline
+// standard-library code — nothing compiled with vector ISAs may leak into
+// TUs that run on baseline hardware via COMDAT folding.
+//
+// Every double kernel is BITWISE IDENTICAL to the scalar reference loop it
+// replaces: each output element's floating-point chain is replicated
+// term-for-term in the reference order (short CSR rows select real terms
+// with blend masks instead of padded 0.0·x adds, so not even the sign of an
+// exactly-zero accumulator can differ), and -ffp-contract=off keeps the
+// compiler from fusing any multiply-add. See ALGORITHM.md par.13.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "linalg/simd.h"
+
+namespace mch::linalg::kernels {
+
+/// Width-2 SoA gather view of CSR rows (CsrMatrix::gather2_view()): row r
+/// has value/column slots (v0[r], c0[r]) and (v1[r], c1[r]) with len[r] in
+/// 0..2 real entries; padding slots hold value 0.0 and column 0 and are
+/// masked out of every load.
+struct CsrGather2Ctx {
+  const double* v0;
+  const double* v1;
+  const std::uint32_t* c0;
+  const std::uint32_t* c1;
+  const std::uint8_t* len;
+};
+
+struct CsrSimdKernels {
+  /// y[r] += alpha * (row r of A · x) for r in [lo, hi).
+  void (*add)(const CsrGather2Ctx& g, double alpha, const double* x,
+              double* y, std::size_t lo, std::size_t hi);
+  /// y[r] += a1 * (row r · x1); y[r] += a2 * (row r · x2) — the fused
+  /// two-accumulator form of multiply_add2.
+  void (*add2)(const CsrGather2Ctx& g, double a1, const double* x1, double a2,
+               const double* x2, double* y, std::size_t lo, std::size_t hi);
+  /// y[i] += alpha * v[i] * x[i] — the flat scalar-block sweep of
+  /// BlockDiagMatrix::multiply_add.
+  void (*ew_scale_add)(double alpha, const double* v, const double* x,
+                       double* y, std::size_t lo, std::size_t hi);
+  /// y[i] = v[i] * x[i] — the flat scalar-block sweep of
+  /// BlockDiagMatrix::solve.
+  void (*ew_mul)(const double* v, const double* x, double* y, std::size_t lo,
+                 std::size_t hi);
+};
+
+/// Kernel table for `level`; nullptr when the level is kScalar or the
+/// platform has no SIMD build — callers then run the scalar loops.
+const CsrSimdKernels* csr_simd_kernels(SimdLevel level);
+
+#if defined(MCH_SIMD_X86)
+extern const CsrSimdKernels kCsrSimdAvx2;
+extern const CsrSimdKernels kCsrSimdAvx512;
+#endif
+
+}  // namespace mch::linalg::kernels

@@ -1,8 +1,11 @@
 // Dense vector kernels.
 //
-// Vectors are plain std::vector<double>: the problem sizes here (millions of
-// entries) never justify an expression-template layer, and plain loops let
-// the compiler vectorize. All functions check size agreement.
+// Vectors are std::vector<double> over a 64-byte-aligned allocator
+// (util/aligned.h): the problem sizes here (millions of entries) never
+// justify an expression-template layer, plain loops let the compiler
+// vectorize, and cache-line alignment lets the explicit SIMD kernels
+// (linalg/simd_kernels.h) issue full-width loads from array bases. All
+// functions check size agreement.
 //
 // Every kernel runs on the global runtime (src/runtime/) when it is
 // configured with more than one thread. Reductions (dot, the norms) use the
@@ -13,9 +16,16 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/aligned.h"
+
 namespace mch::linalg {
 
-using Vector = std::vector<double>;
+/// 64-byte-aligned std::vector; linalg arrays that feed SIMD kernels
+/// (solver workspaces, CSR values, gather tables) use this layout.
+template <typename T>
+using AlignedVector = std::vector<T, util::AlignedAllocator<T, 64>>;
+
+using Vector = AlignedVector<double>;
 
 /// Returns the dot product aᵀb. Requires a.size() == b.size().
 double dot(const Vector& a, const Vector& b);

@@ -1,0 +1,59 @@
+// 64-byte-aligned allocation for numeric arrays.
+//
+// The SIMD kernels (linalg/simd.h) load 64-byte vectors; std::vector's
+// default allocator only guarantees alignof(std::max_align_t) (16 on this
+// ABI), so solver arenas and CSR value arrays allocate through this
+// allocator instead. Alignment is a cache-line: one allocation alignment
+// serves both AVX2 (32 B) and AVX-512 (64 B) loads, and keeps hot arrays
+// from straddling lines at their base.
+//
+// The kernels still use unaligned load instructions (chunk offsets inside
+// an array are not always multiples of the vector width), so alignment is
+// a performance property, never a correctness requirement.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace mch::util {
+
+template <typename T, std::size_t Alignment = 64>
+class AlignedAllocator {
+ public:
+  static_assert((Alignment & (Alignment - 1)) == 0, "alignment power of two");
+  static_assert(Alignment >= alignof(T), "alignment below type requirement");
+
+  using value_type = T;
+  using size_type = std::size_t;
+  using difference_type = std::ptrdiff_t;
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return false;
+  }
+};
+
+}  // namespace mch::util

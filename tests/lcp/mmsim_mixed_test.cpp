@@ -1,0 +1,176 @@
+// Mixed-precision iterate (MCH_PRECISION=mixed / MmsimPrecision::kMixed):
+// the float32 prelude + float64 residual checks + double polish must land
+// within displacement tolerance of the full-double solve on well-posed
+// designs, must stay INERT under the bitwise-contracted partition modes
+// (kOff / kMatch), and must hand off to the recovery ladder — which forces
+// full double — on degenerate designs. There is deliberately no bitwise
+// assertion on the mixed path itself: mixed converges by the float64
+// residual check, not by bit reproducibility (ALGORITHM.md ¶13).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "db/legality.h"
+#include "eval/metrics.h"
+#include "gen/generator.h"
+#include "lcp/mmsim.h"
+#include "legal/mmsim_legalizer.h"
+#include "legal/model.h"
+#include "legal/row_assign.h"
+
+namespace mch::legal {
+namespace {
+
+db::Design make_design(std::size_t singles, std::size_t doubles,
+                       double density, std::uint64_t seed) {
+  gen::GeneratorOptions opts;
+  opts.seed = seed;
+  opts.nets_per_cell = 0.0;
+  return gen::generate_random_design(singles, doubles, density, opts);
+}
+
+/// Solver-level agreement: the mixed solve of one component model lands
+/// within tolerance of the double solve of the same QP.
+TEST(MmsimMixedTest, SolverConvergesCloseToDouble) {
+  db::Design design = make_design(400, 60, 0.7, 11);
+  const RowAssignment rows = assign_rows(design);
+  const LegalizationModel model = build_model(design, rows);
+
+  lcp::MmsimOptions options;
+  options.tolerance = 1e-8;
+  options.max_iterations = 200000;
+
+  options.precision = lcp::MmsimPrecision::kDouble;
+  const lcp::MmsimResult reference =
+      lcp::MmsimSolver(model.qp, options).solve();
+  ASSERT_TRUE(reference.converged);
+  EXPECT_EQ(reference.mixed_iterations, 0u);
+
+  options.precision = lcp::MmsimPrecision::kMixed;
+  const lcp::MmsimResult mixed = lcp::MmsimSolver(model.qp, options).solve();
+  ASSERT_TRUE(mixed.converged);
+  // The float32 prelude actually ran, and the polish kept some double
+  // iterations at the end.
+  EXPECT_GT(mixed.mixed_iterations, 0u);
+  EXPECT_LT(mixed.mixed_iterations, mixed.iterations);
+
+  double max_diff = 0.0, max_ref = 0.0;
+  ASSERT_EQ(mixed.x.size(), reference.x.size());
+  for (std::size_t i = 0; i < reference.x.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(mixed.x[i] - reference.x[i]));
+    max_ref = std::max(max_ref, std::abs(reference.x[i]));
+  }
+  EXPECT_LE(max_diff, 1e-3 * (1.0 + max_ref))
+      << "mixed primal diverged from double: " << max_diff;
+}
+
+/// Legalizer-level agreement across the suite shapes: same designs, tiered
+/// partitioning, double vs mixed — total displacement within 0.1%.
+TEST(MmsimMixedTest, TieredDisplacementWithinToleranceAcrossSuites) {
+  struct Spec {
+    std::size_t singles, doubles;
+    double density;
+    std::uint64_t seed;
+  };
+  for (const Spec& spec : {Spec{1500, 200, 0.6, 3}, Spec{1200, 300, 0.75, 7},
+                           Spec{2000, 0, 0.8, 13}}) {
+    db::Design double_design =
+        make_design(spec.singles, spec.doubles, spec.density, spec.seed);
+    db::Design mixed_design = double_design;
+    const RowAssignment rows = assign_rows(double_design);
+
+    MmsimLegalizerOptions options;
+    options.partition = PartitionMode::kTiered;
+
+    options.mmsim.precision = lcp::MmsimPrecision::kDouble;
+    const MmsimLegalizerStats ref_stats =
+        mmsim_legalize_continuous(double_design, rows, options);
+    ASSERT_TRUE(ref_stats.converged);
+    EXPECT_EQ(ref_stats.precision_used, lcp::MmsimPrecision::kDouble);
+    EXPECT_EQ(ref_stats.mixed_iterations, 0u);
+
+    options.mmsim.precision = lcp::MmsimPrecision::kMixed;
+    const MmsimLegalizerStats mixed_stats =
+        mmsim_legalize_continuous(mixed_design, rows, options);
+    ASSERT_TRUE(mixed_stats.converged);
+    EXPECT_EQ(mixed_stats.precision_used, lcp::MmsimPrecision::kMixed);
+    EXPECT_GT(mixed_stats.mixed_iterations, 0u);
+
+    const double ref_disp = eval::displacement(double_design).total_sites;
+    const double mixed_disp = eval::displacement(mixed_design).total_sites;
+    EXPECT_LE(std::abs(mixed_disp - ref_disp),
+              1e-3 * std::max(1.0, ref_disp))
+        << "seed " << spec.seed << ": disp " << mixed_disp << " vs "
+        << ref_disp;
+  }
+}
+
+/// kOff and kMatch carry the bitwise determinism contract, so a mixed
+/// request must be silently demoted to full double there — positions
+/// bitwise identical to an explicit double run.
+TEST(MmsimMixedTest, InertUnderBitwiseContractModes) {
+  for (const PartitionMode mode : {PartitionMode::kOff,
+                                   PartitionMode::kMatch}) {
+    db::Design requested = make_design(500, 80, 0.65, 17);
+    db::Design reference = requested;
+    const RowAssignment rows = assign_rows(requested);
+
+    MmsimLegalizerOptions options;
+    options.partition = mode;
+
+    options.mmsim.precision = lcp::MmsimPrecision::kMixed;
+    const MmsimLegalizerStats stats =
+        mmsim_legalize_continuous(requested, rows, options);
+    EXPECT_EQ(stats.precision_used, lcp::MmsimPrecision::kDouble);
+    EXPECT_EQ(stats.mixed_iterations, 0u);
+
+    options.mmsim.precision = lcp::MmsimPrecision::kDouble;
+    mmsim_legalize_continuous(reference, rows, options);
+
+    for (std::size_t c = 0; c < requested.num_cells(); ++c) {
+      ASSERT_EQ(std::memcmp(&requested.cells()[c].x, &reference.cells()[c].x,
+                            sizeof(double)),
+                0)
+          << to_string(mode) << ": cell " << c;
+    }
+  }
+}
+
+/// Degenerate designs under mixed: the solve must not wedge — the failed
+/// attempt hands off to the recovery ladder (which forces full double),
+/// the audit runs, and any clamped cells end up inside the chip.
+TEST(MmsimMixedTest, DegenerateDesignsHandOffToRecoveryLadder) {
+  for (const gen::DegenerateMode mode :
+       {gen::DegenerateMode::kNearSingularCoupling,
+        gen::DegenerateMode::kInfeasibleRowCapacity,
+        gen::DegenerateMode::kObstacleSaturatedRows}) {
+    db::Design design = gen::generate_degenerate_design(mode, 24, 3);
+    const RowAssignment rows = assign_rows(design);
+
+    MmsimLegalizerOptions options;
+    options.partition = PartitionMode::kTiered;
+    options.mmsim.precision = lcp::MmsimPrecision::kMixed;
+    // A budget far too small for these pathologies, plus one injected
+    // failure so the handoff happens even when a pathology accidentally
+    // converges: the first (mixed) attempt fails and escalates.
+    options.mmsim.max_iterations = 50;
+    options.recovery.forced_failures = 1;
+
+    const MmsimLegalizerStats stats =
+        mmsim_legalize_continuous(design, rows, options);
+    EXPECT_TRUE(stats.recovery.attempted()) << gen::to_string(mode);
+    EXPECT_TRUE(stats.recovery.audit_ran) << gen::to_string(mode);
+    for (const SolveFailure& failure : stats.recovery.failures) {
+      for (const std::size_t c : failure.cells) {
+        const db::Cell& cell = design.cells()[c];
+        EXPECT_GE(cell.x, -1e-9) << gen::to_string(mode);
+        EXPECT_LE(cell.x + cell.width, design.chip().width() + 1e-9)
+            << gen::to_string(mode);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mch::legal

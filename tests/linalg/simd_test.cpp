@@ -1,0 +1,200 @@
+// Bitwise-identity suite for the SIMD linalg kernels: at every level the
+// CPU supports (scalar, AVX2, AVX-512), the CSR gathers and the flat
+// block-diagonal sweeps must reproduce the scalar reference bit for bit —
+// the dispatch level is a pure performance knob (ALGORITHM.md ¶13).
+// Runs again as ".mt4" with MCH_THREADS=4 so the contract also holds
+// through the parallel runtime's chunked sweeps, and as ".simd-off" with
+// MCH_SIMD=0 where every level collapses to the scalar loop.
+#include "linalg/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "linalg/block_diag.h"
+#include "linalg/csr.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/simd_kernels.h"
+#include "linalg/sparse.h"
+
+namespace mch::linalg {
+namespace {
+
+bool bitwise_equal(const Vector& a, const Vector& b) {
+  if (a.size() != b.size()) return false;
+  return a.empty() ||
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+std::vector<SimdLevel> supported_levels() {
+  std::vector<SimdLevel> levels = {SimdLevel::kScalar};
+  if (simd_level_supported() >= SimdLevel::kAvx2)
+    levels.push_back(SimdLevel::kAvx2);
+  if (simd_level_supported() >= SimdLevel::kAvx512)
+    levels.push_back(SimdLevel::kAvx512);
+  return levels;
+}
+
+/// Restores the entry level when a test returns, so level flips cannot
+/// leak across test cases.
+class LevelGuard {
+ public:
+  LevelGuard() : entry_(simd_level()) {}
+  ~LevelGuard() { set_simd_level(entry_); }
+
+ private:
+  SimdLevel entry_;
+};
+
+/// The spacing-constraint shape: ≤2 entries per row (gather2-eligible),
+/// both signs, a sprinkling of empty and single-entry rows so the blend
+/// masks of the short-row lanes are exercised.
+CsrMatrix gather2_matrix(std::size_t rows, std::size_t cols,
+                         std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::size_t> col(0, cols - 1);
+  std::uniform_real_distribution<double> val(-2.0, 2.0);
+  CooMatrix coo(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (r % 11 == 3) continue;  // empty row
+    coo.add(r, col(rng), val(rng));
+    if (r % 5 != 1) coo.add(r, col(rng), val(rng));
+  }
+  return CsrMatrix::from_coo(coo);
+}
+
+Vector random_vector(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> val(-1.0, 1.0);
+  Vector v(n);
+  for (double& x : v) x = val(rng);
+  return v;
+}
+
+TEST(SimdDispatchTest, SetLevelClampsToHardware) {
+  LevelGuard guard;
+  // Whatever we ask for, the installed level never exceeds the CPU.
+  for (const SimdLevel request :
+       {SimdLevel::kScalar, SimdLevel::kAvx2, SimdLevel::kAvx512}) {
+    const SimdLevel installed = set_simd_level(request);
+    EXPECT_LE(static_cast<int>(installed),
+              static_cast<int>(simd_level_supported()));
+    EXPECT_EQ(installed, simd_level());
+  }
+  EXPECT_STREQ(simd_level_name(SimdLevel::kScalar), "scalar");
+  EXPECT_STREQ(simd_level_name(SimdLevel::kAvx2), "avx2");
+  EXPECT_STREQ(simd_level_name(SimdLevel::kAvx512), "avx512");
+}
+
+TEST(SimdDispatchTest, KernelTableNullAtScalar) {
+  EXPECT_EQ(kernels::csr_simd_kernels(SimdLevel::kScalar), nullptr);
+}
+
+TEST(SimdCsrTest, MultiplyAddBitwiseAcrossLevels) {
+  LevelGuard guard;
+  const CsrMatrix a = gather2_matrix(257, 193, 11);  // off power-of-2 sizes
+  const Vector x = random_vector(193, 12);
+
+  set_simd_level(SimdLevel::kScalar);
+  Vector reference = random_vector(257, 13);
+  a.multiply_add(0.7, x, reference);
+
+  for (const SimdLevel level : supported_levels()) {
+    ASSERT_EQ(set_simd_level(level), level);
+    Vector y = random_vector(257, 13);
+    a.multiply_add(0.7, x, y);
+    EXPECT_TRUE(bitwise_equal(y, reference)) << simd_level_name(level);
+  }
+}
+
+TEST(SimdCsrTest, MultiplyAdd2BitwiseAcrossLevels) {
+  LevelGuard guard;
+  const CsrMatrix a = gather2_matrix(300, 210, 21);
+  const Vector x1 = random_vector(210, 22);
+  const Vector x2 = random_vector(210, 23);
+
+  set_simd_level(SimdLevel::kScalar);
+  Vector reference = random_vector(300, 24);
+  a.multiply_add2(1.25, x1, -0.5, x2, reference);
+
+  for (const SimdLevel level : supported_levels()) {
+    ASSERT_EQ(set_simd_level(level), level);
+    Vector y = random_vector(300, 24);
+    a.multiply_add2(1.25, x1, -0.5, x2, y);
+    EXPECT_TRUE(bitwise_equal(y, reference)) << simd_level_name(level);
+  }
+}
+
+TEST(SimdCsrTest, MultiplyTransposeAdd2BitwiseAcrossLevels) {
+  LevelGuard guard;
+  // The transpose sweep gathers through Bᵀ's own gather2 view, so build a
+  // matrix whose *columns* have ≤2 entries by transposing the row shape.
+  const CsrMatrix a = gather2_matrix(180, 260, 31);
+  const Vector x1 = random_vector(180, 32);
+  const Vector x2 = random_vector(180, 33);
+
+  set_simd_level(SimdLevel::kScalar);
+  Vector reference = random_vector(260, 34);
+  a.multiply_transpose_add2(0.9, x1, 1.1, x2, reference);
+
+  for (const SimdLevel level : supported_levels()) {
+    ASSERT_EQ(set_simd_level(level), level);
+    Vector y = random_vector(260, 34);
+    a.multiply_transpose_add2(0.9, x1, 1.1, x2, y);
+    EXPECT_TRUE(bitwise_equal(y, reference)) << simd_level_name(level);
+  }
+}
+
+/// Mixed scalar/general blocks: the flat sweeps vectorize the scalar lanes
+/// and must leave the dense-block positions to the scalar block path.
+BlockDiagMatrix mixed_block_matrix(std::size_t scalars, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> val(0.5, 3.0);
+  BlockDiagMatrix k;
+  for (std::size_t i = 0; i < scalars; ++i) {
+    k.add_scalar_block(val(rng));
+    if (i % 17 == 5) {  // interleave a 2×2 general block
+      DenseMatrix block(2, 2);
+      block(0, 0) = val(rng) + 2.0;
+      block(0, 1) = 0.3;
+      block(1, 0) = 0.3;
+      block(1, 1) = val(rng) + 2.0;
+      k.add_block(block);
+    }
+  }
+  return k;
+}
+
+TEST(SimdBlockDiagTest, MultiplyAddAndSolveBitwiseAcrossLevels) {
+  LevelGuard guard;
+  const BlockDiagMatrix k = mixed_block_matrix(300, 41);
+  const std::size_t n = k.size();
+  const Vector x = random_vector(n, 42);
+
+  set_simd_level(SimdLevel::kScalar);
+  Vector ref_mul = random_vector(n, 43);
+  k.multiply_add(0.8, x, ref_mul);
+  Vector ref_solve;
+  k.solve(x, ref_solve);
+  Vector ref_shifted;
+  k.solve_shifted(1.0, 0.5, x, ref_shifted);
+
+  for (const SimdLevel level : supported_levels()) {
+    ASSERT_EQ(set_simd_level(level), level);
+    Vector y = random_vector(n, 43);
+    k.multiply_add(0.8, x, y);
+    EXPECT_TRUE(bitwise_equal(y, ref_mul)) << simd_level_name(level);
+    Vector solved;
+    k.solve(x, solved);
+    EXPECT_TRUE(bitwise_equal(solved, ref_solve)) << simd_level_name(level);
+    Vector shifted;
+    k.solve_shifted(1.0, 0.5, x, shifted);
+    EXPECT_TRUE(bitwise_equal(shifted, ref_shifted))
+        << simd_level_name(level);
+  }
+}
+
+}  // namespace
+}  // namespace mch::linalg

@@ -18,8 +18,8 @@ namespace {
 
 /// Deterministic pseudo-random doubles in [-1, 1) (no <random> to keep the
 /// sequence pinned across standard libraries).
-std::vector<double> random_vector(std::size_t n, std::uint64_t seed) {
-  std::vector<double> v(n);
+linalg::Vector random_vector(std::size_t n, std::uint64_t seed) {
+  linalg::Vector v(n);
   std::uint64_t state = seed * 6364136223846793005ULL + 1442695040888963407ULL;
   for (std::size_t i = 0; i < n; ++i) {
     state = state * 6364136223846793005ULL + 1442695040888963407ULL;
@@ -29,7 +29,7 @@ std::vector<double> random_vector(std::size_t n, std::uint64_t seed) {
   return v;
 }
 
-double reduce_sum(const std::vector<double>& v, std::size_t grain) {
+double reduce_sum(const linalg::Vector& v, std::size_t grain) {
   return parallel_reduce(
       std::size_t{0}, v.size(), grain, 0.0,
       [&](std::size_t lo, std::size_t hi) {
@@ -46,7 +46,7 @@ class ParallelReduceTest : public ::testing::Test {
 };
 
 TEST_F(ParallelReduceTest, SumBitwiseIdenticalAcrossThreadCounts) {
-  const std::vector<double> v = random_vector(100003, 42);
+  const linalg::Vector v = random_vector(100003, 42);
   Runtime::configure(1);
   const double serial = reduce_sum(v, 1000);
   for (const unsigned threads : {2u, 4u, 8u}) {
@@ -64,7 +64,7 @@ TEST_F(ParallelReduceTest, SumBitwiseIdenticalAcrossThreadCounts) {
 }
 
 TEST_F(ParallelReduceTest, MaxReduceMatchesSerialExactly) {
-  const std::vector<double> v = random_vector(54321, 7);
+  const linalg::Vector v = random_vector(54321, 7);
   const double expected = *std::max_element(v.begin(), v.end());
   for (const unsigned threads : {1u, 4u}) {
     Runtime::configure(threads);
@@ -111,8 +111,8 @@ class VectorOpsParallelTest : public ::testing::Test {
 };
 
 TEST_F(VectorOpsParallelTest, DotBitwiseIdenticalAcrossThreadCounts) {
-  const std::vector<double> a = random_vector(70001, 3);
-  const std::vector<double> b = random_vector(70001, 11);
+  const linalg::Vector a = random_vector(70001, 3);
+  const linalg::Vector b = random_vector(70001, 11);
   Runtime::configure(1);
   const double serial = linalg::dot(a, b);
   for (const unsigned threads : {2u, 4u, 8u}) {
@@ -125,8 +125,8 @@ TEST_F(VectorOpsParallelTest, DotBitwiseIdenticalAcrossThreadCounts) {
 }
 
 TEST_F(VectorOpsParallelTest, NormsBitwiseIdenticalAcrossThreadCounts) {
-  const std::vector<double> a = random_vector(70001, 5);
-  const std::vector<double> b = random_vector(70001, 6);
+  const linalg::Vector a = random_vector(70001, 5);
+  const linalg::Vector b = random_vector(70001, 6);
   Runtime::configure(1);
   const double n2 = linalg::norm2(a);
   const double ninf = linalg::norm_inf(a);
@@ -143,9 +143,9 @@ TEST_F(VectorOpsParallelTest, NormsBitwiseIdenticalAcrossThreadCounts) {
 }
 
 TEST_F(VectorOpsParallelTest, ElementwiseKernelsMatchSerial) {
-  const std::vector<double> x = random_vector(50000, 13);
-  std::vector<double> y_serial = random_vector(50000, 17);
-  std::vector<double> y_parallel = y_serial;
+  const linalg::Vector x = random_vector(50000, 13);
+  linalg::Vector y_serial = random_vector(50000, 17);
+  linalg::Vector y_parallel = y_serial;
 
   Runtime::configure(1);
   linalg::axpy(2.5, x, y_serial);
@@ -155,7 +155,7 @@ TEST_F(VectorOpsParallelTest, ElementwiseKernelsMatchSerial) {
   linalg::scale(0.75, y_parallel);
   ASSERT_EQ(y_serial, y_parallel);  // elementwise, so trivially bitwise
 
-  std::vector<double> abs_out, pos_out;
+  linalg::Vector abs_out, pos_out;
   linalg::abs_into(x, abs_out);
   linalg::positive_part(x, pos_out);
   for (std::size_t i = 0; i < x.size(); ++i) {

@@ -18,6 +18,13 @@
 //   --tolerance <v>       MMSIM stop tolerance         (default 1e-4)
 //   --partition <off|match|tiered>  constraint-graph decomposition mode
 //                         (default: MCH_PARTITION env, else match)
+//   --simd <auto|avx512|avx2|off>   SIMD kernel level (default: MCH_SIMD
+//                         env, else auto = highest the CPU supports; the
+//                         double kernels are bitwise identical at every
+//                         level, so this is a perf knob, not a result knob)
+//   --precision <double|mixed>      MMSIM iterate precision (default:
+//                         MCH_PRECISION env, else double; mixed engages
+//                         only under --partition tiered)
 //   --seed <n>            seed for --double            (default 1)
 //   --threads <n>         worker threads (0 = auto; also MCH_THREADS)
 //   --quiet               suppress the report
@@ -33,6 +40,7 @@
 #include "io/bookshelf.h"
 #include "io/design_io.h"
 #include "io/svg.h"
+#include "linalg/simd.h"
 #include "runtime/options.h"
 
 namespace {
@@ -103,6 +111,26 @@ int main(int argc, char** argv) {
         flow_options.solver.partition = legal::PartitionMode::kTiered;
       else
         usage_error("unknown --partition mode (off|match|tiered)");
+    } else if (arg == "--simd") {
+      const std::string level = value();
+      if (level == "off" || level == "scalar" || level == "0")
+        linalg::set_simd_level(linalg::SimdLevel::kScalar);
+      else if (level == "avx2")
+        linalg::set_simd_level(linalg::SimdLevel::kAvx2);
+      else if (level == "avx512")
+        linalg::set_simd_level(linalg::SimdLevel::kAvx512);
+      else if (level == "auto")
+        linalg::set_simd_level(linalg::simd_level_supported());
+      else
+        usage_error("unknown --simd level (auto|avx512|avx2|off)");
+    } else if (arg == "--precision") {
+      const std::string prec = value();
+      if (prec == "double")
+        flow_options.solver.mmsim.precision = lcp::MmsimPrecision::kDouble;
+      else if (prec == "mixed")
+        flow_options.solver.mmsim.precision = lcp::MmsimPrecision::kMixed;
+      else
+        usage_error("unknown --precision (double|mixed)");
     } else
       usage_error(("unknown option " + arg).c_str());
   }
@@ -185,12 +213,21 @@ int main(int argc, char** argv) {
       }
       if (result.solver_phase.total() > 0.0)
         std::printf("solver phases:       kernel %.2f ms, spmv %.2f ms, "
-                    "thomas %.2f ms, reduction %.2f ms (solve %.2f ms)\n",
+                    "thomas %.2f ms, reduction %.2f ms, mixed %.2f ms "
+                    "(solve %.2f ms)\n",
                     result.solver_phase.kernel_seconds * 1e3,
                     result.solver_phase.spmv_seconds * 1e3,
                     result.solver_phase.thomas_seconds * 1e3,
                     result.solver_phase.reduction_seconds * 1e3,
+                    result.solver_phase.mixed_seconds * 1e3,
                     result.solver_solve_seconds * 1e3);
+      std::printf("kernels:             simd %s, precision %s "
+                  "(%zu mixed iterations)\n",
+                  linalg::simd_level_name(result.solver_simd),
+                  result.solver_precision == lcp::MmsimPrecision::kMixed
+                      ? "mixed"
+                      : "double",
+                  result.solver_mixed_iterations);
     }
     if (run_dp)
       std::printf("detailed placement:  HPWL %.0f -> %.0f (%.3f%%), "

@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
-# Repo verification driver: tier-1 build + ctest, plus an AddressSanitizer
-# job over the solver/legalizer suites (the workspace arena hands slot
-# references to parallel workers — ASan is what would catch a stale one).
+# Repo verification driver: tier-1 build + ctest, the env-variant ctest
+# jobs (.recovery/.session/.simd-off/.mixed), an AddressSanitizer job over
+# the solver/legalizer suites (the workspace arena hands slot references to
+# parallel workers — ASan is what would catch a stale one), and a UBSan job
+# over the SIMD/mixed kernel suites.
 #
-#   tools/verify.sh            # full: Release build + ctest + ASan job
-#   tools/verify.sh --fast     # skip the ASan job
+#   tools/verify.sh            # full: Release build + ctest + ASan + UBSan
+#   tools/verify.sh --fast     # skip the sanitizer jobs
 #   tools/verify.sh --bigmem   # additionally run the 1M-cell memory smoke
 #
-# Build trees: ./build (default config) and ./build-asan (MCH_ENABLE_ASAN,
-# RelWithDebInfo). Both are incremental across runs.
+# Build trees: ./build (default config), ./build-asan (MCH_ENABLE_ASAN) and
+# ./build-ubsan (MCH_ENABLE_UBSAN), both RelWithDebInfo sanitizer trees.
+# All are incremental across runs.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -46,6 +49,23 @@ echo "== session: resident-service suites =="
 (cd build && ctest -j2 --output-on-failure \
   -R '\.session$|SessionTest')
 
+echo "== simd-off: scalar-reference kernel suites =="
+# The .simd-off ctest variant runs the kernel/solver suites with MCH_SIMD=0
+# so the scalar fallback — the bitwise reference the AVX kernels are
+# contracted against — stays exercised on hardware that would otherwise
+# always dispatch the vector paths; the Simd* suites run the cross-level
+# bitwise-identity assertions directly.
+(cd build && ctest -j2 --output-on-failure \
+  -R '\.simd-off$|SimdDispatchTest|SimdCsrTest|SimdBlockDiagTest|MmsimSimdTest')
+
+echo "== mixed: float32-iterate solver suites =="
+# The .mixed ctest variant opts every MMSIM solve into the mixed-precision
+# iterate (MCH_PRECISION=mixed: float32 sweeps, float64 residual checks,
+# double polish); the MmsimMixedTest suite covers the displacement
+# tolerance, the kOff/kMatch demotion, and the recovery handoff directly.
+(cd build && ctest -j2 --output-on-failure \
+  -R '\.mixed$|MmsimMixedTest')
+
 if [[ "$FAST" == 0 ]]; then
   echo "== asan: build solver/legalizer suites =="
   cmake -B build-asan -S . -DMCH_ENABLE_ASAN=ON \
@@ -63,6 +83,29 @@ if [[ "$FAST" == 0 ]]; then
     bin="$(find build-asan/tests -name "$t" -type f | head -1)"
     "$bin" --gtest_brief=1
     MCH_THREADS=4 "$bin" --gtest_brief=1
+  done
+
+  echo "== ubsan: build SIMD/mixed kernel suites =="
+  # The vector kernels are the one place the codebase hand-rolls pointer
+  # arithmetic over SoA gather tables and reinterprets masks — UBSan over
+  # the kernel suites (at every dispatch level and in mixed precision) is
+  # what would catch a misaligned load or out-of-lane index.
+  cmake -B build-ubsan -S . -DMCH_ENABLE_UBSAN=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  UBSAN_TARGETS=(
+    linalg_simd_test linalg_csr_test lcp_mmsim_simd_test
+    lcp_mmsim_mixed_test lcp_mmsim_fused_test
+  )
+  for t in "${UBSAN_TARGETS[@]}"; do
+    cmake --build build-ubsan -j4 --target "$t"
+  done
+
+  echo "== ubsan: run (native SIMD, forced-scalar, mixed) =="
+  for t in "${UBSAN_TARGETS[@]}"; do
+    bin="$(find build-ubsan/tests -name "$t" -type f | head -1)"
+    "$bin" --gtest_brief=1
+    MCH_SIMD=0 "$bin" --gtest_brief=1
+    MCH_PRECISION=mixed "$bin" --gtest_brief=1
   done
 fi
 
