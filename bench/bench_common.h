@@ -120,6 +120,7 @@ class JsonSnapshot {
     if (f == nullptr) return false;
     std::fprintf(f,
                  "{\n"
+                 "  \"schema\": \"mch-bench/1\",\n"
                  "  \"bench\": \"%s\",\n"
                  "  \"build\": \"%s\",\n"
                  "  \"simd\": \"%s\",\n"

@@ -12,15 +12,24 @@
 // The default design is 50k cells (45k single + 5k double, density 0.7) at
 // MCH_BENCH_SCALE=0.05-equivalent sizing; the counts scale linearly with
 // MCH_BENCH_SCALE like the table benches.
+//
+// With tracing/metrics enabled the bench also writes observability
+// artifacts next to its JSON snapshot: results/service_throughput.trace.json
+// (Chrome trace events for the whole request stream) and
+// results/service_throughput.metrics.json (the metrics-registry snapshot
+// with per-request latency histograms). MCH_TRACE/MCH_METRICS paths
+// override the defaults.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "gen/generator.h"
 #include "io/table.h"
 #include "legal/flow.h"
+#include "obs/obs.h"
 #include "service/session.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -43,6 +52,16 @@ int main(int argc, char** argv) {
   using namespace mch;
   bench::bench_threads(argc, argv);
   bench::print_bench_banner("service_throughput");
+
+  // This bench always emits the observability artifacts (the request stream
+  // is exactly what the trace/histogram layer exists to explain); explicit
+  // MCH_TRACE/MCH_METRICS paths take precedence over the defaults.
+  const char* json_dir = std::getenv("MCH_BENCH_JSON_DIR");
+  const std::string artifact_dir = json_dir != nullptr ? json_dir : "results";
+  if (obs::trace_path().empty())
+    obs::set_trace_path(artifact_dir + "/service_throughput.trace.json");
+  if (obs::metrics_path().empty())
+    obs::set_metrics_path(artifact_dir + "/service_throughput.metrics.json");
 
   const std::size_t num_requests =
       argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 128;
@@ -190,6 +209,12 @@ int main(int argc, char** argv) {
   json.add("eco/mean", cells, total / n);
   json.add("scratch/mean", cells, scratch_mean);
   json.write();
+
+  obs::set_metrics_attribute("bench", "service_throughput");
+  obs::set_metrics_attribute("requests", std::to_string(num_requests));
+  obs::set_metrics_attribute("ops_per_request",
+                             std::to_string(ops_per_request));
+  obs::flush_artifacts();
 
   if (illegal > 0) return 1;
   // The acceptance bar of the resident-session work: incremental ECO must

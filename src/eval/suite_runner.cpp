@@ -9,6 +9,7 @@
 #include "baselines/tetris.h"
 #include "db/legality.h"
 #include "legal/tetris_alloc.h"
+#include "obs/obs.h"
 #include "runtime/parallel.h"
 #include "service/session.h"
 #include "util/rss.h"
@@ -156,9 +157,15 @@ std::vector<RunResult> SuiteRunner::run(const std::vector<SuiteJob>& jobs,
       std::size_t{0}, jobs.size(), 1,
       [&](std::size_t lo, std::size_t hi) {
         for (std::size_t j = lo; j < hi; ++j) {
+          obs::TraceSpan span("suite.job");
+          span.arg("benchmark", obs::intern(jobs[j].spec.name))
+              .arg("legalizer", to_string(jobs[j].legalizer));
           db::Design design = gen::generate_design(jobs[j].spec, gen_options_);
           results[j] =
               run_legalizer(design, jobs[j].legalizer, jobs[j].options);
+          span.arg("cells", results[j].num_cells)
+              .arg("legal", results[j].legal);
+          obs::histogram("suite.job_seconds").observe(results[j].seconds);
           // Writing one character to a standard stream is race-free per the
           // iostreams guarantees; dots may arrive out of order, which is
           // fine for a progress ticker.

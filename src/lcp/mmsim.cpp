@@ -9,6 +9,7 @@
 
 #include "lcp/mmsim_kernels.h"
 #include "linalg/power_iteration.h"
+#include "obs/metrics.h"
 #include "linalg/simd.h"
 #include "runtime/parallel.h"
 #include "runtime/scratch.h"
@@ -1032,6 +1033,8 @@ void MmsimSolver::run_mixed_prelude(State& state, MmsimResult& result) const {
   double best_measure = std::numeric_limits<double>::infinity();
   std::size_t stalls = 0;
 
+  static obs::Counter& checkpoints = obs::counter("mmsim.mixed.checkpoints");
+  const char* handoff_reason = "budget";
   while (state.iterations < budget) {
     float fdelta = 0.0f;
     for (std::size_t j = 0; j < interval && state.iterations < budget; ++j)
@@ -1040,9 +1043,16 @@ void MmsimSolver::run_mixed_prelude(State& state, MmsimResult& result) const {
     // Full-precision checkpoint: promote the iterate and measure the true
     // LCP residual in float64.
     promote_mixed(state);
+    checkpoints.add();
     const MmsimResidualPartials parts = residual_partials(state.z);
-    if (residual_ok(parts, opts_.residual_tolerance)) break;
-    if (fdelta < float_floor) break;
+    if (residual_ok(parts, opts_.residual_tolerance)) {
+      handoff_reason = "residual_ok";
+      break;
+    }
+    if (fdelta < float_floor) {
+      handoff_reason = "float_floor";
+      break;
+    }
     // Residual stall: two consecutive checks without meaningful progress
     // mean float32 resolution is exhausted — stop burning iterations and
     // let the polish (and, failing that, the recovery ladder) take over.
@@ -1051,10 +1061,12 @@ void MmsimSolver::run_mixed_prelude(State& state, MmsimResult& result) const {
     if (measure < 0.9 * best_measure) {
       stalls = 0;
     } else if (++stalls >= 2) {
+      handoff_reason = "stall";
       break;
     }
     best_measure = std::min(best_measure, measure);
   }
+  obs::counter("mmsim.mixed.handoff", "reason", handoff_reason).add();
   result.mixed_iterations = state.iterations;
 }
 
@@ -1086,6 +1098,9 @@ MmsimResult MmsimSolver::run_loop(State& state) const {
       bool stop = true;
       if (opts_.residual_check) {
         PhaseTimer phase_timer(profile_, state.phase.reduction_seconds);
+        static obs::Counter& residual_checks =
+            obs::counter("mmsim.residual_checks");
+        residual_checks.add();
         stop = scaled_residual_ok(state.z);
       }
       if (stop) {
@@ -1096,6 +1111,12 @@ MmsimResult MmsimSolver::run_loop(State& state) const {
     ++k;
   }
   result.iterations = state.iterations;
+  {
+    static obs::Counter& solves = obs::counter("mmsim.solves");
+    static obs::Counter& iterations = obs::counter("mmsim.iterations");
+    solves.add();
+    iterations.add(state.iterations);
+  }
 
   // Copy (not move) out of the state: its buffers stay alive for the next
   // reset_state() to reuse.

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -249,10 +250,17 @@ RecoveredSolve solve_with_recovery(LcpSolverKind primary,
   RecoveredSolve out;
   const auto attempt = [&](LcpSolverKind kind, const LcpSolverConfig& cfg,
                            RecoveryRung rung, bool warm) {
+    obs::counter("recovery.attempts", "rung", to_string(rung)).add();
     LcpSolveResult result = make_lcp_solver(kind, qp, cfg)->solve(slot, warm);
     ++out.attempts;
     const bool forced_fail = out.attempts <= recovery.forced_failures;
     if (result.converged && !forced_fail) {
+      if (result.warm_started) {
+        static obs::Counter& warm_hits =
+            obs::counter("solve.warm_start_hits");
+        warm_hits.add();
+      }
+      obs::counter("recovery.solved", "rung", to_string(rung)).add();
       out.result = std::move(result);
       out.rung = rung;
       return true;
@@ -304,6 +312,10 @@ RecoveredSolve solve_with_recovery(LcpSolverKind primary,
   }
 
   out.rung = RecoveryRung::kExhausted;
+  {
+    static obs::Counter& exhausted = obs::counter("recovery.exhausted");
+    exhausted.add();
+  }
   return out;
 }
 

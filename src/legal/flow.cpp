@@ -1,15 +1,21 @@
 #include "legal/flow.h"
 
+#include "obs/obs.h"
 #include "util/timer.h"
 
 namespace mch::legal {
 
 FlowResult legalize(db::Design& design, const FlowOptions& options) {
+  obs::TraceSpan span("legalize");
+  span.arg("cells", design.num_cells());
   Timer timer;
   FlowResult result;
 
   // Step 1: nearest-correct-row assignment (fixes y).
-  result.base_rows = assign_rows(design);
+  {
+    obs::TraceSpan rows_span("legalize.assign_rows");
+    result.base_rows = assign_rows(design);
+  }
 
   // Steps 2–4: subcell split, MMSIM solve, restore (fixes continuous x).
   result.solver =
@@ -17,17 +23,25 @@ FlowResult legalize(db::Design& design, const FlowOptions& options) {
 
   // Step 5: Tetris-like allocation (sites + right boundary + residual
   // overlaps from finite λ / finite tolerance).
-  result.allocation = tetris_allocate(design);
+  {
+    obs::TraceSpan alloc_span("legalize.allocate");
+    result.allocation = tetris_allocate(design);
+    alloc_span.arg("unplaced", result.allocation.unplaced_cells);
+  }
 
   // Final orientations: odd-height cells flip to meet their row's rail.
   assign_orientations(design);
 
   result.total_seconds = timer.seconds();
   if (options.verify) {
+    obs::TraceSpan verify_span("legalize.verify");
     result.legality = db::check_legality(design);
     result.legal =
         result.legality.legal() && result.allocation.unplaced_cells == 0;
   }
+  obs::histogram("legalize.total_seconds").observe(result.total_seconds);
+  span.arg("legal", result.legal)
+      .arg("iterations", result.solver.iterations);
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -11,6 +12,7 @@
 #include "db/legality.h"
 #include "lcp/solver.h"
 #include "legal/partition.h"
+#include "obs/obs.h"
 #include "runtime/parallel.h"
 #include "util/check.h"
 #include "util/log.h"
@@ -84,9 +86,12 @@ SolveOutcome solve_monolithic(const LegalizationModel& model,
                               const lcp::MmsimOptions& mmsim_options,
                               lcp::SolverWorkspace& workspace,
                               MmsimLegalizerStats& stats) {
+  obs::TraceSpan span("solve.monolithic");
   const MmsimSolver solver(model.qp, mmsim_options);
   workspace.prepare(1);
   lcp::MmsimResult result = solver.solve_in(workspace.slot(0).state);
+  span.arg("iterations", result.iterations)
+      .arg("converged", result.converged);
   if (!result.converged) {
     MCH_LOG(kWarn) << "MMSIM did not converge in " << result.iterations
                    << " iterations (delta " << result.final_delta << ")";
@@ -110,7 +115,9 @@ SolveOutcome solve_lockstep(const LegalizationModel& model,
                             const lcp::MmsimOptions& mmsim_options,
                             lcp::SolverWorkspace& workspace,
                             MmsimLegalizerStats& stats) {
+  obs::TraceSpan span("solve.lockstep");
   const std::size_t num = components.size();
+  span.arg("components", num);
   workspace.prepare(num);
   std::vector<std::unique_ptr<MmsimSolver>> solvers(num);
   // States live in the workspace slots: reset_state() reuses their capacity,
@@ -221,6 +228,11 @@ SolveOutcome solve_tiered(const LegalizationModel& model,
       [&](std::size_t lo, std::size_t hi) {
         for (std::size_t c = lo; c < hi; ++c) {
           kinds[c] = pick_solver(components[c], policy);
+          obs::TraceSpan span("solve.component");
+          span.arg("component", c)
+              .arg("vars", components[c].variables.size())
+              .arg("rows", components[c].constraints.size())
+              .arg("solver", lcp::to_string(kinds[c]));
           lcp::LcpSolverConfig config;
           config.mmsim = mmsim_options;
           config.schur_coupling_breaks = &components[c].schur_coupling_breaks;
@@ -237,6 +249,8 @@ SolveOutcome solve_tiered(const LegalizationModel& model,
           results[c] =
               lcp::make_lcp_solver(kinds[c], components[c].qp, config)
                   ->solve(&workspace.slot(c), /*warm_start=*/true);
+          span.arg("iterations", results[c].iterations)
+              .arg("warm", results[c].warm_started);
         }
       });
 
@@ -317,8 +331,13 @@ SolveOutcome solve_tiered_streamed(const LegalizationModel& model,
           const std::size_t c = order[i];
           const auto& vars = partition.component_variables[c];
           const auto& rows = partition.component_constraints[c];
-          const ComponentProblem component = model.component_problem(vars, rows);
           kinds[c] = pick_solver(vars.size(), rows.size(), policy);
+          obs::TraceSpan span("solve.component");
+          span.arg("component", c)
+              .arg("vars", vars.size())
+              .arg("rows", rows.size())
+              .arg("solver", lcp::to_string(kinds[c]));
+          const ComponentProblem component = model.component_problem(vars, rows);
           lcp::LcpSolverConfig config;
           config.mmsim = mmsim_options;
           config.schur_coupling_breaks = &component.schur_coupling_breaks;
@@ -326,6 +345,8 @@ SolveOutcome solve_tiered_streamed(const LegalizationModel& model,
           config.psor.max_iterations = mmsim_options.max_iterations;
           results[c] = lcp::make_lcp_solver(kinds[c], component.qp, config)
                            ->solve(&workspace.slot(c), /*warm_start=*/true);
+          span.arg("iterations", results[c].iterations)
+              .arg("warm", results[c].warm_started);
           // Scatter and drop the local solution before the next extraction.
           // Variable sets are disjoint across components, so the shared
           // writes are race-free.
@@ -432,13 +453,18 @@ ComponentSolveReport solve_components(const db::Design& design,
       [&](std::size_t lo, std::size_t hi) {
         for (std::size_t c = lo; c < hi; ++c) {
           const auto& vars = *jobs[c].variables;
+          kinds[c] =
+              pick_solver(vars.size(), jobs[c].constraints->size(),
+                          options.policy);
+          obs::TraceSpan span("solve.component");
+          span.arg("component", jobs[c].component_id)
+              .arg("vars", vars.size())
+              .arg("rows", jobs[c].constraints->size())
+              .arg("solver", lcp::to_string(kinds[c]));
           // Extract, solve, scatter, release: only one sub-problem per
           // worker is ever live, whatever the job count.
           const ComponentProblem component =
               model.component_problem(vars, *jobs[c].constraints);
-          kinds[c] =
-              pick_solver(vars.size(), jobs[c].constraints->size(),
-                          options.policy);
           lcp::LcpSolverConfig config;
           config.mmsim = options.mmsim;
           config.schur_coupling_breaks = &component.schur_coupling_breaks;
@@ -449,6 +475,8 @@ ComponentSolveReport solve_components(const db::Design& design,
           recovered[c] = lcp::solve_with_recovery(
               kinds[c], component.qp, config, recovery, jobs[c].slot,
               /*warm_start=*/true);
+          span.arg("iterations", recovered[c].result.iterations)
+              .arg("rung", lcp::to_string(recovered[c].rung));
           if (recovered[c].rung != lcp::RecoveryRung::kExhausted) {
             // Variable sets are disjoint across jobs (caller's contract),
             // so the shared writes are race-free.
@@ -563,6 +591,7 @@ MmsimLegalizerStats mmsim_legalize_continuous(
   Timer model_timer;
   LegalizationModel built_model;
   if (options.prebuilt_model == nullptr) {
+    obs::TraceSpan span("legalize.model_build");
     // Partitioned modes fold the union-find into the streaming build: the
     // edges are united as each constraint row is emitted, so the separate
     // whole-model partition walk disappears.
@@ -570,6 +599,8 @@ MmsimLegalizerStats mmsim_legalize_continuous(
     built_model = build_model(design, base_rows, options.model,
                               want_partition ? &partition : nullptr);
     have_partition = want_partition;
+    span.arg("variables", built_model.num_variables())
+        .arg("constraints", built_model.qp.num_constraints());
   }
   const LegalizationModel& model =
       options.prebuilt_model != nullptr ? *options.prebuilt_model
@@ -584,6 +615,7 @@ MmsimLegalizerStats mmsim_legalize_continuous(
   stats.model_seconds = model_timer.seconds();
   stats.num_variables = model.num_variables();
   stats.num_constraints = model.qp.num_constraints();
+  obs::sample_rss("model_build");
 
   lcp::MmsimOptions mmsim_options = options.mmsim;
 
@@ -598,7 +630,15 @@ MmsimLegalizerStats mmsim_legalize_continuous(
 
   // Wall clock over the entire solve section — auto-θ probe, partitioning,
   // per-solver setup, and the iterations — so solve_seconds means the same
-  // thing in every mode.
+  // thing in every mode. The span mirrors the timer (optional so it can end
+  // before the write-back without re-scoping the whole section).
+  std::optional<obs::TraceSpan> solve_span;
+  solve_span.emplace("legalize.solve");
+  solve_span->arg("mode", to_string(mode))
+      .arg("precision", mmsim_options.precision == lcp::MmsimPrecision::kMixed
+                            ? "mixed"
+                            : "double")
+      .arg("simd", linalg::simd_level_name(stats.simd_level));
   Timer solve_timer;
   if (options.auto_theta) {
     // Probe the monolithic system for the Theorem-2 bound. Running the
@@ -625,6 +665,7 @@ MmsimLegalizerStats mmsim_legalize_continuous(
   bool partitioned = false;
   const auto ensure_partitioned = [&] {
     if (partitioned) return;
+    obs::TraceSpan span("legalize.partition");
     if (!have_partition) {
       if (options.prebuilt_partition != nullptr)
         partition = *options.prebuilt_partition;
@@ -642,6 +683,8 @@ MmsimLegalizerStats mmsim_legalize_continuous(
     if (mode == PartitionMode::kMatch || !options.component_at_a_time)
       components = extract_components(model, partition);
     partitioned = true;
+    span.arg("components", partition.num_components())
+        .arg("max_size", partition.max_component_size());
   };
 
   const lcp::RecoveryOptions recovery =
@@ -680,6 +723,7 @@ MmsimLegalizerStats mmsim_legalize_continuous(
     // monolithic system so kOff and kMatch retries stay bitwise identical
     // to each other, preserving the lockstep contract under recovery.
     ++stats.recovery.escalations;
+    obs::counter("recovery.escalations").add();
     stats.recovery.extra_iterations += outcome.iterations;
     lcp::MmsimOptions escalated = mmsim_options;
     // Recovery always runs full double: a solve that failed (or stalled
@@ -716,6 +760,16 @@ MmsimLegalizerStats mmsim_legalize_continuous(
     }
   }
   stats.solve_seconds = solve_timer.seconds();
+  solve_span->arg("iterations", outcome.iterations)
+      .arg("converged", outcome.converged);
+  solve_span.reset();
+  obs::sample_rss("solve");
+  {
+    static obs::Counter& solves = obs::counter("legalize.solves");
+    solves.add();
+    obs::histogram("legalize.solve_seconds").observe(stats.solve_seconds);
+    obs::histogram("legalize.model_seconds").observe(stats.model_seconds);
+  }
 
   stats.theta_used = theta_used;
   stats.iterations = outcome.iterations;
@@ -723,22 +777,28 @@ MmsimLegalizerStats mmsim_legalize_continuous(
   stats.max_mismatch = model.max_mismatch(outcome.x);
   stats.objective = model.qp.objective(outcome.x);
 
-  std::vector<char> clamped;
-  if (!outcome.clamped_cells.empty()) {
-    clamped.assign(design.num_cells(), 0);
-    for (const std::size_t c : outcome.clamped_cells) clamped[c] = 1;
-  }
-  for (std::size_t c = 0; c < design.num_cells(); ++c) {
-    if (design.cells()[c].fixed || design.cells()[c].erased) continue;
-    double x = model.cell_x(outcome.x, c);
-    if (!clamped.empty() && clamped[c]) {
-      x = std::clamp(
-          x, 0.0,
-          std::max(0.0, design.chip().width() - design.cells()[c].width));
+  {
+    obs::TraceSpan span("legalize.write_back");
+    span.arg("cells", design.num_cells())
+        .arg("clamped", outcome.clamped_cells.size());
+    std::vector<char> clamped;
+    if (!outcome.clamped_cells.empty()) {
+      clamped.assign(design.num_cells(), 0);
+      for (const std::size_t c : outcome.clamped_cells) clamped[c] = 1;
     }
-    design.cells()[c].x = x;
-    design.cells()[c].y = design.chip().row_y(base_rows[c]);
+    for (std::size_t c = 0; c < design.num_cells(); ++c) {
+      if (design.cells()[c].fixed || design.cells()[c].erased) continue;
+      double x = model.cell_x(outcome.x, c);
+      if (!clamped.empty() && clamped[c]) {
+        x = std::clamp(
+            x, 0.0,
+            std::max(0.0, design.chip().width() - design.cells()[c].width));
+      }
+      design.cells()[c].x = x;
+      design.cells()[c].y = design.chip().row_y(base_rows[c]);
+    }
   }
+  obs::sample_rss("write_back");
 
   // Gate: whenever recovery engaged or the solve stayed unconverged, audit
   // the written-back result so no failure leaves the legalizer unverified.

@@ -1,0 +1,106 @@
+#include "obs/obs.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "util/log.h"
+#include "util/rss.h"
+
+namespace mch::obs {
+
+namespace {
+
+std::mutex g_path_mutex;
+std::string g_trace_path;
+std::string g_metrics_path;
+
+/// Returns true if `name` enables its subsystem; sets `path` when the
+/// value is a file path (anything other than "" / "0" / "1").
+bool resolve_env(const char* name, std::string& path) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0' || std::strcmp(value, "0") == 0) {
+    return false;
+  }
+  if (std::strcmp(value, "1") != 0) path = value;
+  return true;
+}
+
+struct EnvInit {
+  EnvInit() { init_from_env(); }
+};
+EnvInit g_env_init;
+
+}  // namespace
+
+void init_from_env() {
+  std::string trace_path_value;
+  std::string metrics_path_value;
+  const bool trace_on = resolve_env("MCH_TRACE", trace_path_value);
+  const bool metrics_on = resolve_env("MCH_METRICS", metrics_path_value);
+  set_tracing_enabled(trace_on);
+  set_metrics_enabled(metrics_on);
+  std::lock_guard<std::mutex> lock(g_path_mutex);
+  g_trace_path = std::move(trace_path_value);
+  g_metrics_path = std::move(metrics_path_value);
+}
+
+void set_trace_path(std::string path) {
+  set_tracing_enabled(true);
+  std::lock_guard<std::mutex> lock(g_path_mutex);
+  g_trace_path = std::move(path);
+}
+
+const std::string& trace_path() {
+  std::lock_guard<std::mutex> lock(g_path_mutex);
+  return g_trace_path;
+}
+
+void set_metrics_path(std::string path) {
+  set_metrics_enabled(true);
+  std::lock_guard<std::mutex> lock(g_path_mutex);
+  g_metrics_path = std::move(path);
+}
+
+const std::string& metrics_path() {
+  std::lock_guard<std::mutex> lock(g_path_mutex);
+  return g_metrics_path;
+}
+
+bool flush_artifacts() {
+  std::string trace_out;
+  std::string metrics_out;
+  {
+    std::lock_guard<std::mutex> lock(g_path_mutex);
+    trace_out = g_trace_path;
+    metrics_out = g_metrics_path;
+  }
+  bool ok = true;
+  if (tracing_enabled() && !trace_out.empty()) {
+    if (write_chrome_trace(trace_out)) {
+      const TraceStats stats = trace_stats();
+      MCH_LOG(kInfo) << "trace: wrote " << stats.buffered << " spans ("
+                     << stats.dropped << " dropped) to " << trace_out;
+    } else {
+      ok = false;
+    }
+  }
+  if (metrics_enabled() && !metrics_out.empty()) {
+    if (write_metrics(metrics_out)) {
+      MCH_LOG(kInfo) << "metrics: wrote snapshot to " << metrics_out;
+    } else {
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+void sample_rss(const char* phase) {
+  if (!metrics_enabled() && !tracing_enabled()) return;
+  const double current_mb = util::current_rss_mb();
+  const double peak_mb = util::peak_rss_mb();
+  gauge("rss.current_mb", "phase", phase).set(current_mb);
+  gauge("rss.peak_mb", "phase", phase).set(peak_mb);
+}
+
+}  // namespace mch::obs

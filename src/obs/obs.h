@@ -1,0 +1,47 @@
+// Umbrella for the observability subsystem: tracing + metrics + artifact
+// plumbing. Depends only on util/ so every layer (linalg, lcp, legal,
+// service, runtime, eval, benches) can link it without cycles.
+//
+// Enablement model — both subsystems follow the same env convention,
+// resolved once at static init (so gtest binaries run under the `.trace`
+// ctest variant pick it up with no code changes):
+//
+//   MCH_TRACE / MCH_METRICS unset or "0"  -> disabled
+//   "1"                                   -> enabled, no artifact written
+//   any other value                       -> enabled, value is the output path
+//
+// `mchlegal --trace out.json --metrics out.json` and the bench drivers call
+// set_trace_path()/set_metrics_path() to the same effect, and
+// flush_artifacts() at exit writes whatever paths are pending.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mch::obs {
+
+/// Applies the MCH_TRACE/MCH_METRICS path convention above. Runs once at
+/// static init; calling it again re-reads the environment (tests).
+void init_from_env();
+
+/// Enables tracing and schedules the Chrome trace to be written to `path`
+/// by flush_artifacts(). Empty path = enabled without artifact.
+void set_trace_path(std::string path);
+const std::string& trace_path();
+
+/// Enables metrics export and schedules the JSON snapshot to `path`.
+void set_metrics_path(std::string path);
+const std::string& metrics_path();
+
+/// Writes any scheduled trace/metrics artifacts. Safe to call with nothing
+/// scheduled (no-op). Returns false if any scheduled write failed.
+bool flush_artifacts();
+
+/// Samples current + peak RSS into the gauges "rss.current_mb{phase=X}" and
+/// "rss.peak_mb{phase=X}". Cheap (/proc read); no-op when both tracing and
+/// metrics are disabled.
+void sample_rss(const char* phase);
+
+}  // namespace mch::obs

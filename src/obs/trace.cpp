@@ -1,0 +1,396 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+
+#include "util/log.h"
+
+namespace mch::obs {
+
+namespace {
+
+constexpr std::size_t kDefaultRingCapacity = 16384;
+
+/// One completed span in a thread's ring.
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint8_t num_args = 0;
+  TraceArg args[TraceSpan::kMaxArgs];
+};
+
+/// A thread's span ring. Owned by the global registry (buffers outlive
+/// their threads so a drain after thread exit still sees their spans);
+/// written only by the owning thread.
+struct ThreadTraceBuffer {
+  std::vector<TraceEvent> ring;
+  std::size_t capacity = 0;
+  std::size_t head = 0;         ///< next write slot
+  std::uint64_t recorded = 0;   ///< total pushes since last clear
+  std::uint64_t dropped = 0;    ///< pushes that overwrote an unread event
+  int tid = 0;
+  std::string name;
+
+  void push(const char* span_name, std::uint64_t start_ns,
+            std::uint64_t end_ns, const TraceArg* args,
+            std::size_t num_args) {
+    if (capacity == 0) return;
+    TraceEvent* slot = nullptr;
+    if (ring.size() < capacity) {
+      ring.emplace_back();
+      slot = &ring.back();
+      head = ring.size() % capacity;  // wraps to 0 on the fill-up push
+    } else {
+      if (head >= ring.size()) head = 0;
+      slot = &ring[head];
+      ++head;
+      ++dropped;
+    }
+    TraceEvent& event = *slot;
+    event.name = span_name;
+    event.start_ns = start_ns;
+    event.dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
+    event.num_args = static_cast<std::uint8_t>(
+        num_args > TraceSpan::kMaxArgs ? TraceSpan::kMaxArgs : num_args);
+    for (std::size_t a = 0; a < event.num_args; ++a) event.args[a] = args[a];
+    ++recorded;
+  }
+};
+
+bool env_truthy(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr && value[0] != '\0' &&
+         std::strcmp(value, "0") != 0;
+}
+
+std::size_t resolve_ring_capacity() {
+  if (const char* env = std::getenv("MCH_TRACE_RING")) {
+    const long long value = std::atoll(env);
+    if (value > 0) return static_cast<std::size_t>(value);
+  }
+  return kDefaultRingCapacity;
+}
+
+std::atomic<bool> g_enabled{env_truthy("MCH_TRACE")};
+std::atomic<std::size_t> g_ring_capacity{resolve_ring_capacity()};
+
+/// The process-wide trace epoch: everything is reported relative to the
+/// first time anyone asked for the clock.
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadTraceBuffer>> buffers;
+  std::unordered_set<std::string> interned;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: buffers outlive all threads
+  return *r;
+}
+
+thread_local ThreadTraceBuffer* t_buffer = nullptr;
+thread_local std::string t_pending_name;
+
+ThreadTraceBuffer& thread_buffer() {
+  if (t_buffer != nullptr) return *t_buffer;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto buffer = std::make_unique<ThreadTraceBuffer>();
+  buffer->tid = static_cast<int>(r.buffers.size());
+  buffer->capacity = g_ring_capacity.load(std::memory_order_relaxed);
+  buffer->ring.reserve(buffer->capacity < 1024 ? buffer->capacity : 1024);
+  if (!t_pending_name.empty()) {
+    buffer->name = t_pending_name;
+  } else if (buffer->tid == 0) {
+    // By construction the first thread to trace is almost always main; a
+    // pool worker that beats it still gets named via its pending label.
+    buffer->name = "main";
+  } else {
+    buffer->name = "thread-" + std::to_string(buffer->tid);
+  }
+  t_buffer = buffer.get();
+  r.buffers.push_back(std::move(buffer));
+  return *t_buffer;
+}
+
+void append_json_escaped(std::string& out, const char* text) {
+  for (const char* p = text; *p != '\0'; ++p) {
+    const char c = *p;
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof hex, "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_args_json(std::string& out, const TraceArg* args,
+                      std::size_t num_args) {
+  out += '{';
+  for (std::size_t a = 0; a < num_args; ++a) {
+    if (a > 0) out += ',';
+    out += '"';
+    append_json_escaped(out, args[a].key != nullptr ? args[a].key : "?");
+    out += "\":";
+    char scratch[64];
+    switch (args[a].kind) {
+      case TraceArg::Kind::kInt:
+        std::snprintf(scratch, sizeof scratch, "%lld",
+                      static_cast<long long>(args[a].value.i));
+        out += scratch;
+        break;
+      case TraceArg::Kind::kDouble:
+        std::snprintf(scratch, sizeof scratch, "%.9g", args[a].value.d);
+        out += scratch;
+        break;
+      case TraceArg::Kind::kString:
+        out += '"';
+        append_json_escaped(
+            out, args[a].value.s != nullptr ? args[a].value.s : "");
+        out += '"';
+        break;
+      case TraceArg::Kind::kNone:
+        out += "null";
+        break;
+    }
+  }
+  out += '}';
+}
+
+/// Copies one buffer's events oldest-first. Caller holds the registry lock.
+void collect_buffer(const ThreadTraceBuffer& buffer,
+                    std::vector<CollectedEvent>& out) {
+  const std::size_t n = buffer.ring.size();
+  // When the ring has wrapped, the oldest event sits at head (the next
+  // write slot); otherwise the ring is in push order already.
+  const bool wrapped = buffer.recorded > n;
+  const std::size_t first = wrapped ? buffer.head % n : 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const TraceEvent& event = buffer.ring[(first + k) % n];
+    CollectedEvent collected;
+    collected.name = event.name;
+    collected.tid = buffer.tid;
+    collected.start_ns = event.start_ns;
+    collected.dur_ns = event.dur_ns;
+    collected.args.assign(event.args, event.args + event.num_args);
+    out.push_back(std::move(collected));
+  }
+}
+
+}  // namespace
+
+bool tracing_enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_tracing_enabled(bool enabled) {
+  trace_epoch();  // pin the epoch before the first span
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void set_trace_ring_capacity(std::size_t events) {
+  g_ring_capacity.store(events > 0 ? events : 1, std::memory_order_relaxed);
+}
+
+std::size_t trace_ring_capacity() {
+  return g_ring_capacity.load(std::memory_order_relaxed);
+}
+
+std::uint64_t trace_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - trace_epoch())
+          .count());
+}
+
+const char* intern(std::string_view text) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return r.interned.emplace(text).first->c_str();
+}
+
+void set_trace_thread_name(std::string name) {
+  if (t_buffer != nullptr) {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    t_buffer->name = std::move(name);
+  } else {
+    t_pending_name = std::move(name);
+  }
+}
+
+TraceSpan::TraceSpan(const char* name) {
+  if (!tracing_enabled()) return;
+  name_ = name;
+  start_ns_ = trace_now_ns();
+  active_ = true;
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  record_span(name_, start_ns_, trace_now_ns(), args_, num_args_);
+}
+
+TraceArg& TraceSpan::next_arg(const char* key) {
+  TraceArg& slot = args_[num_args_];
+  slot.key = key;
+  ++num_args_;
+  return slot;
+}
+
+TraceSpan& TraceSpan::arg(const char* key, double value) {
+  if (!active_ || num_args_ >= kMaxArgs) return *this;
+  TraceArg& slot = next_arg(key);
+  slot.kind = TraceArg::Kind::kDouble;
+  slot.value.d = value;
+  return *this;
+}
+
+TraceSpan& TraceSpan::arg(const char* key, const char* value) {
+  if (!active_ || num_args_ >= kMaxArgs) return *this;
+  TraceArg& slot = next_arg(key);
+  slot.kind = TraceArg::Kind::kString;
+  slot.value.s = value;
+  return *this;
+}
+
+TraceSpan& TraceSpan::arg_int(const char* key, std::int64_t value) {
+  if (!active_ || num_args_ >= kMaxArgs) return *this;
+  TraceArg& slot = next_arg(key);
+  slot.kind = TraceArg::Kind::kInt;
+  slot.value.i = value;
+  return *this;
+}
+
+void record_span(const char* name, std::uint64_t start_ns,
+                 std::uint64_t end_ns, const TraceArg* args,
+                 std::size_t num_args) {
+  if (!tracing_enabled()) return;
+  thread_buffer().push(name, start_ns, end_ns, args, num_args);
+}
+
+TraceStats trace_stats() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  TraceStats stats;
+  stats.threads = r.buffers.size();
+  for (const auto& buffer : r.buffers) {
+    stats.recorded += buffer->recorded;
+    stats.dropped += buffer->dropped;
+    stats.buffered += buffer->ring.size();
+  }
+  return stats;
+}
+
+std::vector<CollectedEvent> collect_trace_events() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<CollectedEvent> events;
+  for (const auto& buffer : r.buffers) collect_buffer(*buffer, events);
+  return events;
+}
+
+std::string chrome_trace_json() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+
+  std::uint64_t dropped = 0;
+  for (const auto& buffer : r.buffers) dropped += buffer->dropped;
+
+  std::string out;
+  out.reserve(1 << 16);
+  out += "{\n  \"schema\": \"mch-trace/1\",\n  \"displayTimeUnit\": \"ms\",\n";
+  char scratch[128];
+  std::snprintf(scratch, sizeof scratch,
+                "  \"otherData\": {\"droppedSpans\": %llu},\n",
+                static_cast<unsigned long long>(dropped));
+  out += scratch;
+  out += "  \"traceEvents\": [\n";
+
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+  for (const auto& buffer : r.buffers) {
+    comma();
+    std::snprintf(scratch, sizeof scratch,
+                  "    {\"ph\": \"M\", \"pid\": 1, \"tid\": %d, "
+                  "\"name\": \"thread_name\", \"args\": {\"name\": \"",
+                  buffer->tid);
+    out += scratch;
+    append_json_escaped(out, buffer->name.c_str());
+    out += "\"}}";
+  }
+  std::vector<CollectedEvent> events;
+  for (const auto& buffer : r.buffers) collect_buffer(*buffer, events);
+  for (const CollectedEvent& event : events) {
+    comma();
+    std::snprintf(scratch, sizeof scratch,
+                  "    {\"ph\": \"X\", \"pid\": 1, \"tid\": %d, \"ts\": "
+                  "%.3f, \"dur\": %.3f, \"name\": \"",
+                  event.tid, static_cast<double>(event.start_ns) / 1e3,
+                  static_cast<double>(event.dur_ns) / 1e3);
+    out += scratch;
+    append_json_escaped(out, event.name != nullptr ? event.name : "?");
+    out += "\", \"args\": ";
+    append_args_json(out, event.args.data(), event.args.size());
+    out += '}';
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path) {
+  const std::string json = chrome_trace_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    MCH_LOG(kWarn) << "trace: cannot open " << path << " for writing";
+    return false;
+  }
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return written == json.size();
+}
+
+void clear_trace() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const std::size_t capacity = g_ring_capacity.load(std::memory_order_relaxed);
+  for (const auto& buffer : r.buffers) {
+    buffer->ring.clear();
+    buffer->head = 0;
+    buffer->recorded = 0;
+    buffer->dropped = 0;
+    buffer->capacity = capacity;
+  }
+}
+
+}  // namespace mch::obs

@@ -1,5 +1,8 @@
 #include "runtime/thread_pool.h"
 
+#include <string>
+
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/log.h"
 
@@ -46,6 +49,7 @@ void ThreadPool::execute_chunk(const std::function<void(std::size_t)>& task,
 
 void ThreadPool::worker_main(unsigned worker_id) {
   set_log_worker_id(static_cast<int>(worker_id));
+  obs::set_trace_thread_name("worker-" + std::to_string(worker_id));
   std::uint64_t seen_generation = 0;
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
@@ -62,11 +66,19 @@ void ThreadPool::worker_main(unsigned worker_id) {
     const std::size_t limit = chunk_limit_;
     ++active_workers_;
     lock.unlock();
-    for (;;) {
-      const std::size_t chunk =
-          next_chunk_.fetch_add(1, std::memory_order_relaxed);
-      if (chunk >= limit) break;
-      execute_chunk(*task, chunk);
+    {
+      // One busy span per job join (not per chunk): bounded event volume
+      // even when a job has thousands of fine-grained chunks.
+      obs::TraceSpan busy("pool.worker.busy");
+      std::size_t executed = 0;
+      for (;;) {
+        const std::size_t chunk =
+            next_chunk_.fetch_add(1, std::memory_order_relaxed);
+        if (chunk >= limit) break;
+        execute_chunk(*task, chunk);
+        ++executed;
+      }
+      busy.arg("chunks", executed);
     }
     lock.lock();
     if (--active_workers_ == 0) done_.notify_all();

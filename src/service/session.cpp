@@ -7,6 +7,7 @@
 #include "db/legality.h"
 #include "legal/mmsim_legalizer.h"
 #include "legal/tetris_alloc.h"
+#include "obs/obs.h"
 #include "runtime/parallel.h"
 #include "util/check.h"
 #include "util/timer.h"
@@ -135,18 +136,27 @@ LegalizationSession::ApplyOutcome LegalizationSession::apply_ops(
 }
 
 void LegalizationSession::run_full(bool force_match, SessionResult& result) {
-  Timer rows_timer;
-  base_rows_ = legal::assign_rows(design_);
-  result.phase.rows += rows_timer.seconds();
+  obs::TraceSpan span("session.run_full");
+  {
+    obs::TraceSpan rows_span("session.rows");
+    Timer rows_timer;
+    base_rows_ = legal::assign_rows(design_);
+    result.phase.rows += rows_timer.seconds();
+  }
 
   // The partition streams out of the model build (united edge by edge as
   // constraints are emitted), so the resident session never walks the
   // finished model a second time.
-  Timer model_timer;
-  partition_ = {};
-  model_ = legal::build_model(design_, base_rows_, options_.flow.solver.model,
-                              &partition_);
-  result.phase.model += model_timer.seconds();
+  {
+    obs::TraceSpan model_span("session.model_build");
+    Timer model_timer;
+    partition_ = {};
+    model_ = legal::build_model(design_, base_rows_,
+                                options_.flow.solver.model, &partition_);
+    result.phase.model += model_timer.seconds();
+    model_span.arg("variables", model_.num_variables())
+        .arg("components", partition_.num_components());
+  }
 
   legal::FlowOptions flow = options_.flow;
   flow.verify = options_.verify;
@@ -178,25 +188,36 @@ void LegalizationSession::run_full(bool force_match, SessionResult& result) {
   result.session.components_dirty = partition_.num_components();
   result.session.components_reused = 0;
   solved_ = true;
+  span.arg("components", partition_.num_components())
+      .arg("legal", result.legal);
 }
 
 void LegalizationSession::run_incremental(const legal::PartitionDelta& delta,
                                           SessionResult& result) {
   result.session.incremental = true;
+  obs::TraceSpan span("session.run_incremental");
 
   // The previous model/partition/solution stay alive through this request:
   // the repartition diffs against them and clean components copy their
   // previous solution entries verbatim.
-  Timer model_timer;
   legal::LegalizationModel prev_model = std::move(model_);
-  model_ = legal::build_model(design_, base_rows_, options_.flow.solver.model);
-  result.phase.model += model_timer.seconds();
+  {
+    obs::TraceSpan model_span("session.model_rebuild");
+    Timer model_timer;
+    model_ =
+        legal::build_model(design_, base_rows_, options_.flow.solver.model);
+    result.phase.model += model_timer.seconds();
+  }
 
-  Timer partition_timer;
   const legal::ConstraintPartition prev_partition = std::move(partition_);
-  partition_ =
-      legal::repartition_model(model_, prev_model, prev_partition, delta);
-  result.phase.partition += partition_timer.seconds();
+  {
+    obs::TraceSpan partition_span("session.repartition");
+    Timer partition_timer;
+    partition_ =
+        legal::repartition_model(model_, prev_model, prev_partition, delta);
+    result.phase.partition += partition_timer.seconds();
+    partition_span.arg("components", partition_.num_components());
+  }
 
   // Dirty-component rule (header): a component must be re-solved iff it
   // contains a touched cell's variable or a variable in an affected row.
@@ -250,41 +271,52 @@ void LegalizationSession::run_incremental(const legal::PartitionDelta& delta,
   legal::MmsimLegalizerOptions solver_options = options_.flow.solver;
   const lcp::RecoveryOptions recovery =
       lcp::resolve_recovery_options(solver_options.recovery);
-  const legal::ComponentSolveReport report = legal::solve_components(
-      design_, model_, jobs, solver_options, recovery, x);
+  legal::ComponentSolveReport report;
+  {
+    obs::TraceSpan solve_span("session.solve");
+    solve_span.arg("dirty", dirty_ids.size())
+        .arg("total", partition_.num_components());
+    report = legal::solve_components(design_, model_, jobs, solver_options,
+                                     recovery, x);
+    solve_span.arg("warm_hits", report.warm_started)
+        .arg("converged", report.converged);
+  }
   result.phase.solve += solve_timer.seconds();
 
   // Clean components: the previous converged solution is still converged
   // (their local QP is bit-identical), so copy it verbatim by (cell,
   // subrow) — no solver touches them.
-  Timer reuse_timer;
-  for (std::size_t c = 0; c < partition_.num_components(); ++c) {
-    if (dirty[c] != 0) continue;
-    for (const std::size_t v : partition_.component_variables[c]) {
-      const legal::VariableInfo& info = model_.variables[v];
-      x[v] = solution_[prev_model.cell_first_var[info.cell] + info.subrow];
+  {
+    obs::TraceSpan reuse_span("session.reuse_and_write_back");
+    Timer reuse_timer;
+    for (std::size_t c = 0; c < partition_.num_components(); ++c) {
+      if (dirty[c] != 0) continue;
+      for (const std::size_t v : partition_.component_variables[c]) {
+        const legal::VariableInfo& info = model_.variables[v];
+        x[v] = solution_[prev_model.cell_first_var[info.cell] + info.subrow];
+      }
     }
-  }
 
-  // Write back every live movable, mirroring the legalizer: multi-row
-  // positions are subcell means, snap-clamped cells stay inside the chip.
-  std::vector<char> clamped;
-  if (!report.clamped_cells.empty()) {
-    clamped.assign(design_.num_cells(), 0);
-    for (const std::size_t c : report.clamped_cells) clamped[c] = 1;
+    // Write back every live movable, mirroring the legalizer: multi-row
+    // positions are subcell means, snap-clamped cells stay inside the chip.
+    std::vector<char> clamped;
+    if (!report.clamped_cells.empty()) {
+      clamped.assign(design_.num_cells(), 0);
+      for (const std::size_t c : report.clamped_cells) clamped[c] = 1;
+    }
+    const db::Chip& chip = design_.chip();
+    for (std::size_t c = 0; c < design_.num_cells(); ++c) {
+      db::Cell& cell = design_.cells()[c];
+      if (cell.fixed || cell.erased) continue;
+      double pos = model_.cell_x(x, c);
+      if (!clamped.empty() && clamped[c] != 0)
+        pos = std::clamp(pos, 0.0, std::max(0.0, chip.width() - cell.width));
+      cell.x = pos;
+      cell.y = chip.row_y(base_rows_[c]);
+    }
+    solution_ = std::move(x);
+    result.phase.reuse += reuse_timer.seconds();
   }
-  const db::Chip& chip = design_.chip();
-  for (std::size_t c = 0; c < design_.num_cells(); ++c) {
-    db::Cell& cell = design_.cells()[c];
-    if (cell.fixed || cell.erased) continue;
-    double pos = model_.cell_x(x, c);
-    if (!clamped.empty() && clamped[c] != 0)
-      pos = std::clamp(pos, 0.0, std::max(0.0, chip.width() - cell.width));
-    cell.x = pos;
-    cell.y = chip.row_y(base_rows_[c]);
-  }
-  solution_ = std::move(x);
-  result.phase.reuse += reuse_timer.seconds();
 
   // Report the solve in the legalizer's vocabulary so SessionResult::solver
   // reads the same in both modes.
@@ -321,12 +353,16 @@ void LegalizationSession::run_incremental(const legal::PartitionDelta& delta,
                         : static_cast<double>(report.warm_started) /
                               static_cast<double>(dirty_ids.size());
 
-  Timer allocate_timer;
-  result.allocation = legal::tetris_allocate(design_);
-  legal::assign_orientations(design_);
-  result.phase.allocate += allocate_timer.seconds();
+  {
+    obs::TraceSpan allocate_span("session.allocate");
+    Timer allocate_timer;
+    result.allocation = legal::tetris_allocate(design_);
+    legal::assign_orientations(design_);
+    result.phase.allocate += allocate_timer.seconds();
+  }
 
   if (options_.verify) {
+    obs::TraceSpan verify_span("session.verify");
     Timer verify_timer;
     const db::LegalityReport legality = db::check_legality(design_);
     result.legal = legality.legal() && result.allocation.unplaced_cells == 0;
@@ -335,6 +371,9 @@ void LegalizationSession::run_incremental(const legal::PartitionDelta& delta,
   } else {
     result.legality_summary = "(not verified)";
   }
+  span.arg("dirty", result.session.components_dirty)
+      .arg("reused", result.session.components_reused)
+      .arg("legal", result.legal);
 }
 
 void LegalizationSession::finish(SessionResult& result) {
@@ -356,9 +395,16 @@ SessionResult LegalizationSession::full_legalize(SolveMode mode) {
   result.mode = resolved;
 
   Timer total;
-  run_full(/*force_match=*/resolved == SolveMode::kMatch, result);
-  finish(result);
-  result.seconds = total.seconds();
+  {
+    obs::TraceSpan span("session.request.full_legalize");
+    span.arg("request", result.request_id).arg("mode", to_string(resolved));
+    run_full(/*force_match=*/resolved == SolveMode::kMatch, result);
+    finish(result);
+    result.seconds = total.seconds();
+  }
+  obs::counter("session.requests", "kind", "full_legalize").add();
+  obs::histogram("session.full_legalize.latency_seconds")
+      .observe(result.seconds);
   return result;
 }
 
@@ -373,31 +419,56 @@ SessionResult LegalizationSession::eco(const EcoRequest& request) {
   result.mode = resolved;
 
   Timer total;
-  Timer apply_timer;
-  const ApplyOutcome applied = apply_ops(request.ops);
-  result.phase.apply += apply_timer.seconds();
-  result.session.touched_cells = static_cast<std::size_t>(
-      std::count(applied.delta.touched_cells.begin(),
-                 applied.delta.touched_cells.end(), char{1}));
-  result.session.affected_rows = static_cast<std::size_t>(
-      std::count(applied.delta.affected_rows.begin(),
-                 applied.delta.affected_rows.end(), char{1}));
-
-  if (resolved == SolveMode::kIncremental && solved_) {
-    run_incremental(applied.delta, result);
-    if (options_.verify && !result.legal &&
-        options_.fallback_to_full_on_illegal) {
-      ++result.session.full_solve_fallbacks;
-      result.session.incremental = false;
-      run_full(/*force_match=*/false, result);
+  {
+    obs::TraceSpan span("session.request.eco");
+    span.arg("request", result.request_id)
+        .arg("mode", to_string(resolved))
+        .arg("ops", request.ops.size());
+    ApplyOutcome applied;
+    {
+      obs::TraceSpan apply_span("session.apply_ops");
+      Timer apply_timer;
+      applied = apply_ops(request.ops);
+      result.phase.apply += apply_timer.seconds();
+      result.session.touched_cells = static_cast<std::size_t>(
+          std::count(applied.delta.touched_cells.begin(),
+                     applied.delta.touched_cells.end(), char{1}));
+      result.session.affected_rows = static_cast<std::size_t>(
+          std::count(applied.delta.affected_rows.begin(),
+                     applied.delta.affected_rows.end(), char{1}));
+      apply_span.arg("touched_cells", result.session.touched_cells)
+          .arg("affected_rows", result.session.affected_rows);
     }
-  } else {
-    // Match mode, or no resident solve to be incremental against.
-    run_full(/*force_match=*/resolved == SolveMode::kMatch, result);
-  }
 
-  finish(result);
-  result.seconds = total.seconds();
+    if (resolved == SolveMode::kIncremental && solved_) {
+      run_incremental(applied.delta, result);
+      if (options_.verify && !result.legal &&
+          options_.fallback_to_full_on_illegal) {
+        ++result.session.full_solve_fallbacks;
+        result.session.incremental = false;
+        obs::counter("session.full_solve_fallbacks").add();
+        run_full(/*force_match=*/false, result);
+      }
+    } else {
+      // Match mode, or no resident solve to be incremental against.
+      run_full(/*force_match=*/resolved == SolveMode::kMatch, result);
+    }
+
+    finish(result);
+    result.seconds = total.seconds();
+    span.arg("dirty", result.session.components_dirty)
+        .arg("reused", result.session.components_reused);
+  }
+  obs::counter("session.requests", "kind", "eco").add();
+  obs::histogram("session.eco.latency_seconds").observe(result.seconds);
+  {
+    static obs::Counter& dirty = obs::counter("session.components_dirty");
+    static obs::Counter& reused = obs::counter("session.components_reused");
+    static obs::Counter& warm = obs::counter("session.warm_start_hits");
+    dirty.add(result.session.components_dirty);
+    reused.add(result.session.components_reused);
+    warm.add(result.session.warm_start_hits);
+  }
   return result;
 }
 

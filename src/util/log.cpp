@@ -1,15 +1,42 @@
 #include "util/log.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <mutex>
 
 namespace mch {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+/// MCH_LOG_LEVEL overrides the compiled default: "debug", "info", "warn",
+/// "error", "off" (case-sensitive, matching the level names).
+LogLevel initial_level() {
+  const char* env = std::getenv("MCH_LOG_LEVEL");
+  if (env == nullptr || env[0] == '\0') return LogLevel::kWarn;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "off") == 0) return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel> g_level{initial_level()};
 std::mutex g_sink_mutex;
 thread_local int t_worker_id = -1;
+
+/// Seconds since the first log line (monotonic), so lines across threads
+/// order by a shared steady clock rather than wall time.
+double uptime_seconds() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch)
+      .count();
+}
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -41,12 +68,14 @@ int log_worker_id() { return t_worker_id; }
 namespace detail {
 void log_emit(LogLevel level, const std::string& message) {
   // One fprintf per line under the mutex: concurrent lines never interleave.
+  const double uptime = uptime_seconds();
   std::lock_guard<std::mutex> lock(g_sink_mutex);
   if (t_worker_id >= 0) {
-    std::fprintf(stderr, "[%s][w%d] %s\n", level_tag(level), t_worker_id,
-                 message.c_str());
+    std::fprintf(stderr, "[%10.4f][%s][w%d] %s\n", uptime, level_tag(level),
+                 t_worker_id, message.c_str());
   } else {
-    std::fprintf(stderr, "[%s] %s\n", level_tag(level), message.c_str());
+    std::fprintf(stderr, "[%10.4f][%s] %s\n", uptime, level_tag(level),
+                 message.c_str());
   }
 }
 }  // namespace detail

@@ -1,9 +1,12 @@
 // Minimal leveled logger writing to stderr.
 //
 // The library is quiet by default (Level::kWarn); benches and examples raise
-// the level to kInfo for progress reporting. Thread-safe: the level is an
-// atomic and sink writes are serialized by a mutex, so kernels running on
-// the runtime's worker pool (src/runtime/) may log freely. Lines emitted
+// the level to kInfo for progress reporting, and the MCH_LOG_LEVEL env var
+// ("debug"/"info"/"warn"/"error"/"off") overrides the default at process
+// start. Thread-safe: the level is an atomic and sink writes are serialized
+// by a mutex, so kernels running on the runtime's worker pool (src/runtime/)
+// may log freely. Every line carries a monotonic uptime timestamp
+// ("[   12.3456]", seconds since the first log line), and lines emitted
 // off the main thread are prefixed with the worker id registered via
 // set_log_worker_id (the thread pool does this for its workers).
 #pragma once

@@ -46,4 +46,8 @@ double peak_rss_mb() {
   return static_cast<double>(peak_rss_bytes()) / (1024.0 * 1024.0);
 }
 
+double current_rss_mb() {
+  return static_cast<double>(current_rss_bytes()) / (1024.0 * 1024.0);
+}
+
 }  // namespace mch::util

@@ -25,4 +25,7 @@ std::size_t current_rss_bytes();
 /// Convenience: peak RSS in mebibytes.
 double peak_rss_mb();
 
+/// Convenience: current RSS in mebibytes (0.0 if unavailable).
+double current_rss_mb();
+
 }  // namespace mch::util

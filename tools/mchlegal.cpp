@@ -27,6 +27,12 @@
 //                         only under --partition tiered)
 //   --seed <n>            seed for --double            (default 1)
 //   --threads <n>         worker threads (0 = auto; also MCH_THREADS)
+//   --trace <path>        write a Chrome trace-event JSON of the run (open
+//                         in chrome://tracing or https://ui.perfetto.dev;
+//                         also MCH_TRACE=<path>)
+//   --metrics <path>      write the metrics-registry JSON snapshot
+//                         (counters/gauges/latency histograms; also
+//                         MCH_METRICS=<path>)
 //   --quiet               suppress the report
 #include <cstdio>
 #include <cstdlib>
@@ -41,7 +47,9 @@
 #include "io/design_io.h"
 #include "io/svg.h"
 #include "linalg/simd.h"
+#include "obs/obs.h"
 #include "runtime/options.h"
+#include "util/log.h"
 
 namespace {
 
@@ -68,6 +76,11 @@ int main(int argc, char** argv) {
   }
 
   runtime::configure_threads_from_cli(argc, argv);
+  // The recovery/kernels report lines below go through the leveled logger at
+  // kInfo; raise the default level so they still print, without overriding
+  // an explicit MCH_LOG_LEVEL.
+  if (std::getenv("MCH_LOG_LEVEL") == nullptr)
+    set_log_level(LogLevel::kInfo);
   const std::string input = argv[1];
   std::string algo = "mmsim";
   std::string out_path;
@@ -93,6 +106,8 @@ int main(int argc, char** argv) {
     else if (arg == "--seed") seed = std::strtoull(value().c_str(), nullptr, 10);
     else if (arg == "--threads") value();  // consumed by the runtime above
     else if (arg.rfind("--threads=", 0) == 0) {}  // ditto, inline form
+    else if (arg == "--trace") obs::set_trace_path(value());
+    else if (arg == "--metrics") obs::set_metrics_path(value());
     else if (arg == "--lambda")
       flow_options.solver.model.lambda = std::atof(value().c_str());
     else if (arg == "--beta")
@@ -199,17 +214,18 @@ int main(int argc, char** argv) {
                     result.solver_component_iterations);
       if (result.solver_recovery.attempted() || !result.solver_converged) {
         const legal::RecoveryStats& rec = result.solver_recovery;
-        std::printf("recovery:            %zu escalation(s), %zu component "
-                    "ladder(s) (%zu attempts), %zu recovered, %zu clamped "
-                    "component(s) / %zu cell(s); audit %s\n",
-                    rec.escalations, rec.component_ladders,
-                    rec.ladder_attempts, rec.recovered_components,
-                    rec.clamped_components, rec.clamped_cells,
-                    !rec.audit_ran       ? "not run"
-                    : rec.audit_legal    ? "legal"
-                                         : rec.audit_summary.c_str());
+        MCH_LOG(kInfo) << "recovery: " << rec.escalations
+                       << " escalation(s), " << rec.component_ladders
+                       << " component ladder(s) (" << rec.ladder_attempts
+                       << " attempts), " << rec.recovered_components
+                       << " recovered, " << rec.clamped_components
+                       << " clamped component(s) / " << rec.clamped_cells
+                       << " cell(s); audit "
+                       << (!rec.audit_ran    ? "not run"
+                           : rec.audit_legal ? "legal"
+                                             : rec.audit_summary.c_str());
         for (const legal::SolveFailure& failure : rec.failures)
-          std::printf("recovery failure:    %s\n", failure.summary().c_str());
+          MCH_LOG(kInfo) << "recovery failure: " << failure.summary();
       }
       if (result.solver_phase.total() > 0.0)
         std::printf("solver phases:       kernel %.2f ms, spmv %.2f ms, "
@@ -221,13 +237,15 @@ int main(int argc, char** argv) {
                     result.solver_phase.reduction_seconds * 1e3,
                     result.solver_phase.mixed_seconds * 1e3,
                     result.solver_solve_seconds * 1e3);
-      std::printf("kernels:             simd %s, precision %s "
-                  "(%zu mixed iterations)\n",
-                  linalg::simd_level_name(result.solver_simd),
-                  result.solver_precision == lcp::MmsimPrecision::kMixed
-                      ? "mixed"
-                      : "double",
-                  result.solver_mixed_iterations);
+      MCH_LOG(kInfo) << "kernels: simd "
+                     << linalg::simd_level_name(result.solver_simd)
+                     << ", precision "
+                     << (result.solver_precision ==
+                                 lcp::MmsimPrecision::kMixed
+                             ? "mixed"
+                             : "double")
+                     << " (" << result.solver_mixed_iterations
+                     << " mixed iterations)";
     }
     if (run_dp)
       std::printf("detailed placement:  HPWL %.0f -> %.0f (%.3f%%), "
@@ -260,5 +278,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "failed to write output: %s\n", e.what());
     return 1;
   }
+
+  obs::set_metrics_attribute("tool", "mchlegal");
+  obs::set_metrics_attribute("design", design.name);
+  obs::set_metrics_attribute("algo", eval::to_string(which));
+  obs::set_metrics_attribute(
+      "simd", linalg::simd_level_name(linalg::simd_level()));
+  obs::flush_artifacts();
   return result.legal ? 0 : 1;
 }

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Repo verification driver: tier-1 build + ctest, the env-variant ctest
-# jobs (.recovery/.session/.simd-off/.mixed), an AddressSanitizer job over
-# the solver/legalizer suites (the workspace arena hands slot references to
-# parallel workers — ASan is what would catch a stale one), and a UBSan job
-# over the SIMD/mixed kernel suites.
+# jobs (.recovery/.session/.simd-off/.mixed/.trace), the observability
+# disabled-overhead smoke (BM_MmsimIterations/32768 vs the committed
+# snapshot), an AddressSanitizer job over the solver/legalizer suites (the
+# workspace arena hands slot references to parallel workers — ASan is what
+# would catch a stale one), and a UBSan job over the SIMD/mixed kernel
+# suites.
 #
 #   tools/verify.sh            # full: Release build + ctest + ASan + UBSan
 #   tools/verify.sh --fast     # skip the sanitizer jobs
@@ -65,6 +67,57 @@ echo "== mixed: float32-iterate solver suites =="
 # tolerance, the kOff/kMatch demotion, and the recovery handoff directly.
 (cd build && ctest -j2 --output-on-failure \
   -R '\.mixed$|MmsimMixedTest')
+
+echo "== trace: observability-enabled suites =="
+# The .trace ctest variant re-runs the eval/service/integration suites with
+# MCH_TRACE=1 and MCH_METRICS=1 — spans recording into every thread's ring
+# and the metrics registry armed, no artifacts written. Tracing is
+# contracted to be a pure observer (tests/obs/identity_test.cpp holds the
+# bitwise line), so every assertion in those suites must still pass; the
+# obs unit suites ride along.
+(cd build && ctest -j2 --output-on-failure \
+  -R '\.trace$|TraceTest|MetricsTest|ObsIdentityTest')
+
+echo "== obs: disabled-overhead smoke =="
+# src/obs/ is compiled into every build and gated by a relaxed flag load,
+# which is only acceptable if the disabled cost stays invisible. Re-run the
+# instrumented BM_MmsimIterations/32768 (tracing/metrics off) and fail if
+# the best of three runs regresses more than 1% + noise floor against the
+# committed snapshot in results/micro_solver.json. MCH_BENCH_JSON_DIR is
+# pointed at a scratch dir so the smoke never overwrites the snapshot it
+# compares against.
+cmake --build build -j4 --target micro_solver
+OVH_DIR="$(mktemp -d)"
+trap 'rm -rf "$OVH_DIR"' EXIT
+for rep in 1 2 3; do
+  MCH_BENCH_JSON_DIR="$OVH_DIR" build/bench/micro_solver \
+    --benchmark_filter='^BM_MmsimIterations/32768$' \
+    --benchmark_out="$OVH_DIR/rep$rep.json" \
+    --benchmark_out_format=json >/dev/null
+done
+python3 - "$OVH_DIR" <<'EOF'
+import json, sys
+scratch = sys.argv[1]
+best_ns = min(
+    b["real_time"]
+    for rep in (1, 2, 3)
+    for b in json.load(open(f"{scratch}/rep{rep}.json"))["benchmarks"]
+    if b["name"] == "BM_MmsimIterations/32768"
+)
+snapshot = json.load(open("results/micro_solver.json"))
+baseline_s = next(r["seconds"] for r in snapshot["records"]
+                  if r["name"] == "BM_MmsimIterations/32768")
+# 1% is the whole instrumentation budget for the disabled path — a relaxed
+# flag load per span site. Taking the best of three runs keeps scheduler
+# noise out of the measurement; an un-gated span or a registry lookup on
+# the sweep path would blow the limit by an order of magnitude.
+limit_s = baseline_s * 1.01
+best_s = best_ns / 1e9
+verdict = "OK" if best_s <= limit_s else "FAIL"
+print(f"obs overhead smoke: best {best_s:.6f}s vs baseline "
+      f"{baseline_s:.6f}s (limit {limit_s:.6f}s) -> {verdict}")
+sys.exit(0 if best_s <= limit_s else 1)
+EOF
 
 if [[ "$FAST" == 0 ]]; then
   echo "== asan: build solver/legalizer suites =="
