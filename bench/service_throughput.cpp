@@ -8,21 +8,35 @@
 // against the exact work it avoids.
 //
 //   ./service_throughput [num-requests] [ops-per-request]
+//   ./service_throughput --multi [num-designs] [num-clients]
 //
 // The default design is 50k cells (45k single + 5k double, density 0.7) at
 // MCH_BENCH_SCALE=0.05-equivalent sizing; the counts scale linearly with
 // MCH_BENCH_SCALE like the table benches.
+//
+// The --multi mode drives the two-level scheduler with a queue of many
+// heterogeneous designs (default 120, sized 400–2400 cells): first a
+// single client submits every design serially, then num-clients client
+// threads drain the same queue concurrently, each request served through
+// its own match-mode LegalizationSession on the shared worker pool. Every
+// request's positions must hash bitwise-identical across the two phases
+// (and, sampled, to the one-shot legal::legalize), and the wall-clock
+// ratio must show >= 0.7 parallel efficiency against the machine's core
+// count. Results land in results/service_throughput_multi.json.
 //
 // With tracing/metrics enabled the bench also writes observability
 // artifacts next to its JSON snapshot: results/service_throughput.trace.json
 // (Chrome trace events for the whole request stream) and
 // results/service_throughput.metrics.json (the metrics-registry snapshot
 // with per-request latency histograms). MCH_TRACE/MCH_METRICS paths
-// override the defaults.
+// override the defaults; the multi-client mode uses *_multi artifact names.
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -46,12 +60,227 @@ double percentile(std::vector<double> values, double p) {
   return values[lo] + frac * (values[hi] - values[lo]);
 }
 
+/// FNV-1a over the raw bit patterns of the placed positions: equal hashes
+/// across phases is the bench's bitwise-determinism witness.
+std::uint64_t position_hash(const mch::db::Design& design) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](double value) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &value, sizeof bits);
+    h ^= bits;
+    h *= 1099511628211ull;
+  };
+  for (std::size_t c = 0; c < design.num_cells(); ++c) {
+    if (design.cells()[c].erased) continue;
+    mix(design.cells()[c].x);
+    mix(design.cells()[c].y);
+  }
+  return h;
+}
+
+/// The heterogeneous request queue: design r's size cycles through a
+/// small/medium mix (scaled by MCH_BENCH_SCALE like everything else) and
+/// every design gets its own seed, so no two requests are alike.
+std::size_t multi_design_cells(std::size_t r) {
+  static const std::size_t kSizes[] = {400, 1500, 700, 2400,
+                                       550, 1100, 850};
+  const double sizing = mch::bench::bench_scale() / 0.05;
+  const std::size_t cells = static_cast<std::size_t>(
+      static_cast<double>(kSizes[r % (sizeof kSizes / sizeof kSizes[0])]) *
+      sizing);
+  return std::max<std::size_t>(cells, 50);
+}
+
+mch::db::Design make_multi_design(std::size_t r) {
+  mch::gen::GeneratorOptions options;
+  options.seed = mch::bench::bench_seed() + 7919 * (r + 1);
+  const std::size_t cells = multi_design_cells(r);
+  return mch::gen::generate_random_design(cells - cells / 10, cells / 10,
+                                          0.7, options);
+}
+
+struct ServedRequest {
+  std::uint64_t hash = 0;
+  double seconds = 0.0;
+  bool legal = false;
+};
+
+/// One queue entry end to end: generate the design, serve it through a
+/// fresh match-mode session, and hash the positions.
+ServedRequest serve_multi_design(std::size_t r) {
+  mch::service::LegalizationSession session(make_multi_design(r));
+  mch::Timer timer;
+  const mch::service::SessionResult result =
+      session.full_legalize(mch::service::SolveMode::kMatch);
+  ServedRequest served;
+  served.seconds = timer.seconds();
+  served.legal = result.legal;
+  served.hash = position_hash(session.design());
+  return served;
+}
+
+int run_multi_client(std::size_t num_designs, std::size_t num_clients) {
+  using namespace mch;
+  const char* json_dir = std::getenv("MCH_BENCH_JSON_DIR");
+  const std::string artifact_dir = json_dir != nullptr ? json_dir : "results";
+  if (obs::trace_path().empty())
+    obs::set_trace_path(artifact_dir + "/service_throughput_multi.trace.json");
+  if (obs::metrics_path().empty())
+    obs::set_metrics_path(artifact_dir +
+                          "/service_throughput_multi.metrics.json");
+
+  std::size_t total_cells = 0;
+  for (std::size_t r = 0; r < num_designs; ++r)
+    total_cells += multi_design_cells(r);
+  std::printf(
+      "multi-client queue: %zu heterogeneous designs (%zu cells total), "
+      "%zu clients\n",
+      num_designs, total_cells, num_clients);
+
+  // Phase 1 — single-client serial submission: the baseline every
+  // efficiency claim is measured against, and the reference hash per
+  // request. Sampled requests are also checked against the one-shot
+  // legal::legalize (the session's match-mode bitwise contract).
+  std::vector<ServedRequest> serial(num_designs);
+  std::size_t illegal = 0;
+  std::size_t hash_mismatches = 0;
+  const std::size_t scratch_every = std::max<std::size_t>(1, num_designs / 8);
+  Timer serial_timer;
+  for (std::size_t r = 0; r < num_designs; ++r) {
+    serial[r] = serve_multi_design(r);
+    if (!serial[r].legal) ++illegal;
+  }
+  const double serial_seconds = serial_timer.seconds();
+  for (std::size_t r = 0; r < num_designs; r += scratch_every) {
+    db::Design copy = make_multi_design(r);
+    legal::FlowOptions options;
+    options.solver.partition = legal::PartitionMode::kMatch;
+    const legal::FlowResult scratch = legal::legalize(copy, options);
+    if (!scratch.legal) ++illegal;
+    if (position_hash(copy) != serial[r].hash) {
+      std::printf("FAIL: request %zu differs from one-shot legalize\n", r);
+      ++hash_mismatches;
+    }
+  }
+
+  // Phase 2 — the same queue drained by num_clients concurrent submitters.
+  // Each client claims the next design off a shared cursor; all component
+  // solves from all in-flight requests interleave on the shared pool.
+  const std::uint64_t jobs_before = obs::counter("sched.jobs").value();
+  const std::uint64_t steals_before = obs::counter("sched.steals").value();
+  std::vector<ServedRequest> multi(num_designs);
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<int> ready{0};
+  Timer multi_timer;
+  std::vector<std::thread> clients;
+  clients.reserve(num_clients);
+  for (std::size_t client = 0; client < num_clients; ++client) {
+    clients.emplace_back([&] {
+      ready.fetch_add(1);
+      while (ready.load() < static_cast<int>(num_clients))
+        std::this_thread::yield();
+      for (;;) {
+        const std::size_t r = cursor.fetch_add(1);
+        if (r >= num_designs) return;
+        multi[r] = serve_multi_design(r);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double multi_seconds = multi_timer.seconds();
+
+  std::vector<double> latencies;
+  latencies.reserve(num_designs);
+  for (std::size_t r = 0; r < num_designs; ++r) {
+    latencies.push_back(multi[r].seconds);
+    if (!multi[r].legal) ++illegal;
+    if (multi[r].hash != serial[r].hash) {
+      std::printf("FAIL: request %zu not bitwise stable under %zu clients\n",
+                  r, num_clients);
+      ++hash_mismatches;
+    }
+  }
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  // A client thread is the unit of submission-side parallelism, but the
+  // machine can't run more of them than it has cores — the efficiency
+  // denominator is the smaller of the two ("parallel efficiency at the
+  // machine's core count").
+  const double ideal =
+      static_cast<double>(std::min<std::size_t>(num_clients, hw));
+  const double speedup =
+      multi_seconds > 0.0 ? serial_seconds / multi_seconds : 0.0;
+  const double efficiency = speedup / ideal;
+
+  const std::uint64_t sched_jobs = obs::counter("sched.jobs").value();
+  const std::uint64_t steals =
+      obs::counter("sched.steals").value() - steals_before;
+
+  io::Table table({"designs", "clients", "serial s", "multi s", "speedup",
+                   "efficiency", "p50 ms", "p99 ms"});
+  table.row()
+      .cell(num_designs)
+      .cell(num_clients)
+      .cell(serial_seconds)
+      .cell(multi_seconds)
+      .cell(speedup)
+      .cell(efficiency)
+      .cell(percentile(latencies, 0.50) * 1e3)
+      .cell(percentile(latencies, 0.99) * 1e3);
+  std::printf("\n%s\n", table.to_text().c_str());
+  std::printf(
+      "scheduler: %llu jobs since start (%llu this phase), %llu steals, "
+      "queue depth p99 %.1f\n",
+      static_cast<unsigned long long>(sched_jobs),
+      static_cast<unsigned long long>(sched_jobs - jobs_before),
+      static_cast<unsigned long long>(steals),
+      obs::histogram("sched.queue_depth").percentile(0.99));
+  std::printf("illegal results: %zu, hash mismatches: %zu\n", illegal,
+              hash_mismatches);
+  mch::bench::print_peak_rss();
+
+  bench::JsonSnapshot json("service_throughput_multi");
+  json.add("serial/total", total_cells, serial_seconds);
+  json.add("multi/total", total_cells, multi_seconds);
+  json.add("multi/p50", total_cells, percentile(latencies, 0.50));
+  json.add("multi/p99", total_cells, percentile(latencies, 0.99));
+  // Dimensionless records, kept in the same schema: "cells" carries the
+  // client count and "seconds" the ratio.
+  json.add("multi/speedup", num_clients, speedup);
+  json.add("multi/efficiency", num_clients, efficiency);
+  json.write();
+
+  obs::set_metrics_attribute("bench", "service_throughput_multi");
+  obs::set_metrics_attribute("designs", std::to_string(num_designs));
+  obs::set_metrics_attribute("clients", std::to_string(num_clients));
+  obs::flush_artifacts();
+
+  if (illegal > 0 || hash_mismatches > 0) return 1;
+  // The scheduler's acceptance bar: >= 0.7 parallel efficiency at the
+  // machine's core count against single-client serial submission.
+  if (efficiency < 0.7) {
+    std::printf("FAIL: efficiency %.2f below the 0.7 bar\n", efficiency);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace mch;
   bench::bench_threads(argc, argv);
   bench::print_bench_banner("service_throughput");
+
+  if (argc > 1 && std::strcmp(argv[1], "--multi") == 0) {
+    const std::size_t num_designs =
+        argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 120;
+    const std::size_t num_clients =
+        argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3]))
+                 : std::max(2u, std::thread::hardware_concurrency());
+    return run_multi_client(std::max<std::size_t>(num_designs, 1),
+                            std::max<std::size_t>(num_clients, 1));
+  }
 
   // This bench always emits the observability artifacts (the request stream
   // is exactly what the trace/histogram layer exists to explain); explicit

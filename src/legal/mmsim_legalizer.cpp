@@ -30,6 +30,54 @@ using runtime::parallel_for;
 /// Components are heterogeneous units of work; schedule them one at a time.
 constexpr std::size_t kGrainComponents = 1;
 
+/// Lane-pipelined component driver with double-buffered extraction — the
+/// DMA double-buffer analogue: each lane stages the *next* component's
+/// gather tables (extract) before the *current* component's solve (consume)
+/// occupies it, so a lane's solve always finds its sub-problem resident and
+/// extraction overlaps the other lanes' solves. At most two extractions are
+/// live per lane, keeping the streamed drivers' bounded high-water mark.
+///
+/// extract(i) must be pure (it may run in any order, on any thread) and
+/// consume(i, problem) must write only i-keyed state — under those rules
+/// the results are schedule-independent exactly like a plain parallel_for.
+/// Lanes claim component indices from a shared cursor; with staging
+/// disabled (MCH_SCHED_STAGING=0 / options) the legacy extract-then-consume
+/// parallel_for runs instead.
+template <typename ExtractFn, typename ConsumeFn>
+void staged_component_loop(std::size_t num, bool staged, ExtractFn&& extract,
+                           ConsumeFn&& consume) {
+  if (!staged || num < 2) {
+    parallel_for(std::size_t{0}, num, kGrainComponents,
+                 [&](std::size_t lo, std::size_t hi) {
+                   for (std::size_t i = lo; i < hi; ++i)
+                     consume(i, extract(i));
+                 });
+    return;
+  }
+  static obs::Counter& staged_extractions =
+      obs::counter("sched.staged_extractions");
+  const std::size_t lanes = std::min<std::size_t>(
+      runtime::Runtime::instance().threads(), num);
+  std::atomic<std::size_t> cursor{0};
+  parallel_for(std::size_t{0}, lanes, 1, [&](std::size_t, std::size_t) {
+    std::size_t current = cursor.fetch_add(1, std::memory_order_relaxed);
+    if (current >= num) return;
+    ComponentProblem buffer = extract(current);
+    for (;;) {
+      const std::size_t next = cursor.fetch_add(1, std::memory_order_relaxed);
+      std::optional<ComponentProblem> prefetched;
+      if (next < num) {
+        prefetched.emplace(extract(next));
+        staged_extractions.add();
+      }
+      consume(current, std::move(buffer));
+      if (next >= num) return;
+      buffer = std::move(*prefetched);
+      current = next;
+    }
+  });
+}
+
 PartitionMode resolve_partition_mode(PartitionMode requested) {
   if (requested != PartitionMode::kAuto) return requested;
   if (const char* env = std::getenv("MCH_PARTITION")) {
@@ -301,7 +349,7 @@ SolveOutcome solve_tiered(const LegalizationModel& model,
 SolveOutcome solve_tiered_streamed(const LegalizationModel& model,
                                    const ConstraintPartition& partition,
                                    const lcp::MmsimOptions& mmsim_options,
-                                   const SolverPolicy& policy,
+                                   const SolverPolicy& policy, bool staged,
                                    lcp::SolverWorkspace& workspace,
                                    MmsimLegalizerStats& stats) {
   const std::size_t num = partition.num_components();
@@ -324,37 +372,43 @@ SolveOutcome solve_tiered_streamed(const LegalizationModel& model,
   outcome.x.assign(model.num_variables(), 0.0);
   std::vector<lcp::LcpSolverKind> kinds(num);
   std::vector<lcp::LcpSolveResult> results(num);
-  parallel_for(
-      std::size_t{0}, num, kGrainComponents,
-      [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t i = lo; i < hi; ++i) {
-          const std::size_t c = order[i];
-          const auto& vars = partition.component_variables[c];
-          const auto& rows = partition.component_constraints[c];
-          kinds[c] = pick_solver(vars.size(), rows.size(), policy);
-          obs::TraceSpan span("solve.component");
-          span.arg("component", c)
-              .arg("vars", vars.size())
-              .arg("rows", rows.size())
-              .arg("solver", lcp::to_string(kinds[c]));
-          const ComponentProblem component = model.component_problem(vars, rows);
-          lcp::LcpSolverConfig config;
-          config.mmsim = mmsim_options;
-          config.schur_coupling_breaks = &component.schur_coupling_breaks;
-          config.psor.tolerance = mmsim_options.tolerance;
-          config.psor.max_iterations = mmsim_options.max_iterations;
-          results[c] = lcp::make_lcp_solver(kinds[c], component.qp, config)
-                           ->solve(&workspace.slot(c), /*warm_start=*/true);
-          span.arg("iterations", results[c].iterations)
-              .arg("warm", results[c].warm_started);
-          // Scatter and drop the local solution before the next extraction.
-          // Variable sets are disjoint across components, so the shared
-          // writes are race-free.
-          for (std::size_t v = 0; v < vars.size(); ++v)
-            outcome.x[vars[v]] = results[c].x[v];
-          results[c].x = Vector();
-          results[c].dual = Vector();
-        }
+  staged_component_loop(
+      num, staged && runtime::Scheduler::staging_enabled(),
+      [&](std::size_t i) {
+        const std::size_t c = order[i];
+        obs::TraceSpan span("solve.extract");
+        span.arg("component", c)
+            .arg("vars", partition.component_variables[c].size())
+            .arg("rows", partition.component_constraints[c].size());
+        return model.component_problem(partition.component_variables[c],
+                                       partition.component_constraints[c]);
+      },
+      [&](std::size_t i, ComponentProblem component) {
+        const std::size_t c = order[i];
+        const auto& vars = partition.component_variables[c];
+        const auto& rows = partition.component_constraints[c];
+        kinds[c] = pick_solver(vars.size(), rows.size(), policy);
+        obs::TraceSpan span("solve.component");
+        span.arg("component", c)
+            .arg("vars", vars.size())
+            .arg("rows", rows.size())
+            .arg("solver", lcp::to_string(kinds[c]));
+        lcp::LcpSolverConfig config;
+        config.mmsim = mmsim_options;
+        config.schur_coupling_breaks = &component.schur_coupling_breaks;
+        config.psor.tolerance = mmsim_options.tolerance;
+        config.psor.max_iterations = mmsim_options.max_iterations;
+        results[c] = lcp::make_lcp_solver(kinds[c], component.qp, config)
+                         ->solve(&workspace.slot(c), /*warm_start=*/true);
+        span.arg("iterations", results[c].iterations)
+            .arg("warm", results[c].warm_started);
+        // Scatter and drop the local solution before the next extraction.
+        // Variable sets are disjoint across components, so the shared
+        // writes are race-free.
+        for (std::size_t v = 0; v < vars.size(); ++v)
+          outcome.x[vars[v]] = results[c].x[v];
+        results[c].x = Vector();
+        results[c].dual = Vector();
       });
 
   for (std::size_t c = 0; c < num; ++c) {
@@ -448,43 +502,48 @@ ComponentSolveReport solve_components(const db::Design& design,
   const std::size_t num = jobs.size();
   std::vector<lcp::LcpSolverKind> kinds(num);
   std::vector<lcp::RecoveredSolve> recovered(num);
-  parallel_for(
-      std::size_t{0}, num, kGrainComponents,
-      [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t c = lo; c < hi; ++c) {
-          const auto& vars = *jobs[c].variables;
-          kinds[c] =
-              pick_solver(vars.size(), jobs[c].constraints->size(),
-                          options.policy);
-          obs::TraceSpan span("solve.component");
-          span.arg("component", jobs[c].component_id)
-              .arg("vars", vars.size())
-              .arg("rows", jobs[c].constraints->size())
-              .arg("solver", lcp::to_string(kinds[c]));
-          // Extract, solve, scatter, release: only one sub-problem per
-          // worker is ever live, whatever the job count.
-          const ComponentProblem component =
-              model.component_problem(vars, *jobs[c].constraints);
-          lcp::LcpSolverConfig config;
-          config.mmsim = options.mmsim;
-          config.schur_coupling_breaks = &component.schur_coupling_breaks;
-          config.psor.tolerance = options.mmsim.tolerance;
-          config.psor.max_iterations = options.mmsim.max_iterations;
-          // Distinct jobs must hold distinct slots (the caller's contract),
-          // so the parallel solves never share one.
-          recovered[c] = lcp::solve_with_recovery(
-              kinds[c], component.qp, config, recovery, jobs[c].slot,
-              /*warm_start=*/true);
-          span.arg("iterations", recovered[c].result.iterations)
-              .arg("rung", lcp::to_string(recovered[c].rung));
-          if (recovered[c].rung != lcp::RecoveryRung::kExhausted) {
-            // Variable sets are disjoint across jobs (caller's contract),
-            // so the shared writes are race-free.
-            for (std::size_t v = 0; v < vars.size(); ++v)
-              x[vars[v]] = recovered[c].result.x[v];
-            recovered[c].result.x = Vector();
-            recovered[c].result.dual = Vector();
-          }
+  staged_component_loop(
+      num,
+      options.staged_extraction && runtime::Scheduler::staging_enabled(),
+      [&](std::size_t c) {
+        obs::TraceSpan span("solve.extract");
+        span.arg("component", jobs[c].component_id)
+            .arg("vars", jobs[c].variables->size())
+            .arg("rows", jobs[c].constraints->size());
+        return model.component_problem(*jobs[c].variables,
+                                       *jobs[c].constraints);
+      },
+      [&](std::size_t c, ComponentProblem component) {
+        const auto& vars = *jobs[c].variables;
+        kinds[c] = pick_solver(vars.size(), jobs[c].constraints->size(),
+                               options.policy);
+        obs::TraceSpan span("solve.component");
+        span.arg("component", jobs[c].component_id)
+            .arg("vars", vars.size())
+            .arg("rows", jobs[c].constraints->size())
+            .arg("solver", lcp::to_string(kinds[c]));
+        // Extract, solve, scatter, release: at most two sub-problems per
+        // lane are ever live (the staged one plus the solving one),
+        // whatever the job count.
+        lcp::LcpSolverConfig config;
+        config.mmsim = options.mmsim;
+        config.schur_coupling_breaks = &component.schur_coupling_breaks;
+        config.psor.tolerance = options.mmsim.tolerance;
+        config.psor.max_iterations = options.mmsim.max_iterations;
+        // Distinct jobs must hold distinct slots (the caller's contract),
+        // so the parallel solves never share one.
+        recovered[c] = lcp::solve_with_recovery(
+            kinds[c], component.qp, config, recovery, jobs[c].slot,
+            /*warm_start=*/true);
+        span.arg("iterations", recovered[c].result.iterations)
+            .arg("rung", lcp::to_string(recovered[c].rung));
+        if (recovered[c].rung != lcp::RecoveryRung::kExhausted) {
+          // Variable sets are disjoint across jobs (caller's contract),
+          // so the shared writes are race-free.
+          for (std::size_t v = 0; v < vars.size(); ++v)
+            x[vars[v]] = recovered[c].result.x[v];
+          recovered[c].result.x = Vector();
+          recovered[c].result.dual = Vector();
         }
       });
 
@@ -650,10 +709,12 @@ MmsimLegalizerStats mmsim_legalize_continuous(
 
   // The workspace arena the solve drivers iterate in. The thread-local
   // default gives buffer reuse across outer calls with zero caller changes;
-  // it is per-thread, so concurrent legalizer calls never share slots (a
-  // nested parallel_for inside a pool task runs serial inline, so the
-  // drivers' own parallelism stays within this thread's arena — each slot
-  // is only ever touched under its component index).
+  // it is per-thread, so concurrent legalizer calls never share an arena: a
+  // thread (client or pool worker) runs one legalize call at a time — a
+  // nested job blocks its submitter until it completes, it never interleaves
+  // other legalize calls onto this thread. The drivers' own parallel chunks
+  // may execute on any worker (stealable children), but each slot is only
+  // ever touched under its component index, so slots stay disjoint.
   static thread_local lcp::SolverWorkspace default_workspace;
   lcp::SolverWorkspace& workspace =
       options.workspace != nullptr ? *options.workspace : default_workspace;
@@ -700,7 +761,8 @@ MmsimLegalizerStats mmsim_legalize_continuous(
         o = solve_lockstep(model, components, mo, workspace, stats);
       } else if (options.component_at_a_time) {
         o = solve_tiered_streamed(model, partition, mo, options.policy,
-                                  workspace, stats);
+                                  options.staged_extraction, workspace,
+                                  stats);
       } else {
         o = solve_tiered(model, components, mo, options.policy, workspace,
                          stats);

@@ -152,6 +152,14 @@ struct MmsimLegalizerOptions {
   /// lockstep driver needs every per-component solver alive at once.
   bool component_at_a_time = true;
 
+  /// Double-buffered staging for the component-at-a-time drivers: each lane
+  /// extracts the next component's gather tables before the current solve
+  /// occupies it, so solves never wait on extraction (at most two live
+  /// sub-problems per lane). Results are unchanged — extraction is pure and
+  /// every result is keyed by component id. Also gated globally by
+  /// MCH_SCHED_STAGING (runtime::Scheduler::staging_enabled()).
+  bool staged_extraction = true;
+
   // Session hooks (src/service/): a resident session builds the model once
   // per request itself and keeps the solution/partition across requests.
 

@@ -20,10 +20,13 @@
 // element-wise / row-parallel pattern); under that discipline rule 1 makes
 // the result trivially thread-count independent.
 //
-// Nesting: a parallel_for inside a chunk body runs inline on the calling
-// thread (same chunk layout, so same results) instead of re-entering the
-// pool. This is what lets the evaluation suite fan out per design while the
-// solver kernels inside each design stay parallel-safe.
+// Nesting: a parallel_for inside a chunk body submits a *nested job* to the
+// scheduler — its chunks are pushed as stealable children onto the calling
+// worker's deque, so idle workers help instead of the construct silently
+// serializing. The chunk layout is the same either way, so results are
+// unchanged. With MCH_SCHED_NESTED=0 (or from a single-threaded runtime)
+// the legacy inline fallback runs on the calling thread, and the chunks it
+// serializes are counted in the `sched.nested_inline` metric.
 #pragma once
 
 #include <cstddef>
@@ -63,8 +66,13 @@ void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
   const std::size_t chunks = chunk_count(n, grain);
 
   Runtime& runtime = Runtime::instance();
-  ThreadPool* pool = runtime.pool();
-  if (pool == nullptr || chunks == 1 || ThreadPool::in_task()) {
+  Scheduler* sched = runtime.scheduler();
+  const bool nested = Scheduler::in_task();
+  if (sched == nullptr || chunks == 1 ||
+      (nested && !Scheduler::nested_scheduling_enabled())) {
+    // Inline fallback. A nested construct that lands here serializes on
+    // the calling thread; surface that in the sched.nested_inline metric.
+    if (nested && chunks > 1) Scheduler::note_nested_inline(chunks);
     for (std::size_t c = 0; c < chunks; ++c) {
       const std::size_t lo = begin + c * grain;
       const std::size_t hi = lo + grain < end ? lo + grain : end;
@@ -72,7 +80,7 @@ void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
     }
     return;
   }
-  pool->run(chunks, [&](std::size_t c) {
+  sched->run(chunks, [&](std::size_t c) {
     const std::size_t lo = begin + c * grain;
     const std::size_t hi = lo + grain < end ? lo + grain : end;
     fn(lo, hi);

@@ -32,8 +32,8 @@ Runtime::Runtime(unsigned threads) { reconfigure(threads); }
 
 void Runtime::reconfigure(unsigned threads) {
   threads_ = resolve_thread_count(threads);
-  pool_.reset();  // join the old workers before spawning new ones
-  if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
+  scheduler_.reset();  // join the old workers before spawning new ones
+  if (threads_ > 1) scheduler_ = std::make_unique<Scheduler>(threads_);
 }
 
 Runtime& Runtime::instance() {

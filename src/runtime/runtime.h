@@ -21,7 +21,7 @@
 
 #include <memory>
 
-#include "runtime/thread_pool.h"
+#include "runtime/scheduler.h"
 
 namespace mch::runtime {
 
@@ -41,15 +41,18 @@ class Runtime {
 
   unsigned threads() const { return threads_; }
 
-  /// The shared pool, or nullptr when running single-threaded.
-  ThreadPool* pool() const { return pool_.get(); }
+  /// The shared work-stealing scheduler, or nullptr when running
+  /// single-threaded. (`pool()` is the historical name; the scheduler is
+  /// the pool plus the cross-job queueing on top.)
+  Scheduler* scheduler() const { return scheduler_.get(); }
+  Scheduler* pool() const { return scheduler_.get(); }
 
  private:
   explicit Runtime(unsigned threads);
   void reconfigure(unsigned threads);
 
   unsigned threads_ = 1;
-  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<Scheduler> scheduler_;
 };
 
 }  // namespace mch::runtime

@@ -173,8 +173,12 @@ struct SessionOptions {
 };
 
 /// A resident legalization engine serving a stream of requests against one
-/// design. Not thread-safe: one session, one request at a time (each
-/// request parallelizes internally over the runtime's pool).
+/// design. A session is not thread-safe: one request at a time per
+/// session. *Distinct* sessions are safe to drive from concurrent client
+/// threads — each request's component solves are scheduler jobs packed
+/// onto the shared worker pool (runtime/scheduler.h), and match-mode
+/// results stay bitwise equal to a serial one-shot legal::legalize
+/// (tests/service/scheduler_determinism_test.cpp).
 class LegalizationSession {
  public:
   explicit LegalizationSession(db::Design design, SessionOptions options = {});

@@ -8,7 +8,8 @@
 // may log freely. Every line carries a monotonic uptime timestamp
 // ("[   12.3456]", seconds since the first log line), and lines emitted
 // off the main thread are prefixed with the worker id registered via
-// set_log_worker_id (the thread pool does this for its workers).
+// set_log_worker_id (the scheduler registers a process-unique id per
+// worker, so ids never collide across pools).
 #pragma once
 
 #include <sstream>

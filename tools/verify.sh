@@ -2,18 +2,22 @@
 # Repo verification driver: tier-1 build + ctest, the env-variant ctest
 # jobs (.recovery/.session/.simd-off/.mixed/.trace), the observability
 # disabled-overhead smoke (BM_MmsimIterations/32768 vs the committed
-# snapshot), an AddressSanitizer job over the solver/legalizer suites (the
-# workspace arena hands slot references to parallel workers — ASan is what
-# would catch a stale one), and a UBSan job over the SIMD/mixed kernel
-# suites.
+# snapshot), the multi-client scheduler bench (bitwise stability + parallel
+# efficiency of concurrent request submission), an AddressSanitizer job
+# over the solver/legalizer suites (the workspace arena hands slot
+# references to parallel workers — ASan is what would catch a stale one), a
+# UBSan job over the SIMD/mixed kernel suites, and a ThreadSanitizer job
+# over the work-stealing scheduler (concurrent submitters, stolen tickets,
+# the sleep/wake Dekker protocol — TSan is what would catch a misordered
+# wake or a job freed under a late steal).
 #
-#   tools/verify.sh            # full: Release build + ctest + ASan + UBSan
+#   tools/verify.sh            # full: Release + ctest + ASan + UBSan + TSan
 #   tools/verify.sh --fast     # skip the sanitizer jobs
 #   tools/verify.sh --bigmem   # additionally run the 1M-cell memory smoke
 #
-# Build trees: ./build (default config), ./build-asan (MCH_ENABLE_ASAN) and
-# ./build-ubsan (MCH_ENABLE_UBSAN), both RelWithDebInfo sanitizer trees.
-# All are incremental across runs.
+# Build trees: ./build (default config), ./build-asan (MCH_ENABLE_ASAN),
+# ./build-ubsan (MCH_ENABLE_UBSAN) and ./build-tsan (MCH_ENABLE_TSAN), all
+# RelWithDebInfo sanitizer trees. All are incremental across runs.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -119,7 +123,45 @@ print(f"obs overhead smoke: best {best_s:.6f}s vs baseline "
 sys.exit(0 if best_s <= limit_s else 1)
 EOF
 
+echo "== sched: multi-client throughput + bitwise stability =="
+# A reduced run of the --multi bench mode: a queue of heterogeneous designs
+# served serially, then drained by concurrent clients sharing the worker
+# pool. The bench itself exits non-zero if any request's positions diverge
+# bitwise from the single-client phase (or, sampled, from the one-shot
+# legal::legalize), or if parallel efficiency at the machine's core count
+# drops below 0.7. MCH_BENCH_JSON_DIR points at the scratch dir so the
+# committed results/service_throughput_multi.json snapshot (written by a
+# full 120-design run) is never overwritten.
+cmake --build build -j4 --target service_throughput
+MCH_THREADS=4 MCH_BENCH_JSON_DIR="$OVH_DIR" \
+  build/bench/service_throughput --multi 24 3
+
 if [[ "$FAST" == 0 ]]; then
+  echo "== tsan: build scheduler/service suites =="
+  # The scheduler's whole job is cross-thread: per-worker deques, stolen
+  # tickets, the combined remaining-counter retirement, the epoch/sleepers
+  # Dekker handshake. TSan over the scheduler suite (which includes the
+  # concurrent-submission regression for the old pool's abort) and the
+  # concurrent-clients determinism test is the check that those protocols
+  # are data-race-free, not merely lucky.
+  cmake -B build-tsan -S . -DMCH_ENABLE_TSAN=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  TSAN_TARGETS=(runtime_scheduler_test service_scheduler_determinism_test)
+  for t in "${TSAN_TARGETS[@]}"; do
+    cmake --build build-tsan -j4 --target "$t"
+  done
+
+  echo "== tsan: run (4-thread pool, plus steal-first) =="
+  sched_bin="$(find build-tsan/tests -name runtime_scheduler_test -type f | head -1)"
+  MCH_THREADS=4 "$sched_bin" --gtest_brief=1
+  MCH_THREADS=4 MCH_SCHED_STEAL_FIRST=1 "$sched_bin" --gtest_brief=1
+  det_bin="$(find build-tsan/tests -name service_scheduler_determinism_test -type f | head -1)"
+  # The concurrent-clients case only — the full determinism matrix already
+  # runs in the tier-1 and MT4 ctest jobs, and TSan's value here is the
+  # overlap of distinct sessions on shared workers, not the thread sweep.
+  MCH_THREADS=4 "$det_bin" --gtest_brief=1 \
+    --gtest_filter='*ConcurrentClientsBitwiseStable*'
+
   echo "== asan: build solver/legalizer suites =="
   cmake -B build-asan -S . -DMCH_ENABLE_ASAN=ON \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
